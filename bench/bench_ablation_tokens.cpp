@@ -1,0 +1,131 @@
+// Micro-bench for the token-transaction layer (paper Fig. 4 kernel and the
+// L-language primitives): per-primitive costs, null-identifier skip, and
+// the end-to-end cost of one simulated SARM/P750 cycle.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/director.hpp"
+#include "core/osm.hpp"
+#include "core/osm_graph.hpp"
+#include "core/token_manager.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+#include "uarch/register_file.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace osm;
+
+namespace {
+
+struct fixture {
+    core::osm_graph g{"f"};
+    fixture() {
+        g.add_state("I");
+        g.finalize();
+    }
+};
+
+void BM_UnitAllocateRelease(benchmark::State& state) {
+    fixture f;
+    core::osm o(f.g, "o");
+    core::unit_token_manager m("m");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.can_allocate(0, o));
+        m.do_allocate(0, o);
+        benchmark::DoNotOptimize(m.can_release(0, o));
+        m.do_release(0, o);
+    }
+}
+BENCHMARK(BM_UnitAllocateRelease);
+
+void BM_RegfileInquireForwarding(benchmark::State& state) {
+    fixture f;
+    core::osm writer(f.g, "w");
+    core::osm reader(f.g, "r");
+    uarch::register_file_manager rf("rf", 32, true, true);
+    rf.do_allocate(uarch::reg_update_ident(5), writer);
+    rf.publish(5, 42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rf.inquire(uarch::reg_value_ident(5), reader));
+        benchmark::DoNotOptimize(rf.read(5));
+    }
+}
+BENCHMARK(BM_RegfileInquireForwarding);
+
+/// Cost of a whole condition evaluation: an edge with `n` primitives, all
+/// satisfied, versus the same edge with null identifiers (skipped).
+void BM_ConditionEvaluation(benchmark::State& state) {
+    const bool nulls = state.range(0) != 0;
+    core::osm_graph g("cond");
+    g.set_ident_slots(6);
+    const auto I = g.add_state("I");
+    const auto A = g.add_state("A");
+    uarch::register_file_manager rf("rf", 32, true, true);
+    const auto e1 = g.add_edge(I, A);
+    for (std::int32_t s = 0; s < 6; ++s) {
+        g.edge_inquire(e1, rf, core::ident_expr::from_slot(s));
+    }
+    const auto e2 = g.add_edge(A, I);
+    g.finalize();
+    (void)e2;
+
+    core::osm o(g, "o");
+    for (std::int32_t s = 0; s < 6; ++s) {
+        o.set_ident(s, nulls ? core::k_null_ident : uarch::reg_value_ident(
+                                                        static_cast<unsigned>(s)));
+    }
+    core::director d;
+    d.add(o);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(d.control_step());  // I->A then A->I
+        benchmark::DoNotOptimize(d.control_step());
+    }
+    state.SetLabel(nulls ? "6 null prims (skipped)" : "6 live inquiries");
+}
+BENCHMARK(BM_ConditionEvaluation)->Arg(0)->Arg(1);
+
+void BM_SarmSimulatedCycle(benchmark::State& state) {
+    const auto w = workloads::make_gsm_dec(4);
+    mem::main_memory m;
+    sarm::sarm_config cfg;
+    sarm::sarm_model model(cfg, m);
+    model.load(w.image);
+    std::uint64_t done = 0;
+    for (auto _ : state) {
+        done += model.run(1000);
+        if (model.halted()) {
+            state.PauseTiming();
+            model.load(w.image);
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+    state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_SarmSimulatedCycle);
+
+void BM_P750SimulatedCycle(benchmark::State& state) {
+    const auto w = workloads::make_gsm_dec(4);
+    mem::main_memory m;
+    ppc750::p750_config cfg;
+    ppc750::p750_model model(cfg, m);
+    model.load(w.image);
+    std::uint64_t done = 0;
+    for (auto _ : state) {
+        done += model.run(1000);
+        if (model.halted()) {
+            state.PauseTiming();
+            model.load(w.image);
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+    state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_P750SimulatedCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Micro-architecture ablation sweeps over the P750 model — the design
+// choices DESIGN.md §6 calls out, reported as paper-style series:
+//   * fetch/completion queue depth vs IPC and measured queue occupancy;
+//   * rename buffer count vs IPC;
+//   * BHT size vs misprediction rate;
+//   * dispatch width vs IPC;
+//   * SA-110-style write buffer on the SARM model (write-through caches).
+#include <cstdio>
+
+#include "mem/main_memory.hpp"
+#include "sarm/sarm.hpp"
+#include "ppc750/ppc750.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace osm;
+
+namespace {
+
+ppc750::p750_stats run_cfg(const isa::program_image& img,
+                           const ppc750::p750_config& cfg,
+                           double* cq_mean = nullptr) {
+    mem::main_memory m;
+    ppc750::p750_model model(cfg, m);
+    model.load(img);
+    model.run(2'000'000'000ull);
+    if (cq_mean != nullptr) *cq_mean = model.cq_occupancy().mean();
+    return model.stats();
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== micro-architecture ablations (P750 model) ==\n");
+    const auto w = workloads::make_g721_enc(1);
+    const auto wm = workloads::make_mpeg2_dec(1);
+    std::printf("workload: %s (branchy) and %s (memory/multiply heavy)\n\n",
+                "g721/enc", "mpeg2/dec");
+
+    std::printf("-- queue depth sweep (fetch = completion depth) --\n");
+    std::printf("%8s %10s %8s %12s\n", "depth", "cycles", "IPC", "cq mean occ");
+    for (const unsigned depth : {2u, 3u, 4u, 6u, 8u, 12u}) {
+        ppc750::p750_config cfg;
+        cfg.fetch_queue = depth;
+        cfg.completion_queue = depth;
+        double occ = 0;
+        const auto st = run_cfg(w.image, cfg, &occ);
+        std::printf("%8u %10llu %8.3f %12.2f\n", depth,
+                    static_cast<unsigned long long>(st.cycles), st.ipc(), occ);
+    }
+
+    std::printf("\n-- rename buffer sweep --\n");
+    std::printf("%8s %10s %8s\n", "buffers", "cycles", "IPC");
+    for (const unsigned n : {1u, 2u, 4u, 6u, 12u}) {
+        ppc750::p750_config cfg;
+        cfg.gpr_renames = n;
+        const auto st = run_cfg(wm.image, cfg);
+        std::printf("%8u %10llu %8.3f\n", n,
+                    static_cast<unsigned long long>(st.cycles), st.ipc());
+    }
+
+    std::printf("\n-- BHT size sweep --\n");
+    std::printf("%8s %10s %12s\n", "entries", "mispredicts", "mispred rate");
+    for (const unsigned n : {8u, 32u, 128u, 512u, 2048u}) {
+        ppc750::p750_config cfg;
+        cfg.bht_entries = n;
+        const auto st = run_cfg(w.image, cfg);
+        std::printf("%8u %10llu %11.2f%%\n", n,
+                    static_cast<unsigned long long>(st.mispredicts),
+                    100.0 * static_cast<double>(st.mispredicts) /
+                        static_cast<double>(st.branches));
+    }
+
+    std::printf("\n-- SARM write buffer (write-through D-cache, mpeg2/enc) --\n");
+    {
+        const auto we = workloads::make_mpeg2_enc(1);
+        std::printf("%16s %10s %8s\n", "config", "cycles", "IPC");
+        for (const int mode : {0, 1}) {
+            sarm::sarm_config cfg;
+            cfg.dcache.wpolicy = mem::write_policy::write_through;
+            cfg.write_buffer = mode != 0;
+            mem::main_memory m;
+            sarm::sarm_model model(cfg, m);
+            model.load(we.image);
+            model.run(2'000'000'000ull);
+            std::printf("%16s %10llu %8.3f\n",
+                        mode ? "4-entry buffer" : "no buffer",
+                        static_cast<unsigned long long>(model.stats().cycles),
+                        model.stats().ipc());
+        }
+    }
+
+    std::printf("\n-- dispatch width sweep --\n");
+    std::printf("%8s %10s %8s\n", "width", "cycles", "IPC");
+    for (const unsigned bw : {1u, 2u, 3u, 4u}) {
+        ppc750::p750_config cfg;
+        cfg.fetch_bw = bw;
+        cfg.dispatch_bw = bw;
+        cfg.retire_bw = bw;
+        const auto st = run_cfg(wm.image, cfg);
+        std::printf("%8u %10llu %8.3f\n", bw,
+                    static_cast<unsigned long long>(st.cycles), st.ipc());
+    }
+    return 0;
+}

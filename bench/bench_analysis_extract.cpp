@@ -1,0 +1,53 @@
+// Reproduces paper §6: extraction of compiler- and verification-facing
+// properties from the declarative models — operand latencies, reservation
+// tables, ASM-formalism rendering — plus the static consistency checks.
+#include <cstdio>
+
+#include "analysis/analysis.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+
+using namespace osm;
+
+namespace {
+
+void report(const char* name, const core::osm_graph& g, const char* wb_mgr) {
+    std::printf("-- %s --\n", name);
+    const auto t = analysis::extract_reservation_table(g, wb_mgr);
+    std::printf("  reservation table (main path):\n");
+    for (std::size_t i = 0; i < t.table.size(); ++i) {
+        std::printf("    step %zu  %-3s holds:", i + 1, t.table[i].state.c_str());
+        for (const auto& tok : t.table[i].held_tokens) std::printf(" %s", tok.c_str());
+        std::printf("\n");
+    }
+    std::printf("  result (writeback) latency: %d cycles\n", t.result_latency);
+
+    const auto rep = analysis::lint(g);
+    std::printf("  lint: %zu unreachable, %zu sinks, %zu possible leaks (%s)\n",
+                rep.unreachable_states.size(), rep.sink_states.size(),
+                rep.token_leaks.size(),
+                rep.clean() ? "clean" : "conservative findings, see tests");
+    std::printf("  allocation order consistent (deadlock-freedom evidence): %s\n",
+                analysis::allocation_order_consistent(g) ? "yes" : "no");
+    std::printf("  managers referenced: %zu;  ASM rendering: %zu bytes;  "
+                "dot: %zu bytes\n\n",
+                analysis::referenced_managers(g).size(),
+                analysis::to_asm_rules(g).size(), analysis::to_dot(g).size());
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== §6: property extraction from declarative OSM models ==\n\n");
+    mem::main_memory m1, m2;
+    sarm::sarm_model sm(sarm::sarm_config{}, m1);
+    ppc750::p750_model pm(ppc750::p750_config{}, m2);
+    report("SARM (5-stage in-order)", sm.graph(), "m_w");
+    report("P750 (dual-issue out-of-order)", pm.graph(), "m_cq");
+
+    std::printf("-- ASM-formalism excerpt (SARM rule e0) --\n");
+    const std::string rules = analysis::to_asm_rules(sm.graph());
+    std::printf("%s...\n", rules.substr(0, rules.find("rule e1")).c_str());
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces the paper §5.2 accuracy claim: "We validated our PowerPC 750
+// model against the SystemC based model ... the differences in timing are
+// within 3% in all cases."  Here the two independently implemented models
+// of the same machine spec — the OSM P750 and the port/wire DE model — are
+// compared per workload on the MediaBench + SPECint-like mix.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/port_ppc.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "workloads/randprog.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace osm;
+
+int main() {
+    std::printf("== §5.2 accuracy: OSM P750 vs port/wire model (paper: within 3%%) ==\n\n");
+    std::printf("%-14s %14s %14s %12s\n", "workload", "OSM cycles", "port cycles",
+                "difference");
+
+    double worst = 0;
+    bool functional_ok = true;
+    for (auto& w : workloads::mixed_suite(2)) {
+        ppc750::p750_config cfg;
+        mem::main_memory m1, m2;
+        ppc750::p750_model a(cfg, m1);
+        a.load(w.image);
+        a.run(2'000'000'000ull);
+        baseline::port_ppc b(cfg, m2);
+        b.load(w.image);
+        b.run(2'000'000'000ull);
+
+        for (unsigned r = 0; r < 32; ++r) {
+            if (a.gpr(r) != b.gpr(r)) functional_ok = false;
+        }
+        const double ca = static_cast<double>(a.stats().cycles);
+        const double cb = static_cast<double>(b.stats().cycles);
+        const double diff = 100.0 * (ca - cb) / cb;
+        worst = std::max(worst, std::abs(diff));
+        std::printf("%-14s %14llu %14llu %+11.2f%%\n", w.name.c_str(),
+                    static_cast<unsigned long long>(a.stats().cycles),
+                    static_cast<unsigned long long>(b.stats().cycles), diff);
+    }
+    std::printf("\non the structured suite the two implementations converge exactly;\n");
+    std::printf("mispredict-heavy random programs expose the residual interpretation\n");
+    std::printf("differences (wrong-path fetch accounting), the paper's error class:\n\n");
+    std::printf("%-14s %14s %14s %12s\n", "random prog", "OSM cycles", "port cycles",
+                "difference");
+    for (int i = 0; i < 8; ++i) {
+        workloads::randprog_options opt;
+        opt.seed = 777u + static_cast<unsigned>(i) * 131u;
+        opt.blocks = 16;
+        opt.block_len = 12;
+        const auto img = workloads::make_random_program(opt);
+        ppc750::p750_config cfg;
+        mem::main_memory m1, m2;
+        ppc750::p750_model a(cfg, m1);
+        a.load(img);
+        a.run(200'000'000);
+        baseline::port_ppc b(cfg, m2);
+        b.load(img);
+        b.run(200'000'000);
+        const double ca = static_cast<double>(a.stats().cycles);
+        const double cb = static_cast<double>(b.stats().cycles);
+        const double diff = 100.0 * (ca - cb) / cb;
+        worst = std::max(worst, std::abs(diff));
+        std::printf("seed-%-9llu %14llu %14llu %+11.2f%%\n",
+                    static_cast<unsigned long long>(opt.seed),
+                    static_cast<unsigned long long>(a.stats().cycles),
+                    static_cast<unsigned long long>(b.stats().cycles), diff);
+    }
+    std::printf("\nworst |difference| = %.2f%% (paper: within 3%%); "
+                "architectural state identical: %s\n",
+                worst, functional_ok ? "yes" : "NO");
+    return (worst < 3.0 && functional_ok) ? 0 : 1;
+}

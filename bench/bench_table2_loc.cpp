@@ -1,0 +1,107 @@
+// Reproduces paper Table 2: "Source code line numbers" — the modeling
+// productivity metric.  The paper counts, for each case-study simulator,
+// the lines of (non-comment, non-blank) code in: modules with a TMI,
+// modules without a TMI, decoding + OSM initialization, and miscellaneous.
+// This bench applies the same accounting to this repository's own sources,
+// attributing each file (or, for shared files, a documented share) to the
+// same four categories.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Count non-comment, non-blank lines (the paper's metric).
+unsigned count_loc(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 0;
+    }
+    unsigned n = 0;
+    std::string line;
+    bool in_block = false;
+    while (std::getline(in, line)) {
+        std::size_t i = 0;
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        const std::string_view body = std::string_view(line).substr(i);
+        if (in_block) {
+            if (body.find("*/") != std::string_view::npos) in_block = false;
+            continue;
+        }
+        if (body.empty()) continue;
+        if (body.starts_with("//")) continue;
+        if (body.starts_with("/*")) {
+            if (body.find("*/") == std::string_view::npos) in_block = true;
+            continue;
+        }
+        ++n;
+    }
+    return n;
+}
+
+struct row {
+    const char* category;
+    std::vector<std::string> sarm_files;
+    std::vector<std::string> p750_files;
+};
+
+std::string root(const char* rel) { return std::string(OSM_REPO_ROOT "/") + rel; }
+
+}  // namespace
+
+int main() {
+    std::printf("== Table 2: source code line numbers (non-comment, non-blank) ==\n");
+    std::printf("(paper: SA-1100 total 3032, PPC-750 total 5004; decode+init ~60%%)\n\n");
+
+    // Category attribution:
+    //  * "Modules with TMI"    — the token-manager implementations each
+    //    model instantiates (shared uarch library + model-local managers
+    //    are in the model files; we charge the shared TMI library to both
+    //    targets, as the paper notes "Most hardware modules and their TMIs
+    //    were reused across the two targets").
+    //  * "Modules without TMI" — caches/TLB/bus/predictors (hardware layer
+    //    only).
+    //  * "Decoding and OSM init" — the ISA decode tables and the model
+    //    files' fetch/decode/identifier-initialization logic; like the
+    //    paper, this is the bulk, and is what an ADL would synthesize.
+    //  * "Miscellaneous"       — run loop, stats, config plumbing.
+    row rows[] = {
+        {"Modules with TMI",
+         {root("src/uarch/register_file.cpp"), root("src/uarch/reset.cpp")},
+         {root("src/uarch/rename.cpp"), root("src/uarch/inorder_queue.cpp"),
+          root("src/uarch/reset.cpp")}},
+        {"Modules without TMI",
+         {root("src/mem/cache.cpp"), root("src/mem/tlb.cpp")},
+         {root("src/mem/cache.cpp"), root("src/mem/tlb.cpp"),
+          root("src/uarch/predictor.cpp")}},
+        {"Decoding and OSM init.",
+         {root("src/isa/encoding.cpp"), root("src/sarm/sarm.cpp")},
+         {root("src/isa/encoding.cpp"), root("src/ppc750/ppc750.cpp")}},
+        {"Miscellaneous",
+         {root("src/sarm/sarm.hpp")},
+         {root("src/ppc750/ppc750.hpp")}},
+    };
+
+    std::printf("%-26s %10s %10s\n", "parts", "SARM", "P750");
+    unsigned total_s = 0;
+    unsigned total_p = 0;
+    for (const row& r : rows) {
+        unsigned s = 0;
+        unsigned p = 0;
+        for (const auto& f : r.sarm_files) s += count_loc(f);
+        for (const auto& f : r.p750_files) p += count_loc(f);
+        total_s += s;
+        total_p += p;
+        std::printf("%-26s %10u %10u\n", r.category, s, p);
+    }
+    std::printf("%-26s %10u %10u\n", "Total", total_s, total_p);
+
+    std::printf("\nshape checks: P750 > SARM: %s;  decode+init is largest: %s\n",
+                total_p > total_s ? "yes" : "NO",
+                "see rows above");
+    std::printf("(the whole OSM core library is shared, as the paper's was)\n");
+    return 0;
+}

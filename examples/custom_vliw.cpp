@@ -1,0 +1,213 @@
+// VLIW flexibility demo (paper §6: "Since VLIW architectures have simpler
+// pipeline control, they can be easily modeled by OSM as well").
+//
+// The natural OSM encoding of a VLIW is one state machine per *bundle*:
+// the bundle claims both execution lanes' resources in a single condition
+// (conjunction of primitives = lockstep issue), reads all sources before
+// publishing any destination (VLIW read-old-value semantics), and flows
+// through a 4-stage pipeline.  ~150 lines turn the framework into a 2-wide
+// VLIW simulator.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/director.hpp"
+#include "core/osm.hpp"
+#include "core/osm_graph.hpp"
+#include "core/sim_kernel.hpp"
+#include "core/token_manager.hpp"
+#include "isa/decoded_inst.hpp"
+#include "isa/semantics.hpp"
+#include "uarch/register_file.hpp"
+
+using namespace osm;
+using isa::decoded_inst;
+using isa::op;
+
+namespace {
+
+/// A VLIW bundle: two operation slots (either may be a no-op).
+struct bundle {
+    decoded_inst slot[2]{};
+};
+
+class bundle_osm final : public core::osm {
+public:
+    using core::osm::osm;
+    bundle b{};
+    std::uint32_t index = 0;  // bundle index (the VLIW "pc")
+    std::uint32_t result[2]{};
+};
+
+decoded_inst ri(op c, unsigned rd, unsigned rs1, unsigned rs2) {
+    decoded_inst d;
+    d.code = c;
+    d.rd = static_cast<std::uint8_t>(rd);
+    d.rs1 = static_cast<std::uint8_t>(rs1);
+    d.rs2 = static_cast<std::uint8_t>(rs2);
+    return d;
+}
+
+decoded_inst ii(op c, unsigned rd, unsigned rs1, std::int32_t imm) {
+    decoded_inst d;
+    d.code = c;
+    d.rd = static_cast<std::uint8_t>(rd);
+    d.rs1 = static_cast<std::uint8_t>(rs1);
+    d.imm = imm;
+    return d;
+}
+
+/// Identifier slots: sources and destinations for both lanes.
+enum slot_layout : std::int32_t {
+    sl_s1a, sl_s2a, sl_dsta, sl_s1b, sl_s2b, sl_dstb, sl_count
+};
+
+class vliw2 {
+public:
+    explicit vliw2(std::vector<bundle> program)
+        : program_(std::move(program)),
+          m_f_("m_f"),
+          m_x_("m_x"),
+          m_w_("m_w"),
+          m_r_("m_r", 32, /*reg0_is_zero=*/true, /*forwarding=*/true),
+          graph_("vliw2"),
+          kern_(dir_) {
+        build();
+        for (int i = 0; i < 5; ++i) {
+            osms_.push_back(std::make_unique<bundle_osm>(graph_, "b" + std::to_string(i)));
+            dir_.add(*osms_.back());
+        }
+    }
+
+    std::uint64_t run() { return kern_.run(100000); }
+    std::uint32_t reg(unsigned r) const { return m_r_.arch_read(r); }
+    std::uint64_t bundles_retired() const { return retired_; }
+    std::uint64_t ops_retired() const { return ops_; }
+
+private:
+    void set_lane_idents(bundle_osm& o, unsigned lane, std::int32_t s1,
+                         std::int32_t s2, std::int32_t dst) {
+        const decoded_inst& d = o.b.slot[lane];
+        o.set_ident(s1, isa::uses_rs1(d.code) ? uarch::reg_value_ident(d.rs1)
+                                              : core::k_null_ident);
+        o.set_ident(s2, isa::uses_rs2(d.code) ? uarch::reg_value_ident(d.rs2)
+                                              : core::k_null_ident);
+        o.set_ident(dst, isa::writes_rd(d.code) ? uarch::reg_update_ident(d.rd)
+                                                : core::k_null_ident);
+    }
+
+    void build() {
+        using core::ident_expr;
+        graph_.set_ident_slots(sl_count);
+        const auto I = graph_.add_state("I");
+        const auto F = graph_.add_state("F");
+        const auto X = graph_.add_state("X");
+        const auto W = graph_.add_state("W");
+
+        auto e = graph_.add_edge(I, F);
+        graph_.edge_allocate(e, m_f_, ident_expr::value(0));
+        graph_.edge_set_action(e, [this](core::osm& m) {
+            auto& o = static_cast<bundle_osm&>(m);
+            o.index = next_;
+            if (next_ < program_.size()) {
+                o.b = program_[next_++];
+            } else {
+                o.b = bundle{};  // past the end: empty bundles flow as nops
+            }
+            set_lane_idents(o, 0, sl_s1a, sl_s2a, sl_dsta);
+            set_lane_idents(o, 1, sl_s1b, sl_s2b, sl_dstb);
+        });
+
+        // Lockstep issue: one condition claims the execute stage plus every
+        // lane's operands and destinations simultaneously.
+        e = graph_.add_edge(F, X);
+        graph_.edge_release(e, m_f_, ident_expr::value(0));
+        graph_.edge_allocate(e, m_x_, ident_expr::value(0));
+        graph_.edge_inquire(e, m_r_, ident_expr::from_slot(sl_s1a));
+        graph_.edge_inquire(e, m_r_, ident_expr::from_slot(sl_s2a));
+        graph_.edge_inquire(e, m_r_, ident_expr::from_slot(sl_s1b));
+        graph_.edge_inquire(e, m_r_, ident_expr::from_slot(sl_s2b));
+        graph_.edge_allocate(e, m_r_, ident_expr::from_slot(sl_dsta));
+        graph_.edge_allocate(e, m_r_, ident_expr::from_slot(sl_dstb));
+        graph_.edge_set_action(e, [this](core::osm& m) {
+            auto& o = static_cast<bundle_osm&>(m);
+            // VLIW semantics: read every source before any write.
+            std::uint32_t a[2], b[2];
+            for (unsigned l = 0; l < 2; ++l) {
+                a[l] = m_r_.read(o.b.slot[l].rs1);
+                b[l] = m_r_.read(o.b.slot[l].rs2);
+            }
+            for (unsigned l = 0; l < 2; ++l) {
+                const decoded_inst& d = o.b.slot[l];
+                if (d.code == op::invalid) continue;
+                const auto out = isa::compute(d, o.index * 8, a[l], b[l]);
+                o.result[l] = out.value;
+                if (isa::writes_rd(d.code)) m_r_.publish(d.rd, out.value);
+                ++ops_;
+            }
+        });
+
+        e = graph_.add_edge(X, W);
+        graph_.edge_release(e, m_x_, ident_expr::value(0));
+        graph_.edge_allocate(e, m_w_, ident_expr::value(0));
+
+        e = graph_.add_edge(W, I);
+        graph_.edge_release(e, m_w_, ident_expr::value(0));
+        graph_.edge_release(e, m_r_, ident_expr::from_slot(sl_dsta));
+        graph_.edge_release(e, m_r_, ident_expr::from_slot(sl_dstb));
+        graph_.edge_set_action(e, [this](core::osm& m) {
+            auto& o = static_cast<bundle_osm&>(m);
+            if (o.index < program_.size() && ++retired_ == program_.size()) {
+                kern_.request_stop();  // the whole program has committed
+            }
+        });
+
+        graph_.finalize();
+    }
+
+    std::vector<bundle> program_;
+    std::size_t next_ = 0;
+    core::unit_token_manager m_f_, m_x_, m_w_;
+    uarch::register_file_manager m_r_;
+    core::osm_graph graph_;
+    core::director dir_;
+    core::sim_kernel kern_;
+    std::vector<std::unique_ptr<bundle_osm>> osms_;
+    std::uint64_t retired_ = 0;
+    std::uint64_t ops_ = 0;
+};
+
+}  // namespace
+
+int main() {
+    std::printf("== 2-wide VLIW built on the OSM core (paper §6) ==\n\n");
+
+    // Straight-line VLIW program: two independent accumulations running in
+    // parallel lanes, then a cross-lane combine.
+    std::vector<bundle> prog;
+    // x4 = 1, x5 = 2
+    prog.push_back({{ii(op::addi, 4, 0, 1), ii(op::addi, 5, 0, 2)}});
+    for (int i = 0; i < 8; ++i) {
+        // Lane A: x6 += x4;   Lane B: x7 += x5 (independent chains).
+        prog.push_back({{ri(op::add_r, 6, 6, 4), ri(op::add_r, 7, 7, 5)}});
+    }
+    // Swap test of VLIW read-before-write semantics: both lanes read the
+    // other's old value in one bundle.
+    prog.push_back({{ri(op::add_r, 8, 6, 0), ri(op::add_r, 6, 7, 0)}});
+    // Combine: x10 = x6 + x7 (second lane idle).
+    prog.push_back({{ri(op::add_r, 10, 6, 7), decoded_inst{}}});
+
+    vliw2 cpu(prog);
+    const auto cycles = cpu.run();
+
+    std::printf("x6 (was lane-A sum 8)  = %u\n", cpu.reg(6));
+    std::printf("x7 (lane-B sum)        = %u (expected 16)\n", cpu.reg(7));
+    std::printf("x8 (old x6 via swap)   = %u (expected 8)\n", cpu.reg(8));
+    std::printf("x10 (combined)         = %u (expected 32)\n", cpu.reg(10));
+    std::printf("\n%llu bundles (%llu operations) in %llu cycles — ops/cycle %.2f\n",
+                static_cast<unsigned long long>(cpu.bundles_retired()),
+                static_cast<unsigned long long>(cpu.ops_retired()),
+                static_cast<unsigned long long>(cycles),
+                static_cast<double>(cpu.ops_retired()) / static_cast<double>(cycles));
+    return 0;
+}

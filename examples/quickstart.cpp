@@ -1,0 +1,214 @@
+// Quickstart: build a tiny 3-stage OSM processor from scratch, run a small
+// assembled program on it, and extract its properties.
+//
+// This walks the whole public API surface in one file:
+//   1. token managers   — the hardware layer (paper §3.2);
+//   2. an osm_graph     — states, prioritized edges, token transactions and
+//                         actions (paper §3.1, §3.3);
+//   3. a director       — deterministic scheduling (paper §3.4, Fig. 3);
+//   4. a sim_kernel     — clocked execution (paper Fig. 4);
+//   5. analysis         — reservation table + Graphviz export (paper §6).
+#include <cstdio>
+
+#include "analysis/analysis.hpp"
+#include "core/director.hpp"
+#include "core/osm.hpp"
+#include "core/osm_graph.hpp"
+#include "core/sim_kernel.hpp"
+#include "core/token_manager.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "isa/semantics.hpp"
+#include "mem/main_memory.hpp"
+#include "uarch/register_file.hpp"
+#include "uarch/reset.hpp"
+
+using namespace osm;
+
+namespace {
+
+/// An in-flight operation: the OSM plus its instruction context.
+class tiny_op final : public core::osm {
+public:
+    using core::osm::osm;
+    isa::decoded_inst di{};
+    std::uint32_t pc = 0;
+    std::uint32_t epoch = 0;
+    isa::exec_out ex{};
+};
+
+/// A 3-stage (fetch / execute / write-back) in-order processor.
+class tiny_cpu {
+public:
+    explicit tiny_cpu(mem::main_memory& memory)
+        : mem_(memory),
+          m_f_("m_f"),
+          m_x_("m_x"),
+          m_w_("m_w"),
+          m_r_("m_r", isa::num_gprs, /*reg0_is_zero=*/true, /*forwarding=*/true),
+          m_reset_("m_reset"),
+          graph_("tiny3"),
+          kern_(dir_) {
+        // Control hazards, paper §4: operations fetched in a stale epoch
+        // are reset victims.
+        m_reset_.arm([this](const core::osm& m) {
+            return static_cast<const tiny_op&>(m).epoch != epoch_;
+        });
+        build();
+        for (int i = 0; i < 5; ++i) {
+            ops_.push_back(std::make_unique<tiny_op>(graph_, "op" + std::to_string(i)));
+            dir_.add(*ops_.back());
+        }
+    }
+
+    void load(const isa::program_image& img) {
+        img.load_into(mem_);
+        pc_ = img.entry;
+    }
+
+    std::uint64_t run() {
+        return kern_.run(100000);
+    }
+
+    std::uint32_t reg(unsigned r) const { return m_r_.arch_read(r); }
+    std::uint64_t retired() const { return retired_; }
+    const core::osm_graph& graph() const { return graph_; }
+
+private:
+    void build() {
+        using core::ident_expr;
+        graph_.set_ident_slots(3);  // src1, src2, dst
+
+        const auto I = graph_.add_state("I");
+        const auto F = graph_.add_state("F");
+        const auto X = graph_.add_state("X");
+        const auto W = graph_.add_state("W");
+
+        // I -> F: claim the fetch stage; fetch + decode + set identifiers.
+        auto e = graph_.add_edge(I, F);
+        graph_.edge_allocate(e, m_f_, ident_expr::value(0));
+        graph_.edge_set_action(e, [this](core::osm& m) {
+            auto& o = static_cast<tiny_op&>(m);
+            o.pc = pc_;
+            o.epoch = epoch_;
+            pc_ += 4;
+            o.di = isa::decode(mem_.read32(o.pc));
+            o.set_ident(0, isa::uses_rs1(o.di.code)
+                               ? uarch::reg_value_ident(o.di.rs1)
+                               : core::k_null_ident);
+            o.set_ident(1, isa::uses_rs2(o.di.code)
+                               ? uarch::reg_value_ident(o.di.rs2)
+                               : core::k_null_ident);
+            o.set_ident(2, isa::writes_rd(o.di.code)
+                               ? uarch::reg_update_ident(o.di.rd)
+                               : core::k_null_ident);
+        });
+
+        // Reset edge (higher priority): squash wrong-path operations.
+        e = graph_.add_edge(F, I, /*priority=*/10);
+        graph_.edge_inquire(e, m_reset_, ident_expr::value(0));
+        graph_.edge_discard_all(e);
+
+        // F -> X: operands available (value tokens), write port claimed.
+        e = graph_.add_edge(F, X);
+        graph_.edge_release(e, m_f_, ident_expr::value(0));
+        graph_.edge_allocate(e, m_x_, ident_expr::value(0));
+        graph_.edge_inquire(e, m_r_, ident_expr::from_slot(0));
+        graph_.edge_inquire(e, m_r_, ident_expr::from_slot(1));
+        graph_.edge_allocate(e, m_r_, ident_expr::from_slot(2));
+        graph_.edge_set_action(e, [this](core::osm& m) {
+            auto& o = static_cast<tiny_op&>(m);
+            if (o.di.code == isa::op::halt) {
+                kern_.request_stop();
+                return;
+            }
+            const std::uint32_t a = m_r_.read(o.di.rs1);
+            const std::uint32_t b = m_r_.read(o.di.rs2);
+            o.ex = isa::compute(o.di, o.pc, a, b);
+            if (isa::is_load(o.di.code)) {
+                o.ex.value = isa::do_load(o.di.code, mem_, o.ex.mem_addr);
+            } else if (isa::is_store(o.di.code)) {
+                isa::do_store(o.di.code, mem_, o.ex.mem_addr, o.ex.store_data);
+            }
+            if (isa::writes_rd(o.di.code)) m_r_.publish(o.di.rd, o.ex.value);
+            if (o.ex.redirect) {
+                // Taken branch: redirect fetch and start a new epoch; the
+                // wrong-path op in F takes its reset edge next step.
+                pc_ = o.ex.next_pc;
+                ++epoch_;
+            }
+        });
+
+        // X -> W -> I: drain and commit.
+        e = graph_.add_edge(X, W);
+        graph_.edge_release(e, m_x_, ident_expr::value(0));
+        graph_.edge_allocate(e, m_w_, ident_expr::value(0));
+
+        e = graph_.add_edge(W, I);
+        graph_.edge_release(e, m_w_, ident_expr::value(0));
+        graph_.edge_release(e, m_r_, ident_expr::from_slot(2));
+        graph_.edge_set_action(e, [this](core::osm&) { ++retired_; });
+
+        graph_.finalize();
+    }
+
+    mem::main_memory& mem_;
+    core::unit_token_manager m_f_, m_x_, m_w_;
+    uarch::register_file_manager m_r_;
+    uarch::reset_manager m_reset_;
+    core::osm_graph graph_;
+    core::director dir_;
+    core::sim_kernel kern_;
+    std::vector<std::unique_ptr<tiny_op>> ops_;
+    std::uint32_t pc_ = 0;
+    std::uint32_t epoch_ = 0;
+    std::uint64_t retired_ = 0;
+};
+
+}  // namespace
+
+int main() {
+    std::printf("== OSM quickstart: a 3-stage processor in ~100 lines ==\n\n");
+
+    // A tiny program: sum 1..10 with a counted loop (the taken branch
+    // exercises the reset-manager control-hazard path each iteration).
+    const auto img = isa::assemble(R"(
+        li a0, 0      ; sum
+        li a1, 1      ; i
+        li a2, 10     ; limit
+loop:   add a0, a0, a1
+        addi a1, a1, 1
+        bge a2, a1, loop
+        halt
+    )");
+
+    mem::main_memory memory;
+    tiny_cpu cpu(memory);
+    cpu.load(img);
+    const std::uint64_t cycles = cpu.run();
+
+    std::printf("program finished: sum(1..10) = %u (expected 55)\n", cpu.reg(4));
+    std::printf("retired %llu instructions in %llu cycles (IPC %.2f)\n\n",
+                static_cast<unsigned long long>(cpu.retired()),
+                static_cast<unsigned long long>(cycles),
+                static_cast<double>(cpu.retired()) / static_cast<double>(cycles));
+
+    std::printf("-- extracted reservation table (paper §6) --\n");
+    const auto timing = analysis::extract_reservation_table(cpu.graph(), "m_w");
+    for (std::size_t i = 0; i < timing.table.size(); ++i) {
+        std::printf("  step %zu: state %-2s holds:", i + 1, timing.table[i].state.c_str());
+        for (const auto& t : timing.table[i].held_tokens) std::printf(" %s", t.c_str());
+        std::printf("\n");
+    }
+    std::printf("  result latency: %d cycles\n\n", timing.result_latency);
+
+    std::printf("-- machine lint --\n");
+    const auto rep = analysis::lint(cpu.graph());
+    std::printf("  %s\n\n", rep.clean() ? "clean: no unreachable states, no token leaks"
+                                        : "findings present");
+
+    std::printf("-- Graphviz export (render with `dot -Tpng`) --\n%s\n",
+                analysis::to_dot(cpu.graph()).c_str());
+    return 0;
+}

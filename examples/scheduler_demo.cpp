@@ -1,0 +1,197 @@
+// Compiler-facing demo (paper §6): "Operation properties such as the
+// operand latencies and reservation tables can also be extracted and used
+// by a retargetable compiler during operation scheduling."
+//
+// A small list scheduler reorders a basic block using latencies derived
+// from the SARM model (reservation table via analysis::, per-class execute
+// latencies via isa::extra_exec_cycles, load-use distance from the B-stage
+// forwarding point).  Both instruction orders compute the same result; the
+// scheduled one runs measurably faster on the cycle-accurate model.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decoded_inst.hpp"
+#include "isa/disasm.hpp"
+#include "mem/main_memory.hpp"
+#include "sarm/sarm.hpp"
+
+using namespace osm;
+using isa::decoded_inst;
+using isa::op;
+
+namespace {
+
+/// Producer-to-consumer latency on SARM with forwarding: ALU results
+/// forward from E (distance 1), loads from B (distance 2), multiplies and
+/// divides occupy E for extra cycles first.
+unsigned result_latency(const decoded_inst& di) {
+    if (isa::is_load(di.code)) return 2;
+    return 1 + isa::extra_exec_cycles(di.code);
+}
+
+struct block_op {
+    decoded_inst di;
+    std::vector<std::size_t> deps;  // indices of producers
+};
+
+/// Build the dependence graph of a straight-line block (registers only;
+/// memory ops are kept in order relative to each other).
+std::vector<block_op> analyze(const std::vector<decoded_inst>& block) {
+    std::vector<block_op> out;
+    std::size_t last_store = SIZE_MAX;
+    std::vector<std::size_t> loads_since_store;
+    std::vector<std::size_t> last_writer(64, SIZE_MAX);  // 32 GPR + 32 FPR
+    const auto reg_ix = [](unsigned r, bool fpr) { return r + (fpr ? 32u : 0u); };
+    for (const decoded_inst& di : block) {
+        block_op b{di, {}};
+        const auto dep_on = [&](std::size_t p) {
+            if (p != SIZE_MAX) b.deps.push_back(p);
+        };
+        if (isa::uses_rs1(di.code)) dep_on(last_writer[reg_ix(di.rs1, isa::rs1_is_fpr(di.code))]);
+        if (isa::uses_rs2(di.code)) dep_on(last_writer[reg_ix(di.rs2, isa::rs2_is_fpr(di.code))]);
+        // Memory ordering: loads may reorder freely among themselves but
+        // not across stores; stores stay ordered after every prior access.
+        if (isa::is_load(di.code)) {
+            dep_on(last_store);
+            loads_since_store.push_back(out.size());
+        } else if (isa::is_store(di.code)) {
+            dep_on(last_store);
+            for (const std::size_t l : loads_since_store) dep_on(l);
+            loads_since_store.clear();
+            last_store = out.size();
+        }
+        if (isa::writes_rd(di.code)) {
+            // WAW/WAR: order after the previous writer too (scoreboard).
+            dep_on(last_writer[reg_ix(di.rd, isa::rd_is_fpr(di.code))]);
+            last_writer[reg_ix(di.rd, isa::rd_is_fpr(di.code))] = out.size();
+        }
+        out.push_back(std::move(b));
+    }
+    return out;
+}
+
+/// Greedy list scheduling: at each step pick the ready op whose producers
+/// finished longest ago (critical-path first among ready ops).
+std::vector<decoded_inst> list_schedule(const std::vector<decoded_inst>& block) {
+    const auto g = analyze(block);
+    std::vector<bool> placed(g.size(), false);
+    std::vector<unsigned> finish(g.size(), 0);  // producer-ready times
+    std::vector<decoded_inst> out;
+    unsigned clock = 0;
+    while (out.size() < g.size()) {
+        std::size_t best = SIZE_MAX;
+        unsigned best_ready = ~0u;
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            if (placed[i]) continue;
+            bool deps_placed = true;
+            unsigned ready = 0;
+            for (const std::size_t d : g[i].deps) {
+                if (!placed[d]) {
+                    deps_placed = false;
+                    break;
+                }
+                ready = std::max(ready, finish[d]);
+            }
+            if (!deps_placed) continue;
+            // Prefer ops that are already ready; break ties by program order.
+            if (ready < best_ready) {
+                best_ready = ready;
+                best = i;
+            }
+        }
+        placed[best] = true;
+        clock = std::max(clock + 1, best_ready + 1);
+        finish[best] = clock + result_latency(g[best].di) - 1;
+        out.push_back(g[best].di);
+    }
+    return out;
+}
+
+std::uint64_t run_block(const std::vector<decoded_inst>& block, std::uint32_t* checksum) {
+    isa::program_builder b;
+    b.li(22, 0x9000);  // s0: data base for the block's loads/stores
+    // Warm loop around the block so steady-state scheduling dominates.
+    b.li(23, 2000);  // s1: trip count
+    const auto head = b.here();
+    for (const decoded_inst& di : block) b.emit(di);
+    b.emit_i(op::addi, 23, 23, -1);
+    b.emit_branch(op::bne, 23, 0, head);
+    b.mv(4, 10);  // checksum into a0
+    b.halt_op();
+
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    model.load(b.finish());
+    model.run(100'000'000);
+    *checksum = model.gpr(4);
+    return model.stats().cycles;
+}
+
+decoded_inst ri(op c, unsigned rd, unsigned rs1, unsigned rs2) {
+    decoded_inst d;
+    d.code = c;
+    d.rd = static_cast<std::uint8_t>(rd);
+    d.rs1 = static_cast<std::uint8_t>(rs1);
+    d.rs2 = static_cast<std::uint8_t>(rs2);
+    return d;
+}
+
+decoded_inst ld(unsigned rd, unsigned base, std::int32_t disp) {
+    decoded_inst d;
+    d.code = op::lw;
+    d.rd = static_cast<std::uint8_t>(rd);
+    d.rs1 = static_cast<std::uint8_t>(base);
+    d.imm = disp;
+    return d;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== §6: latency-driven list scheduling from the SARM model ==\n\n");
+
+    // Show where the latencies come from: the extracted reservation table.
+    mem::main_memory m;
+    sarm::sarm_model probe(sarm::sarm_config{}, m);
+    const auto t = analysis::extract_reservation_table(probe.graph(), "m_w");
+    std::printf("extracted pipeline: depth %zu, writeback latency %d; "
+                "forwarding points: E (ALU, +mul/div occupancy), B (loads)\n\n",
+                t.table.size(), t.result_latency);
+
+    // A naive basic block full of back-to-back hazards: each load feeds the
+    // next instruction; the multiply chain serializes.
+    const std::vector<decoded_inst> naive = {
+        ld(12, 22, 0),             // t0 = [s0]      (load)
+        ri(op::add_r, 13, 12, 12), // t1 = t0+t0     (load-use!)
+        ld(14, 22, 4),             // t2 = [s0+4]
+        ri(op::mul, 15, 14, 14),   // t3 = t2*t2     (load-use into mul)
+        ld(16, 22, 8),             // t4 = [s0+8]
+        ri(op::add_r, 17, 16, 13), // t5 = t4+t1     (load-use)
+        ri(op::add_r, 18, 15, 17), // t6 = t3+t5     (mul-use)
+        ri(op::xor_r, 10, 18, 13), // a6 = t6^t1
+    };
+    const auto scheduled = list_schedule(naive);
+
+    std::printf("naive order:                     scheduled order:\n");
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+        std::printf("  %-28s   %s\n", isa::disassemble(naive[i]).c_str(),
+                    isa::disassemble(scheduled[i]).c_str());
+    }
+
+    std::uint32_t sum_a = 0;
+    std::uint32_t sum_b = 0;
+    const auto cyc_naive = run_block(naive, &sum_a);
+    const auto cyc_sched = run_block(scheduled, &sum_b);
+    std::printf("\nchecksums: naive=%08X scheduled=%08X (%s)\n", sum_a, sum_b,
+                sum_a == sum_b ? "equal" : "MISMATCH!");
+    std::printf("cycles:    naive=%llu scheduled=%llu  (%.1f%% faster)\n",
+                static_cast<unsigned long long>(cyc_naive),
+                static_cast<unsigned long long>(cyc_sched),
+                100.0 * (static_cast<double>(cyc_naive) - static_cast<double>(cyc_sched)) /
+                    static_cast<double>(cyc_naive));
+    return sum_a == sum_b ? 0 : 1;
+}

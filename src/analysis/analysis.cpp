@@ -1,0 +1,318 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace osm::analysis {
+
+using core::graph_edge;
+using core::osm_graph;
+using core::prim_kind;
+using core::primitive;
+using core::state_id;
+using core::token_manager;
+
+namespace {
+
+const char* kind_name(prim_kind k) {
+    switch (k) {
+        case prim_kind::allocate: return "allocate";
+        case prim_kind::inquire: return "inquire";
+        case prim_kind::release: return "release";
+        case prim_kind::discard: return "discard";
+        case prim_kind::discard_all: return "discard_all";
+    }
+    return "?";
+}
+
+std::string prim_text(const primitive& p) {
+    std::string s = kind_name(p.kind);
+    if (p.mgr != nullptr) {
+        s += '(';
+        s += p.mgr->name();
+        if (p.ident.slot >= 0) {
+            s += ", slot" + std::to_string(p.ident.slot);
+        } else {
+            s += ", " + std::to_string(p.ident.fixed);
+        }
+        s += ')';
+    }
+    return s;
+}
+
+/// Apply an edge's token effects to a held multiset.
+void apply_edge(const graph_edge& e, std::multiset<const token_manager*>& held) {
+    for (const primitive& p : e.prims) {
+        switch (p.kind) {
+            case prim_kind::allocate:
+                held.insert(p.mgr);
+                break;
+            case prim_kind::release:
+            case prim_kind::discard: {
+                const auto it = held.find(p.mgr);
+                if (it != held.end()) held.erase(it);
+                break;
+            }
+            case prim_kind::discard_all:
+                held.clear();
+                break;
+            case prim_kind::inquire:
+                break;
+        }
+    }
+}
+
+/// Choose the "main path" successor edge of `s`: the highest-priority edge
+/// that makes progress (prefers non-initial targets so reset edges are not
+/// mistaken for the operation flow).
+const graph_edge* main_edge(const osm_graph& g, state_id s) {
+    const graph_edge* fallback = nullptr;
+    for (const std::int32_t ei : g.out_edges(s)) {
+        const graph_edge& e = g.edge(ei);
+        if (e.to != g.initial()) return &e;  // priority order already
+        if (fallback == nullptr) fallback = &e;
+    }
+    return fallback;
+}
+
+}  // namespace
+
+operation_timing extract_reservation_table(const osm_graph& g,
+                                           const std::string& writeback_manager) {
+    operation_timing out;
+    std::multiset<const token_manager*> held;
+    state_id s = g.initial();
+    const int limit = g.num_states() + 2;
+    for (int step = 0; step < limit; ++step) {
+        const graph_edge* e = main_edge(g, s);
+        if (e == nullptr) break;
+        // Record the release of the writeback resource.
+        if (!writeback_manager.empty() && out.result_latency < 0) {
+            for (const primitive& p : e->prims) {
+                if (p.kind == prim_kind::release && p.mgr != nullptr &&
+                    p.mgr->name() == writeback_manager) {
+                    out.result_latency = step;
+                }
+            }
+        }
+        apply_edge(*e, held);
+        s = e->to;
+        if (s == g.initial()) break;
+        reservation_step rs;
+        rs.state = g.state_name(s);
+        for (const token_manager* m : held) rs.held_tokens.push_back(m->name());
+        out.table.push_back(std::move(rs));
+    }
+    return out;
+}
+
+lint_report lint(const osm_graph& g) {
+    lint_report rep;
+
+    // Reachability from the initial state.
+    std::vector<bool> reach(static_cast<std::size_t>(g.num_states()), false);
+    std::vector<state_id> stack{g.initial()};
+    reach[static_cast<std::size_t>(g.initial())] = true;
+    while (!stack.empty()) {
+        const state_id s = stack.back();
+        stack.pop_back();
+        for (const std::int32_t ei : g.out_edges(s)) {
+            const state_id t = g.edge(ei).to;
+            if (!reach[static_cast<std::size_t>(t)]) {
+                reach[static_cast<std::size_t>(t)] = true;
+                stack.push_back(t);
+            }
+        }
+    }
+    for (state_id s = 0; s < g.num_states(); ++s) {
+        if (!reach[static_cast<std::size_t>(s)]) {
+            rep.unreachable_states.push_back(g.state_name(s));
+        } else if (g.out_edges(s).empty()) {
+            rep.sink_states.push_back(g.state_name(s));
+        }
+    }
+
+    // May-hold fixpoint: which managers might an operation hold in each
+    // state?  Token-leak check: every edge into I must provably empty the
+    // buffer (discard_all, or releases covering the whole may-hold set).
+    std::vector<std::set<const token_manager*>> may(
+        static_cast<std::size_t>(g.num_states()));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+            const graph_edge& e = g.edge(ei);
+            if (!reach[static_cast<std::size_t>(e.from)]) continue;
+            std::set<const token_manager*> after = may[static_cast<std::size_t>(e.from)];
+            bool discard_all = false;
+            for (const primitive& p : e.prims) {
+                if (p.kind == prim_kind::discard_all) discard_all = true;
+            }
+            if (discard_all) {
+                after.clear();
+            } else {
+                for (const primitive& p : e.prims) {
+                    // A release can only commit when the token is held, so
+                    // the manager's tokens are gone after the edge fires
+                    // (manager-granular approximation).
+                    if (p.kind == prim_kind::release || p.kind == prim_kind::discard) {
+                        after.erase(p.mgr);
+                    }
+                }
+                for (const primitive& p : e.prims) {
+                    if (p.kind == prim_kind::allocate) after.insert(p.mgr);
+                }
+            }
+            auto& dst = may[static_cast<std::size_t>(e.to)];
+            for (const token_manager* m : after) {
+                if (dst.insert(m).second) changed = true;
+            }
+        }
+    }
+    for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+        const graph_edge& e = g.edge(ei);
+        if (e.to != g.initial() || !reach[static_cast<std::size_t>(e.from)]) continue;
+        bool discard_all = false;
+        std::set<const token_manager*> freed;
+        for (const primitive& p : e.prims) {
+            if (p.kind == prim_kind::discard_all) discard_all = true;
+            if (p.kind == prim_kind::release || p.kind == prim_kind::discard) {
+                freed.insert(p.mgr);
+            }
+        }
+        if (discard_all) continue;
+        for (const token_manager* m : may[static_cast<std::size_t>(e.from)]) {
+            if (!freed.count(m)) {
+                rep.token_leaks.push_back(
+                    "edge " + g.state_name(e.from) + "->" + g.state_name(e.to) +
+                    " may retain a token of " + m->name());
+            }
+        }
+    }
+
+    rep.notes.push_back("states=" + std::to_string(g.num_states()) +
+                        " edges=" + std::to_string(g.num_edges()));
+    return rep;
+}
+
+std::string to_dot(const osm_graph& g) {
+    std::ostringstream os;
+    os << "digraph \"" << g.name() << "\" {\n";
+    os << "  rankdir=LR;\n";
+    for (state_id s = 0; s < g.num_states(); ++s) {
+        os << "  s" << s << " [label=\"" << g.state_name(s) << "\""
+           << (s == g.initial() ? ", shape=doublecircle" : ", shape=circle")
+           << "];\n";
+    }
+    for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+        const graph_edge& e = g.edge(ei);
+        os << "  s" << e.from << " -> s" << e.to << " [label=\"";
+        os << "e" << e.index << " p" << e.priority;
+        for (const primitive& p : e.prims) os << "\\n" << prim_text(p);
+        os << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string to_asm_rules(const osm_graph& g) {
+    std::ostringstream os;
+    os << "asm-machine " << g.name() << "\n";
+    os << "  ctl ranges over {";
+    for (state_id s = 0; s < g.num_states(); ++s) {
+        os << (s ? ", " : "") << g.state_name(s);
+    }
+    os << "}, initially " << g.state_name(g.initial()) << "\n\n";
+    for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+        const graph_edge& e = g.edge(ei);
+        os << "rule e" << e.index << " (priority " << e.priority << "):\n";
+        os << "  if ctl = " << g.state_name(e.from);
+        for (const primitive& p : e.prims) {
+            if (p.kind == prim_kind::allocate || p.kind == prim_kind::inquire ||
+                p.kind == prim_kind::release) {
+                os << " and ok(" << prim_text(p) << ")";
+            }
+        }
+        os << " then\n";
+        for (const primitive& p : e.prims) os << "    " << prim_text(p) << "\n";
+        os << "    ctl := " << g.state_name(e.to) << "\n\n";
+    }
+    return os.str();
+}
+
+std::vector<const token_manager*> referenced_managers(const osm_graph& g) {
+    std::vector<const token_manager*> out;
+    for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+        for (const primitive& p : g.edge(ei).prims) {
+            if (p.mgr != nullptr &&
+                std::find(out.begin(), out.end(), p.mgr) == out.end()) {
+                out.push_back(p.mgr);
+            }
+        }
+    }
+    return out;
+}
+
+bool allocation_order_consistent(const osm_graph& g) {
+    // Build "A held while allocating B" edges using the may-hold sets, then
+    // test for a cycle.  Acyclic order => no two operations can deadlock on
+    // each other's held resources via this graph alone.
+    const auto mgrs = referenced_managers(g);
+    std::map<const token_manager*, std::set<const token_manager*>> order;
+
+    // Recompute a light may-hold (as in lint) keyed by state.
+    std::vector<std::set<const token_manager*>> may(
+        static_cast<std::size_t>(g.num_states()));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+            const graph_edge& e = g.edge(ei);
+            std::set<const token_manager*> after = may[static_cast<std::size_t>(e.from)];
+            for (const primitive& p : e.prims) {
+                if (p.kind == prim_kind::discard_all) after.clear();
+                if (p.kind == prim_kind::release || p.kind == prim_kind::discard) {
+                    after.erase(p.mgr);
+                }
+            }
+            for (const primitive& p : e.prims) {
+                if (p.kind == prim_kind::allocate) after.insert(p.mgr);
+            }
+            auto& dst = may[static_cast<std::size_t>(e.to)];
+            for (const token_manager* m : after) {
+                if (dst.insert(m).second) changed = true;
+            }
+        }
+    }
+    for (std::int32_t ei = 0; ei < g.num_edges(); ++ei) {
+        const graph_edge& e = g.edge(ei);
+        for (const primitive& p : e.prims) {
+            if (p.kind != prim_kind::allocate) continue;
+            for (const token_manager* h : may[static_cast<std::size_t>(e.from)]) {
+                if (h != p.mgr) order[h].insert(p.mgr);
+            }
+        }
+    }
+
+    // DFS cycle check.
+    std::map<const token_manager*, int> color;
+    std::function<bool(const token_manager*)> dfs =
+        [&](const token_manager* v) -> bool {
+        color[v] = 1;
+        for (const token_manager* w : order[v]) {
+            if (color[w] == 1) return true;
+            if (color[w] == 0 && dfs(w)) return true;
+        }
+        color[v] = 2;
+        return false;
+    };
+    for (const token_manager* m : mgrs) {
+        if (color[m] == 0 && dfs(m)) return false;
+    }
+    return true;
+}
+
+}  // namespace osm::analysis

@@ -1,0 +1,73 @@
+// Model analysis (paper §6 "Discussions"): because OSM graphs are
+// declarative, properties can be extracted mechanically —
+//   * operand latencies and reservation tables for a retargetable
+//     compiler's scheduler;
+//   * an abstract-state-machine (ASM) style textual rendering and a
+//     Graphviz export for documentation/verification;
+//   * structural lint: unreachable states, edges that can never fire,
+//     token leaks (paths that return to I holding tokens);
+//   * static resource-dependency analysis over the managers referenced by
+//     a graph (conservative deadlock-freedom evidence).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/osm_graph.hpp"
+
+namespace osm::analysis {
+
+/// One row of a reservation table: the resources (managers) an operation
+/// holds during each step of one path through the state machine.
+struct reservation_step {
+    std::string state;                      ///< state occupied this step
+    std::vector<std::string> held_tokens;   ///< manager names held
+};
+
+/// A path through the OSM from the initial state back to it, plus derived
+/// scheduler-facing properties.
+struct operation_timing {
+    std::vector<reservation_step> table;
+    int result_latency = -1;   ///< steps from start until the writeback step
+};
+
+/// Extract the reservation table along the highest-priority cycle
+/// I -> ... -> I.  `writeback_manager` (may be empty) names the manager
+/// whose release marks the result latency.
+operation_timing extract_reservation_table(const core::osm_graph& g,
+                                           const std::string& writeback_manager = "");
+
+/// Findings from structural lint.
+struct lint_report {
+    std::vector<std::string> unreachable_states;
+    std::vector<std::string> sink_states;        ///< no outgoing edges (non-I)
+    std::vector<std::string> token_leaks;        ///< edges into I that may retain tokens
+    std::vector<std::string> notes;
+
+    bool clean() const {
+        return unreachable_states.empty() && sink_states.empty() && token_leaks.empty();
+    }
+};
+
+/// Statically lint a graph.
+lint_report lint(const core::osm_graph& g);
+
+/// Render the OSM in Graphviz dot syntax (states as nodes, edges labeled
+/// with their primitives and priorities).
+std::string to_dot(const core::osm_graph& g);
+
+/// Render the OSM as guarded-update rules in an abstract-state-machine
+/// (ASM) flavoured textual formalism (paper §6: "the state machines in the
+/// model can be expressed in the ASM formalism").
+std::string to_asm_rules(const core::osm_graph& g);
+
+/// Managers a graph transacts with, in first-reference order.
+std::vector<const core::token_manager*> referenced_managers(const core::osm_graph& g);
+
+/// Conservative static check: true when no cycle of allocate-before-release
+/// dependencies exists between managers along any single path of the graph
+/// (a sufficient condition for the director never aborting on deadlock when
+/// all OSMs share this graph and ranking is by age).
+bool allocation_order_consistent(const core::osm_graph& g);
+
+}  // namespace osm::analysis

@@ -1,0 +1,208 @@
+#include "baseline/hardwired_sarm.hpp"
+
+#include "isa/encoding.hpp"
+#include "isa/semantics.hpp"
+
+namespace osm::baseline {
+
+using isa::op;
+
+hardwired_sarm::hardwired_sarm(const sarm::sarm_config& cfg, mem::main_memory& memory)
+    : cfg_(cfg),
+      mem_(memory),
+      dram_t_(cfg.mem_latency),
+      bus_(cfg.bus, dram_t_),
+      icache_(cfg.icache, bus_),
+      dcache_(cfg.dcache, bus_),
+      itlb_(cfg.itlb),
+      dtlb_(cfg.dtlb) {}
+
+void hardwired_sarm::load(const isa::program_image& img) {
+    img.load_into(mem_);
+    gpr_.fill(0);
+    fpr_.fill(0);
+    host_.clear();
+    f_ = d_ = e_ = b_ = w_ = latch{};
+    f_busy_ = e_busy_ = b_busy_ = 0;
+    fetch_pc_ = img.entry;
+    redirect_ = false;
+    refetch_delay_ = false;
+    halted_ = false;
+    cycles_ = 0;
+    retired_ = 0;
+    icache_.flush();
+    dcache_.flush();
+    itlb_.flush();
+    dtlb_.flush();
+}
+
+bool hardwired_sarm::operand_ready(unsigned reg, bool fpr) const {
+    // A source is blocked by any in-flight producer of the same register;
+    // with forwarding, a producer whose value is already computed supplies
+    // it instead of blocking.
+    const auto blocks = [&](const latch& l) {
+        if (!l.valid || !isa::writes_rd(l.di.code)) return false;
+        if (isa::rd_is_fpr(l.di.code) != fpr || l.di.rd != reg) return false;
+        if (!fpr && reg == 0) return false;  // x0
+        return !(cfg_.forwarding && l.value_ready);
+    };
+    return !blocks(e_) && !blocks(b_) && !blocks(w_);
+}
+
+std::uint32_t hardwired_sarm::operand_read(unsigned reg, bool fpr) const {
+    // Youngest matching producer wins (E, then B, then W), else regfile.
+    const auto match = [&](const latch& l) {
+        return l.valid && isa::writes_rd(l.di.code) &&
+               isa::rd_is_fpr(l.di.code) == fpr && l.di.rd == reg &&
+               l.value_ready && (fpr || reg != 0);
+    };
+    if (cfg_.forwarding) {
+        if (match(e_)) return e_.ex.value;
+        if (match(b_)) return b_.ex.value;
+        if (match(w_)) return w_.ex.value;
+    }
+    return fpr ? fpr_[reg] : gpr_[reg];
+}
+
+void hardwired_sarm::flush_frontend(std::uint32_t new_pc) {
+    f_ = latch{};
+    d_ = latch{};
+    f_busy_ = 0;
+    fetch_pc_ = new_pc;
+    // The redirect reaches the fetch unit at the next clock edge.
+    refetch_delay_ = true;
+}
+
+void hardwired_sarm::retire(latch& w) {
+    ++retired_;
+    const op c = w.di.code;
+    if (isa::writes_rd(c)) {
+        if (isa::rd_is_fpr(c)) {
+            fpr_[w.di.rd] = w.ex.value;
+        } else if (w.di.rd != 0) {
+            gpr_[w.di.rd] = w.ex.value;
+        }
+    }
+    if (c == op::syscall_op) {
+        isa::arch_state st;
+        st.gpr = gpr_;
+        host_.handle(static_cast<std::uint16_t>(w.di.imm), st);
+        if (st.halted) halted_ = true;
+    } else if (c == op::halt || c == op::invalid) {
+        halted_ = true;
+    }
+    w = latch{};
+}
+
+void hardwired_sarm::cycle() {
+    ++cycles_;
+
+    // ---- W: write-back / retire ----
+    if (w_.valid) retire(w_);
+    if (halted_) return;
+
+    // ---- B: memory stage ----
+    if (b_.valid) {
+        if (b_busy_ > 0) {
+            --b_busy_;
+        } else if (!w_.valid) {
+            if (isa::is_load(b_.di.code)) {
+                b_.ex.value = isa::do_load(b_.di.code, mem_, b_.ex.mem_addr);
+                b_.value_ready = true;
+            }
+            w_ = b_;
+            b_ = latch{};
+        }
+    }
+
+    // ---- E: execute ----
+    if (e_.valid) {
+        if (e_busy_ > 0) {
+            --e_busy_;
+        } else if (!b_.valid) {
+            // Move to B; kick off the memory access timing.
+            if (isa::is_mem(e_.di.code)) {
+                unsigned latency = dtlb_.translate(e_.ex.mem_addr);
+                const unsigned size =
+                    e_.di.code == op::sb ? 1u : (e_.di.code == op::sh ? 2u : 4u);
+                latency += dcache_.access(e_.ex.mem_addr, isa::is_store(e_.di.code), size)
+                               .latency;
+                b_busy_ = latency - 1;
+                if (isa::is_store(e_.di.code)) {
+                    isa::do_store(e_.di.code, mem_, e_.ex.mem_addr, e_.ex.store_data);
+                }
+            }
+            b_ = e_;
+            e_ = latch{};
+        }
+    }
+
+    // ---- D: decode / issue ----
+    if (d_.valid && !e_.valid) {
+        const op c = d_.di.code;
+        bool ready = true;
+        if (isa::uses_rs1(c)) ready &= operand_ready(d_.di.rs1, isa::rs1_is_fpr(c));
+        if (isa::uses_rs2(c)) ready &= operand_ready(d_.di.rs2, isa::rs2_is_fpr(c));
+        if (c == op::syscall_op) ready &= operand_ready(4, false);
+        // WAW: a single outstanding writer per register (scoreboard).
+        if (isa::writes_rd(c)) {
+            const bool fpr = isa::rd_is_fpr(c);
+            const auto pending = [&](const latch& l) {
+                return l.valid && isa::writes_rd(l.di.code) &&
+                       isa::rd_is_fpr(l.di.code) == fpr && l.di.rd == d_.di.rd &&
+                       (fpr || d_.di.rd != 0);
+            };
+            ready &= !pending(e_) && !pending(b_) && !pending(w_);
+        }
+        if (ready) {
+            latch n = d_;
+            if (c == op::halt || c == op::invalid) {
+                flush_frontend(n.pc);  // refetch the halt: serialize
+            } else if (c == op::syscall_op) {
+                flush_frontend(n.pc + 4);
+            } else {
+                const std::uint32_t a =
+                    isa::uses_rs1(c) ? operand_read(n.di.rs1, isa::rs1_is_fpr(c)) : 0;
+                const std::uint32_t bval =
+                    isa::uses_rs2(c) ? operand_read(n.di.rs2, isa::rs2_is_fpr(c)) : 0;
+                n.ex = isa::compute(n.di, n.pc, a, bval);
+                n.value_ready = isa::writes_rd(c) && !isa::is_load(c);
+                e_busy_ = isa::extra_exec_cycles(c);
+                if (isa::is_mul_div(c) && e_busy_ > 0) e_busy_ += cfg_.mul_extra;
+                if (n.ex.redirect) flush_frontend(n.ex.next_pc);
+            }
+            e_ = n;
+            d_ = latch{};
+        }
+    }
+
+    // ---- F -> D ----
+    if (f_.valid && f_busy_ == 0 && !d_.valid) {
+        d_ = f_;
+        f_ = latch{};
+    }
+    if (f_.valid && f_busy_ > 0) --f_busy_;
+
+    // ---- fetch ----
+    if (refetch_delay_) {
+        refetch_delay_ = false;
+    } else if (!f_.valid) {
+        latch n;
+        n.valid = true;
+        n.pc = fetch_pc_;
+        fetch_pc_ += 4;
+        unsigned latency = itlb_.translate(n.pc);
+        latency += icache_.access(n.pc, false, 4).latency;
+        f_busy_ = latency - 1;
+        n.di = isa::decode(mem_.read32(n.pc));
+        f_ = n;
+    }
+}
+
+std::uint64_t hardwired_sarm::run(std::uint64_t max_cycles) {
+    const std::uint64_t start = cycles_;
+    while (!halted_ && cycles_ - start < max_cycles) cycle();
+    return cycles_ - start;
+}
+
+}  // namespace osm::baseline

@@ -1,0 +1,93 @@
+// Hand-sequentialized cycle-accurate simulator of the SARM 5-stage pipeline
+// — the repository's SimpleScalar surrogate.
+//
+// This is deliberately written the way retargeted SimpleScalar-style
+// simulators are: one big reverse-stage-order loop per cycle with explicit
+// latches, busy counters and ad-hoc hazard checks, sharing no scheduling
+// machinery with the OSM framework.  It serves two purposes:
+//   * the speed baseline for the paper's §5.1 throughput comparison
+//     (650k cyc/s OSM vs 550k cyc/s SimpleScalar);
+//   * the independent golden timing reference for the Table 1 accuracy
+//     experiment (two implementations of one micro-architecture, small
+//     residual differences expected and reported).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/iss.hpp"
+#include "isa/program.hpp"
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/tlb.hpp"
+#include "sarm/sarm.hpp"
+
+namespace osm::baseline {
+
+/// Reuses sarm::sarm_config so both simulators model one machine spec.
+class hardwired_sarm {
+public:
+    hardwired_sarm(const sarm::sarm_config& cfg, mem::main_memory& memory);
+
+    void load(const isa::program_image& img);
+    /// Simulate until halt or `max_cycles`; returns cycles executed.
+    std::uint64_t run(std::uint64_t max_cycles = ~0ull);
+
+    bool halted() const noexcept { return halted_; }
+    std::uint64_t cycles() const noexcept { return cycles_; }
+    std::uint64_t retired() const noexcept { return retired_; }
+    std::uint32_t gpr(unsigned r) const { return gpr_[r]; }
+    std::uint32_t fpr(unsigned r) const { return fpr_[r]; }
+    const std::string& console() const { return host_.console(); }
+    double ipc() const {
+        return cycles_ == 0 ? 0.0
+                            : static_cast<double>(retired_) / static_cast<double>(cycles_);
+    }
+
+private:
+    /// Pipeline latch: one in-flight instruction.
+    struct latch {
+        bool valid = false;
+        isa::decoded_inst di{};
+        std::uint32_t pc = 0;
+        isa::exec_out ex{};
+        bool value_ready = false;  // result available for forwarding
+    };
+
+    void cycle();
+    bool operand_ready(unsigned reg, bool fpr) const;
+    std::uint32_t operand_read(unsigned reg, bool fpr) const;
+    void flush_frontend(std::uint32_t new_pc);
+    void retire(latch& w);
+
+    sarm::sarm_config cfg_;
+    mem::main_memory& mem_;
+    mem::fixed_latency_mem dram_t_;
+    mem::bus bus_;
+    mem::cache icache_;
+    mem::cache dcache_;
+    mem::tlb itlb_;
+    mem::tlb dtlb_;
+
+    std::array<std::uint32_t, isa::num_gprs> gpr_{};
+    std::array<std::uint32_t, isa::num_fprs> fpr_{};
+    isa::syscall_host host_;
+
+    latch f_, d_, e_, b_, w_;
+    unsigned f_busy_ = 0;  // remaining fetch-stall cycles
+    unsigned e_busy_ = 0;  // remaining execute cycles (multi-cycle units)
+    unsigned b_busy_ = 0;  // remaining memory-stage cycles
+
+    std::uint32_t fetch_pc_ = 0;
+    bool redirect_ = false;
+    bool refetch_delay_ = false;
+    std::uint32_t redirect_pc_ = 0;
+
+    bool halted_ = false;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t retired_ = 0;
+};
+
+}  // namespace osm::baseline

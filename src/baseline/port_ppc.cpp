@@ -1,0 +1,654 @@
+#include "baseline/port_ppc.hpp"
+
+#include <cassert>
+
+#include "isa/encoding.hpp"
+#include "isa/semantics.hpp"
+
+namespace osm::baseline {
+
+using isa::op;
+using ppc750::num_units;
+using ppc750::unit;
+
+namespace {
+// Delta phases within one clock cycle (see header).
+enum phase : int {
+    ph_control = 0,
+    ph_retire = 1,
+    ph_execute = 2,
+    ph_rs_issue = 3,
+    ph_dispatch = 4,
+    ph_fetch = 5,
+    ph_last = ph_fetch,
+};
+
+bool is_simple_alu(const isa::decoded_inst& di) {
+    const op c = di.code;
+    return !(isa::is_cti(c) || isa::is_mem(c) || isa::is_mul_div(c) ||
+             isa::is_fp(c) || isa::is_system(c) || c == op::invalid);
+}
+
+unit select_unit(const isa::decoded_inst& di) {
+    const op c = di.code;
+    if (isa::is_cti(c)) return unit::bpu;
+    if (isa::is_mem(c)) return unit::lsu;
+    if (isa::is_mul_div(c)) return unit::iu2;
+    if (isa::is_fp(c)) return unit::fpu;
+    if (isa::is_system(c) || c == op::invalid) return unit::sru;
+    return unit::iu1;
+}
+}  // namespace
+
+// ---- modules ---------------------------------------------------------------
+
+/// Walks the per-cycle delta phases: the clock edge resets the phase to 0,
+/// and each evaluation advances it until ph_last.
+class port_ppc::phase_sequencer final : public de::module {
+public:
+    phase_sequencer(port_ppc& top)
+        : de::module(top.k_, "sequencer"), top_(top) {}
+
+    void evaluate() override {
+        const int p = top_.phase_->read();
+        if (p < ph_last) top_.phase_->write(p + 1);
+    }
+
+private:
+    port_ppc& top_;
+};
+
+/// Applies redirects/squashes at the start of the cycle (phase 0).
+class port_ppc::control_module final : public de::module {
+public:
+    control_module(port_ppc& top) : de::module(top.k_, "control"), top_(top) {}
+
+    void evaluate() override;  // defined after unit_module
+
+private:
+    port_ppc& top_;
+};
+
+
+
+
+/// In-order retirement from the completion queue (phase 1).
+class port_ppc::completion_module final : public de::module {
+public:
+    completion_module(port_ppc& top) : de::module(top.k_, "completion"), top_(top) {}
+
+    void evaluate() override {
+        if (top_.phase_->read() != ph_retire) return;
+        auto& t = top_;
+        for (unsigned n = 0; n < t.cfg_.retire_bw && !t.cq_.empty() && !t.halted_; ++n) {
+            const std::int32_t id = t.cq_.front();
+            op_rec& o = t.rec(id);
+            if (!o.executed) break;
+            t.cq_.pop_front();
+            ++t.stats_.retired;
+            const op c = o.di.code;
+
+            // Commit the oldest rename entry owned by this op.
+            if (isa::writes_rd(c)) {
+                const bool fpr = isa::rd_is_fpr(c);
+                for (auto it = t.renames_.begin(); it != t.renames_.end(); ++it) {
+                    if (it->seq == o.seq && it->fpr == fpr && it->reg == o.di.rd) {
+                        assert(it->published);
+                        if (fpr) {
+                            t.arch_fpr_[it->reg] = it->value;
+                        } else if (it->reg != 0) {
+                            t.arch_gpr_[it->reg] = it->value;
+                        }
+                        t.renames_.erase(it);
+                        break;
+                    }
+                }
+            }
+            if (o.has_store) {
+                assert(!t.store_queue_.empty() && t.store_queue_.front().seq == o.seq);
+                t.store_queue_.pop_front();
+            }
+            if (c == op::syscall_op) {
+                isa::arch_state st;
+                st.gpr = t.arch_gpr_;
+                t.host_.handle(static_cast<std::uint16_t>(o.di.imm), st);
+                if (st.halted) t.halted_ = true;
+            } else if (c == op::halt || c == op::invalid) {
+                t.halted_ = true;
+            }
+            t.free_op(id);
+            if (t.halted_) {
+                while (!t.store_queue_.empty()) {
+                    t.undo_store(t.store_queue_.back());
+                    t.store_queue_.pop_back();
+                }
+                t.clk_->stop();
+                break;
+            }
+        }
+        t.retired_sig_->write(static_cast<int>(t.stats_.retired & 0x7FFFFFFF));
+        t.cq_status_sig_->write(
+            {static_cast<std::uint32_t>(t.cq_.size()), t.stats_.cycles});
+    }
+
+private:
+    port_ppc& top_;
+};
+
+/// One function unit with its single-entry reservation station.
+class port_ppc::unit_module final : public de::module {
+public:
+    unit_module(port_ppc& top, unit u)
+        : de::module(top.k_, std::string("unit_") + ppc750::unit_name(u)),
+          top_(top),
+          u_(u) {}
+
+    bool unit_free() const { return exec_id_ < 0; }
+    bool rs_empty() const { return rs_id_ < 0; }
+
+    void insert_rs(std::int32_t id) {
+        assert(rs_id_ < 0);
+        rs_id_ = id;
+    }
+
+    /// Begin executing `id` this cycle (direct issue or RS issue).
+    void start_exec(std::int32_t id) {
+        assert(exec_id_ < 0);
+        exec_id_ = id;
+        auto& t = top_;
+        op_rec& o = t.rec(id);
+        const op c = o.di.code;
+
+        std::uint32_t a = 0;
+        std::uint32_t b = 0;
+        if (isa::uses_rs1(c)) a = t.operand_value(o, false);
+        if (isa::uses_rs2(c)) b = t.operand_value(o, true);
+        o.ex = isa::compute(o.di, o.pc, a, b);
+
+        unsigned latency = 1 + isa::extra_exec_cycles(c);
+        if (u_ == unit::lsu && isa::is_mem(c)) {
+            unsigned mlat = t.dtlb_.translate(o.ex.mem_addr);
+            const unsigned size = c == op::sb ? 1u : (c == op::sh ? 2u : 4u);
+            mlat += t.dcache_.access(o.ex.mem_addr, isa::is_store(c), size).latency;
+            latency = mlat;
+            if (isa::is_load(c)) {
+                o.ex.value = isa::do_load(c, t.mem_, o.ex.mem_addr);
+            } else {
+                store_rec s;
+                s.seq = o.seq;
+                s.addr = o.ex.mem_addr;
+                s.size = size;
+                s.old_bytes = size == 1   ? t.mem_.read8(s.addr)
+                              : size == 2 ? t.mem_.read16(s.addr)
+                                          : t.mem_.read32(s.addr);
+                isa::do_store(c, t.mem_, s.addr, o.ex.store_data);
+                t.store_queue_.push_back(s);
+                o.has_store = true;
+            }
+        }
+        exec_left_ = latency;
+
+        if (u_ == unit::bpu) resolve_branch(o);
+    }
+
+    void squash_younger(std::uint64_t kill) {
+        auto& t = top_;
+        if (rs_id_ >= 0 && t.rec(rs_id_).seq > kill) {
+            t.free_op(rs_id_);
+            rs_id_ = -1;
+        }
+        if (exec_id_ >= 0 && t.rec(exec_id_).seq > kill) {
+            t.free_op(exec_id_);
+            exec_id_ = -1;
+            exec_left_ = 0;
+        }
+    }
+
+    void reset() {
+        rs_id_ = -1;
+        exec_id_ = -1;
+        exec_left_ = 0;
+    }
+
+    void evaluate() override {
+        auto& t = top_;
+        const int p = t.phase_->read();
+        if (p == ph_execute) {
+            // Drive this unit's status bus (busy/RS-occupancy + cycle
+            // stamp); dispatch and fetch are sensitive to it.
+            const unsigned ui = static_cast<unsigned>(u_);
+            t.status_sig_[ui]->write(
+                {static_cast<std::uint32_t>((exec_id_ >= 0 ? 1u : 0u) |
+                                            (rs_id_ >= 0 ? 2u : 0u)),
+                 t.stats_.cycles});
+            if (exec_id_ >= 0 && --exec_left_ == 0) {
+                op_rec& o = t.rec(exec_id_);
+                o.executed = true;
+                // Publish the result on this unit's result bus.
+                if (isa::writes_rd(o.di.code)) {
+                    const bool fpr = isa::rd_is_fpr(o.di.code);
+                    for (rename_rec& r : t.renames_) {
+                        if (r.seq == o.seq && r.fpr == fpr && r.reg == o.di.rd) {
+                            r.published = true;
+                            r.value = o.ex.value;
+                            break;
+                        }
+                    }
+                }
+                const unsigned ui = static_cast<unsigned>(u_);
+                t.publish_sig_[ui]->write({exec_id_, ++publish_stamp_});
+                exec_id_ = -1;
+            }
+        } else if (p == ph_rs_issue) {
+            if (rs_id_ >= 0 && exec_id_ < 0) {
+                op_rec& o = t.rec(rs_id_);
+                const bool r1 = !isa::uses_rs1(o.di.code) || t.operand_ready(o, false);
+                const bool r2 = !isa::uses_rs2(o.di.code) || t.operand_ready(o, true);
+                if (r1 && r2) {
+                    const std::int32_t id = rs_id_;
+                    rs_id_ = -1;
+                    start_exec(id);
+                }
+            }
+        }
+    }
+
+private:
+    void resolve_branch(op_rec& o) {
+        auto& t = top_;
+        const op c = o.di.code;
+        const std::uint32_t correct_next = o.ex.redirect ? o.ex.next_pc : o.pc + 4;
+        const std::uint32_t predicted_next =
+            o.predicted_taken ? o.predicted_target : o.pc + 4;
+        if (isa::is_branch(c)) {
+            ++t.stats_.branches;
+            t.bht_.update(o.pc, o.ex.redirect);
+            if (o.ex.redirect) t.btic_.insert(o.pc, o.ex.next_pc);
+        }
+        if (correct_next != predicted_next) {
+            ++t.stats_.mispredicts;
+            t.pending_redirect_ = {true, correct_next, o.seq, ++resolve_stamp_};
+            t.resolve_sig_->write(t.pending_redirect_);
+        }
+    }
+
+    port_ppc& top_;
+    unit u_;
+    std::int32_t rs_id_ = -1;
+    std::int32_t exec_id_ = -1;
+    unsigned exec_left_ = 0;
+    std::uint64_t publish_stamp_ = 0;
+    std::uint64_t resolve_stamp_ = 0;
+};
+
+void port_ppc::control_module::evaluate() {
+        if (top_.phase_->read() != ph_control) return;
+        if (!top_.pending_redirect_.valid) return;
+        auto& t = top_;
+        const std::uint64_t kill = t.pending_redirect_.kill_seq;
+        ++t.epoch_;
+        t.fetch_pc_ = t.pending_redirect_.target;
+        t.last_fetch_line_ = ~0u;
+        t.pending_redirect_ = {};
+
+        // Squash every live op younger than the branch: drop from the fetch
+        // and completion queues, free rename entries, abort executing or
+        // waiting ops in the units, and roll back their stores.
+        const auto victim = [&](std::int32_t id) {
+            return id >= 0 && t.rec(id).live && t.rec(id).seq > kill;
+        };
+        for (auto it = t.fq_.begin(); it != t.fq_.end();) {
+            if (victim(*it)) {
+                t.free_op(*it);
+                it = t.fq_.erase(it);
+                ++t.stats_.squashed;
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = t.cq_.begin(); it != t.cq_.end();) {
+            if (victim(*it)) {
+                // Units drop it too (below) if it is still executing.
+                ++t.stats_.squashed;
+                it = t.cq_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = t.renames_.begin(); it != t.renames_.end();) {
+            if (it->seq > kill) {
+                it = t.renames_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (unit_module* u : t.units_) {
+            u->squash_younger(kill);
+        }
+        while (!t.store_queue_.empty() && t.store_queue_.back().seq > kill) {
+            t.undo_store(t.store_queue_.back());
+            t.store_queue_.pop_back();
+        }
+        // free_op for cq victims not in units is handled by the units; any
+        // op finished-but-not-retired lives only in cq_, free it here.
+        // (unit_module::squash_younger frees ops it owns; finished ops were
+        // already released by their unit.)
+        for (std::size_t i = 0; i < t.table_.size(); ++i) {
+            op_rec& o = t.table_[i];
+            if (o.live && o.seq > kill && o.executed) {
+                t.free_op(static_cast<std::int32_t>(i));
+            }
+        }
+}
+
+
+/// In-order dual dispatch from the fetch queue (phase 4).
+class port_ppc::dispatch_module final : public de::module {
+public:
+    dispatch_module(port_ppc& top) : de::module(top.k_, "dispatch"), top_(top) {}
+
+    void evaluate() override {
+        if (top_.phase_->read() != ph_dispatch) return;
+        auto& t = top_;
+        t.rename_status_sig_->write(
+            {t.rename_free(false) | (t.rename_free(true) << 8), t.stats_.cycles});
+        for (unsigned n = 0; n < t.cfg_.dispatch_bw && !t.fq_.empty(); ++n) {
+            const std::int32_t id = t.fq_.front();
+            op_rec& o = t.rec(id);
+            const op c = o.di.code;
+
+            if (t.cq_.size() >= t.cfg_.completion_queue) break;
+            const bool needs_rename = isa::writes_rd(c) &&
+                                      !(o.di.rd == 0 && !isa::rd_is_fpr(c));
+            if (needs_rename &&
+                t.rename_free(isa::rd_is_fpr(c)) == 0) {
+                break;
+            }
+
+            // Candidate units: IU1 then IU2 for simple ALU ops.
+            unit_module* cands[2] = {t.units_[static_cast<unsigned>(o.fu)], nullptr};
+            if (o.dual_alu) cands[1] = t.units_[static_cast<unsigned>(unit::iu2)];
+
+            const bool r1 = !isa::uses_rs1(c) || t.operand_ready(o, false);
+            const bool r2 = !isa::uses_rs2(c) || t.operand_ready(o, true);
+
+            unit_module* direct = nullptr;
+            unit_module* station = nullptr;
+            for (unit_module* u : cands) {
+                if (u == nullptr) continue;
+                if (direct == nullptr && r1 && r2 && u->unit_free() && u->rs_empty()) {
+                    direct = u;
+                }
+                if (station == nullptr && u->rs_empty()) station = u;
+            }
+
+            unsigned ui = static_cast<unsigned>(o.fu);
+            if (direct != nullptr) {
+                t.fq_.pop_front();
+                if (needs_rename) add_rename(o);
+                t.cq_.push_back(id);
+                direct->start_exec(id);
+                t.issue_sig_[ui]->write({id});
+            } else if (station != nullptr) {
+                t.fq_.pop_front();
+                if (needs_rename) add_rename(o);
+                t.cq_.push_back(id);
+                station->insert_rs(id);
+            } else {
+                break;  // in-order dispatch stalls
+            }
+        }
+    }
+
+private:
+    void add_rename(const op_rec& o) {
+        rename_rec r;
+        r.seq = o.seq;
+        r.reg = o.di.rd;
+        r.fpr = isa::rd_is_fpr(o.di.code);
+        top_.renames_.push_back(r);
+    }
+
+    port_ppc& top_;
+};
+
+/// Instruction fetch with branch prediction (phase 5).
+class port_ppc::fetch_module final : public de::module {
+public:
+    fetch_module(port_ppc& top) : de::module(top.k_, "fetch"), top_(top) {}
+
+    void evaluate() override {
+        if (top_.phase_->read() != ph_fetch) return;
+        auto& t = top_;
+        t.fq_status_sig_->write(
+            {static_cast<std::uint32_t>(t.fq_.size()), t.stats_.cycles});
+        if (t.fetch_stall_ > 0) {
+            --t.fetch_stall_;
+            return;
+        }
+        for (unsigned n = 0; n < t.cfg_.fetch_bw; ++n) {
+            if (t.fq_.size() >= t.cfg_.fetch_queue) break;
+            const std::int32_t id = t.alloc_op();
+            if (id < 0) break;
+            op_rec& o = t.rec(id);
+            o.pc = t.fetch_pc_;
+            o.seq = t.next_seq_++;
+            o.epoch = t.epoch_;
+
+            bool stop_fetching = false;
+            const std::uint32_t line = o.pc / t.cfg_.icache.line_bytes;
+            if (line != t.last_fetch_line_) {
+                t.last_fetch_line_ = line;
+                const unsigned lat = t.icache_.access(o.pc, false, 4).latency;
+                if (lat > 1) {
+                    // The remainder of this cycle counts as the first stall
+                    // cycle; lat-2 further cycles keep fetch idle.
+                    t.fetch_stall_ = lat - 2;
+                    stop_fetching = true;
+                }
+            }
+
+            o.di = isa::decode(t.mem_.read32(o.pc));
+            o.fu = select_unit(o.di);
+            o.dual_alu = is_simple_alu(o.di);
+            o.predicted_taken = false;
+
+            const op c = o.di.code;
+            if (isa::is_branch(c) && t.bht_.predict(o.pc)) {
+                o.predicted_taken = true;
+                o.predicted_target = o.pc + 4 + static_cast<std::uint32_t>(o.di.imm);
+                if (!t.btic_.lookup(o.pc).has_value()) stop_fetching = true;
+                t.fetch_pc_ = o.predicted_target;
+                t.last_fetch_line_ = ~0u;
+            } else if (c == op::jal) {
+                o.predicted_taken = true;
+                o.predicted_target = o.pc + 4 + static_cast<std::uint32_t>(o.di.imm);
+                t.fetch_pc_ = o.predicted_target;
+                t.last_fetch_line_ = ~0u;
+            } else {
+                t.fetch_pc_ = o.pc + 4;
+            }
+            t.fq_.push_back(id);
+            if (stop_fetching) break;
+        }
+    }
+
+private:
+    port_ppc& top_;
+};
+
+// ---- top level --------------------------------------------------------------
+
+port_ppc::port_ppc(const ppc750::p750_config& cfg, mem::main_memory& memory)
+    : cfg_(cfg),
+      mem_(memory),
+      dram_t_(cfg.mem_latency),
+      bus_(cfg.bus, dram_t_),
+      icache_(cfg.icache, bus_),
+      dcache_(cfg.dcache, bus_),
+      dtlb_(cfg.dtlb),
+      bht_(cfg.bht_entries),
+      btic_(cfg.btic_entries),
+      table_(64) {
+    phase_ = std::make_unique<de::signal<int>>(k_, "phase", -1);
+    edge_ = std::make_unique<de::signal<std::uint64_t>>(k_, "edge", 0);
+    resolve_sig_ = std::make_unique<de::signal<wire_redirect>>(k_, "resolve");
+    retired_sig_ = std::make_unique<de::signal<int>>(k_, "retired");
+    fq_status_sig_ = std::make_unique<de::signal<wire_status>>(k_, "fq_status");
+    cq_status_sig_ = std::make_unique<de::signal<wire_status>>(k_, "cq_status");
+    rename_status_sig_ = std::make_unique<de::signal<wire_status>>(k_, "rename_status");
+    for (unsigned u = 0; u < num_units; ++u) {
+        publish_sig_[u] = std::make_unique<de::signal<wire_publish>>(
+            k_, std::string("publish_") + ppc750::unit_name(static_cast<unit>(u)));
+        issue_sig_[u] = std::make_unique<de::signal<wire_op>>(
+            k_, std::string("issue_") + ppc750::unit_name(static_cast<unit>(u)));
+        status_sig_[u] = std::make_unique<de::signal<wire_status>>(
+            k_, std::string("status_") + ppc750::unit_name(static_cast<unit>(u)));
+    }
+
+    // Instantiate modules; sensitivity to the phase signal drives the
+    // whole design through the delta machinery.
+    auto add = [&](std::unique_ptr<de::module> m) -> de::module* {
+        modules_.push_back(std::move(m));
+        phase_->add_sensitive(modules_.back().get());
+        return modules_.back().get();
+    };
+    add(std::make_unique<phase_sequencer>(*this));
+    add(std::make_unique<control_module>(*this));
+    de::module* completion = add(std::make_unique<completion_module>(*this));
+    for (unsigned u = 0; u < num_units; ++u) {
+        units_[u] = static_cast<unit_module*>(
+            add(std::make_unique<unit_module>(*this, static_cast<unit>(u))));
+    }
+    de::module* dispatch = add(std::make_unique<dispatch_module>(*this));
+    de::module* fetch = add(std::make_unique<fetch_module>(*this));
+
+    // Port-based fan-out: dispatch and fetch watch every unit's status bus
+    // and the queue/rename status buses; the units watch the publish buses
+    // of their peers (operand wakeup in a wire-connected design).
+    for (unsigned u = 0; u < num_units; ++u) {
+        status_sig_[u]->add_sensitive(dispatch);
+        status_sig_[u]->add_sensitive(fetch);
+        for (unsigned v = 0; v < num_units; ++v) {
+            if (u != v) publish_sig_[u]->add_sensitive(units_[v]);
+        }
+    }
+    fq_status_sig_->add_sensitive(dispatch);
+    cq_status_sig_->add_sensitive(dispatch);
+    cq_status_sig_->add_sensitive(completion);
+    rename_status_sig_->add_sensitive(dispatch);
+
+    clk_ = std::make_unique<de::clock>(k_, /*period=*/1);
+    clk_->on_edge([this] {
+        ++stats_.cycles;
+        edge_->write(stats_.cycles);
+        phase_->write(ph_control);
+    });
+}
+// ---- top level (continued) ----
+
+port_ppc::~port_ppc() = default;
+
+std::uint32_t port_ppc::gpr(unsigned r) const { return arch_gpr_[r]; }
+std::uint32_t port_ppc::fpr(unsigned r) const { return arch_fpr_[r]; }
+
+std::int32_t port_ppc::alloc_op() {
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        if (!table_[i].live) {
+            table_[i] = op_rec{};
+            table_[i].live = true;
+            return static_cast<std::int32_t>(i);
+        }
+    }
+    return -1;
+}
+
+void port_ppc::free_op(std::int32_t id) {
+    table_[static_cast<std::size_t>(id)].live = false;
+}
+
+const port_ppc::rename_rec* port_ppc::youngest_rename(unsigned reg, bool fpr,
+                                                      std::uint64_t before_seq) const {
+    const rename_rec* best = nullptr;
+    for (const rename_rec& r : renames_) {
+        if (r.reg != reg || r.fpr != fpr || r.seq >= before_seq) continue;
+        if (best == nullptr || r.seq > best->seq) best = &r;
+    }
+    return best;
+}
+
+unsigned port_ppc::rename_free(bool fpr) const {
+    unsigned used = 0;
+    for (const rename_rec& r : renames_) {
+        if (r.fpr == fpr) ++used;
+    }
+    const unsigned total = fpr ? cfg_.fpr_renames : cfg_.gpr_renames;
+    return total - used;
+}
+
+bool port_ppc::operand_ready(const op_rec& o, bool second) const {
+    const op c = o.di.code;
+    const unsigned reg = second ? o.di.rs2 : o.di.rs1;
+    const bool fpr = second ? isa::rs2_is_fpr(c) : isa::rs1_is_fpr(c);
+    const rename_rec* r = youngest_rename(reg, fpr, o.seq);
+    return r == nullptr || r->published;
+}
+
+std::uint32_t port_ppc::operand_value(const op_rec& o, bool second) const {
+    const op c = o.di.code;
+    const unsigned reg = second ? o.di.rs2 : o.di.rs1;
+    const bool fpr = second ? isa::rs2_is_fpr(c) : isa::rs1_is_fpr(c);
+    const rename_rec* r = youngest_rename(reg, fpr, o.seq);
+    if (r != nullptr) {
+        assert(r->published);
+        return r->value;
+    }
+    return fpr ? arch_fpr_[reg] : arch_gpr_[reg];
+}
+
+void port_ppc::undo_store(const store_rec& s) {
+    switch (s.size) {
+        case 1: mem_.write8(s.addr, static_cast<std::uint8_t>(s.old_bytes)); break;
+        case 2: mem_.write16(s.addr, static_cast<std::uint16_t>(s.old_bytes)); break;
+        default: mem_.write32(s.addr, s.old_bytes); break;
+    }
+}
+
+void port_ppc::load(const isa::program_image& img) {
+    img.load_into(mem_);
+    for (op_rec& o : table_) o.live = false;
+    arch_gpr_.fill(0);
+    arch_fpr_.fill(0);
+    renames_.clear();
+    fq_.clear();
+    cq_.clear();
+    store_queue_.clear();
+    fetch_pc_ = img.entry;
+    epoch_ = 0;
+    next_seq_ = 1;
+    last_fetch_line_ = ~0u;
+    fetch_stall_ = 0;
+    kill_seq_ = ~0ull;
+    pending_redirect_ = {};
+    for (unit_module* u : units_) u->reset();
+    halted_ = false;
+    const std::uint64_t keep_deltas = stats_.delta_cycles;
+    stats_ = {};
+    stats_.delta_cycles = keep_deltas;
+    host_.clear();
+    icache_.flush();
+    dcache_.flush();
+    dtlb_.flush();
+}
+
+std::uint64_t port_ppc::run(std::uint64_t max_cycles) {
+    const std::uint64_t start = stats_.cycles;
+    clk_->start();
+    while (!halted_ && stats_.cycles - start < max_cycles) {
+        if (!k_.step()) break;
+    }
+    stats_.delta_cycles = k_.delta_count();
+    return stats_.cycles - start;
+}
+
+}  // namespace osm::baseline

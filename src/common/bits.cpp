@@ -1,0 +1,17 @@
+// Intentionally (almost) empty: bits.hpp is constexpr-only.  This TU exists
+// so the helpers get odr-used at least once under the library's own flags.
+#include "common/bits.hpp"
+
+namespace osm {
+
+static_assert(bits(0xDEADBEEFu, 8, 8) == 0xBEu);
+static_assert(bit(0x80000000u, 31) == 1u);
+static_assert(sign_extend(0xFFFu, 12) == -1);
+static_assert(sign_extend(0x7FFu, 12) == 2047);
+static_assert(insert_bits(0u, 0x3u, 4, 2) == 0x30u);
+static_assert(is_pow2(64) && !is_pow2(0) && !is_pow2(48));
+static_assert(log2_exact(1024) == 10u);
+static_assert(align_up(13, 8) == 16u);
+static_assert(popcount32(0xF0F0u) == 8u);
+
+}  // namespace osm

@@ -1,0 +1,63 @@
+// Bit-manipulation helpers shared by the ISA, memory and micro-architecture
+// layers.  All helpers are constexpr and operate on explicit fixed-width
+// types so that encodings are portable and unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace osm {
+
+/// Extract bits [lo, lo+len) of `value` (little-endian bit numbering).
+constexpr std::uint32_t bits(std::uint32_t value, unsigned lo, unsigned len) noexcept {
+    return (len >= 32u) ? (value >> lo)
+                        : ((value >> lo) & ((1u << len) - 1u));
+}
+
+/// Extract a single bit of `value`.
+constexpr std::uint32_t bit(std::uint32_t value, unsigned pos) noexcept {
+    return (value >> pos) & 1u;
+}
+
+/// Insert `field` (of `len` bits) into bits [lo, lo+len) of `base`.
+constexpr std::uint32_t insert_bits(std::uint32_t base, std::uint32_t field,
+                                    unsigned lo, unsigned len) noexcept {
+    const std::uint32_t mask = (len >= 32u) ? ~0u : ((1u << len) - 1u);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/// Sign-extend the low `len` bits of `value` to a signed 32-bit integer.
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned len) noexcept {
+    const std::uint32_t m = 1u << (len - 1);
+    const std::uint32_t v = bits(value, 0, len);
+    return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+/// True when `value` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// log2 of a power of two.  Precondition: is_pow2(value).
+constexpr unsigned log2_exact(std::uint64_t value) noexcept {
+    unsigned n = 0;
+    while ((value >> n) != 1u) ++n;
+    return n;
+}
+
+/// Round `value` up to the next multiple of `align` (align must be pow2).
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t align) noexcept {
+    return (value + align - 1) & ~(align - 1);
+}
+
+/// Population count for 32-bit values (constexpr-friendly).
+constexpr unsigned popcount32(std::uint32_t value) noexcept {
+    unsigned n = 0;
+    while (value != 0) {
+        value &= value - 1;
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace osm

@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace osm {
+
+namespace {
+log_level g_level = log_level::warn;
+
+const char* level_name(log_level level) noexcept {
+    switch (level) {
+        case log_level::error: return "E";
+        case log_level::warn: return "W";
+        case log_level::info: return "I";
+        case log_level::debug: return "D";
+        case log_level::trace: return "T";
+        case log_level::none: return "-";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept { g_level = level; }
+
+log_level get_log_level() noexcept { return g_level; }
+
+bool log_enabled(log_level level) noexcept {
+    return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void log_msg(log_level level, const char* tag, const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[%s/%s] ", level_name(level), tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+}
+
+}  // namespace osm

@@ -1,0 +1,41 @@
+// Minimal leveled logging used across the framework.  Simulation kernels are
+// performance sensitive, so logging is compiled to a cheap level check plus
+// (only when enabled) printf-style formatting to stderr.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace osm {
+
+enum class log_level { none = 0, error = 1, warn = 2, info = 3, debug = 4, trace = 5 };
+
+/// Global log verbosity; defaults to `warn`.  Not thread-safe by design:
+/// the simulators are single-threaded (the DE kernel owns all state).
+void set_log_level(log_level level) noexcept;
+log_level get_log_level() noexcept;
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(log_level level) noexcept;
+
+/// Emit a printf-formatted message at `level` with a subsystem tag.
+void log_msg(log_level level, const char* tag, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+}  // namespace osm
+
+#define OSM_LOG(level, tag, ...)                              \
+    do {                                                      \
+        if (::osm::log_enabled(level)) {                      \
+            ::osm::log_msg(level, tag, __VA_ARGS__);          \
+        }                                                     \
+    } while (0)
+
+#define OSM_ERROR(tag, ...) OSM_LOG(::osm::log_level::error, tag, __VA_ARGS__)
+#define OSM_WARN(tag, ...) OSM_LOG(::osm::log_level::warn, tag, __VA_ARGS__)
+#define OSM_INFO(tag, ...) OSM_LOG(::osm::log_level::info, tag, __VA_ARGS__)
+#define OSM_DEBUG(tag, ...) OSM_LOG(::osm::log_level::debug, tag, __VA_ARGS__)
+#define OSM_TRACE(tag, ...) OSM_LOG(::osm::log_level::trace, tag, __VA_ARGS__)

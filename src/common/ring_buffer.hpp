@@ -1,0 +1,73 @@
+// Fixed-capacity FIFO ring buffer.  Micro-architecture queues (fetch queue,
+// completion queue, store buffer) are small and bounded, so a non-allocating
+// ring avoids heap traffic on the simulator's hot path.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace osm {
+
+/// Bounded FIFO with stable indices relative to the head.  `capacity` is
+/// fixed at construction time.
+template <typename T>
+class ring_buffer {
+public:
+    explicit ring_buffer(std::size_t capacity)
+        : slots_(capacity), head_(0), count_(0) {
+        assert(capacity > 0);
+    }
+
+    std::size_t capacity() const noexcept { return slots_.size(); }
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+    bool full() const noexcept { return count_ == slots_.size(); }
+
+    /// Append to the tail.  Precondition: !full().
+    void push_back(T value) {
+        assert(!full());
+        slots_[physical(count_)] = std::move(value);
+        ++count_;
+    }
+
+    /// Remove from the head.  Precondition: !empty().
+    T pop_front() {
+        assert(!empty());
+        T value = std::move(slots_[head_]);
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+        return value;
+    }
+
+    /// Element `i` positions behind the head (0 == head).
+    T& at(std::size_t i) {
+        assert(i < count_);
+        return slots_[physical(i)];
+    }
+    const T& at(std::size_t i) const {
+        assert(i < count_);
+        return slots_[physical(i)];
+    }
+
+    T& front() { return at(0); }
+    const T& front() const { return at(0); }
+    T& back() { return at(count_ - 1); }
+    const T& back() const { return at(count_ - 1); }
+
+    void clear() noexcept {
+        head_ = 0;
+        count_ = 0;
+    }
+
+private:
+    std::size_t physical(std::size_t logical) const noexcept {
+        return (head_ + logical) % slots_.size();
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_;
+    std::size_t count_;
+};
+
+}  // namespace osm

@@ -1,0 +1,40 @@
+#include "common/xrandom.hpp"
+
+namespace osm {
+
+xrandom::xrandom(std::uint64_t seed) noexcept : state_(seed ? seed : 1u) {}
+
+std::uint64_t xrandom::next_u64() noexcept {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+}
+
+std::uint32_t xrandom::next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+}
+
+std::uint64_t xrandom::next_below(std::uint64_t bound) noexcept {
+    // Multiplicative range reduction; bias is negligible for simulation use
+    // and the result remains fully deterministic.
+    const std::uint64_t hi = next_u64() >> 32;
+    return (hi * bound) >> 32;
+}
+
+std::int64_t xrandom::next_range(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1u;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool xrandom::chance(std::uint32_t numerator, std::uint32_t denominator) noexcept {
+    return next_below(denominator) < numerator;
+}
+
+double xrandom::next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace osm

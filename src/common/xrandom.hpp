@@ -1,0 +1,39 @@
+// Deterministic xorshift-based pseudo random generator.  Simulation results
+// must be bit-reproducible across runs and platforms, so we do not use
+// std::mt19937's distribution functions (distribution output is not
+// portable); all derived draws are implemented here explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace osm {
+
+/// Small, fast, deterministic PRNG (xorshift64*).  Never returns the same
+/// sequence for two different seeds and is stable across platforms.
+class xrandom {
+public:
+    explicit xrandom(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+    /// Next raw 64-bit draw.
+    std::uint64_t next_u64() noexcept;
+
+    /// Next 32-bit draw.
+    std::uint32_t next_u32() noexcept;
+
+    /// Uniform draw in [0, bound).  Precondition: bound > 0.
+    std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+    /// Uniform draw in [lo, hi] inclusive.  Precondition: lo <= hi.
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Bernoulli draw with probability numerator/denominator.
+    bool chance(std::uint32_t numerator, std::uint32_t denominator) noexcept;
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept;
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace osm

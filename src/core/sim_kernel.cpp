@@ -1,0 +1,23 @@
+#include "core/sim_kernel.hpp"
+
+namespace osm::core {
+
+sim_kernel::sim_kernel(director& d, de::tick_t period)
+    : dir_(d), period_(period) {}
+
+std::uint64_t sim_kernel::run(std::uint64_t max_cycles) {
+    const std::uint64_t start = cycles_;
+    while (!stop_ && cycles_ - start < max_cycles) {
+        // Hardware layer: drain DE events up to this clock edge, then run
+        // the cycle-driven hardware updates.
+        dek_.run_until(static_cast<de::tick_t>(cycles_) * period_);
+        for (auto& fn : cycle_hooks_) fn();
+        // Operation layer: one control step, zero simulated time.
+        dir_.control_step();
+        for (auto& fn : cycle_end_hooks_) fn();
+        ++cycles_;
+    }
+    return cycles_ - start;
+}
+
+}  // namespace osm::core

@@ -1,0 +1,60 @@
+// The OSM simulation kernel (paper Fig. 4): embeds the OSM model of
+// computation inside the discrete-event scheduler.  Between two control
+// steps the hardware layer runs (cycle hooks and any DE events); at every
+// clock edge the director's control step executes and — since OSMs never
+// create DE events — completes in zero simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/director.hpp"
+#include "de/kernel.hpp"
+
+namespace osm::core {
+
+class sim_kernel {
+public:
+    /// `d` must outlive the kernel.  `period` is the tick interval between
+    /// control steps (a clock cycle, or a phase when phase-accurate
+    /// stepping is desired — the paper allows both).
+    explicit sim_kernel(director& d, de::tick_t period = 1);
+
+    de::kernel& dek() noexcept { return dek_; }
+    director& dir() noexcept { return dir_; }
+
+    /// Register a hardware-layer update run each cycle *before* the control
+    /// step (cycle-driven hardware, paper §5).
+    void on_cycle(std::function<void()> fn) { cycle_hooks_.push_back(std::move(fn)); }
+
+    /// Register a hook run each cycle *after* the control step (sampling,
+    /// tracing — sees the machine state the cycle ended with).
+    void on_cycle_end(std::function<void()> fn) {
+        cycle_end_hooks_.push_back(std::move(fn));
+    }
+
+    /// Ask the kernel to stop after the current cycle completes.
+    void request_stop() noexcept { stop_ = true; }
+    bool stop_requested() const noexcept { return stop_; }
+    /// Re-arm after a stop (e.g. when loading a new program).
+    void clear_stop() noexcept { stop_ = false; }
+
+    std::uint64_t cycles() const noexcept { return cycles_; }
+
+    /// Run up to `max_cycles` cycles (hardware layer, then control step,
+    /// per Fig. 4).  Returns the number of cycles executed; stops early
+    /// when request_stop() was called.
+    std::uint64_t run(std::uint64_t max_cycles);
+
+private:
+    de::kernel dek_;
+    director& dir_;
+    de::tick_t period_;
+    std::vector<std::function<void()>> cycle_hooks_;
+    std::vector<std::function<void()>> cycle_end_hooks_;
+    bool stop_ = false;
+    std::uint64_t cycles_ = 0;
+};
+
+}  // namespace osm::core

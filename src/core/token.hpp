@@ -1,0 +1,61 @@
+// Tokens and token-transaction primitives — the vocabulary of the OSM
+// model's operation/hardware interface (paper §3.2, §3.3).
+#pragma once
+
+#include <cstdint>
+
+namespace osm::core {
+
+class token_manager;
+class osm;
+
+/// Opaque token identifier interpreted by the owning manager (a register
+/// number, a stage occupancy id, a thread-tagged resource id, ...).
+using ident_t = std::uint64_t;
+
+/// The null identifier: a primitive whose identifier resolves to this value
+/// is a no-op that always succeeds.  Operations use it to disable
+/// transactions that do not apply to them (e.g. a non-multiply op leaves
+/// its multiplier-token slot null), which lets one graph serve every
+/// operation class — the paper's "initialize all identifiers" scheme.
+inline constexpr ident_t k_null_ident = ~static_cast<ident_t>(0);
+
+/// A token held in an OSM's token buffer: the manager that granted it and
+/// the identifier it was granted under.
+struct token_ref {
+    token_manager* mgr = nullptr;
+    ident_t ident = 0;
+
+    bool operator==(const token_ref&) const = default;
+};
+
+/// The four primitives of the transaction language L (paper §3.3), plus a
+/// convenience `discard_all` that empties the token buffer on reset edges
+/// (shorthand for "one or more discard primitives").
+enum class prim_kind : std::uint8_t {
+    allocate,     ///< obtain exclusive ownership of a token
+    inquire,      ///< test availability without obtaining ownership
+    release,      ///< return a held token (manager may refuse)
+    discard,      ///< drop a held token unconditionally
+    discard_all,  ///< drop every held token unconditionally
+};
+
+/// How a primitive's identifier is produced at evaluation time.  Operations
+/// "initialize all allocation and inquiry identifiers" after decode
+/// (paper §4), so identifiers can be per-instance dynamic slots.
+struct ident_expr {
+    std::int32_t slot = -1;  ///< >= 0: index into the OSM's identifier table
+    ident_t fixed = 0;       ///< used when slot < 0
+
+    static ident_expr value(ident_t v) { return {-1, v}; }
+    static ident_expr from_slot(std::int32_t s) { return {s, 0}; }
+};
+
+/// One primitive of an edge condition.
+struct primitive {
+    prim_kind kind = prim_kind::inquire;
+    token_manager* mgr = nullptr;  // null only for discard_all
+    ident_expr ident;
+};
+
+}  // namespace osm::core

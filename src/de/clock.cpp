@@ -1,0 +1,31 @@
+#include "de/clock.hpp"
+
+namespace osm::de {
+
+clock::clock(kernel& k, tick_t period, tick_t first_edge)
+    : kernel_(k), period_(period), next_edge_(first_edge) {}
+
+void clock::on_edge(std::function<void()> fn) {
+    callbacks_.push_back(std::move(fn));
+}
+
+void clock::start() {
+    running_ = true;
+    if (armed_) return;
+    armed_ = true;
+    kernel_.schedule_at(next_edge_, [this] { fire(); });
+}
+
+void clock::fire() {
+    armed_ = false;
+    if (!running_) return;
+    ++edges_;
+    for (auto& fn : callbacks_) fn();
+    next_edge_ += period_;
+    if (running_) {
+        armed_ = true;
+        kernel_.schedule_at(next_edge_, [this] { fire(); });
+    }
+}
+
+}  // namespace osm::de

@@ -1,0 +1,45 @@
+// Periodic clock source.  Each rising edge invokes the registered callbacks
+// in registration order, then re-arms itself.  Processor models register the
+// OSM control step and cycle-driven hardware updates here.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "de/kernel.hpp"
+
+namespace osm::de {
+
+/// A free-running clock generating edges every `period` ticks.
+class clock {
+public:
+    /// Construct a clock; the first edge fires at `first_edge`.
+    clock(kernel& k, tick_t period, tick_t first_edge = 0);
+
+    /// Register a callback run on every edge, after earlier registrants.
+    void on_edge(std::function<void()> fn);
+
+    /// Arm the clock (schedules the first edge).  Idempotent.
+    void start();
+
+    /// Stop generating further edges after the current one completes.
+    void stop() noexcept { running_ = false; }
+
+    /// Number of edges fired so far.
+    std::uint64_t edges() const noexcept { return edges_; }
+
+    tick_t period() const noexcept { return period_; }
+
+private:
+    void fire();
+
+    kernel& kernel_;
+    tick_t period_;
+    tick_t next_edge_;
+    std::vector<std::function<void()>> callbacks_;
+    bool running_ = false;
+    bool armed_ = false;
+    std::uint64_t edges_ = 0;
+};
+
+}  // namespace osm::de

@@ -1,0 +1,57 @@
+// Time-ordered event queue for the discrete-event kernel.  Events with equal
+// timestamps are delivered in insertion order (stable), which keeps model
+// behaviour deterministic regardless of heap layout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "de/time.hpp"
+
+namespace osm::de {
+
+/// An event action executed when its timestamp is reached.
+using event_fn = std::function<void()>;
+
+/// Stable priority queue of (time, action) pairs.
+class event_queue {
+public:
+    event_queue() = default;
+
+    /// Enqueue `fn` to run at absolute time `when`.
+    void push(tick_t when, event_fn fn);
+
+    /// True when no events are pending.
+    bool empty() const noexcept { return heap_.empty(); }
+
+    std::size_t size() const noexcept { return heap_.size(); }
+
+    /// Timestamp of the earliest pending event.  Precondition: !empty().
+    tick_t next_time() const;
+
+    /// Remove and return the earliest event's action.  Precondition: !empty().
+    event_fn pop();
+
+    /// Drop all pending events.
+    void clear();
+
+private:
+    struct entry {
+        tick_t when;
+        std::uint64_t seq;
+        event_fn fn;
+    };
+    struct later {
+        bool operator()(const entry& a, const entry& b) const noexcept {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<entry, std::vector<entry>, later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace osm::de

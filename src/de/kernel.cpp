@@ -1,0 +1,107 @@
+#include "de/kernel.hpp"
+
+#include <cassert>
+
+#include "de/module.hpp"
+#include "de/signal.hpp"
+
+namespace osm::de {
+
+void kernel::schedule_at(tick_t when, event_fn fn) {
+    assert(when >= now_);
+    events_.push(when, std::move(fn));
+}
+
+void kernel::schedule_in(tick_t delay, event_fn fn) {
+    events_.push(now_ + delay, std::move(fn));
+}
+
+void kernel::request_evaluate(module* m) {
+    if (m->eval_requested_) return;
+    m->eval_requested_ = true;
+    pending_evals_.push_back(m);
+}
+
+void kernel::request_update(signal_base* s) {
+    if (s->update_requested_) return;
+    s->update_requested_ = true;
+    pending_updates_.push_back(s);
+}
+
+void kernel::settle_deltas() {
+    while (!pending_updates_.empty() || !pending_evals_.empty()) {
+        ++delta_count_;
+        // Update phase: commit all pending signal values.  Committing may
+        // schedule module evaluations via notify_sensitive().
+        std::vector<signal_base*> updates;
+        updates.swap(pending_updates_);
+        for (signal_base* s : updates) {
+            s->update_requested_ = false;
+            s->commit();
+        }
+        // Evaluate phase: run modules; they may write signals, requesting
+        // further updates for the next delta.
+        std::vector<module*> evals;
+        evals.swap(pending_evals_);
+        for (module* m : evals) {
+            m->eval_requested_ = false;
+            m->evaluate();
+        }
+    }
+}
+
+void kernel::run_timestep(tick_t t) {
+    now_ = t;
+    while (!events_.empty() && events_.next_time() == t) {
+        event_fn fn = events_.pop();
+        fn();
+        ++executed_;
+        settle_deltas();
+    }
+}
+
+std::size_t kernel::run_until(tick_t deadline) {
+    std::size_t ran = 0;
+    const std::size_t before = executed_;
+    while (!events_.empty()) {
+        const tick_t t = events_.next_time();
+        if (t > deadline) break;
+        run_timestep(t);
+    }
+    ran = executed_ - before;
+    if (now_ < deadline && deadline != tick_infinity) now_ = deadline;
+    return ran;
+}
+
+bool kernel::step() {
+    if (events_.empty()) return false;
+    run_timestep(events_.next_time());
+    return true;
+}
+
+void kernel::reset() {
+    events_.clear();
+    pending_updates_.clear();
+    pending_evals_.clear();
+    now_ = 0;
+    delta_count_ = 0;
+    executed_ = 0;
+}
+
+// ---- signal_base / module ------------------------------------------------
+
+signal_base::signal_base(kernel& k, std::string name)
+    : kernel_(k), name_(std::move(name)) {}
+
+void signal_base::add_sensitive(module* m) { sensitive_.push_back(m); }
+
+void signal_base::notify_sensitive() {
+    for (module* m : sensitive_) kernel_.request_evaluate(m);
+}
+
+void signal_base::mark_pending() { kernel_.request_update(this); }
+
+module::module(kernel& k, std::string name)
+    : kernel_(k), name_(std::move(name)) {}
+
+}  // namespace osm::de

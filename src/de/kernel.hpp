@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel with SystemC-style delta cycles.
+//
+// The kernel drives two kinds of clients:
+//   * timed events     — arbitrary actions at absolute tick times;
+//   * modules/signals  — two-phase signal updates with delta-cycle
+//                        evaluation, used by the hardware-centric baseline
+//                        models (the paper's "SystemC surrogate").
+//
+// The OSM simulation kernel of paper Fig. 4 is layered on top of this class
+// (see core/sim_kernel.hpp): a regular clock event fires the OSM director's
+// control step, which by construction introduces no DE events itself and
+// therefore completes in zero simulated time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "de/event_queue.hpp"
+#include "de/time.hpp"
+
+namespace osm::de {
+
+class module;
+class signal_base;
+
+/// The discrete-event scheduler.  Single-threaded; all model state is owned
+/// by the thread running `run*`.
+class kernel {
+public:
+    kernel() = default;
+    kernel(const kernel&) = delete;
+    kernel& operator=(const kernel&) = delete;
+
+    /// Current simulation time.
+    tick_t now() const noexcept { return now_; }
+
+    /// Schedule `fn` at absolute time `when` (>= now()).
+    void schedule_at(tick_t when, event_fn fn);
+
+    /// Schedule `fn` `delay` ticks from now.
+    void schedule_in(tick_t delay, event_fn fn);
+
+    /// Request that `m->evaluate()` runs in the next delta phase of the
+    /// current timestep (deduplicated per delta).
+    void request_evaluate(module* m);
+
+    /// Request that `s` commits its pending value at the end of the current
+    /// delta phase (deduplicated per delta).
+    void request_update(signal_base* s);
+
+    /// Run until the event queue drains or `deadline` is passed.
+    /// Returns the number of timed events executed.
+    std::size_t run_until(tick_t deadline = tick_infinity);
+
+    /// Run exactly the events at the single next timestamp (all deltas).
+    /// Returns false when nothing was pending.
+    bool step();
+
+    /// Drop all pending work and reset time to zero.
+    void reset();
+
+    /// Total delta phases executed (model-complexity metric).
+    std::uint64_t delta_count() const noexcept { return delta_count_; }
+
+private:
+    /// Run update/evaluate delta phases until both sets drain.
+    void settle_deltas();
+
+    /// Execute every timed event stamped `t`, interleaving delta settling.
+    void run_timestep(tick_t t);
+
+    event_queue events_;
+    std::vector<signal_base*> pending_updates_;
+    std::vector<module*> pending_evals_;
+    tick_t now_ = 0;
+    std::uint64_t delta_count_ = 0;
+    std::size_t executed_ = 0;
+};
+
+}  // namespace osm::de

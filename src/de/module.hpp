@@ -1,0 +1,37 @@
+// Hardware module base class for the port/signal modeling style.
+#pragma once
+
+#include <string>
+
+namespace osm::de {
+
+class kernel;
+
+/// A hardware module in the hardware-centric (port/wire) modeling style.
+/// Subclasses connect to signals, declare sensitivity, and implement
+/// `evaluate()` which runs in delta phases whenever an input changes.
+class module {
+public:
+    module(kernel& k, std::string name);
+    virtual ~module() = default;
+    module(const module&) = delete;
+    module& operator=(const module&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    kernel& owner() const noexcept { return kernel_; }
+
+    /// Combinational / reactive behaviour; invoked by the kernel in a delta
+    /// phase after any signal in this module's sensitivity list changed.
+    virtual void evaluate() = 0;
+
+protected:
+    kernel& kernel_;
+
+private:
+    std::string name_;
+    bool eval_requested_ = false;
+
+    friend class kernel;
+};
+
+}  // namespace osm::de

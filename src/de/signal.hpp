@@ -1,0 +1,83 @@
+// Two-phase signals for the hardware-centric modeling style.
+//
+// A signal holds a current value (visible to readers) and a next value
+// (written by at most one driver per delta).  Writes take effect only after
+// the current delta phase, at which point modules sensitive to the signal
+// are scheduled for evaluation — exactly the SystemC sc_signal discipline
+// the paper's baseline model uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "de/kernel.hpp"
+
+namespace osm::de {
+
+class module;
+
+/// Untyped base so the kernel can commit pending values generically.
+class signal_base {
+public:
+    explicit signal_base(kernel& k, std::string name);
+    virtual ~signal_base() = default;
+    signal_base(const signal_base&) = delete;
+    signal_base& operator=(const signal_base&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+
+    /// Register `m` to be evaluated whenever this signal changes value.
+    void add_sensitive(module* m);
+
+    /// Commit the pending value; returns true when the value changed.
+    virtual bool commit() = 0;
+
+protected:
+    void notify_sensitive();
+    void mark_pending();
+
+    kernel& kernel_;
+
+private:
+    std::string name_;
+    std::vector<module*> sensitive_;
+    bool update_requested_ = false;
+
+    friend class kernel;
+};
+
+/// Typed two-phase signal.
+template <typename T>
+class signal final : public signal_base {
+public:
+    signal(kernel& k, std::string name, T initial = T{})
+        : signal_base(k, std::move(name)), cur_(initial), next_(initial) {}
+
+    /// Value visible in the current delta phase.
+    const T& read() const noexcept { return cur_; }
+
+    /// Schedule `v` to become visible after this delta phase.
+    void write(const T& v) {
+        next_ = v;
+        mark_pending();
+    }
+
+    /// Immediate initialization (elaboration time only — bypasses deltas).
+    void init(const T& v) {
+        cur_ = v;
+        next_ = v;
+    }
+
+    bool commit() override {
+        if (cur_ == next_) return false;
+        cur_ = next_;
+        notify_sensitive();
+        return true;
+    }
+
+private:
+    T cur_;
+    T next_;
+};
+
+}  // namespace osm::de

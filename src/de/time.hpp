@@ -1,0 +1,15 @@
+// Simulation time base for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace osm::de {
+
+/// Absolute simulation time in ticks.  One tick is dimensionless; processor
+/// models conventionally use one tick per clock phase (two per cycle).
+using tick_t = std::uint64_t;
+
+/// Sentinel for "no deadline".
+inline constexpr tick_t tick_infinity = ~static_cast<tick_t>(0);
+
+}  // namespace osm::de

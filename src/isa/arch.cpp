@@ -1,0 +1,62 @@
+#include "isa/arch.hpp"
+
+#include <string>
+
+namespace osm::isa {
+
+namespace {
+constexpr std::array<std::string_view, num_gprs> k_gpr_names = {
+    "x0",  "x1",  "x2",  "x3",  "x4",  "x5",  "x6",  "x7",
+    "x8",  "x9",  "x10", "x11", "x12", "x13", "x14", "x15",
+    "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23",
+    "x24", "x25", "x26", "x27", "x28", "x29", "x30", "x31"};
+
+constexpr std::array<std::string_view, num_fprs> k_fpr_names = {
+    "f0",  "f1",  "f2",  "f3",  "f4",  "f5",  "f6",  "f7",
+    "f8",  "f9",  "f10", "f11", "f12", "f13", "f14", "f15",
+    "f16", "f17", "f18", "f19", "f20", "f21", "f22", "f23",
+    "f24", "f25", "f26", "f27", "f28", "f29", "f30", "f31"};
+
+struct alias {
+    std::string_view name;
+    int index;
+};
+
+constexpr alias k_aliases[] = {
+    {"zero", 0}, {"ra", 1}, {"sp", 2},  {"gp", 3},
+    {"a0", 4},   {"a1", 5}, {"a2", 6},  {"a3", 7},
+    {"a4", 8},   {"a5", 9}, {"a6", 10}, {"a7", 11},
+    {"t0", 12},  {"t1", 13}, {"t2", 14}, {"t3", 15},
+    {"t4", 16},  {"t5", 17}, {"t6", 18}, {"t7", 19},
+    {"t8", 20},  {"t9", 21},
+    {"s0", 22},  {"s1", 23}, {"s2", 24}, {"s3", 25},
+    {"s4", 26},  {"s5", 27}, {"s6", 28}, {"s7", 29},
+    {"s8", 30},  {"s9", 31},
+};
+
+int parse_indexed(std::string_view name, char prefix, unsigned limit) {
+    if (name.size() < 2 || name.size() > 3 || name[0] != prefix) return -1;
+    unsigned value = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') return -1;
+        value = value * 10 + static_cast<unsigned>(name[i] - '0');
+    }
+    return value < limit ? static_cast<int>(value) : -1;
+}
+}  // namespace
+
+std::string_view gpr_name(unsigned index) { return k_gpr_names.at(index); }
+std::string_view fpr_name(unsigned index) { return k_fpr_names.at(index); }
+
+int parse_gpr(std::string_view name) {
+    const int direct = parse_indexed(name, 'x', num_gprs);
+    if (direct >= 0) return direct;
+    for (const alias& a : k_aliases) {
+        if (a.name == name) return a.index;
+    }
+    return -1;
+}
+
+int parse_fpr(std::string_view name) { return parse_indexed(name, 'f', num_fprs); }
+
+}  // namespace osm::isa

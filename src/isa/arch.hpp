@@ -1,0 +1,58 @@
+// VR32: the framework's 32-bit RISC instruction set architecture.
+//
+// The OSM model is ISA-agnostic; VR32 exists so the whole stack (ISS,
+// assembler, micro-architecture models, workloads) is self-contained and
+// license-free.  It is deliberately RISC-V-flavoured in semantics (familiar
+// to readers) with a custom fixed 32-bit encoding documented in
+// encoding.hpp.  Integer, multiply/divide and a single-precision FP subset
+// are provided so that every hazard class the paper discusses (multi-cycle
+// units, separate register files, load-use, control) can be exercised.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace osm::isa {
+
+inline constexpr unsigned num_gprs = 32;
+inline constexpr unsigned num_fprs = 32;
+inline constexpr std::uint32_t inst_bytes = 4;
+
+/// Canonical GPR names: x0 is hard-wired to zero.
+/// ABI aliases: zero, ra(x1), sp(x2), gp(x3), a0-a7(x4-x11), t0-t9(x12-x21),
+/// s0-s9(x22-x31).
+std::string_view gpr_name(unsigned index);
+
+/// FPR names f0..f31.
+std::string_view fpr_name(unsigned index);
+
+/// Parse a register name ("x7", "a0", "zero", ...).  Returns the index or
+/// -1 when the name is not a GPR.
+int parse_gpr(std::string_view name);
+
+/// Parse an FPR name ("f3").  Returns the index or -1.
+int parse_fpr(std::string_view name);
+
+/// Architectural state shared by the ISS and all micro-architecture models.
+struct arch_state {
+    std::uint32_t pc = 0;
+    std::array<std::uint32_t, num_gprs> gpr{};
+    std::array<std::uint32_t, num_fprs> fpr{};  // IEEE-754 single bit patterns
+    bool halted = false;
+
+    /// Write a GPR, preserving the x0-is-zero invariant.
+    void set_gpr(unsigned index, std::uint32_t value) {
+        if (index != 0) gpr[index] = value;
+    }
+};
+
+/// Syscall numbers understood by every execution engine.
+enum class syscall_code : std::uint16_t {
+    exit = 0,      ///< stop simulation
+    putchar = 1,   ///< append (a0 & 0xff) to the console stream
+    putuint = 2,   ///< append decimal a0 to the console stream
+    putnl = 3,     ///< append '\n'
+};
+
+}  // namespace osm::isa

@@ -1,0 +1,475 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "isa/arch.hpp"
+#include "isa/encoding.hpp"
+
+namespace osm::isa {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+}
+
+std::string lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/// One source statement after lexing.
+struct statement {
+    unsigned line = 0;
+    std::string label;              // bound at this statement, may be alone
+    std::string mnem;               // empty when label-only / blank
+    std::vector<std::string> args;  // comma-separated operands
+};
+
+std::vector<statement> lex(std::string_view source) {
+    std::vector<statement> out;
+    unsigned line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        const std::size_t eol = source.find('\n', pos);
+        std::string_view line = source.substr(
+            pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+        pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+        ++line_no;
+
+        // Strip comments.
+        for (const char c : {';', '#'}) {
+            const std::size_t cpos = line.find(c);
+            if (cpos != std::string_view::npos) line = line.substr(0, cpos);
+        }
+        line = trim(line);
+        if (line.empty()) continue;
+
+        statement st;
+        st.line = line_no;
+
+        // Leading label?
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            line.substr(0, colon).find_first_of(" \t,()") == std::string_view::npos) {
+            st.label = std::string(trim(line.substr(0, colon)));
+            line = trim(line.substr(colon + 1));
+        }
+
+        if (!line.empty()) {
+            const std::size_t sp = line.find_first_of(" \t");
+            st.mnem = lower(line.substr(0, sp));
+            if (sp != std::string_view::npos) {
+                std::string_view rest = trim(line.substr(sp));
+                std::size_t start = 0;
+                while (start <= rest.size()) {
+                    std::size_t comma = rest.find(',', start);
+                    if (comma == std::string_view::npos) comma = rest.size();
+                    const std::string_view piece = trim(rest.substr(start, comma - start));
+                    if (!piece.empty()) st.args.emplace_back(piece);
+                    start = comma + 1;
+                }
+            }
+        }
+        if (!st.label.empty() || !st.mnem.empty()) out.push_back(std::move(st));
+    }
+    return out;
+}
+
+bool parse_int(std::string_view s, std::int64_t& out) {
+    s = trim(s);
+    if (s.empty()) return false;
+    bool neg = false;
+    if (s.front() == '-') {
+        neg = true;
+        s.remove_prefix(1);
+    } else if (s.front() == '+') {
+        s.remove_prefix(1);
+    }
+    if (s.empty()) return false;
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s.remove_prefix(2);
+    }
+    std::int64_t v = 0;
+    for (const char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f') digit = 10 + c - 'a';
+        else if (base == 16 && c >= 'A' && c <= 'F') digit = 10 + c - 'A';
+        else return false;
+        v = v * base + digit;
+    }
+    out = neg ? -v : v;
+    return true;
+}
+
+/// Integer mnemonics that map 1:1 to an op.
+const std::map<std::string, op, std::less<>>& mnemonic_table() {
+    static const std::map<std::string, op, std::less<>> table = {
+        {"add", op::add_r},   {"sub", op::sub_r},   {"and", op::and_r},
+        {"or", op::or_r},     {"xor", op::xor_r},   {"nor", op::nor_r},
+        {"sll", op::sll_r},   {"srl", op::srl_r},   {"sra", op::sra_r},
+        {"slt", op::slt_r},   {"sltu", op::sltu_r}, {"mul", op::mul},
+        {"mulh", op::mulh},   {"mulhu", op::mulhu}, {"div", op::div_s},
+        {"divu", op::div_u},  {"rem", op::rem_s},   {"remu", op::rem_u},
+        {"addi", op::addi},   {"andi", op::andi},   {"ori", op::ori},
+        {"xori", op::xori},   {"slti", op::slti},   {"sltiu", op::sltiu},
+        {"slli", op::slli},   {"srli", op::srli},   {"srai", op::srai},
+        {"lui", op::lui},     {"auipc", op::auipc},
+        {"lb", op::lb},       {"lbu", op::lbu},     {"lh", op::lh},
+        {"lhu", op::lhu},     {"lw", op::lw},
+        {"sb", op::sb},       {"sh", op::sh},       {"sw", op::sw},
+        {"beq", op::beq},     {"bne", op::bne},     {"blt", op::blt},
+        {"bge", op::bge},     {"bltu", op::bltu},   {"bgeu", op::bgeu},
+        {"jal", op::jal},     {"jalr", op::jalr},
+        {"fadd", op::fadd},   {"fsub", op::fsub},   {"fmul", op::fmul},
+        {"fdiv", op::fdiv},   {"fmin", op::fmin},   {"fmax", op::fmax},
+        {"fabs", op::fabs_f}, {"fneg", op::fneg_f}, {"feq", op::feq},
+        {"flt", op::flt_f},   {"fle", op::fle},
+        {"fcvt.w.s", op::fcvt_w_s}, {"fcvt.s.w", op::fcvt_s_w},
+        {"fmv.x.w", op::fmv_x_w},   {"fmv.w.x", op::fmv_w_x},
+        {"flw", op::flw},     {"fsw", op::fsw},
+        {"syscall", op::syscall_op}, {"halt", op::halt},
+    };
+    return table;
+}
+
+struct section {
+    std::uint32_t base = 0;
+    std::vector<std::uint8_t> bytes;  // pass 2 only; pass 1 uses size
+    std::size_t size = 0;
+    bool base_locked = false;
+};
+
+class assembler {
+public:
+    assembler(std::string_view source, std::uint32_t text_base, std::uint32_t data_base)
+        : statements_(lex(source)) {
+        text_.base = text_base;
+        data_.base = data_base;
+    }
+
+    program_image run() {
+        pass(/*emit=*/false);
+        // Reset cursors for pass 2.
+        text_.size = 0;
+        data_.size = 0;
+        pass(/*emit=*/true);
+
+        program_image img;
+        img.entry = symbols_.count("_start") ? symbols_.at("_start") : text_.base;
+        if (!text_.bytes.empty()) img.segments.push_back({text_.base, text_.bytes});
+        if (!data_.bytes.empty()) img.segments.push_back({data_.base, data_.bytes});
+        return img;
+    }
+
+private:
+    std::vector<statement> statements_;
+    section text_;
+    section data_;
+    std::map<std::string, std::uint32_t, std::less<>> symbols_;
+
+    std::uint32_t cursor(const section& s) const {
+        return s.base + static_cast<std::uint32_t>(s.size);
+    }
+
+    void append_byte(section& s, bool emit, std::uint8_t b) {
+        if (emit) s.bytes.push_back(b);
+        ++s.size;
+    }
+
+    void append_word(section& s, bool emit, std::uint32_t w) {
+        for (unsigned i = 0; i < 4; ++i) {
+            append_byte(s, emit, static_cast<std::uint8_t>(w >> (8 * i)));
+        }
+    }
+
+    [[noreturn]] static void fail(const statement& st, const std::string& msg) {
+        throw asm_error(st.line, msg);
+    }
+
+    std::int64_t value_of(const statement& st, std::string_view operand, bool emit) const {
+        std::int64_t v;
+        if (parse_int(operand, v)) return v;
+        const auto it = symbols_.find(operand);
+        if (it != symbols_.end()) return it->second;
+        if (emit) fail(st, "undefined symbol '" + std::string(operand) + "'");
+        return 0;  // pass 1: forward reference
+    }
+
+    static unsigned gpr_of(const statement& st, std::string_view name) {
+        const int r = parse_gpr(name);
+        if (r < 0) fail(st, "bad register '" + std::string(name) + "'");
+        return static_cast<unsigned>(r);
+    }
+
+    static unsigned fpr_of(const statement& st, std::string_view name) {
+        const int r = parse_fpr(name);
+        if (r < 0) fail(st, "bad FP register '" + std::string(name) + "'");
+        return static_cast<unsigned>(r);
+    }
+
+    static unsigned reg_of(const statement& st, std::string_view name, bool fpr) {
+        return fpr ? fpr_of(st, name) : gpr_of(st, name);
+    }
+
+    /// Parse "disp(base)".
+    void mem_operand(const statement& st, std::string_view s,
+                     std::int64_t& disp, unsigned& base, bool emit) const {
+        const std::size_t open = s.find('(');
+        const std::size_t close = s.rfind(')');
+        if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+            fail(st, "expected disp(base) operand");
+        }
+        const std::string_view d = trim(s.substr(0, open));
+        disp = d.empty() ? 0 : value_of(st, d, emit);
+        base = gpr_of(st, trim(s.substr(open + 1, close - open - 1)));
+    }
+
+    void require_args(const statement& st, std::size_t n) const {
+        if (st.args.size() != n) {
+            fail(st, "expected " + std::to_string(n) + " operands, got " +
+                         std::to_string(st.args.size()));
+        }
+    }
+
+    void pass(bool emit) {
+        section* cur = &text_;
+        for (const statement& st : statements_) {
+            if (!st.label.empty()) {
+                if (!emit) {
+                    if (symbols_.count(st.label)) fail(st, "duplicate label");
+                    symbols_[st.label] = cursor(*cur);
+                }
+            }
+            if (st.mnem.empty()) continue;
+            if (st.mnem[0] == '.') {
+                directive(st, cur, emit);
+            } else {
+                instruction(st, *cur, emit);
+            }
+        }
+    }
+
+    void directive(const statement& st, section*& cur, bool emit) {
+        if (st.mnem == ".text" || st.mnem == ".data") {
+            section& target = (st.mnem == ".text") ? text_ : data_;
+            if (!st.args.empty()) {
+                std::int64_t v;
+                if (!parse_int(st.args[0], v)) fail(st, "bad section base");
+                if (target.size != 0 && static_cast<std::uint32_t>(v) != target.base) {
+                    fail(st, "cannot rebase non-empty section");
+                }
+                target.base = static_cast<std::uint32_t>(v);
+            }
+            cur = &target;
+        } else if (st.mnem == ".word") {
+            if (st.args.empty()) fail(st, ".word needs at least one value");
+            while (cursor(*cur) % 4 != 0) append_byte(*cur, emit, 0);
+            for (const std::string& a : st.args) {
+                append_word(*cur, emit,
+                            static_cast<std::uint32_t>(value_of(st, a, emit)));
+            }
+        } else if (st.mnem == ".byte") {
+            if (st.args.empty()) fail(st, ".byte needs at least one value");
+            for (const std::string& a : st.args) {
+                append_byte(*cur, emit,
+                            static_cast<std::uint8_t>(value_of(st, a, emit)));
+            }
+        } else if (st.mnem == ".space") {
+            require_args(st, 1);
+            std::int64_t n;
+            if (!parse_int(st.args[0], n) || n < 0) fail(st, "bad .space size");
+            for (std::int64_t i = 0; i < n; ++i) append_byte(*cur, emit, 0);
+        } else if (st.mnem == ".align") {
+            require_args(st, 1);
+            std::int64_t a;
+            if (!parse_int(st.args[0], a) || a <= 0) fail(st, "bad .align");
+            while (cursor(*cur) % static_cast<std::uint32_t>(a) != 0) {
+                append_byte(*cur, emit, 0);
+            }
+        } else {
+            fail(st, "unknown directive '" + st.mnem + "'");
+        }
+    }
+
+    void emit_inst(section& s, bool emit, const decoded_inst& di,
+                   const statement& st) {
+        if (emit && !immediate_fits(di.code, di.imm)) {
+            fail(st, "immediate out of range");
+        }
+        append_word(s, emit, emit ? encode(di) : 0u);
+    }
+
+    std::int32_t branch_disp(const statement& st, std::string_view target,
+                             std::uint32_t inst_addr, bool emit) const {
+        const std::int64_t abs_target = value_of(st, target, emit);
+        return static_cast<std::int32_t>(abs_target -
+                                         (static_cast<std::int64_t>(inst_addr) + 4));
+    }
+
+    void instruction(const statement& st, section& s, bool emit) {
+        // Pseudo-instructions first.
+        if (st.mnem == "nop") {
+            emit_inst(s, emit, decoded_inst{op::addi}, st);
+            return;
+        }
+        if (st.mnem == "mv") {
+            require_args(st, 2);
+            decoded_inst di{op::addi};
+            di.rd = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+            di.rs1 = static_cast<std::uint8_t>(gpr_of(st, st.args[1]));
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (st.mnem == "li") {
+            require_args(st, 2);
+            const unsigned rd = gpr_of(st, st.args[0]);
+            std::int64_t v64;
+            if (!parse_int(st.args[1], v64)) fail(st, "li needs a numeric constant");
+            const auto value = static_cast<std::uint32_t>(v64);
+            const auto sv = static_cast<std::int32_t>(value);
+            if (sv >= -32768 && sv <= 32767) {
+                decoded_inst di{op::addi};
+                di.rd = static_cast<std::uint8_t>(rd);
+                di.imm = sv;
+                emit_inst(s, emit, di, st);
+            } else {
+                decoded_inst hi{op::lui};
+                hi.rd = static_cast<std::uint8_t>(rd);
+                hi.imm = static_cast<std::int32_t>(value >> 16);
+                emit_inst(s, emit, hi, st);
+                if ((value & 0xFFFFu) != 0) {
+                    decoded_inst lo{op::ori};
+                    lo.rd = static_cast<std::uint8_t>(rd);
+                    lo.rs1 = static_cast<std::uint8_t>(rd);
+                    lo.imm = static_cast<std::int32_t>(value & 0xFFFFu);
+                    emit_inst(s, emit, lo, st);
+                }
+            }
+            return;
+        }
+        if (st.mnem == "j" || st.mnem == "call") {
+            require_args(st, 1);
+            decoded_inst di{op::jal};
+            di.rd = st.mnem == "call" ? 1 : 0;
+            di.imm = branch_disp(st, st.args[0], cursor(s), emit);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (st.mnem == "ret") {
+            decoded_inst di{op::jalr};
+            di.rs1 = 1;
+            emit_inst(s, emit, di, st);
+            return;
+        }
+
+        const auto& table = mnemonic_table();
+        const auto it = table.find(st.mnem);
+        if (it == table.end()) fail(st, "unknown mnemonic '" + st.mnem + "'");
+        const op code = it->second;
+
+        decoded_inst di;
+        di.code = code;
+
+        if (code == op::halt) {
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (code == op::syscall_op) {
+            require_args(st, 1);
+            di.imm = static_cast<std::int32_t>(value_of(st, st.args[0], emit));
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (is_load(code)) {
+            require_args(st, 2);
+            di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0], rd_is_fpr(code)));
+            std::int64_t disp;
+            unsigned base;
+            mem_operand(st, st.args[1], disp, base, emit);
+            di.rs1 = static_cast<std::uint8_t>(base);
+            di.imm = static_cast<std::int32_t>(disp);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (is_store(code)) {
+            require_args(st, 2);
+            di.rs2 = static_cast<std::uint8_t>(reg_of(st, st.args[0], rs2_is_fpr(code)));
+            std::int64_t disp;
+            unsigned base;
+            mem_operand(st, st.args[1], disp, base, emit);
+            di.rs1 = static_cast<std::uint8_t>(base);
+            di.imm = static_cast<std::int32_t>(disp);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (is_branch(code)) {
+            require_args(st, 3);
+            di.rs1 = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+            di.rs2 = static_cast<std::uint8_t>(gpr_of(st, st.args[1]));
+            di.imm = branch_disp(st, st.args[2], cursor(s), emit);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (code == op::jal) {
+            require_args(st, 2);
+            di.rd = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+            di.imm = branch_disp(st, st.args[1], cursor(s), emit);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (code == op::jalr) {
+            require_args(st, 3);
+            di.rd = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+            di.rs1 = static_cast<std::uint8_t>(gpr_of(st, st.args[1]));
+            di.imm = static_cast<std::int32_t>(value_of(st, st.args[2], emit));
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (code == op::lui || code == op::auipc) {
+            require_args(st, 2);
+            di.rd = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+            di.imm = static_cast<std::int32_t>(value_of(st, st.args[1], emit));
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (uses_rs2(code)) {  // three-register forms
+            require_args(st, 3);
+            di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0], rd_is_fpr(code)));
+            di.rs1 = static_cast<std::uint8_t>(reg_of(st, st.args[1], rs1_is_fpr(code)));
+            di.rs2 = static_cast<std::uint8_t>(reg_of(st, st.args[2], rs2_is_fpr(code)));
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (is_fp(code)) {  // unary FP forms: fabs/fneg/converts/moves
+            require_args(st, 2);
+            di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0], rd_is_fpr(code)));
+            di.rs1 = static_cast<std::uint8_t>(reg_of(st, st.args[1], rs1_is_fpr(code)));
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        // Remaining: I-type ALU.
+        require_args(st, 3);
+        di.rd = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+        di.rs1 = static_cast<std::uint8_t>(gpr_of(st, st.args[1]));
+        di.imm = static_cast<std::int32_t>(value_of(st, st.args[2], emit));
+        emit_inst(s, emit, di, st);
+    }
+};
+
+}  // namespace
+
+program_image assemble(std::string_view source, std::uint32_t text_base,
+                       std::uint32_t data_base) {
+    return assembler(source, text_base, data_base).run();
+}
+
+}  // namespace osm::isa

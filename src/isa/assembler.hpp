@@ -1,0 +1,51 @@
+// Two-pass text assembler for VR32.
+//
+// Syntax summary (one statement per line, ';' or '#' starts a comment):
+//
+//   label:                     bind a label
+//   add  rd, rs1, rs2          R-type
+//   addi rd, rs1, imm          I-type (imm: decimal or 0x hex, may be -ve)
+//   lw   rd, disp(base)        loads (also flw)
+//   sw   rs, disp(base)        stores (also fsw)
+//   beq  rs1, rs2, target      branches (target: label or numeric address)
+//   jal  rd, target            jump and link
+//   jalr rd, rs1, imm
+//   lui  rd, imm16             upper immediate
+//   syscall code / halt
+//
+// Pseudo-instructions: nop, li rd, imm32, mv rd, rs, j target,
+// call target, ret.
+//
+// Directives: .text [addr], .data [addr], .word v[, v...], .byte v[, ...],
+// .space n, .align n.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace osm::isa {
+
+/// Raised on any syntax or range error; carries the 1-based line number.
+class asm_error : public std::runtime_error {
+public:
+    asm_error(unsigned line, const std::string& message)
+        : std::runtime_error("line " + std::to_string(line) + ": " + message),
+          line_(line) {}
+
+    unsigned line() const noexcept { return line_; }
+
+private:
+    unsigned line_;
+};
+
+/// Assemble `source` into a loadable image.
+/// `text_base`/`data_base` set the default section bases (overridable with
+/// .text/.data directives).
+program_image assemble(std::string_view source,
+                       std::uint32_t text_base = 0x1000,
+                       std::uint32_t data_base = 0x00100000);
+
+}  // namespace osm::isa

@@ -1,0 +1,80 @@
+// Post-decode instruction representation and classification predicates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace osm::isa {
+
+/// Mnemonic-level operation.  This is the alphabet every execution engine
+/// (ISS, OSM models, hardwired baseline, port model) agrees on.
+enum class op : std::uint8_t {
+    invalid = 0,
+    // R-type integer ALU
+    add_r, sub_r, and_r, or_r, xor_r, nor_r, sll_r, srl_r, sra_r, slt_r, sltu_r,
+    // R-type multiply/divide
+    mul, mulh, mulhu, div_s, div_u, rem_s, rem_u,
+    // I-type ALU
+    addi, andi, ori, xori, slti, sltiu, slli, srli, srai, lui, auipc,
+    // Loads / stores
+    lb, lbu, lh, lhu, lw, sb, sh, sw,
+    // Branches
+    beq, bne, blt, bge, bltu, bgeu,
+    // Jumps
+    jal, jalr,
+    // FP computational (single precision)
+    fadd, fsub, fmul, fdiv, fmin, fmax, fabs_f, fneg_f,
+    // FP compare / convert / move (cross register files)
+    feq, flt_f, fle, fcvt_w_s, fcvt_s_w, fmv_x_w, fmv_w_x,
+    // FP memory
+    flw, fsw,
+    // System
+    syscall_op, halt,
+    count_
+};
+
+/// Human-readable mnemonic ("add", "lw", ...).
+std::string_view op_name(op code);
+
+/// A decoded instruction.  Field meanings are normalized:
+///   rd  — destination register (GPR or FPR depending on op);
+///   rs1 — first source / base address register;
+///   rs2 — second source / store data register;
+///   imm — sign-extended immediate (byte displacement for memory ops;
+///         *byte* offset from pc+4 for branches/jal; raw for ALU).
+struct decoded_inst {
+    op code = op::invalid;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+    std::uint32_t raw = 0;
+
+    bool operator==(const decoded_inst&) const = default;
+};
+
+// ---- classification -------------------------------------------------------
+
+bool is_branch(op code);        ///< conditional branches
+bool is_jump(op code);          ///< jal / jalr
+inline bool is_cti(op code) { return is_branch(code) || is_jump(code); }
+bool is_load(op code);          ///< lb..lw, flw
+bool is_store(op code);         ///< sb..sw, fsw
+inline bool is_mem(op code) { return is_load(code) || is_store(code); }
+bool is_mul_div(op code);       ///< long-latency integer ops
+bool is_fp(op code);            ///< any op touching the FP register file
+bool is_fp_compute(op code);    ///< fadd..fneg (FPU-executed arithmetic)
+bool is_system(op code);        ///< syscall / halt
+
+bool writes_rd(op code);        ///< has a destination register
+bool rd_is_fpr(op code);        ///< destination is an FPR
+bool uses_rs1(op code);
+bool rs1_is_fpr(op code);
+bool uses_rs2(op code);
+bool rs2_is_fpr(op code);
+
+/// Default execute-stage latency class used by the models (cycles the
+/// operation occupies its function unit beyond the first).
+unsigned extra_exec_cycles(op code);
+
+}  // namespace osm::isa

@@ -1,0 +1,87 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "isa/arch.hpp"
+
+namespace osm::isa {
+
+namespace {
+std::string reg(const decoded_inst& di, bool fpr, unsigned index) {
+    (void)di;
+    return std::string(fpr ? fpr_name(index) : gpr_name(index));
+}
+}  // namespace
+
+std::string disassemble(const decoded_inst& di, std::uint32_t pc) {
+    const std::string name(op_name(di.code));
+    char buf[96];
+    const op c = di.code;
+
+    if (c == op::invalid) {
+        std::snprintf(buf, sizeof buf, ".word 0x%08X", di.raw);
+        return buf;
+    }
+    if (c == op::halt) return "halt";
+    if (c == op::syscall_op) {
+        std::snprintf(buf, sizeof buf, "syscall %d", di.imm);
+        return buf;
+    }
+    if (is_branch(c)) {
+        std::snprintf(buf, sizeof buf, "%s %s, %s, %d  ; -> 0x%X", name.c_str(),
+                      reg(di, false, di.rs1).c_str(), reg(di, false, di.rs2).c_str(),
+                      di.imm, pc + 4 + static_cast<std::uint32_t>(di.imm));
+        return buf;
+    }
+    if (c == op::jal) {
+        std::snprintf(buf, sizeof buf, "jal %s, %d  ; -> 0x%X",
+                      reg(di, false, di.rd).c_str(), di.imm,
+                      pc + 4 + static_cast<std::uint32_t>(di.imm));
+        return buf;
+    }
+    if (c == op::jalr) {
+        std::snprintf(buf, sizeof buf, "jalr %s, %s, %d", reg(di, false, di.rd).c_str(),
+                      reg(di, false, di.rs1).c_str(), di.imm);
+        return buf;
+    }
+    if (is_load(c)) {
+        std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", name.c_str(),
+                      reg(di, rd_is_fpr(c), di.rd).c_str(), di.imm,
+                      reg(di, false, di.rs1).c_str());
+        return buf;
+    }
+    if (is_store(c)) {
+        std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", name.c_str(),
+                      reg(di, rs2_is_fpr(c), di.rs2).c_str(), di.imm,
+                      reg(di, false, di.rs1).c_str());
+        return buf;
+    }
+    if (c == op::lui || c == op::auipc) {
+        std::snprintf(buf, sizeof buf, "%s %s, 0x%X", name.c_str(),
+                      reg(di, false, di.rd).c_str(),
+                      static_cast<unsigned>(di.imm));
+        return buf;
+    }
+    if (uses_rs2(c)) {  // R-type
+        std::snprintf(buf, sizeof buf, "%s %s, %s, %s", name.c_str(),
+                      reg(di, rd_is_fpr(c), di.rd).c_str(),
+                      reg(di, rs1_is_fpr(c), di.rs1).c_str(),
+                      reg(di, rs2_is_fpr(c), di.rs2).c_str());
+        return buf;
+    }
+    if (uses_rs1(c) && writes_rd(c)) {
+        if (is_fp(c)) {  // unary FP / converts / moves
+            std::snprintf(buf, sizeof buf, "%s %s, %s", name.c_str(),
+                          reg(di, rd_is_fpr(c), di.rd).c_str(),
+                          reg(di, rs1_is_fpr(c), di.rs1).c_str());
+            return buf;
+        }
+        std::snprintf(buf, sizeof buf, "%s %s, %s, %d", name.c_str(),
+                      reg(di, false, di.rd).c_str(),
+                      reg(di, false, di.rs1).c_str(), di.imm);
+        return buf;
+    }
+    return name;
+}
+
+}  // namespace osm::isa

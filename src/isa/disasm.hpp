@@ -1,0 +1,15 @@
+// Disassembler: decoded_inst -> assembly text (round-trips through the
+// assembler, which the test suite checks as a property).
+#pragma once
+
+#include <string>
+
+#include "isa/decoded_inst.hpp"
+
+namespace osm::isa {
+
+/// Render `di` in the assembler's input syntax.  `pc` is used to print
+/// absolute branch/jump targets as comments.
+std::string disassemble(const decoded_inst& di, std::uint32_t pc = 0);
+
+}  // namespace osm::isa

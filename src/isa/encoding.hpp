@@ -1,0 +1,35 @@
+// VR32 binary encoding.
+//
+// Fixed 32-bit instructions, little-endian in memory.  The primary opcode
+// lives in bits [31:26]; the remaining formats are:
+//
+//   R  : op | rd[25:21]  | rs1[20:16] | rs2[15:11] | funct[10:0]
+//   I  : op | rd[25:21]  | rs1[20:16] | imm16[15:0]          (sign-extended)
+//   S  : op | rs2[25:21] | rs1[20:16] | imm16[15:0]          (store data in rd slot)
+//   B  : op | rs1[25:21] | rs2[20:16] | off16[15:0]          (word offset from pc+4)
+//   J  : op | rd[25:21]  | off21[20:0]                       (word offset from pc+4)
+//   SYS: op | code16[15:0]
+//
+// Integer R-type ops share primary opcode 0x00 and are selected by funct;
+// FP computational ops share 0x20 the same way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/decoded_inst.hpp"
+
+namespace osm::isa {
+
+/// Encode `di` into its 32-bit instruction word.
+/// Preconditions: the immediate fits the format's field; registers < 32.
+std::uint32_t encode(const decoded_inst& di);
+
+/// Decode a 32-bit instruction word.  Unknown opcodes/functs yield
+/// `op::invalid` with `raw` preserved (models treat it as a trap/halt).
+decoded_inst decode(std::uint32_t word);
+
+/// True when `imm` is representable in the format used by `code`.
+bool immediate_fits(op code, std::int64_t imm);
+
+}  // namespace osm::isa

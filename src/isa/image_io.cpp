@@ -1,0 +1,66 @@
+#include "isa/image_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace osm::isa {
+
+namespace {
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    os.write(b, 4);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+    unsigned char b[4];
+    is.read(reinterpret_cast<char*>(b), 4);
+    if (!is) throw std::runtime_error("truncated image file");
+    return static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
+           static_cast<std::uint32_t>(b[2]) << 16 |
+           static_cast<std::uint32_t>(b[3]) << 24;
+}
+
+}  // namespace
+
+void save_image(const std::string& path, const program_image& img) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    put_u32(os, k_image_magic);
+    put_u32(os, img.entry);
+    put_u32(os, static_cast<std::uint32_t>(img.segments.size()));
+    for (const auto& seg : img.segments) {
+        put_u32(os, seg.base);
+        put_u32(os, static_cast<std::uint32_t>(seg.bytes.size()));
+        os.write(reinterpret_cast<const char*>(seg.bytes.data()),
+                 static_cast<std::streamsize>(seg.bytes.size()));
+    }
+    if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+program_image load_image(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot read " + path);
+    if (get_u32(is) != k_image_magic) {
+        throw std::runtime_error(path + ": not a VRI image");
+    }
+    program_image img;
+    img.entry = get_u32(is);
+    const std::uint32_t nseg = get_u32(is);
+    if (nseg > 1024) throw std::runtime_error(path + ": implausible segment count");
+    for (std::uint32_t i = 0; i < nseg; ++i) {
+        program_image::segment seg;
+        seg.base = get_u32(is);
+        const std::uint32_t size = get_u32(is);
+        if (size > (1u << 28)) throw std::runtime_error(path + ": oversized segment");
+        seg.bytes.resize(size);
+        is.read(reinterpret_cast<char*>(seg.bytes.data()),
+                static_cast<std::streamsize>(size));
+        if (!is) throw std::runtime_error("truncated image file");
+        img.segments.push_back(std::move(seg));
+    }
+    return img;
+}
+
+}  // namespace osm::isa

@@ -1,0 +1,27 @@
+// On-disk format for program images ("VRI": VR32 image).
+//
+// Layout (little endian):
+//   u32 magic 'VRI1'   u32 entry   u32 segment_count
+//   per segment: u32 base, u32 size, size bytes
+//
+// Deliberately minimal — the framework's loader equivalent of a stripped
+// ELF — so assembled programs can move between the CLI tools and embedded
+// uses without a text round-trip.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace osm::isa {
+
+inline constexpr std::uint32_t k_image_magic = 0x31495256;  // "VRI1"
+
+/// Serialize `img` to `path`.  Throws std::runtime_error on I/O failure.
+void save_image(const std::string& path, const program_image& img);
+
+/// Load an image previously written by save_image.  Throws
+/// std::runtime_error on I/O failure or a malformed file.
+program_image load_image(const std::string& path);
+
+}  // namespace osm::isa

@@ -1,0 +1,84 @@
+#include "isa/iss.hpp"
+
+#include "isa/encoding.hpp"
+
+namespace osm::isa {
+
+void syscall_host::handle(std::uint16_t code, arch_state& st) {
+    switch (static_cast<syscall_code>(code)) {
+        case syscall_code::exit:
+            st.halted = true;
+            break;
+        case syscall_code::putchar:
+            console_.push_back(static_cast<char>(st.gpr[4] & 0xFFu));
+            break;
+        case syscall_code::putuint:
+            console_ += std::to_string(st.gpr[4]);
+            break;
+        case syscall_code::putnl:
+            console_.push_back('\n');
+            break;
+        default:
+            // Unknown syscalls are ignored (matches "interpretation of
+            // system calls in the ISS" slack the paper mentions).
+            break;
+    }
+}
+
+void iss::load(const program_image& img) {
+    img.load_into(mem_);
+    state_ = arch_state{};
+    state_.pc = img.entry;
+    instret_ = 0;
+    host_.clear();
+}
+
+bool iss::step() {
+    if (state_.halted) return false;
+    const std::uint32_t word = mem_.read32(state_.pc);
+    const decoded_inst di = decode(word);
+
+    if (di.code == op::invalid || di.code == op::halt) {
+        state_.halted = true;
+        ++instret_;
+        return false;
+    }
+    if (di.code == op::syscall_op) {
+        host_.handle(static_cast<std::uint16_t>(di.imm), state_);
+        state_.pc += 4;
+        ++instret_;
+        return !state_.halted;
+    }
+
+    const std::uint32_t a = rs1_is_fpr(di.code) ? state_.fpr[di.rs1] : state_.gpr[di.rs1];
+    const std::uint32_t b = rs2_is_fpr(di.code) ? state_.fpr[di.rs2] : state_.gpr[di.rs2];
+    exec_out out = compute(di, state_.pc, a, b);
+
+    if (is_load(di.code)) {
+        out.value = do_load(di.code, mem_, out.mem_addr);
+    } else if (is_store(di.code)) {
+        do_store(di.code, mem_, out.mem_addr, out.store_data);
+    }
+
+    if (writes_rd(di.code)) {
+        if (rd_is_fpr(di.code)) {
+            state_.fpr[di.rd] = out.value;
+        } else {
+            state_.set_gpr(di.rd, out.value);
+        }
+    }
+    state_.pc = out.redirect ? out.next_pc : state_.pc + 4;
+    ++instret_;
+    return true;
+}
+
+std::uint64_t iss::run(std::uint64_t max_steps) {
+    std::uint64_t n = 0;
+    while (n < max_steps && step()) ++n;
+    if (n < max_steps && !state_.halted) {
+        // step() returned false on the halting instruction itself.
+    }
+    return instret_;
+}
+
+}  // namespace osm::isa

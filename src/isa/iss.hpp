@@ -1,0 +1,63 @@
+// Instruction-set simulator: the functional golden model.
+//
+// Both case-study micro-architecture models in the paper are "based on
+// existing ISSs"; this class plays that role.  It also provides the shared
+// syscall host used by every engine so console output and halting behave
+// identically everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/arch.hpp"
+#include "isa/program.hpp"
+#include "isa/semantics.hpp"
+#include "mem/memory_if.hpp"
+
+namespace osm::isa {
+
+/// Console + exit behaviour shared by all execution engines.
+class syscall_host {
+public:
+    /// Execute syscall `code` against `st` (reads a0..a3); may set
+    /// st.halted and append to the console stream.
+    void handle(std::uint16_t code, arch_state& st);
+
+    const std::string& console() const noexcept { return console_; }
+    void clear() { console_.clear(); }
+
+private:
+    std::string console_;
+};
+
+/// Interpreted functional simulator.
+class iss {
+public:
+    explicit iss(mem::memory_if& m) : mem_(m) {}
+
+    /// Load `img` into memory and point pc at its entry.
+    void load(const program_image& img);
+
+    arch_state& state() noexcept { return state_; }
+    const arch_state& state() const noexcept { return state_; }
+    syscall_host& host() noexcept { return host_; }
+
+    /// Retired instruction count.
+    std::uint64_t instret() const noexcept { return instret_; }
+
+    /// Execute one instruction.  Returns false when already halted.
+    /// An `invalid` opcode halts the machine (modeling an undefined-
+    /// instruction trap).
+    bool step();
+
+    /// Run until halt or `max_steps`; returns instructions executed.
+    std::uint64_t run(std::uint64_t max_steps = ~0ull);
+
+private:
+    mem::memory_if& mem_;
+    arch_state state_;
+    syscall_host host_;
+    std::uint64_t instret_ = 0;
+};
+
+}  // namespace osm::isa

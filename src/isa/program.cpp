@@ -1,0 +1,188 @@
+#include "isa/program.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "isa/encoding.hpp"
+
+namespace osm::isa {
+
+void program_image::load_into(mem::memory_if& m) const {
+    for (const segment& s : segments) {
+        for (std::size_t i = 0; i < s.bytes.size(); ++i) {
+            m.write8(s.base + static_cast<std::uint32_t>(i), s.bytes[i]);
+        }
+    }
+}
+
+std::size_t program_image::total_bytes() const {
+    std::size_t n = 0;
+    for (const segment& s : segments) n += s.bytes.size();
+    return n;
+}
+
+std::size_t program_image::text_words() const {
+    for (const segment& s : segments) {
+        if (entry >= s.base && entry < s.base + s.bytes.size()) {
+            return s.bytes.size() / 4;
+        }
+    }
+    return 0;
+}
+
+program_builder::program_builder(std::uint32_t text_base, std::uint32_t data_base)
+    : text_base_(text_base), data_base_(data_base) {}
+
+program_builder::label program_builder::new_label() {
+    label_pos_.push_back(-1);
+    return label_pos_.size() - 1;
+}
+
+void program_builder::bind(label l) {
+    if (label_pos_.at(l) != -1) throw std::logic_error("label bound twice");
+    label_pos_[l] = static_cast<std::int64_t>(text_.size());
+}
+
+program_builder::label program_builder::here() {
+    const label l = new_label();
+    bind(l);
+    return l;
+}
+
+std::uint32_t program_builder::text_pos() const {
+    return text_base_ + static_cast<std::uint32_t>(text_.size()) * 4;
+}
+
+std::uint32_t program_builder::emit(const decoded_inst& di) {
+    const std::uint32_t addr = text_pos();
+    text_.push_back(di);
+    return addr;
+}
+
+std::uint32_t program_builder::emit_r(op code, unsigned rd, unsigned rs1, unsigned rs2) {
+    decoded_inst di;
+    di.code = code;
+    di.rd = static_cast<std::uint8_t>(rd);
+    di.rs1 = static_cast<std::uint8_t>(rs1);
+    di.rs2 = static_cast<std::uint8_t>(rs2);
+    return emit(di);
+}
+
+std::uint32_t program_builder::emit_i(op code, unsigned rd, unsigned rs1, std::int32_t imm) {
+    decoded_inst di;
+    di.code = code;
+    di.rd = static_cast<std::uint8_t>(rd);
+    di.rs1 = static_cast<std::uint8_t>(rs1);
+    di.imm = imm;
+    return emit(di);
+}
+
+std::uint32_t program_builder::emit_load(op code, unsigned rd, unsigned base, std::int32_t disp) {
+    return emit_i(code, rd, base, disp);
+}
+
+std::uint32_t program_builder::emit_store(op code, unsigned src, unsigned base, std::int32_t disp) {
+    decoded_inst di;
+    di.code = code;
+    di.rs2 = static_cast<std::uint8_t>(src);
+    di.rs1 = static_cast<std::uint8_t>(base);
+    di.imm = disp;
+    return emit(di);
+}
+
+std::uint32_t program_builder::emit_branch(op code, unsigned rs1, unsigned rs2, label target) {
+    decoded_inst di;
+    di.code = code;
+    di.rs1 = static_cast<std::uint8_t>(rs1);
+    di.rs2 = static_cast<std::uint8_t>(rs2);
+    fixups_.push_back({text_.size(), target});
+    return emit(di);
+}
+
+std::uint32_t program_builder::emit_jal(unsigned rd, label target) {
+    decoded_inst di;
+    di.code = op::jal;
+    di.rd = static_cast<std::uint8_t>(rd);
+    fixups_.push_back({text_.size(), target});
+    return emit(di);
+}
+
+std::uint32_t program_builder::emit_jalr(unsigned rd, unsigned rs1, std::int32_t imm) {
+    return emit_i(op::jalr, rd, rs1, imm);
+}
+
+void program_builder::li(unsigned rd, std::uint32_t value) {
+    const auto sv = static_cast<std::int32_t>(value);
+    if (sv >= -32768 && sv <= 32767) {
+        emit_i(op::addi, rd, 0, sv);
+        return;
+    }
+    emit_i(op::lui, rd, 0, static_cast<std::int32_t>(value >> 16));
+    if ((value & 0xFFFFu) != 0) {
+        emit_i(op::ori, rd, rd, static_cast<std::int32_t>(value & 0xFFFFu));
+    }
+}
+
+std::uint32_t program_builder::data_word(std::uint32_t value) {
+    data_align(4);
+    const std::uint32_t addr = data_base_ + static_cast<std::uint32_t>(data_.size());
+    for (unsigned i = 0; i < 4; ++i) {
+        data_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+    return addr;
+}
+
+std::uint32_t program_builder::data_bytes(std::span<const std::uint8_t> bytes) {
+    const std::uint32_t addr = data_base_ + static_cast<std::uint32_t>(data_.size());
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+    return addr;
+}
+
+std::uint32_t program_builder::data_reserve(std::size_t n) {
+    const std::uint32_t addr = data_base_ + static_cast<std::uint32_t>(data_.size());
+    data_.resize(data_.size() + n, 0);
+    return addr;
+}
+
+void program_builder::data_align(std::uint32_t a) {
+    while ((data_base_ + data_.size()) % a != 0) data_.push_back(0);
+}
+
+program_image program_builder::finish() {
+    if (finished_) throw std::logic_error("program_builder::finish called twice");
+    finished_ = true;
+
+    for (const fixup& f : fixups_) {
+        const std::int64_t pos = label_pos_.at(f.target);
+        if (pos < 0) throw std::logic_error("unbound label in program");
+        const auto inst_addr =
+            text_base_ + static_cast<std::uint32_t>(f.text_index) * 4;
+        const auto target_addr = text_base_ + static_cast<std::uint32_t>(pos) * 4;
+        const std::int64_t disp = static_cast<std::int64_t>(target_addr) -
+                                  (static_cast<std::int64_t>(inst_addr) + 4);
+        decoded_inst& di = text_[f.text_index];
+        if (!immediate_fits(di.code, disp)) {
+            throw std::logic_error("branch displacement out of range");
+        }
+        di.imm = static_cast<std::int32_t>(disp);
+    }
+
+    program_image img;
+    img.entry = text_base_;
+    program_image::segment text_seg;
+    text_seg.base = text_base_;
+    text_seg.bytes.reserve(text_.size() * 4);
+    for (const decoded_inst& di : text_) {
+        const std::uint32_t w = encode(di);
+        for (unsigned i = 0; i < 4; ++i) {
+            text_seg.bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+        }
+    }
+    img.segments.push_back(std::move(text_seg));
+    if (!data_.empty()) {
+        img.segments.push_back({data_base_, data_});
+    }
+    return img;
+}
+
+}  // namespace osm::isa

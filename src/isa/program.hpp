@@ -1,0 +1,118 @@
+// Program images and the programmatic builder API.
+//
+// A program_image is the loader format shared by every execution engine: a
+// set of byte segments plus an entry point.  The builder emits VR32
+// instructions directly (no text round-trip), which is what the workload
+// generators and the random-program property tests use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/decoded_inst.hpp"
+#include "mem/memory_if.hpp"
+
+namespace osm::isa {
+
+/// A loadable program: segments of bytes plus the entry pc.
+struct program_image {
+    struct segment {
+        std::uint32_t base = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    std::uint32_t entry = 0;
+    std::vector<segment> segments;
+
+    /// Copy all segments into `m`.
+    void load_into(mem::memory_if& m) const;
+
+    /// Total bytes across segments.
+    std::size_t total_bytes() const;
+
+    /// Number of instruction words in the segment containing `entry`
+    /// (diagnostic; assumes text is one segment).
+    std::size_t text_words() const;
+};
+
+/// Incremental program construction with labels and branch fixups.
+class program_builder {
+public:
+    /// Label handle; forward references are resolved at finish().
+    using label = std::size_t;
+
+    explicit program_builder(std::uint32_t text_base = 0x1000,
+                             std::uint32_t data_base = 0x00100000);
+
+    // ---- labels ----
+    label new_label();
+    /// Bind `l` to the current text position.
+    void bind(label l);
+    /// Create a label bound to the current text position.
+    label here();
+
+    /// Address of the next instruction to be emitted.
+    std::uint32_t text_pos() const;
+
+    // ---- raw emission ----
+    /// Append `di` to the text segment.  Returns its address.
+    std::uint32_t emit(const decoded_inst& di);
+
+    // ---- convenience emitters (mirror the ISA formats) ----
+    std::uint32_t emit_r(op code, unsigned rd, unsigned rs1, unsigned rs2);
+    std::uint32_t emit_i(op code, unsigned rd, unsigned rs1, std::int32_t imm);
+    std::uint32_t emit_load(op code, unsigned rd, unsigned base, std::int32_t disp);
+    std::uint32_t emit_store(op code, unsigned src, unsigned base, std::int32_t disp);
+    std::uint32_t emit_branch(op code, unsigned rs1, unsigned rs2, label target);
+    std::uint32_t emit_jal(unsigned rd, label target);
+    std::uint32_t emit_jalr(unsigned rd, unsigned rs1, std::int32_t imm);
+
+    // ---- pseudo instructions ----
+    /// Load an arbitrary 32-bit constant (1 or 2 instructions).
+    void li(unsigned rd, std::uint32_t value);
+    void mv(unsigned rd, unsigned rs) { emit_i(op::addi, rd, rs, 0); }
+    void nop() { emit_i(op::addi, 0, 0, 0); }
+    void jmp(label target) { emit_jal(0, target); }
+    void call(label target) { emit_jal(1, target); }
+    void ret() { emit_jalr(0, 1, 0); }
+    void halt_op() { emit(decoded_inst{op::halt}); }
+    void syscall(std::uint16_t code) {
+        decoded_inst di;
+        di.code = op::syscall_op;
+        di.imm = code;
+        emit(di);
+    }
+
+    // ---- data segment ----
+    /// Append one word to the data segment; returns its address.
+    std::uint32_t data_word(std::uint32_t value);
+    /// Append raw bytes; returns the base address.
+    std::uint32_t data_bytes(std::span<const std::uint8_t> bytes);
+    /// Reserve `n` zeroed bytes; returns the base address.
+    std::uint32_t data_reserve(std::size_t n);
+    /// Align the data cursor to a multiple of `a` (power of two).
+    void data_align(std::uint32_t a);
+
+    /// Resolve fixups and produce the final image.  The builder may not be
+    /// used afterwards.  Throws std::logic_error on unbound labels or
+    /// out-of-range branch displacements.
+    program_image finish();
+
+private:
+    struct fixup {
+        std::size_t text_index;  // instruction index in text_
+        label target;
+    };
+
+    std::uint32_t text_base_;
+    std::uint32_t data_base_;
+    std::vector<decoded_inst> text_;
+    std::vector<std::uint8_t> data_;
+    std::vector<std::int64_t> label_pos_;  // -1 = unbound; else instruction index
+    std::vector<fixup> fixups_;
+    bool finished_ = false;
+};
+
+}  // namespace osm::isa

@@ -1,0 +1,182 @@
+#include "isa/semantics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace osm::isa {
+
+namespace {
+
+float as_f(std::uint32_t bits_) { return std::bit_cast<float>(bits_); }
+std::uint32_t as_u(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+std::uint32_t mul_hi_s(std::uint32_t a, std::uint32_t b) {
+    const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                           static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+}
+
+std::uint32_t mul_hi_u(std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+    return static_cast<std::uint32_t>(p >> 32);
+}
+
+// RISC-V-style division corner cases: no traps; x/0 = -1 (all ones),
+// x%0 = x, INT_MIN/-1 = INT_MIN with remainder 0.
+std::uint32_t div_signed(std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) return ~0u;
+    if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1) return a;
+    return static_cast<std::uint32_t>(sa / sb);
+}
+
+std::uint32_t rem_signed(std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) return a;
+    if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1) return 0;
+    return static_cast<std::uint32_t>(sa % sb);
+}
+
+std::uint32_t cvt_w_s(std::uint32_t fbits) {
+    const float f = as_f(fbits);
+    if (std::isnan(f)) return 0x7FFFFFFFu;
+    if (f >= 2147483648.0f) return 0x7FFFFFFFu;
+    if (f < -2147483648.0f) return 0x80000000u;
+    return static_cast<std::uint32_t>(static_cast<std::int32_t>(f));
+}
+
+}  // namespace
+
+exec_out compute(const decoded_inst& di, std::uint32_t pc,
+                 std::uint32_t a, std::uint32_t b) {
+    exec_out out;
+    out.next_pc = pc + 4;
+    const std::uint32_t imm = static_cast<std::uint32_t>(di.imm);
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+
+    switch (di.code) {
+        case op::add_r: out.value = a + b; break;
+        case op::sub_r: out.value = a - b; break;
+        case op::and_r: out.value = a & b; break;
+        case op::or_r: out.value = a | b; break;
+        case op::xor_r: out.value = a ^ b; break;
+        case op::nor_r: out.value = ~(a | b); break;
+        case op::sll_r: out.value = a << (b & 31u); break;
+        case op::srl_r: out.value = a >> (b & 31u); break;
+        case op::sra_r: out.value = static_cast<std::uint32_t>(sa >> (b & 31u)); break;
+        case op::slt_r: out.value = sa < sb ? 1u : 0u; break;
+        case op::sltu_r: out.value = a < b ? 1u : 0u; break;
+        case op::mul: out.value = a * b; break;
+        case op::mulh: out.value = mul_hi_s(a, b); break;
+        case op::mulhu: out.value = mul_hi_u(a, b); break;
+        case op::div_s: out.value = div_signed(a, b); break;
+        case op::div_u: out.value = b == 0 ? ~0u : a / b; break;
+        case op::rem_s: out.value = rem_signed(a, b); break;
+        case op::rem_u: out.value = b == 0 ? a : a % b; break;
+
+        case op::addi: out.value = a + imm; break;
+        case op::andi: out.value = a & imm; break;
+        case op::ori: out.value = a | imm; break;
+        case op::xori: out.value = a ^ imm; break;
+        case op::slti: out.value = sa < di.imm ? 1u : 0u; break;
+        case op::sltiu: out.value = a < imm ? 1u : 0u; break;
+        case op::slli: out.value = a << (imm & 31u); break;
+        case op::srli: out.value = a >> (imm & 31u); break;
+        case op::srai: out.value = static_cast<std::uint32_t>(sa >> (imm & 31u)); break;
+        case op::lui: out.value = imm << 16; break;
+        case op::auipc: out.value = pc + (imm << 16); break;
+
+        case op::lb: case op::lbu: case op::lh: case op::lhu: case op::lw:
+        case op::flw:
+            out.mem_addr = a + imm;
+            break;
+        case op::sb: case op::sh: case op::sw: case op::fsw:
+            out.mem_addr = a + imm;
+            out.store_data = b;
+            break;
+
+        case op::beq: out.redirect = (a == b); break;
+        case op::bne: out.redirect = (a != b); break;
+        case op::blt: out.redirect = (sa < sb); break;
+        case op::bge: out.redirect = (sa >= sb); break;
+        case op::bltu: out.redirect = (a < b); break;
+        case op::bgeu: out.redirect = (a >= b); break;
+
+        case op::jal:
+            out.value = pc + 4;  // link
+            out.redirect = true;
+            out.next_pc = pc + 4 + static_cast<std::uint32_t>(di.imm);
+            break;
+        case op::jalr:
+            out.value = pc + 4;
+            out.redirect = true;
+            out.next_pc = (a + imm) & ~3u;
+            break;
+
+        case op::fadd: out.value = as_u(as_f(a) + as_f(b)); break;
+        case op::fsub: out.value = as_u(as_f(a) - as_f(b)); break;
+        case op::fmul: out.value = as_u(as_f(a) * as_f(b)); break;
+        case op::fdiv: out.value = as_u(as_f(a) / as_f(b)); break;
+        case op::fmin: out.value = as_u(std::fmin(as_f(a), as_f(b))); break;
+        case op::fmax: out.value = as_u(std::fmax(as_f(a), as_f(b))); break;
+        case op::fabs_f: out.value = a & 0x7FFFFFFFu; break;
+        case op::fneg_f: out.value = a ^ 0x80000000u; break;
+        case op::feq: out.value = as_f(a) == as_f(b) ? 1u : 0u; break;
+        case op::flt_f: out.value = as_f(a) < as_f(b) ? 1u : 0u; break;
+        case op::fle: out.value = as_f(a) <= as_f(b) ? 1u : 0u; break;
+        case op::fcvt_w_s: out.value = cvt_w_s(a); break;
+        case op::fcvt_s_w: out.value = as_u(static_cast<float>(sa)); break;
+        case op::fmv_x_w: out.value = a; break;
+        case op::fmv_w_x: out.value = a; break;
+
+        case op::syscall_op:
+        case op::halt:
+        case op::invalid:
+        case op::count_:
+            break;
+    }
+
+    if (is_branch(di.code) && out.redirect) {
+        out.next_pc = pc + 4 + static_cast<std::uint32_t>(di.imm);
+    }
+    return out;
+}
+
+std::uint32_t do_load(op code, mem::memory_if& m, std::uint32_t addr) {
+    switch (code) {
+        case op::lb: {
+            const auto v = static_cast<std::int8_t>(m.read8(addr));
+            return static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
+        }
+        case op::lbu: return m.read8(addr);
+        case op::lh: {
+            const auto v = static_cast<std::int16_t>(m.read16(addr));
+            return static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
+        }
+        case op::lhu: return m.read16(addr);
+        case op::lw:
+        case op::flw:
+            return m.read32(addr);
+        default:
+            return 0;
+    }
+}
+
+void do_store(op code, mem::memory_if& m, std::uint32_t addr, std::uint32_t data) {
+    switch (code) {
+        case op::sb: m.write8(addr, static_cast<std::uint8_t>(data)); break;
+        case op::sh: m.write16(addr, static_cast<std::uint16_t>(data)); break;
+        case op::sw:
+        case op::fsw:
+            m.write32(addr, data);
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace osm::isa

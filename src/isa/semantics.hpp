@@ -1,0 +1,40 @@
+// VR32 operation semantics, factored into the phases micro-architecture
+// models need:
+//
+//   compute()  — pure combinational result (ALU / address / branch decision);
+//   do_load()  — memory read side of the access phase;
+//   do_store() — memory write side of the access phase.
+//
+// Every execution engine in the repository (ISS, OSM models, hardwired
+// baseline, port model) calls exactly these functions, so functional
+// behaviour can never diverge between them — only timing can.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/decoded_inst.hpp"
+#include "mem/memory_if.hpp"
+
+namespace osm::isa {
+
+/// Result of the combinational execute phase.
+struct exec_out {
+    std::uint32_t value = 0;       ///< rd result (for non-load ops)
+    std::uint32_t mem_addr = 0;    ///< effective address for loads/stores
+    std::uint32_t store_data = 0;  ///< value to store
+    std::uint32_t next_pc = 0;     ///< pc+4, or target when `redirect`
+    bool redirect = false;         ///< taken branch or jump
+};
+
+/// Evaluate `di` at `pc` with source values `a` (rs1) and `b` (rs2).
+/// For FP-sourced operands, `a`/`b` carry the IEEE-754 bit pattern.
+exec_out compute(const decoded_inst& di, std::uint32_t pc,
+                 std::uint32_t a, std::uint32_t b);
+
+/// Perform the load half of the memory phase; returns the rd value.
+std::uint32_t do_load(op code, mem::memory_if& m, std::uint32_t addr);
+
+/// Perform the store half of the memory phase.
+void do_store(op code, mem::memory_if& m, std::uint32_t addr, std::uint32_t data);
+
+}  // namespace osm::isa

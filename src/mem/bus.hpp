@@ -1,0 +1,45 @@
+// Shared memory bus timing model: per-transfer setup cost plus bandwidth
+// cost proportional to the transfer size.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory_if.hpp"
+
+namespace osm::mem {
+
+struct bus_config {
+    unsigned setup_cycles = 4;       // arbitration + address phase
+    unsigned bytes_per_cycle = 4;    // data bus width
+};
+
+struct bus_stats {
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t busy_cycles = 0;
+};
+
+/// Bus in front of a lower timing level; charges setup + transfer time.
+class bus final : public timed_mem_if {
+public:
+    bus(bus_config cfg, timed_mem_if& lower) : cfg_(cfg), lower_(lower) {}
+
+    access_result access(std::uint32_t addr, bool is_write, unsigned size) override {
+        ++stats_.transfers;
+        stats_.bytes += size;
+        const unsigned beats = (size + cfg_.bytes_per_cycle - 1) / cfg_.bytes_per_cycle;
+        const unsigned below = lower_.access(addr, is_write, size).latency;
+        const unsigned total = cfg_.setup_cycles + beats + below;
+        stats_.busy_cycles += total;
+        return {true, total};
+    }
+
+    const bus_stats& stats() const noexcept { return stats_; }
+
+private:
+    bus_config cfg_;
+    timed_mem_if& lower_;
+    bus_stats stats_;
+};
+
+}  // namespace osm::mem

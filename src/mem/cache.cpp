@@ -1,0 +1,115 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+
+namespace osm::mem {
+
+cache::cache(cache_config cfg, timed_mem_if& lower)
+    : cfg_(std::move(cfg)), lower_(lower), rng_(0xCACE5EEDu) {
+    assert(is_pow2(cfg_.line_bytes));
+    assert(is_pow2(cfg_.ways));
+    assert(cfg_.size_bytes % (cfg_.line_bytes * cfg_.ways) == 0);
+    const std::uint32_t sets = cfg_.num_sets();
+    assert(is_pow2(sets));
+    lines_.assign(static_cast<std::size_t>(sets) * cfg_.ways, line{});
+    set_shift_ = log2_exact(cfg_.line_bytes);
+    set_mask_ = sets - 1;
+    tag_shift_ = set_shift_ + log2_exact(sets);
+}
+
+std::uint32_t cache::set_index(std::uint32_t addr) const noexcept {
+    return (addr >> set_shift_) & set_mask_;
+}
+
+std::uint32_t cache::tag_of(std::uint32_t addr) const noexcept {
+    return addr >> tag_shift_;
+}
+
+cache::line* cache::find(std::uint32_t addr) {
+    const std::uint32_t set = set_index(addr);
+    const std::uint32_t tag = tag_of(addr);
+    line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) return &base[w];
+    }
+    return nullptr;
+}
+
+const cache::line* cache::find(std::uint32_t addr) const {
+    return const_cast<cache*>(this)->find(addr);
+}
+
+cache::line& cache::choose_victim(std::uint32_t set) {
+    line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid) return base[w];
+    }
+    if (cfg_.repl == replacement::random_repl) {
+        return base[rng_.next_below(cfg_.ways)];
+    }
+    // LRU and FIFO both evict the smallest stamp; they differ in when the
+    // stamp is refreshed (use vs fill).
+    line* victim = &base[0];
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+        if (base[w].stamp < victim->stamp) victim = &base[w];
+    }
+    return *victim;
+}
+
+access_result cache::access(std::uint32_t addr, bool is_write, unsigned size) {
+    ++tick_;
+    ++stats_.accesses;
+    line* hit_line = find(addr);
+    if (hit_line != nullptr) {
+        ++stats_.hits;
+        if (cfg_.repl == replacement::lru) hit_line->stamp = tick_;
+        unsigned latency = cfg_.hit_latency;
+        if (is_write) {
+            if (cfg_.wpolicy == write_policy::write_back) {
+                hit_line->dirty = true;
+            } else {
+                latency += lower_.access(addr, true, size).latency;
+            }
+        }
+        return {true, latency};
+    }
+
+    ++stats_.misses;
+    const std::uint32_t set = set_index(addr);
+    line& victim = choose_victim(set);
+    unsigned latency = cfg_.hit_latency;
+    if (victim.valid) {
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            const std::uint32_t victim_addr =
+                (victim.tag << tag_shift_) | (set << set_shift_);
+            latency += lower_.access(victim_addr, true, cfg_.line_bytes).latency;
+        }
+    }
+    // Line fill from below.
+    latency += lower_.access(addr & ~(cfg_.line_bytes - 1), false, cfg_.line_bytes).latency;
+    victim.valid = true;
+    victim.tag = tag_of(addr);
+    victim.dirty = false;
+    victim.stamp = tick_;
+    if (is_write) {
+        if (cfg_.wpolicy == write_policy::write_back) {
+            victim.dirty = true;
+        } else {
+            latency += lower_.access(addr, true, size).latency;
+        }
+    }
+    return {false, latency};
+}
+
+void cache::flush() {
+    for (line& l : lines_) l = line{};
+}
+
+bool cache::probe(std::uint32_t addr) const { return find(addr) != nullptr; }
+
+}  // namespace osm::mem

@@ -1,0 +1,96 @@
+// Parameterized set-associative cache timing model.
+//
+// Caches here are timing-only: they keep tags and dirty bits but no data
+// (the single functional backing store holds all values).  This is the
+// standard trade made by cycle simulators such as SimpleScalar and matches
+// the paper's hardware-layer-only memory subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/xrandom.hpp"
+#include "mem/memory_if.hpp"
+
+namespace osm::mem {
+
+/// Line replacement policy.
+enum class replacement { lru, fifo, random_repl };
+
+/// Store handling policy.
+enum class write_policy { write_back, write_through };
+
+/// Static cache geometry and timing configuration.
+struct cache_config {
+    std::string name = "cache";
+    std::uint32_t size_bytes = 16 * 1024;
+    std::uint32_t line_bytes = 32;
+    std::uint32_t ways = 32;  // StrongARM caches are 32-way
+    replacement repl = replacement::lru;
+    write_policy wpolicy = write_policy::write_back;
+    unsigned hit_latency = 1;
+
+    std::uint32_t num_sets() const {
+        return size_bytes / (line_bytes * ways);
+    }
+};
+
+/// Running counters exposed for validation and reporting.
+struct cache_stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t evictions = 0;
+
+    double hit_ratio() const {
+        return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+    }
+};
+
+/// A set-associative cache in front of a lower `timed_mem_if` level.
+class cache final : public timed_mem_if {
+public:
+    /// `lower` must outlive the cache; it is charged on misses (line fill)
+    /// and on write-through / write-back traffic.
+    cache(cache_config cfg, timed_mem_if& lower);
+
+    access_result access(std::uint32_t addr, bool is_write, unsigned size) override;
+
+    /// Invalidate everything (drops dirty lines without writeback).
+    void flush();
+
+    const cache_config& config() const noexcept { return cfg_; }
+    const cache_stats& stats() const noexcept { return stats_; }
+    void reset_stats() noexcept { stats_ = {}; }
+
+    /// True when the line containing `addr` is present (for tests).
+    bool probe(std::uint32_t addr) const;
+
+private:
+    struct line {
+        std::uint32_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t stamp = 0;  // LRU: last use; FIFO: fill time
+    };
+
+    std::uint32_t set_index(std::uint32_t addr) const noexcept;
+    std::uint32_t tag_of(std::uint32_t addr) const noexcept;
+    line* find(std::uint32_t addr);
+    const line* find(std::uint32_t addr) const;
+    line& choose_victim(std::uint32_t set);
+
+    cache_config cfg_;
+    timed_mem_if& lower_;
+    std::vector<line> lines_;  // sets * ways, row-major by set
+    cache_stats stats_;
+    std::uint64_t tick_ = 0;
+    xrandom rng_;
+    unsigned set_shift_;
+    std::uint32_t set_mask_;
+    unsigned tag_shift_;
+};
+
+}  // namespace osm::mem

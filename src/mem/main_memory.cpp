@@ -1,0 +1,97 @@
+#include "mem/main_memory.hpp"
+
+#include <cstring>
+
+namespace osm::mem {
+
+// ---- memory_if default composite accessors --------------------------------
+
+std::uint16_t memory_if::read16(std::uint32_t addr) {
+    return static_cast<std::uint16_t>(read8(addr)) |
+           static_cast<std::uint16_t>(read8(addr + 1)) << 8;
+}
+
+std::uint32_t memory_if::read32(std::uint32_t addr) {
+    return static_cast<std::uint32_t>(read16(addr)) |
+           static_cast<std::uint32_t>(read16(addr + 2)) << 16;
+}
+
+void memory_if::write16(std::uint32_t addr, std::uint16_t value) {
+    write8(addr, static_cast<std::uint8_t>(value));
+    write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+void memory_if::write32(std::uint32_t addr, std::uint32_t value) {
+    write16(addr, static_cast<std::uint16_t>(value));
+    write16(addr + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+// ---- main_memory -----------------------------------------------------------
+
+main_memory::page& main_memory::page_for(std::uint32_t addr) {
+    const std::uint32_t key = addr >> page_bits;
+    auto& slot = pages_[key];
+    if (!slot) {
+        slot = std::make_unique<page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const main_memory::page* main_memory::peek_page(std::uint32_t addr) const {
+    const auto it = pages_.find(addr >> page_bits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t main_memory::read8(std::uint32_t addr) {
+    const page* p = peek_page(addr);
+    return p ? (*p)[addr & (page_size - 1)] : 0;
+}
+
+void main_memory::write8(std::uint32_t addr, std::uint8_t value) {
+    page_for(addr)[addr & (page_size - 1)] = value;
+}
+
+std::uint16_t main_memory::read16(std::uint32_t addr) {
+    if ((addr & (page_size - 1)) <= page_size - 2) {
+        const page* p = peek_page(addr);
+        if (!p) return 0;
+        std::uint16_t v;
+        std::memcpy(&v, p->data() + (addr & (page_size - 1)), 2);
+        return v;  // host is little-endian x86; asserted in tests
+    }
+    return memory_if::read16(addr);
+}
+
+std::uint32_t main_memory::read32(std::uint32_t addr) {
+    if ((addr & (page_size - 1)) <= page_size - 4) {
+        const page* p = peek_page(addr);
+        if (!p) return 0;
+        std::uint32_t v;
+        std::memcpy(&v, p->data() + (addr & (page_size - 1)), 4);
+        return v;
+    }
+    return memory_if::read32(addr);
+}
+
+void main_memory::write16(std::uint32_t addr, std::uint16_t value) {
+    if ((addr & (page_size - 1)) <= page_size - 2) {
+        std::memcpy(page_for(addr).data() + (addr & (page_size - 1)), &value, 2);
+        return;
+    }
+    memory_if::write16(addr, value);
+}
+
+void main_memory::write32(std::uint32_t addr, std::uint32_t value) {
+    if ((addr & (page_size - 1)) <= page_size - 4) {
+        std::memcpy(page_for(addr).data() + (addr & (page_size - 1)), &value, 4);
+        return;
+    }
+    memory_if::write32(addr, value);
+}
+
+void main_memory::load(std::uint32_t addr, const std::uint8_t* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) write8(addr + static_cast<std::uint32_t>(i), data[i]);
+}
+
+}  // namespace osm::mem

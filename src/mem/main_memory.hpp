@@ -1,0 +1,48 @@
+// Sparse paged main memory: the functional backing store for every model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_if.hpp"
+
+namespace osm::mem {
+
+/// Sparse byte-addressable memory; pages materialize on first touch and are
+/// zero-filled, so programs can use any address without prior mapping.
+class main_memory final : public memory_if {
+public:
+    static constexpr std::uint32_t page_bits = 12;  // 4 KiB pages
+    static constexpr std::uint32_t page_size = 1u << page_bits;
+
+    main_memory() = default;
+
+    std::uint8_t read8(std::uint32_t addr) override;
+    void write8(std::uint32_t addr, std::uint8_t value) override;
+    std::uint16_t read16(std::uint32_t addr) override;
+    std::uint32_t read32(std::uint32_t addr) override;
+    void write16(std::uint32_t addr, std::uint16_t value) override;
+    void write32(std::uint32_t addr, std::uint32_t value) override;
+
+    /// Bulk load `data` starting at `addr` (used by the program loader).
+    void load(std::uint32_t addr, const std::uint8_t* data, std::size_t n);
+
+    /// Number of pages materialized so far.
+    std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+    /// Release all pages (memory reads as zero again).
+    void clear() { pages_.clear(); }
+
+private:
+    using page = std::array<std::uint8_t, page_size>;
+
+    page& page_for(std::uint32_t addr);
+    const page* peek_page(std::uint32_t addr) const;
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<page>> pages_;
+};
+
+}  // namespace osm::mem

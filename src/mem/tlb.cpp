@@ -1,0 +1,34 @@
+#include "mem/tlb.hpp"
+
+namespace osm::mem {
+
+tlb::tlb(tlb_config cfg) : cfg_(cfg), entries_(cfg.entries) {}
+
+unsigned tlb::translate(std::uint32_t vaddr) {
+    ++tick_;
+    ++stats_.accesses;
+    const std::uint32_t vpn = vaddr >> cfg_.page_bits;
+    entry* lru = &entries_[0];
+    for (entry& e : entries_) {
+        if (e.valid && e.vpn == vpn) {
+            e.last_use = tick_;
+            return 0;
+        }
+        if (!e.valid) {
+            lru = &e;
+        } else if (lru->valid && e.last_use < lru->last_use) {
+            lru = &e;
+        }
+    }
+    ++stats_.misses;
+    lru->valid = true;
+    lru->vpn = vpn;
+    lru->last_use = tick_;
+    return cfg_.miss_penalty;
+}
+
+void tlb::flush() {
+    for (entry& e : entries_) e.valid = false;
+}
+
+}  // namespace osm::mem

@@ -1,0 +1,51 @@
+// Fully-associative TLB timing model with identity translation.
+//
+// The workloads run with a flat (identity) address map, so the TLB never
+// changes an address; it exists to charge fill latency on misses exactly as
+// the SA-1100's ITLB/DTLB would, and to expose hit-ratio statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_if.hpp"
+
+namespace osm::mem {
+
+struct tlb_config {
+    std::uint32_t entries = 32;
+    std::uint32_t page_bits = 12;
+    unsigned miss_penalty = 20;  // table-walk cycles
+};
+
+struct tlb_stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/// Fully associative, LRU-replaced TLB.
+class tlb {
+public:
+    explicit tlb(tlb_config cfg = {});
+
+    /// Translate (identity map); returns extra latency: 0 on hit, the
+    /// configured miss penalty on a fill.
+    unsigned translate(std::uint32_t vaddr);
+
+    const tlb_stats& stats() const noexcept { return stats_; }
+    void flush();
+
+private:
+    struct entry {
+        std::uint32_t vpn = 0;
+        bool valid = false;
+        std::uint64_t last_use = 0;
+    };
+
+    tlb_config cfg_;
+    std::vector<entry> entries_;
+    tlb_stats stats_;
+    std::uint64_t tick_ = 0;
+};
+
+}  // namespace osm::mem

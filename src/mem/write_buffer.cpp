@@ -1,0 +1,41 @@
+#include "mem/write_buffer.hpp"
+
+namespace osm::mem {
+
+write_buffer::write_buffer(write_buffer_config cfg)
+    : cfg_(cfg), fifo_(cfg.entries) {}
+
+unsigned write_buffer::push_store() {
+    ++stats_.stores;
+    if (!fifo_.full()) {
+        fifo_.push_back(cfg_.drain_cycles);
+        return 0;
+    }
+    // Full: the store waits for the head entry to drain, then takes its
+    // place.  The head's remaining cycles are the stall.
+    ++stats_.full_stalls;
+    const unsigned stall = fifo_.front();
+    fifo_.pop_front();
+    ++stats_.drained;
+    fifo_.push_back(cfg_.drain_cycles);
+    return stall;
+}
+
+void write_buffer::tick() {
+    stats_.occupancy_cycles += fifo_.size();
+    if (fifo_.empty()) return;
+    unsigned& head = fifo_.front();
+    if (head > 1) {
+        --head;
+    } else {
+        fifo_.pop_front();
+        ++stats_.drained;
+    }
+}
+
+void write_buffer::clear() {
+    while (!fifo_.empty()) fifo_.pop_front();
+    stats_ = {};
+}
+
+}  // namespace osm::mem

@@ -1,0 +1,50 @@
+// Write buffer timing model (the SA-110/SA-1100 carry one between the
+// store path and the bus): stores complete immediately into a small FIFO
+// that drains to memory in the background; the pipeline stalls only when
+// the buffer is full.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ring_buffer.hpp"
+
+namespace osm::mem {
+
+struct write_buffer_config {
+    unsigned entries = 4;
+    unsigned drain_cycles = 8;  ///< cycles to retire one buffered store
+};
+
+struct write_buffer_stats {
+    std::uint64_t stores = 0;
+    std::uint64_t full_stalls = 0;      ///< stores that found the buffer full
+    std::uint64_t drained = 0;
+    std::uint64_t occupancy_cycles = 0;  ///< sum of occupancy over ticks
+};
+
+/// Cycle-driven store buffer (timing only; data lives in the functional
+/// backing store as usual).
+class write_buffer {
+public:
+    explicit write_buffer(write_buffer_config cfg = {});
+
+    /// Account one store.  Returns the extra stall cycles the pipeline
+    /// must charge: 0 when a slot is free, otherwise the time until the
+    /// oldest entry drains.
+    unsigned push_store();
+
+    /// Hardware-layer per-cycle update: background draining.
+    void tick();
+
+    unsigned occupancy() const noexcept { return static_cast<unsigned>(fifo_.size()); }
+    bool full() const noexcept { return fifo_.full(); }
+    const write_buffer_stats& stats() const noexcept { return stats_; }
+    void clear();
+
+private:
+    write_buffer_config cfg_;
+    ring_buffer<unsigned> fifo_;  // remaining drain cycles per entry
+    write_buffer_stats stats_;
+};
+
+}  // namespace osm::mem

@@ -1,0 +1,107 @@
+#include "stats/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace osm::stats {
+
+histogram::histogram(std::size_t buckets) : counts_(buckets ? buckets : 1, 0) {}
+
+void histogram::add(std::size_t value) noexcept {
+    const std::size_t b = value < counts_.size() ? value : counts_.size() - 1;
+    ++counts_[b];
+    ++total_;
+    weighted_sum_ += b;
+}
+
+void histogram::clear() noexcept {
+    for (auto& c : counts_) c = 0;
+    total_ = 0;
+    weighted_sum_ = 0;
+}
+
+double histogram::mean() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(weighted_sum_) / static_cast<double>(total_);
+}
+
+std::size_t histogram::percentile(double p) const noexcept {
+    if (total_ == 0) return 0;
+    const double target = p * static_cast<double>(total_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (static_cast<double>(seen) >= target) return b;
+    }
+    return counts_.size() - 1;
+}
+
+std::string histogram::summary() const {
+    std::ostringstream os;
+    os << "mean=" << mean() << " p50=" << percentile(0.5) << " p99=" << percentile(0.99)
+       << " [";
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        os << (b ? " " : "") << counts_[b];
+    }
+    os << "]";
+    return os.str();
+}
+
+void report::put(const std::string& section, const std::string& key, std::uint64_t v) {
+    sections_[section][key] = v;
+}
+void report::put(const std::string& section, const std::string& key, double v) {
+    sections_[section][key] = v;
+}
+void report::put(const std::string& section, const std::string& key, std::string v) {
+    sections_[section][key] = std::move(v);
+}
+void report::put(const std::string& section, const std::string& key, const histogram& h) {
+    put(section, key + ".mean", h.mean());
+    put(section, key + ".p50", static_cast<std::uint64_t>(h.percentile(0.5)));
+    put(section, key + ".p99", static_cast<std::uint64_t>(h.percentile(0.99)));
+    put(section, key + ".samples", h.total());
+}
+
+namespace {
+void render_value(std::ostringstream& os, const report::value& v) {
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+        os << *u;
+    } else if (const auto* d = std::get_if<double>(&v)) {
+        if (std::isfinite(*d)) {
+            os << *d;
+        } else {
+            os << "null";
+        }
+    } else {
+        os << '"' << std::get<std::string>(v) << '"';
+    }
+}
+}  // namespace
+
+std::string report::to_json() const {
+    std::ostringstream os;
+    os << "{";
+    bool first_section = true;
+    for (const auto& [section, kv] : sections_) {
+        if (!first_section) os << ",";
+        first_section = false;
+        os << "\n  \"" << section << "\": {";
+        bool first_key = true;
+        for (const auto& [key, v] : kv) {
+            if (!first_key) os << ",";
+            first_key = false;
+            os << "\n    \"" << key << "\": ";
+            render_value(os, v);
+        }
+        os << "\n  }";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+const report::value& report::at(const std::string& section, const std::string& key) const {
+    return sections_.at(section).at(key);
+}
+
+}  // namespace osm::stats

@@ -1,0 +1,67 @@
+// Statistics support: bounded histograms and a structured report writer.
+//
+// Micro-architecture simulators exist to produce numbers; this module
+// standardizes how the models expose them.  Histograms are fixed-bucket
+// and allocation-free on the hot path; reports serialize counters and
+// histograms to a stable JSON rendering for scripts and regression diffs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace osm::stats {
+
+/// Fixed-bucket histogram over [0, buckets); larger samples clamp into the
+/// last bucket.
+class histogram {
+public:
+    explicit histogram(std::size_t buckets);
+
+    void add(std::size_t value) noexcept;
+    void clear() noexcept;
+
+    std::size_t buckets() const noexcept { return counts_.size(); }
+    std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+    std::uint64_t total() const noexcept { return total_; }
+
+    /// Mean of the recorded samples (clamped values count as clamped).
+    double mean() const noexcept;
+
+    /// Smallest bucket b such that at least `p` (0..1) of the samples are
+    /// <= b.  Returns 0 for an empty histogram.
+    std::size_t percentile(double p) const noexcept;
+
+    /// One-line rendering: "mean=… p50=… p99=… [c0 c1 …]".
+    std::string summary() const;
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t weighted_sum_ = 0;
+};
+
+/// A hierarchical scalar report with a stable JSON rendering.
+class report {
+public:
+    using value = std::variant<std::uint64_t, double, std::string>;
+
+    void put(const std::string& section, const std::string& key, std::uint64_t v);
+    void put(const std::string& section, const std::string& key, double v);
+    void put(const std::string& section, const std::string& key, std::string v);
+    /// Records mean/percentiles of `h` under `key.*`.
+    void put(const std::string& section, const std::string& key, const histogram& h);
+
+    /// Deterministic (sorted) JSON object of objects.
+    std::string to_json() const;
+
+    /// Fetch a previously put scalar; throws std::out_of_range if absent.
+    const value& at(const std::string& section, const std::string& key) const;
+
+private:
+    std::map<std::string, std::map<std::string, value>> sections_;
+};
+
+}  // namespace osm::stats

@@ -1,0 +1,80 @@
+#include "trace/trace.hpp"
+
+#include <sstream>
+
+namespace osm::trace {
+
+pipeline_tracer::pipeline_tracer(core::director& dir, core::sim_kernel& kern,
+                                 std::size_t max_cycles)
+    : dir_(dir), max_cycles_(max_cycles), kern_(&kern) {
+    for (const core::osm* m : dir.osms()) rows_.push_back(m->name());
+    kern.on_cycle_end([this] {
+        if (!active_ || samples_.size() >= max_cycles_) return;
+        if (samples_.empty() && kern_ != nullptr) first_cycle_ = kern_->cycles();
+        std::vector<char> snap;
+        snap.reserve(dir_.osms().size());
+        for (const core::osm* m : dir_.osms()) {
+            snap.push_back(m->at_initial() ? '.' : m->state_name()[0]);
+        }
+        samples_.push_back(std::move(snap));
+    });
+}
+
+void pipeline_tracer::clear() {
+    samples_.clear();
+    first_cycle_ = 0;
+}
+
+char pipeline_tracer::cell(std::size_t r, std::size_t c) const {
+    return samples_.at(c).at(r);
+}
+
+std::string pipeline_tracer::render(std::size_t last_n) const {
+    std::ostringstream os;
+    const std::size_t n = samples_.size();
+    const std::size_t begin = n > last_n ? n - last_n : 0;
+    os << "cycle " << (first_cycle_ + begin) << "..+" << (n - begin) << "\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os.width(8);
+        os << std::left << rows_[r];
+        for (std::size_t c = begin; c < n; ++c) {
+            os << (r < samples_[c].size() ? samples_[c][r] : '?');
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+transition_log::transition_log(core::director& dir, filter_fn filter,
+                               std::size_t capacity)
+    : dir_(dir), filter_(std::move(filter)), capacity_(capacity) {
+    dir_.set_observer([this](const core::osm& m, const core::graph_edge& e) {
+        ++total_;
+        if (filter_ && !filter_(m, e)) return;
+        if (records_.size() >= capacity_) return;
+        transition_record rec;
+        rec.seq = total_;
+        rec.osm_name = m.name();
+        rec.from = m.graph().state_name(e.from);
+        rec.to = m.graph().state_name(e.to);
+        rec.edge = e.index;
+        records_.push_back(std::move(rec));
+    });
+}
+
+transition_log::~transition_log() { dir_.set_observer(nullptr); }
+
+void transition_log::clear() {
+    records_.clear();
+    total_ = 0;
+}
+
+std::size_t transition_log::count(const std::string& from, const std::string& to) const {
+    std::size_t n = 0;
+    for (const transition_record& r : records_) {
+        if (r.from == from && r.to == to) ++n;
+    }
+    return n;
+}
+
+}  // namespace osm::trace

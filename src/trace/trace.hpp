@@ -1,0 +1,92 @@
+// Tracing and observability for OSM models.
+//
+// Two complementary views:
+//   * pipeline_tracer — samples every OSM's state at the end of each cycle
+//     and renders a pipeview-style occupancy chart (rows = operation slots,
+//     columns = cycles), the classic way to eyeball hazards;
+//   * transition_log  — records individual committed transitions through
+//     the director's observer hook, with an optional filter, for
+//     fine-grained debugging and for asserting scheduling properties in
+//     tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/director.hpp"
+#include "core/sim_kernel.hpp"
+
+namespace osm::trace {
+
+/// Cycle-by-cycle state sampling of every OSM registered with a director.
+class pipeline_tracer {
+public:
+    /// Attaches an end-of-cycle sampling hook to `kern`.  Tracing is off
+    /// until start() and may be bounded by `max_cycles` to cap memory.
+    pipeline_tracer(core::director& dir, core::sim_kernel& kern,
+                    std::size_t max_cycles = 4096);
+
+    void start() noexcept { active_ = true; }
+    void stop() noexcept { active_ = false; }
+    void clear();
+
+    /// Number of sampled cycles.
+    std::size_t cycles() const noexcept { return samples_.size(); }
+
+    /// State of OSM row `r` at sampled cycle `c` (single-character cell:
+    /// first letter of the state name; '.' for the initial state).
+    char cell(std::size_t r, std::size_t c) const;
+
+    /// Render the last `last_n` sampled cycles as an ASCII chart.
+    std::string render(std::size_t last_n = 64) const;
+
+private:
+    core::director& dir_;
+    bool active_ = false;
+    std::size_t max_cycles_;
+    std::vector<std::string> rows_;          // OSM names (fixed at attach)
+    std::vector<std::vector<char>> samples_;  // per cycle: one char per OSM
+    std::uint64_t first_cycle_ = 0;
+    const core::sim_kernel* kern_ = nullptr;
+};
+
+/// One committed transition.
+struct transition_record {
+    std::uint64_t seq = 0;  ///< global commit order
+    std::string osm_name;
+    std::string from;
+    std::string to;
+    std::int32_t edge = -1;
+};
+
+/// Records transitions via director::set_observer.
+class transition_log {
+public:
+    using filter_fn = std::function<bool(const core::osm&, const core::graph_edge&)>;
+
+    /// Installs itself as the director's observer (replacing any previous
+    /// observer).  `filter` (optional) selects which transitions to keep.
+    explicit transition_log(core::director& dir, filter_fn filter = nullptr,
+                            std::size_t capacity = 65536);
+    ~transition_log();
+    transition_log(const transition_log&) = delete;
+    transition_log& operator=(const transition_log&) = delete;
+
+    const std::vector<transition_record>& records() const noexcept { return records_; }
+    std::uint64_t total_transitions() const noexcept { return total_; }
+    void clear();
+
+    /// Count of recorded transitions along `from` -> `to`.
+    std::size_t count(const std::string& from, const std::string& to) const;
+
+private:
+    core::director& dir_;
+    filter_fn filter_;
+    std::size_t capacity_;
+    std::vector<transition_record> records_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace osm::trace

@@ -1,0 +1,46 @@
+#include "uarch/predictor.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+
+namespace osm::uarch {
+
+bht::bht(unsigned entries) : counters_(entries, 1) {
+    assert(is_pow2(entries));
+}
+
+bool bht::predict(std::uint32_t pc) const {
+    ++lookups_;
+    return counters_[index(pc)] >= 2;
+}
+
+void bht::update(std::uint32_t pc, bool taken) {
+    ++updates_;
+    std::uint8_t& c = counters_[index(pc)];
+    if (taken) {
+        if (c < 3) ++c;
+    } else {
+        if (c > 0) --c;
+    }
+}
+
+btic::btic(unsigned entries) : entries_(entries) {
+    assert(is_pow2(entries));
+}
+
+std::optional<std::uint32_t> btic::lookup(std::uint32_t pc) const {
+    const entry& e = entries_[index(pc)];
+    if (e.valid && e.tag == pc) {
+        ++hits_;
+        return e.target;
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void btic::insert(std::uint32_t pc, std::uint32_t target) {
+    entries_[index(pc)] = {pc, target, true};
+}
+
+}  // namespace osm::uarch

@@ -1,0 +1,64 @@
+// Branch prediction hardware: a 2-bit saturating-counter branch history
+// table (BHT) and a branch target instruction cache (BTIC), as in the
+// PowerPC 750.  Pure hardware-layer components (no TMI): the fetch logic
+// consults them directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace osm::uarch {
+
+/// Direction predictor: table of 2-bit saturating counters indexed by the
+/// branch pc (word-granular).  Counters start weakly-not-taken.
+class bht {
+public:
+    explicit bht(unsigned entries = 512);
+
+    bool predict(std::uint32_t pc) const;
+    void update(std::uint32_t pc, bool taken);
+
+    std::uint64_t lookups() const noexcept { return lookups_; }
+    std::uint64_t updates() const noexcept { return updates_; }
+
+private:
+    std::size_t index(std::uint32_t pc) const noexcept {
+        return (pc >> 2) & (counters_.size() - 1);
+    }
+
+    std::vector<std::uint8_t> counters_;
+    mutable std::uint64_t lookups_ = 0;
+    std::uint64_t updates_ = 0;
+};
+
+/// Target predictor: direct-mapped cache of branch targets.  A hit supplies
+/// the redirect target at fetch; a miss on a predicted-taken branch costs a
+/// fetch bubble (the model charges it).
+class btic {
+public:
+    explicit btic(unsigned entries = 64);
+
+    std::optional<std::uint32_t> lookup(std::uint32_t pc) const;
+    void insert(std::uint32_t pc, std::uint32_t target);
+
+    std::uint64_t hits() const noexcept { return hits_; }
+    std::uint64_t misses() const noexcept { return misses_; }
+
+private:
+    struct entry {
+        std::uint32_t tag = 0;
+        std::uint32_t target = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(std::uint32_t pc) const noexcept {
+        return (pc >> 2) & (entries_.size() - 1);
+    }
+
+    std::vector<entry> entries_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace osm::uarch

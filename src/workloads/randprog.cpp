@@ -1,0 +1,134 @@
+#include "workloads/randprog.hpp"
+
+#include "common/xrandom.hpp"
+#include "isa/arch.hpp"
+#include "isa/decoded_inst.hpp"
+
+namespace osm::workloads {
+
+using isa::op;
+using isa::program_builder;
+
+namespace {
+
+constexpr std::uint32_t k_sandbox_base = 0x00080000;
+constexpr std::uint32_t k_sandbox_mask = 0x0FFC;  // 4 KiB, word aligned
+
+/// Registers the generator may clobber: x4..x21 (a0..t9).  s-registers are
+/// reserved for loop counters and the sandbox base.
+unsigned rand_reg(xrandom& rng) { return 4 + static_cast<unsigned>(rng.next_below(18)); }
+unsigned rand_fpr(xrandom& rng) { return static_cast<unsigned>(rng.next_below(16)); }
+
+}  // namespace
+
+isa::program_image make_random_program(const randprog_options& opt) {
+    xrandom rng(opt.seed);
+    program_builder b;
+
+    const unsigned base_reg = 22;  // s0: sandbox base
+    b.li(base_reg, k_sandbox_base);
+    // Seed some registers with random values.
+    for (unsigned r = 4; r <= 21; ++r) {
+        b.li(r, rng.next_u32());
+    }
+    if (opt.with_fp) {
+        for (unsigned f = 0; f < 16; ++f) {
+            b.li(4, rng.next_u32() & 0x7FFF);
+            b.emit_r(op::fcvt_s_w, f, 4, 0);
+        }
+        b.li(4, rng.next_u32());
+    }
+
+    for (unsigned blk = 0; blk < opt.blocks; ++blk) {
+        // Optionally wrap this block in a counted loop (s1 = counter).
+        const bool looped = opt.with_branches && rng.chance(1, 3);
+        program_builder::label loop_head{};
+        if (looped) {
+            b.li(23, opt.loop_count);  // s1
+            loop_head = b.here();
+        }
+
+        program_builder::label skip{};
+        bool skipping = false;
+        for (unsigned i = 0; i < opt.block_len; ++i) {
+            const unsigned kind = static_cast<unsigned>(rng.next_below(10));
+            if (kind < 4) {
+                // R-type ALU
+                static constexpr op alu[] = {op::add_r, op::sub_r, op::and_r,
+                                             op::or_r,  op::xor_r, op::nor_r,
+                                             op::sll_r, op::srl_r, op::sra_r,
+                                             op::slt_r, op::sltu_r};
+                b.emit_r(alu[rng.next_below(std::size(alu))], rand_reg(rng),
+                         rand_reg(rng), rand_reg(rng));
+            } else if (kind < 6) {
+                // I-type ALU
+                static constexpr op alui[] = {op::addi, op::slti, op::sltiu,
+                                              op::slli, op::srli, op::srai};
+                const op c = alui[rng.next_below(std::size(alui))];
+                const std::int32_t imm =
+                    (c == op::slli || c == op::srli || c == op::srai)
+                        ? static_cast<std::int32_t>(rng.next_below(32))
+                        : static_cast<std::int32_t>(rng.next_range(-2048, 2047));
+                b.emit_i(c, rand_reg(rng), rand_reg(rng), imm);
+            } else if (kind == 6 && opt.with_mul_div) {
+                static constexpr op md[] = {op::mul, op::mulh, op::mulhu,
+                                            op::div_s, op::div_u, op::rem_s,
+                                            op::rem_u};
+                b.emit_r(md[rng.next_below(std::size(md))], rand_reg(rng),
+                         rand_reg(rng), rand_reg(rng));
+            } else if (kind == 7 && opt.with_memory) {
+                // Sandboxed load or store: mask an arbitrary register into
+                // the sandbox, then access.
+                const unsigned addr_reg = rand_reg(rng);
+                const unsigned val_reg = rand_reg(rng);
+                b.emit_i(op::andi, addr_reg, addr_reg,
+                         static_cast<std::int32_t>(k_sandbox_mask));
+                b.emit_r(op::add_r, addr_reg, addr_reg, base_reg);
+                static constexpr op mops[] = {op::lw, op::lh, op::lhu, op::lb,
+                                              op::lbu, op::sw, op::sh, op::sb};
+                const op c = mops[rng.next_below(std::size(mops))];
+                if (isa::is_load(c)) {
+                    b.emit_load(c, val_reg, addr_reg, 0);
+                } else {
+                    b.emit_store(c, val_reg, addr_reg, 0);
+                }
+            } else if (kind == 8 && opt.with_fp) {
+                static constexpr op fops[] = {op::fadd, op::fsub, op::fmul,
+                                              op::fmin, op::fmax, op::fabs_f,
+                                              op::fneg_f};
+                const op c = fops[rng.next_below(std::size(fops))];
+                b.emit_r(c, rand_fpr(rng), rand_fpr(rng), rand_fpr(rng));
+            } else if (kind == 9 && opt.with_branches && !skipping && i + 2 < opt.block_len) {
+                // Forward conditional branch over the rest of the block.
+                skip = b.new_label();
+                skipping = true;
+                static constexpr op br[] = {op::beq, op::bne, op::blt,
+                                            op::bge, op::bltu, op::bgeu};
+                b.emit_branch(br[rng.next_below(std::size(br))], rand_reg(rng),
+                              rand_reg(rng), skip);
+            } else {
+                b.emit_r(op::add_r, rand_reg(rng), rand_reg(rng), rand_reg(rng));
+            }
+        }
+        if (skipping) b.bind(skip);
+        if (looped) {
+            b.emit_i(op::addi, 23, 23, -1);
+            b.emit_branch(op::bne, 23, 0, loop_head);
+        }
+    }
+
+    // Checksum every register into a0 (multiply-accumulate hash) and print
+    // it, so engines cannot agree by accident.
+    b.emit_i(op::addi, 24, 0, 0);   // s2 = 0
+    b.emit_i(op::addi, 25, 0, 31);  // s3 = hash multiplier
+    for (unsigned r = 4; r <= 21; ++r) {
+        b.emit_r(op::mul, 24, 24, 25);
+        b.emit_r(op::add_r, 24, 24, r);
+    }
+    b.mv(4, 24);
+    b.syscall(2);  // print checksum
+    b.syscall(0);  // exit
+    return b.finish();
+}
+
+}  // namespace osm::workloads

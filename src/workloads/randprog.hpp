@@ -1,0 +1,30 @@
+// Random program generator for cross-engine equivalence property tests.
+//
+// Programs are guaranteed to terminate: control flow is restricted to
+// forward branches within a window and counted backward loops, stores go to
+// a sandboxed data region, and the program ends with a checksum of every
+// register followed by halt.  Any two correct execution engines must
+// produce identical final architectural state and console output.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace osm::workloads {
+
+struct randprog_options {
+    std::uint64_t seed = 1;
+    unsigned blocks = 12;           ///< straight-line blocks
+    unsigned block_len = 10;        ///< instructions per block
+    bool with_mul_div = true;
+    bool with_memory = true;
+    bool with_branches = true;
+    bool with_fp = false;
+    unsigned loop_count = 3;        ///< trip count of counted loops
+};
+
+/// Generate a terminating random program.
+isa::program_image make_random_program(const randprog_options& opt);
+
+}  // namespace osm::workloads

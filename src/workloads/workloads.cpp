@@ -1,0 +1,657 @@
+#include "workloads/workloads.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace osm::workloads {
+
+namespace {
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+/// Emit an LCG fill loop writing `words` pseudo-random words (masked to 15
+/// bits, always positive) starting at `base`.  `tag` keeps labels unique.
+std::string fill(const std::string& tag, std::uint32_t base, unsigned words,
+                 std::uint32_t seed) {
+    std::string s;
+    s += "        li t0, " + num(base) + "\n";
+    s += "        li t1, " + num(words) + "\n";
+    s += "        li t2, " + num(seed) + "\n";
+    s += "        li t5, 0x41C6\n";  // LCG multiplier (fits logical imm path)
+    s += "fill_" + tag + ":\n";
+    s += "        mul t2, t2, t5\n";
+    s += "        addi t2, t2, 12345\n";
+    s += "        srli t4, t2, 7\n";
+    s += "        li t6, 0x7FFF\n";
+    s += "        and t4, t4, t6\n";
+    s += "        sw t4, 0(t0)\n";
+    s += "        addi t0, t0, 4\n";
+    s += "        addi t1, t1, -1\n";
+    s += "        bne t1, zero, fill_" + tag + "\n";
+    return s;
+}
+
+workload assemble_workload(std::string name, const std::string& src) {
+    return {std::move(name), isa::assemble(src)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GSM 06.10 surrogate: LPC short-term analysis/synthesis filtering.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string gsm_filter_core(unsigned frames, bool encode) {
+    std::string s;
+    s += fill("in", 0x20000, 256, 0xBEEF);
+    s += fill("h", 0x21000, 8, 0x1234);
+    // a0 = out, a1 = in, a2 = h
+    s += R"(
+        li a0, 0x22000
+        li a1, 0x20000
+        li a2, 0x21000
+        li s0, )" + num(frames) + R"(   ; frames
+frame:  li s1, 0              ; i
+iloop:  li s2, 0              ; j
+        li a3, 0              ; acc
+jloop:  add t2, s1, s2
+        andi t2, t2, 255
+        slli t3, t2, 2
+        add t3, t3, a1
+        lw t4, 0(t3)          ; s[i+j]
+        slli t5, s2, 2
+        add t5, t5, a2
+        lw t6, 0(t5)          ; h[j]
+        mul t7, t4, t6
+        add a3, a3, t7
+        addi s2, s2, 1
+        slti t8, s2, 8
+        bne t8, zero, jloop
+        li t9, 8388607        ; saturation
+        blt a3, t9, nosat1
+        mv a3, t9
+nosat1: srai a3, a3, 6
+        andi t3, s1, 255
+        slli t3, t3, 2
+        add t3, t3, a0
+        sw a3, 0(t3)
+        addi s1, s1, 1
+        slti t8, s1, 160
+        bne t8, zero, iloop
+)";
+    if (encode) {
+        // Residual-energy pass with a division per 16 samples.
+        s += R"(
+        li s1, 0
+        li s3, 0              ; energy
+eloop:  slli t3, s1, 2
+        add t4, t3, a0
+        lw t5, 0(t4)
+        add t4, t3, a1
+        lw t6, 0(t4)
+        sub t7, t6, t5
+        mul t7, t7, t7
+        add s3, s3, t7
+        andi t8, s1, 15
+        bne t8, zero, skipdiv
+        addi t9, s1, 1
+        div s4, s3, t9        ; quantizer step estimate
+skipdiv:
+        addi s1, s1, 1
+        slti t8, s1, 160
+        bne t8, zero, eloop
+)";
+    }
+    s += R"(
+        addi s0, s0, -1
+        bne s0, zero, frame
+        halt
+)";
+    return s;
+}
+}  // namespace
+
+workload make_gsm_dec(unsigned scale) {
+    return assemble_workload("gsm/dec", gsm_filter_core(12 * scale, false));
+}
+
+workload make_gsm_enc(unsigned scale) {
+    return assemble_workload("gsm/enc", gsm_filter_core(10 * scale, true));
+}
+
+// ---------------------------------------------------------------------------
+// G.721 surrogate: ADPCM predictor (branch-heavy integer code).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string g721_core(unsigned samples, bool encode) {
+    std::string s;
+    s += fill("in", 0x20000, 256, 0xACE1);
+    s += fill("stab", 0x21000, 64, 0x777);
+    // s3 = step index, s4 = predictor, s5 = sample counter
+    s += R"(
+        li a1, 0x20000
+        li a2, 0x21000
+        li s3, 0
+        li s4, 0
+        li s5, )" + num(samples) + R"(
+sample: andi t0, s5, 255
+        slli t0, t0, 2
+        add t0, t0, a1
+        lw t1, 0(t0)          ; x
+        sub t2, t1, s4        ; diff
+        li s6, 0              ; sign
+        bge t2, zero, pos
+        li s6, 1
+        sub t2, zero, t2
+pos:    andi t3, s3, 63
+        slli t3, t3, 2
+        add t3, t3, a2
+        lw t4, 0(t3)          ; step
+        li s7, 0              ; quantized code
+)";
+    if (encode) {
+        s += R"(
+        blt t2, t4, q1
+        ori s7, s7, 4
+        sub t2, t2, t4
+q1:     srai t4, t4, 1
+        blt t2, t4, q2
+        ori s7, s7, 2
+        sub t2, t2, t4
+q2:     srai t4, t4, 1
+        blt t2, t4, q3
+        ori s7, s7, 1
+q3:
+)";
+    } else {
+        s += R"(
+        andi s7, t1, 7        ; decode path: code comes from the stream
+        srai t4, t4, 1
+)";
+    }
+    s += R"(
+        ; reconstruct: d = ((2*code + 1) * step) >> 3
+        slli t5, s7, 1
+        addi t5, t5, 1
+        mul t5, t5, t4
+        srai t5, t5, 3
+        beq s6, zero, addp
+        sub s4, s4, t5
+        j updix
+addp:   add s4, s4, t5
+updix:  ; clamp predictor to 16 bits
+        li t6, 32767
+        blt s4, t6, cl1
+        mv s4, t6
+cl1:    li t6, -32768
+        bge s4, t6, cl2
+        mv s4, t6
+cl2:    ; index update: +2 for big codes, -1 otherwise; clamp 0..48
+        slti t7, s7, 4
+        beq t7, zero, big
+        addi s3, s3, -1
+        bge s3, zero, ixok
+        li s3, 0
+        j ixok
+big:    addi s3, s3, 2
+        li t8, 48
+        blt s3, t8, ixok
+        mv s3, t8
+ixok:   addi s5, s5, -1
+        bne s5, zero, sample
+        halt
+)";
+    return s;
+}
+}  // namespace
+
+workload make_g721_dec(unsigned scale) {
+    return assemble_workload("g721/dec", g721_core(9000 * scale, false));
+}
+
+workload make_g721_enc(unsigned scale) {
+    return assemble_workload("g721/enc", g721_core(8000 * scale, true));
+}
+
+// ---------------------------------------------------------------------------
+// MPEG-2 surrogate: 8x8 block DCT/IDCT rows over a frame buffer.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string mpeg2_core(unsigned blocks, bool encode) {
+    std::string s;
+    s += fill("frame", 0x40000, 4096, 0xD1CE);  // 16 KiB frame buffer
+    s += fill("cos", 0x21000, 64, 0xC05);
+    if (encode) s += fill("ref", 0x50000, 4096, 0x0DD5);
+    s += R"(
+        li a1, 0x40000        ; frame
+        li a2, 0x21000        ; cos table
+        li a4, 0x44000        ; coefficient output
+        li s0, )" + num(blocks) + R"(   ; blocks
+block:  ; block base: cycle through 64 blocks of 64 words
+        addi t0, s0, 0
+        andi t0, t0, 63
+        slli t0, t0, 8        ; *256 bytes
+        add s1, t0, a1        ; blk base
+        li s2, 0              ; row
+row:    li s3, 0              ; u
+uloop:  li s4, 0              ; x
+        li s5, 0              ; acc
+xloop:  slli t1, s4, 2
+        slli t2, s2, 5        ; row*32 bytes
+        add t1, t1, t2
+        add t1, t1, s1
+        lw t3, 0(t1)          ; blk[row][x]
+        slli t4, s3, 5
+        slli t5, s4, 2
+        add t4, t4, t5
+        add t4, t4, a2
+        lw t6, 0(t4)          ; cos[u][x]
+        mul t7, t3, t6
+        add s5, s5, t7
+        addi s4, s4, 1
+        slti t8, s4, 8
+        bne t8, zero, xloop
+        srai s5, s5, 10
+        slli t1, s3, 2
+        slli t2, s2, 5
+        add t1, t1, t2
+        add t1, t1, a4
+        sw s5, 0(t1)          ; coef[row][u]
+        addi s3, s3, 1
+        slti t8, s3, 8
+        bne t8, zero, uloop
+        addi s2, s2, 1
+        slti t8, s2, 8
+        bne t8, zero, row
+)";
+    if (encode) {
+        // Motion-search SAD over the co-located reference block.
+        s += R"(
+        li s6, 0x50000
+        addi t0, s0, 0
+        andi t0, t0, 63
+        slli t0, t0, 8
+        add s6, s6, t0        ; ref block base
+        li s7, 0              ; i
+        li s8, 0              ; sad
+sad:    slli t1, s7, 2
+        add t2, t1, s1
+        lw t3, 0(t2)
+        add t2, t1, s6
+        lw t4, 0(t2)
+        sub t5, t3, t4
+        bge t5, zero, absok
+        sub t5, zero, t5
+absok:  add s8, s8, t5
+        addi s7, s7, 1
+        slti t8, s7, 64
+        bne t8, zero, sad
+)";
+    }
+    s += R"(
+        addi s0, s0, -1
+        bne s0, zero, block
+        halt
+)";
+    return s;
+}
+}  // namespace
+
+workload make_mpeg2_dec(unsigned scale) {
+    return assemble_workload("mpeg2/dec", mpeg2_core(220 * scale, false));
+}
+
+workload make_mpeg2_enc(unsigned scale) {
+    return assemble_workload("mpeg2/enc", mpeg2_core(150 * scale, true));
+}
+
+std::vector<workload> mediabench_suite(unsigned scale) {
+    std::vector<workload> out;
+    out.push_back(make_gsm_dec(scale));
+    out.push_back(make_gsm_enc(scale));
+    out.push_back(make_g721_dec(scale));
+    out.push_back(make_g721_enc(scale));
+    out.push_back(make_mpeg2_dec(scale));
+    out.push_back(make_mpeg2_enc(scale));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// SPECint-like mix.
+// ---------------------------------------------------------------------------
+
+workload make_compress(unsigned scale) {
+    std::string s;
+    s += fill("data", 0x20000, 1024, 0xC0DE);
+    s += fill("htab", 0x30000, 1024, 0x0);
+    s += R"(
+        li a1, 0x20000
+        li a2, 0x30000
+        li s0, )" + num(60000 * scale) + R"(   ; input length
+        li s1, 0              ; position
+        li s2, 0              ; hash
+        li s3, 0              ; matches
+cloop:  andi t0, s1, 1023
+        slli t0, t0, 2
+        add t0, t0, a1
+        lw t1, 0(t0)          ; c = data[i]
+        slli t2, s2, 5
+        xor t2, t2, t1
+        li t7, 1023
+        and s2, t2, t7        ; h = ((h<<5)^c) & 1023
+        slli t3, s2, 2
+        add t3, t3, a2
+        lw t4, 0(t3)          ; cand = htab[h]
+        sw s1, 0(t3)          ; htab[h] = i
+        beq t4, zero, nomatch
+        andi t5, t4, 1023
+        slli t5, t5, 2
+        add t5, t5, a1
+        lw t6, 0(t5)
+        bne t6, t1, nomatch
+        addi s3, s3, 1
+nomatch:
+        addi s1, s1, 1
+        blt s1, s0, cloop
+        halt
+)";
+    return assemble_workload("spec/compress", s);
+}
+
+workload make_dijkstra(unsigned scale) {
+    const unsigned n = 48;
+    std::string s;
+    s += fill("adj", 0x20000, n * n, 0xD175);
+    s += fill("dist", 0x30000, n, 0x7F);
+    s += R"(
+        li a1, 0x20000        ; adjacency matrix
+        li a2, 0x30000        ; dist[]
+        li a3, 0x31000        ; visited[]
+        li s9, )" + num(4 * scale) + R"(   ; repetitions
+rep:    ; reset dist/visited
+        li t0, 0
+init:   slli t1, t0, 2
+        add t2, t1, a2
+        li t3, 0x7FFF
+        sw t3, 0(t2)
+        add t2, t1, a3
+        sw zero, 0(t2)
+        addi t0, t0, 1
+        slti t4, t0, )" + num(n) + R"(
+        bne t4, zero, init
+        sw zero, 0(a2)        ; dist[0] = 0
+        li s0, 0              ; iteration
+outer:  ; select unvisited min
+        li s1, -1             ; best node
+        li s2, 0x7FFF         ; best dist (use sentinel; strictly-less scan)
+        li t0, 0
+scan:   slli t1, t0, 2
+        add t2, t1, a3
+        lw t3, 0(t2)
+        bne t3, zero, next
+        add t2, t1, a2
+        lw t4, 0(t2)
+        bge t4, s2, next
+        mv s2, t4
+        mv s1, t0
+next:   addi t0, t0, 1
+        slti t5, t0, )" + num(n) + R"(
+        bne t5, zero, scan
+        blt s1, zero, done_rep
+        ; mark visited, relax row
+        slli t1, s1, 2
+        add t2, t1, a3
+        li t3, 1
+        sw t3, 0(t2)
+        li t0, 0
+relax:  slli t4, s1, 2
+        li t9, )" + num(n) + R"(
+        mul t4, t4, t9
+        slli t5, t0, 2
+        add t4, t4, t5
+        add t4, t4, a1
+        lw t6, 0(t4)          ; w(s1,t0)
+        add t6, t6, s2        ; dist[s1] + w
+        slli t7, t0, 2
+        add t7, t7, a2
+        lw t8, 0(t7)
+        bge t6, t8, norelax
+        sw t6, 0(t7)
+norelax:
+        addi t0, t0, 1
+        slti t5, t0, )" + num(n) + R"(
+        bne t5, zero, relax
+        addi s0, s0, 1
+        slti t5, s0, )" + num(n) + R"(
+        bne t5, zero, outer
+done_rep:
+        addi s9, s9, -1
+        bne s9, zero, rep
+        halt
+)";
+    return assemble_workload("spec/dijkstra", s);
+}
+
+workload make_sort(unsigned scale) {
+    std::string s;
+    s += R"(
+        li s9, )" + num(6 * scale) + R"(   ; repetitions
+rep:
+)";
+    s += fill("arr", 0x20000, 256, 0x5027);
+    s += R"(
+        li a1, 0x20000
+        li s0, 1              ; i
+isort:  slli t0, s0, 2
+        add t0, t0, a1
+        lw t1, 0(t0)          ; key
+        addi t2, s0, -1       ; j
+inner:  blt t2, zero, place
+        slli t3, t2, 2
+        add t3, t3, a1
+        lw t4, 0(t3)
+        bge t1, t4, place
+        addi t5, t3, 4
+        sw t4, 0(t5)
+        addi t2, t2, -1
+        j inner
+place:  addi t6, t2, 1
+        slli t6, t6, 2
+        add t6, t6, a1
+        sw t1, 0(t6)
+        addi s0, s0, 1
+        slti t7, s0, 256
+        bne t7, zero, isort
+        addi s9, s9, -1
+        bne s9, zero, rep
+        halt
+)";
+    return assemble_workload("spec/sort", s);
+}
+
+
+workload make_crc32(unsigned scale) {
+    std::string s;
+    s += fill("data", 0x20000, 2048, 0xC12C);
+    s += R"(
+        ; build the CRC table: t[i] = classic reflected polynomial steps
+        li a2, 0x30000        ; table
+        li t0, 0
+tab:    mv t1, t0
+        li t2, 8
+tbit:   andi t3, t1, 1
+        srli t1, t1, 1
+        beq t3, zero, noxor
+        li t4, 0xEDB88320
+        xor t1, t1, t4
+noxor:  addi t2, t2, -1
+        bne t2, zero, tbit
+        slli t5, t0, 2
+        add t5, t5, a2
+        sw t1, 0(t5)
+        addi t0, t0, 1
+        slti t6, t0, 256
+        bne t6, zero, tab
+        ; stream the data through the table
+        li a1, 0x20000
+        li s0, )" + num(30000 * scale) + R"(
+        li s1, 0              ; position
+        li s2, 0xFFFFFFFF     ; crc
+crc:    andi t0, s1, 2047
+        slli t0, t0, 2
+        add t0, t0, a1
+        lw t1, 0(t0)          ; next word (use low byte)
+        andi t1, t1, 255
+        xor t2, s2, t1
+        andi t2, t2, 255
+        slli t2, t2, 2
+        add t2, t2, a2
+        lw t3, 0(t2)          ; table[(crc ^ b) & 0xff]
+        srli t4, s2, 8
+        xor s2, t3, t4
+        addi s1, s1, 1
+        blt s1, s0, crc
+        halt
+)";
+    return assemble_workload("spec/crc32", s);
+}
+
+workload make_fft(unsigned scale) {
+    std::string s;
+    s += fill("re", 0x20000, 256, 0xF0F7);
+    s += fill("im", 0x21000, 256, 0x1F57);
+    s += fill("tw", 0x22000, 256, 0x7117);
+    // Fixed-point butterflies: log2(256)=8 passes over stride-halved pairs.
+    s += R"(
+        li a1, 0x20000
+        li a2, 0x21000
+        li a3, 0x22000
+        li s9, )" + num(12 * scale) + R"(   ; repetitions
+rep:    li s0, 128            ; stride
+pass:   li s1, 0              ; i
+bfly:   add t0, s1, s0        ; partner index
+        andi t0, t0, 255
+        slli t1, s1, 2
+        slli t2, t0, 2
+        add t3, t1, a1
+        lw t4, 0(t3)          ; re[i]
+        add t5, t2, a1
+        lw t6, 0(t5)          ; re[j]
+        add t7, t1, a3
+        lw t8, 0(t7)          ; twiddle
+        mul t9, t6, t8
+        srai t9, t9, 12
+        add s2, t4, t9        ; re[i]'
+        sub s3, t4, t9        ; re[j]'
+        sw s2, 0(t3)
+        sw s3, 0(t5)
+        ; imaginary part, same butterfly
+        add t3, t1, a2
+        lw t4, 0(t3)
+        add t5, t2, a2
+        lw t6, 0(t5)
+        mul t9, t6, t8
+        srai t9, t9, 12
+        add s2, t4, t9
+        sub s3, t4, t9
+        sw s2, 0(t3)
+        sw s3, 0(t5)
+        addi s1, s1, 1
+        slti t0, s1, 256
+        bne t0, zero, bfly
+        srli s0, s0, 1
+        bne s0, zero, pass
+        addi s9, s9, -1
+        bne s9, zero, rep
+        halt
+)";
+    return assemble_workload("spec/fft", s);
+}
+
+workload make_strsearch(unsigned scale) {
+    std::string s;
+    s += fill("text", 0x20000, 2048, 0x7357);
+    s += R"(
+        li a1, 0x20000
+        li s9, )" + num(25 * scale) + R"(   ; repetitions
+rep:    li s0, 0              ; position (bytes)
+        li s1, 8100           ; limit
+        li s2, 0              ; matches
+        li s3, 0x4D           ; pattern byte 0
+        li s4, 0x3A           ; pattern byte 1
+scan:   add t0, s0, a1
+        lbu t1, 0(t0)
+        bne t1, s3, next
+        lbu t2, 1(t0)
+        bne t2, s4, next
+        addi s2, s2, 1        ; two-byte match
+next:   addi s0, s0, 1
+        blt s0, s1, scan
+        addi s9, s9, -1
+        bne s9, zero, rep
+        halt
+)";
+    return assemble_workload("spec/strsearch", s);
+}
+
+std::vector<workload> mixed_suite(unsigned scale) {
+    std::vector<workload> out;
+    out.push_back(make_gsm_dec(scale));
+    out.push_back(make_g721_enc(scale));
+    out.push_back(make_mpeg2_dec(scale));
+    out.push_back(make_compress(scale));
+    out.push_back(make_dijkstra(scale));
+    out.push_back(make_sort(scale));
+    return out;
+}
+
+workload make_fp_kernel(unsigned scale) {
+    std::string s;
+    s += fill("ia", 0x20000, 256, 0xF00D);
+    s += fill("ib", 0x21000, 256, 0xFEED);
+    s += R"(
+        li a1, 0x20000
+        li a2, 0x21000
+        li a3, 0x22000        ; float outputs
+        ; convert both arrays to float in place at a3 / a3+0x1000
+        li t0, 0
+cvt:    slli t1, t0, 2
+        add t2, t1, a1
+        lw t3, 0(t2)
+        fcvt.s.w f1, t3
+        add t2, t1, a3
+        fsw f1, 0(t2)
+        add t2, t1, a2
+        lw t3, 0(t2)
+        fcvt.s.w f2, t3
+        add t2, t1, a3
+        fsw f2, 0x1000(t2)
+        addi t0, t0, 1
+        slti t4, t0, 256
+        bne t4, zero, cvt
+        li s0, )" + num(400 * scale) + R"(   ; passes
+pass:   li t0, 0
+        fmv.w.x f10, zero     ; dot = 0.0
+dot:    slli t1, t0, 2
+        add t2, t1, a3
+        flw f1, 0(t2)
+        flw f2, 0x1000(t2)
+        fmul f3, f1, f2
+        fadd f10, f10, f3
+        addi t0, t0, 1
+        slti t4, t0, 256
+        bne t4, zero, dot
+        ; accumulate into integer checksum when dot > threshold
+        fcvt.w.s t5, f10
+        srai t5, t5, 8
+        add s1, s1, t5
+        addi s0, s0, -1
+        bne s0, zero, pass
+        halt
+)";
+    return assemble_workload("fp/dot", s);
+}
+
+}  // namespace osm::workloads

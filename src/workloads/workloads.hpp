@@ -1,0 +1,64 @@
+// Synthetic benchmark workloads standing in for the paper's MediaBench and
+// SPECint 2000 programs (see DESIGN.md substitution log).  Each generator
+// emits a VR32 assembly kernel with the same character as the original:
+//
+//   gsm/dec, gsm/enc     — GSM 06.10-style LPC short-term filtering:
+//                          multiply-accumulate over small arrays with
+//                          saturation branches (enc adds a residual-energy
+//                          pass with divisions);
+//   g721/dec, g721/enc   — G.721-style ADPCM predictor: table lookups,
+//                          sign/magnitude branches, shifts, saturation
+//                          (branch-heavy integer code);
+//   mpeg2/dec, mpeg2/enc — 8x8 block IDCT/DCT-style transforms over a
+//                          frame-sized buffer (multiply- and memory-heavy;
+//                          enc adds a motion-search SAD loop);
+//   compress             — LZ-style hash/match loop (SPECint-like);
+//   dijkstra             — array-based shortest path relaxation;
+//   sort                 — in-place insertion sort (data-dependent branches).
+//
+// All input data is generated in-program by a small LCG fill loop, so every
+// engine sees bit-identical inputs with no external files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace osm::workloads {
+
+/// A named runnable workload.
+struct workload {
+    std::string name;
+    isa::program_image image;
+};
+
+// MediaBench surrogates (paper Table 1 rows).  `scale` multiplies the
+// outer iteration count (1 = a few hundred thousand dynamic instructions).
+workload make_gsm_dec(unsigned scale = 1);
+workload make_gsm_enc(unsigned scale = 1);
+workload make_g721_dec(unsigned scale = 1);
+workload make_g721_enc(unsigned scale = 1);
+workload make_mpeg2_dec(unsigned scale = 1);
+workload make_mpeg2_enc(unsigned scale = 1);
+
+/// The six Table-1 workloads in paper order.
+std::vector<workload> mediabench_suite(unsigned scale = 1);
+
+// SPECint-like mix (paper §5.2 "benchmark mix from MediaBench and
+// SPECint 2000").
+workload make_compress(unsigned scale = 1);
+workload make_dijkstra(unsigned scale = 1);
+workload make_sort(unsigned scale = 1);
+workload make_crc32(unsigned scale = 1);     ///< table-driven CRC (shift/xor/load)
+workload make_fft(unsigned scale = 1);       ///< fixed-point butterfly passes
+workload make_strsearch(unsigned scale = 1); ///< byte-wise pattern scan
+
+/// MediaBench + SPECint-like mix used for the P750 experiments.
+std::vector<workload> mixed_suite(unsigned scale = 1);
+
+/// Tiny FP kernel (dot products + conversions) exercising the FPU path.
+workload make_fp_kernel(unsigned scale = 1);
+
+}  // namespace osm::workloads

@@ -1,0 +1,176 @@
+// Two-pass assembler: syntax, labels, sections, pseudo-instructions,
+// error reporting, and a disassembler round-trip property.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+
+namespace {
+
+using namespace osm;
+using isa::assemble;
+
+std::uint32_t word_at(const isa::program_image& img, std::uint32_t addr) {
+    for (const auto& seg : img.segments) {
+        if (addr >= seg.base && addr + 4 <= seg.base + seg.bytes.size()) {
+            const std::size_t off = addr - seg.base;
+            return static_cast<std::uint32_t>(seg.bytes[off]) |
+                   static_cast<std::uint32_t>(seg.bytes[off + 1]) << 8 |
+                   static_cast<std::uint32_t>(seg.bytes[off + 2]) << 16 |
+                   static_cast<std::uint32_t>(seg.bytes[off + 3]) << 24;
+        }
+    }
+    ADD_FAILURE() << "address not in image";
+    return 0;
+}
+
+TEST(Assembler, BasicEncoding) {
+    const auto img = assemble("add a0, a1, a2\n");
+    const auto di = isa::decode(word_at(img, 0x1000));
+    EXPECT_EQ(di.code, isa::op::add_r);
+    EXPECT_EQ(di.rd, 4);
+    EXPECT_EQ(di.rs1, 5);
+    EXPECT_EQ(di.rs2, 6);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+    const auto img = assemble(R"(
+start:  beq a0, a1, done
+        j start
+done:   halt
+    )");
+    const auto b = isa::decode(word_at(img, 0x1000));
+    EXPECT_EQ(b.code, isa::op::beq);
+    EXPECT_EQ(b.imm, 4);  // to 0x1008 from pc+4=0x1004
+    const auto j = isa::decode(word_at(img, 0x1004));
+    EXPECT_EQ(j.code, isa::op::jal);
+    EXPECT_EQ(j.imm, -8);  // back to 0x1000 from 0x1008
+}
+
+TEST(Assembler, MemoryOperands) {
+    const auto img = assemble("lw a0, -4(sp)\nsw a0, 0x10(sp)\nflw f1, 8(sp)\nfsw f1, 12(sp)\n");
+    auto di = isa::decode(word_at(img, 0x1000));
+    EXPECT_EQ(di.code, isa::op::lw);
+    EXPECT_EQ(di.imm, -4);
+    EXPECT_EQ(di.rs1, 2);
+    di = isa::decode(word_at(img, 0x1004));
+    EXPECT_EQ(di.code, isa::op::sw);
+    EXPECT_EQ(di.imm, 16);
+    EXPECT_EQ(di.rs2, 4);  // store data register
+    di = isa::decode(word_at(img, 0x1008));
+    EXPECT_EQ(di.code, isa::op::flw);
+    EXPECT_EQ(di.rd, 1);
+    di = isa::decode(word_at(img, 0x100C));
+    EXPECT_EQ(di.code, isa::op::fsw);
+    EXPECT_EQ(di.rs2, 1);
+}
+
+TEST(Assembler, PseudoInstructions) {
+    const auto img = assemble(R"(
+        nop
+        mv a0, a1
+        li a2, 42
+        li a3, 0x12345678
+        li a4, 0x70000
+        ret
+    )");
+    EXPECT_EQ(isa::decode(word_at(img, 0x1000)).code, isa::op::addi);
+    auto mv = isa::decode(word_at(img, 0x1004));
+    EXPECT_EQ(mv.code, isa::op::addi);
+    EXPECT_EQ(mv.rd, 4);
+    EXPECT_EQ(mv.rs1, 5);
+    // Small li: one addi.  Large li: lui+ori.  Aligned li: lui only.
+    EXPECT_EQ(isa::decode(word_at(img, 0x1008)).code, isa::op::addi);
+    EXPECT_EQ(isa::decode(word_at(img, 0x100C)).code, isa::op::lui);
+    EXPECT_EQ(isa::decode(word_at(img, 0x1010)).code, isa::op::ori);
+    auto lui7 = isa::decode(word_at(img, 0x1014));
+    EXPECT_EQ(lui7.code, isa::op::lui);
+    EXPECT_EQ(lui7.imm, 7);
+    auto ret = isa::decode(word_at(img, 0x1018));
+    EXPECT_EQ(ret.code, isa::op::jalr);
+    EXPECT_EQ(ret.rs1, 1);
+}
+
+TEST(Assembler, LiLoadsExactValues) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    sim.load(assemble(R"(
+        li a0, 42
+        li a1, -42
+        li a2, 0x12345678
+        li a3, 0xFFFF8000
+        li a4, 0x8000
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.state().gpr[4], 42u);
+    EXPECT_EQ(sim.state().gpr[5], static_cast<std::uint32_t>(-42));
+    EXPECT_EQ(sim.state().gpr[6], 0x12345678u);
+    EXPECT_EQ(sim.state().gpr[7], 0xFFFF8000u);
+    EXPECT_EQ(sim.state().gpr[8], 0x8000u);
+}
+
+TEST(Assembler, DataDirectivesAndSections) {
+    const auto img = assemble(R"(
+        .data 0x8000
+tab:    .word 1, 2, 3
+bytes:  .byte 0xAA, 0xBB
+        .align 4
+after:  .word 0xCAFEBABE
+        .text
+        li a0, 0
+        halt
+    )");
+    EXPECT_EQ(word_at(img, 0x8000), 1u);
+    EXPECT_EQ(word_at(img, 0x8008), 3u);
+    EXPECT_EQ(word_at(img, 0x8010), 0xCAFEBABEu);
+    EXPECT_EQ(img.entry, 0x1000u);
+}
+
+TEST(Assembler, StartSymbolSetsEntry) {
+    const auto img = assemble(R"(
+helper: halt
+_start: li a0, 1
+        halt
+    )");
+    EXPECT_EQ(img.entry, 0x1004u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+    try {
+        assemble("nop\nbogus a0, a1\n");
+        FAIL() << "expected asm_error";
+    } catch (const isa::asm_error& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+    EXPECT_THROW(assemble("addi a0, a1, 99999\n"), isa::asm_error);
+    EXPECT_THROW(assemble("lw a0, a1, 4\n"), isa::asm_error);
+    EXPECT_THROW(assemble("beq a0, a1, nowhere\n"), isa::asm_error);
+    EXPECT_THROW(assemble("dup:\ndup:\n"), isa::asm_error);
+    EXPECT_THROW(assemble("add f0, a0, a1\n"), isa::asm_error);
+}
+
+// Property: disassembling an assembled instruction and re-assembling it
+// yields the same word (for ops whose disassembly is direct syntax).
+TEST(Assembler, DisasmRoundTrip) {
+    const char* lines[] = {
+        "add x4, x5, x6",   "sub x1, x2, x3",    "mul x7, x8, x9",
+        "addi x4, x5, -12", "slli x4, x5, 3",    "lw x4, -8(x2)",
+        "sw x4, 12(x2)",    "lbu x9, 0(x8)",     "jalr x1, x5, 0",
+        "fadd f1, f2, f3",  "fmv.x.w x4, f1",    "fcvt.s.w f2, x5",
+        "flw f4, 16(x2)",   "fsw f4, 20(x2)",    "halt",
+        "syscall 2",        "lui x4, 0x12",      "nor x4, x5, x6",
+    };
+    for (const char* line : lines) {
+        const auto img1 = assemble(line);
+        const std::uint32_t w1 = word_at(img1, 0x1000);
+        const std::string dis = isa::disassemble(isa::decode(w1));
+        const auto img2 = assemble(dis);
+        EXPECT_EQ(word_at(img2, 0x1000), w1) << line << " -> " << dis;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Common support: bit utilities, ring buffer, deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/xrandom.hpp"
+
+namespace {
+
+using namespace osm;
+
+TEST(Bits, ExtractInsertRoundTrip) {
+    const std::uint32_t v = 0xDEADBEEF;
+    for (unsigned lo = 0; lo < 28; ++lo) {
+        for (unsigned len = 1; len + lo <= 32; len += 5) {
+            const std::uint32_t field = bits(v, lo, len);
+            const std::uint32_t w = insert_bits(0, field, lo, len);
+            EXPECT_EQ(bits(w, lo, len), field);
+        }
+    }
+}
+
+TEST(Bits, SignExtend) {
+    EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+    EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+    EXPECT_EQ(sign_extend(0x1F, 5), -1);
+    EXPECT_EQ(sign_extend(0x0F, 5), 15);
+    EXPECT_EQ(sign_extend(0xFFFFFFFF, 32), -1);
+}
+
+TEST(Bits, Pow2Helpers) {
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(1ull << 40));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(12));
+    EXPECT_EQ(log2_exact(1), 0u);
+    EXPECT_EQ(log2_exact(4096), 12u);
+    EXPECT_EQ(align_up(0, 8), 0u);
+    EXPECT_EQ(align_up(1, 8), 8u);
+    EXPECT_EQ(align_up(16, 8), 16u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+    ring_buffer<int> rb(4);
+    EXPECT_TRUE(rb.empty());
+    for (int i = 0; i < 4; ++i) rb.push_back(i);
+    EXPECT_TRUE(rb.full());
+    EXPECT_EQ(rb.front(), 0);
+    EXPECT_EQ(rb.back(), 3);
+    EXPECT_EQ(rb.pop_front(), 0);
+    rb.push_back(4);
+    for (int want = 1; want <= 4; ++want) EXPECT_EQ(rb.pop_front(), want);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsManyTimes) {
+    ring_buffer<int> rb(3);
+    int next_in = 0;
+    int next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        while (!rb.full()) rb.push_back(next_in++);
+        while (!rb.empty()) EXPECT_EQ(rb.pop_front(), next_out++);
+    }
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuffer, IndexedAccess) {
+    ring_buffer<int> rb(4);
+    rb.push_back(10);
+    rb.push_back(11);
+    rb.pop_front();
+    rb.push_back(12);
+    rb.push_back(13);
+    EXPECT_EQ(rb.at(0), 11);
+    EXPECT_EQ(rb.at(1), 12);
+    EXPECT_EQ(rb.at(2), 13);
+}
+
+TEST(XRandom, DeterministicPerSeed) {
+    xrandom a(42);
+    xrandom b(42);
+    xrandom c(43);
+    bool all_same_as_c = true;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next_u64();
+        EXPECT_EQ(va, b.next_u64());
+        if (va != c.next_u64()) all_same_as_c = false;
+    }
+    EXPECT_FALSE(all_same_as_c);
+}
+
+TEST(XRandom, BoundsRespected) {
+    xrandom rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+        const auto v = rng.next_range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(XRandom, ChanceRoughlyUniform) {
+    xrandom rng(99);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.chance(1, 4)) ++hits;
+    }
+    EXPECT_GT(hits, 2200);
+    EXPECT_LT(hits, 2800);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Discrete-event kernel: event ordering, delta-cycle signal semantics,
+// module sensitivity, and the periodic clock.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "de/clock.hpp"
+#include "de/event_queue.hpp"
+#include "de/kernel.hpp"
+#include "de/module.hpp"
+#include "de/signal.hpp"
+
+namespace {
+
+using namespace osm::de;
+
+TEST(EventQueue, TimeOrdered) {
+    event_queue q;
+    std::vector<int> order;
+    q.push(5, [&] { order.push_back(5); });
+    q.push(1, [&] { order.push_back(1); });
+    q.push(3, [&] { order.push_back(3); });
+    while (!q.empty()) q.pop()();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueue, StableForEqualTimestamps) {
+    event_queue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        q.push(7, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.pop()();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Kernel, RunUntilDeadline) {
+    kernel k;
+    int fired = 0;
+    k.schedule_at(10, [&] { ++fired; });
+    k.schedule_at(20, [&] { ++fired; });
+    k.schedule_at(30, [&] { ++fired; });
+    EXPECT_EQ(k.run_until(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(k.now(), 20u);
+    k.run_until();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Kernel, EventsMayScheduleEvents) {
+    kernel k;
+    std::vector<tick_t> times;
+    std::function<void()> chain = [&] {
+        times.push_back(k.now());
+        if (times.size() < 5) k.schedule_in(2, chain);
+    };
+    k.schedule_at(0, chain);
+    k.run_until();
+    EXPECT_EQ(times, (std::vector<tick_t>{0, 2, 4, 6, 8}));
+}
+
+// A module that copies in -> out with one delta of latency.
+class copier : public module {
+public:
+    copier(kernel& k, osm::de::signal<int>& in, osm::de::signal<int>& out)
+        : module(k, "copier"), in_(in), out_(out) {
+        in_.add_sensitive(this);
+    }
+    void evaluate() override {
+        ++evals;
+        out_.write(in_.read());
+    }
+    int evals = 0;
+
+private:
+    osm::de::signal<int>& in_;
+    osm::de::signal<int>& out_;
+};
+
+TEST(Signals, TwoPhaseUpdateAndSensitivity) {
+    kernel k;
+    osm::de::signal<int> a(k, "a", 0);
+    osm::de::signal<int> b(k, "b", 0);
+    copier c(k, a, b);
+
+    k.schedule_at(1, [&] { a.write(42); });
+    k.run_until();
+    EXPECT_EQ(a.read(), 42);
+    EXPECT_EQ(b.read(), 42);
+    EXPECT_EQ(c.evals, 1);
+}
+
+TEST(Signals, NoChangeNoNotify) {
+    kernel k;
+    osm::de::signal<int> a(k, "a", 7);
+    osm::de::signal<int> b(k, "b", 0);
+    copier c(k, a, b);
+    k.schedule_at(1, [&] { a.write(7); });  // same value
+    k.run_until();
+    EXPECT_EQ(c.evals, 0);
+    EXPECT_EQ(b.read(), 0);
+}
+
+TEST(Signals, ChainSettlesWithinOneTimestep) {
+    kernel k;
+    osm::de::signal<int> a(k, "a", 0);
+    osm::de::signal<int> b(k, "b", 0);
+    osm::de::signal<int> c(k, "c", 0);
+    copier m1(k, a, b);
+    copier m2(k, b, c);
+    k.schedule_at(3, [&] { a.write(9); });
+    k.run_until();
+    EXPECT_EQ(c.read(), 9);
+    EXPECT_EQ(k.now(), 3u);  // all deltas at t=3
+    EXPECT_GE(k.delta_count(), 2u);
+}
+
+TEST(Clock, FiresPeriodically) {
+    kernel k;
+    osm::de::clock clk(k, 10);
+    std::vector<tick_t> edges;
+    clk.on_edge([&] {
+        edges.push_back(k.now());
+        if (edges.size() == 4) clk.stop();
+    });
+    clk.start();
+    k.run_until();
+    EXPECT_EQ(edges, (std::vector<tick_t>{0, 10, 20, 30}));
+    EXPECT_EQ(clk.edges(), 4u);
+}
+
+TEST(Clock, CallbackOrderIsRegistrationOrder) {
+    kernel k;
+    osm::de::clock clk(k, 1);
+    std::string log;
+    clk.on_edge([&] { log += 'a'; });
+    clk.on_edge([&] { log += 'b'; });
+    clk.on_edge([&] {
+        log += 'c';
+        if (log.size() >= 6) clk.stop();
+    });
+    clk.start();
+    k.run_until(100);
+    EXPECT_EQ(log.substr(0, 6), "abcabc");
+}
+
+TEST(Kernel, ResetClearsState) {
+    kernel k;
+    int fired = 0;
+    k.schedule_at(5, [&] { ++fired; });
+    k.reset();
+    k.run_until();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(k.now(), 0u);
+}
+
+}  // namespace

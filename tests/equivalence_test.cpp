@@ -1,0 +1,184 @@
+// Cross-engine equivalence property tests: random programs executed on the
+// ISS, the OSM SARM model, the hardwired baseline, the OSM P750 model and
+// the port/wire model must produce identical final architectural state and
+// console output; the independently-implemented pairs must also agree on
+// timing within the paper's few-percent tolerance (structured kernels agree
+// exactly — see baseline_test — while mispredict-heavy random programs
+// expose wrong-path fetch accounting differences, the paper's error class).
+#include <gtest/gtest.h>
+
+#include "baseline/hardwired_sarm.hpp"
+#include "baseline/port_ppc.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+#include "workloads/randprog.hpp"
+
+namespace {
+
+using namespace osm;
+
+struct final_state {
+    std::array<std::uint32_t, 32> gpr{};
+    std::array<std::uint32_t, 32> fpr{};
+    std::string console;
+    std::uint64_t retired = 0;
+    std::uint64_t cycles = 0;
+    bool halted = false;
+};
+
+final_state run_iss(const isa::program_image& img) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    sim.load(img);
+    sim.run(50'000'000);
+    final_state f;
+    f.gpr = sim.state().gpr;
+    f.fpr = sim.state().fpr;
+    f.console = sim.host().console();
+    f.retired = sim.instret();
+    f.halted = sim.state().halted;
+    return f;
+}
+
+final_state run_sarm(const isa::program_image& img) {
+    mem::main_memory m;
+    sarm::sarm_config cfg;
+    sarm::sarm_model sim(cfg, m);
+    sim.load(img);
+    sim.run(100'000'000);
+    final_state f;
+    for (unsigned r = 0; r < 32; ++r) {
+        f.gpr[r] = sim.gpr(r);
+        f.fpr[r] = sim.fpr(r);
+    }
+    f.console = sim.console();
+    f.retired = sim.stats().retired;
+    f.cycles = sim.stats().cycles;
+    f.halted = sim.halted();
+    return f;
+}
+
+final_state run_hw(const isa::program_image& img) {
+    mem::main_memory m;
+    sarm::sarm_config cfg;
+    baseline::hardwired_sarm sim(cfg, m);
+    sim.load(img);
+    sim.run(100'000'000);
+    final_state f;
+    for (unsigned r = 0; r < 32; ++r) {
+        f.gpr[r] = sim.gpr(r);
+        f.fpr[r] = sim.fpr(r);
+    }
+    f.console = sim.console();
+    f.retired = sim.retired();
+    f.cycles = sim.cycles();
+    f.halted = sim.halted();
+    return f;
+}
+
+final_state run_p750(const isa::program_image& img) {
+    mem::main_memory m;
+    ppc750::p750_config cfg;
+    ppc750::p750_model sim(cfg, m);
+    sim.load(img);
+    sim.run(100'000'000);
+    final_state f;
+    for (unsigned r = 0; r < 32; ++r) {
+        f.gpr[r] = sim.gpr(r);
+        f.fpr[r] = sim.fpr(r);
+    }
+    f.console = sim.console();
+    f.retired = sim.stats().retired;
+    f.cycles = sim.stats().cycles;
+    f.halted = sim.halted();
+    return f;
+}
+
+final_state run_port(const isa::program_image& img) {
+    mem::main_memory m;
+    ppc750::p750_config cfg;
+    baseline::port_ppc sim(cfg, m);
+    sim.load(img);
+    sim.run(100'000'000);
+    final_state f;
+    for (unsigned r = 0; r < 32; ++r) {
+        f.gpr[r] = sim.gpr(r);
+        f.fpr[r] = sim.fpr(r);
+    }
+    f.console = sim.console();
+    f.retired = sim.stats().retired;
+    f.cycles = sim.stats().cycles;
+    f.halted = sim.halted();
+    return f;
+}
+
+void expect_arch_equal(const final_state& a, const final_state& b,
+                       const char* engine, std::uint64_t seed) {
+    EXPECT_TRUE(b.halted) << engine << " seed=" << seed;
+    for (unsigned r = 0; r < 32; ++r) {
+        EXPECT_EQ(a.gpr[r], b.gpr[r]) << engine << " x" << r << " seed=" << seed;
+        EXPECT_EQ(a.fpr[r], b.fpr[r]) << engine << " f" << r << " seed=" << seed;
+    }
+    EXPECT_EQ(a.console, b.console) << engine << " seed=" << seed;
+    EXPECT_EQ(a.retired, b.retired) << engine << " seed=" << seed;
+}
+
+class RandomEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomEquivalence, AllEnginesAgree) {
+    workloads::randprog_options opt;
+    opt.seed = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17;
+    opt.blocks = 14;
+    opt.block_len = 12;
+    opt.with_fp = (GetParam() % 2 == 0);
+    const auto img = workloads::make_random_program(opt);
+
+    const auto ref = run_iss(img);
+    ASSERT_TRUE(ref.halted) << "seed " << opt.seed;
+
+    const auto s = run_sarm(img);
+    expect_arch_equal(ref, s, "sarm", opt.seed);
+    const auto h = run_hw(img);
+    expect_arch_equal(ref, h, "hardwired", opt.seed);
+    const auto p = run_p750(img);
+    expect_arch_equal(ref, p, "p750", opt.seed);
+    const auto q = run_port(img);
+    expect_arch_equal(ref, q, "port", opt.seed);
+
+    // Timing agreement between independent implementations.  Random
+    // programs are branch-mispredict heavy and the two implementations
+    // interpret wrong-path fetch cache side effects slightly differently
+    // (the paper's own comparisons carry the same class of residual), so
+    // the bound here is the paper's few-percent tolerance; structured
+    // kernels agree exactly (see baseline_test).
+    const double sdiff =
+        std::abs(static_cast<double>(s.cycles) - static_cast<double>(h.cycles)) /
+        static_cast<double>(h.cycles);
+    EXPECT_LT(sdiff, 0.05) << "sarm " << s.cycles << " vs hardwired "
+                           << h.cycles << ", seed " << opt.seed;
+    const double diff =
+        std::abs(static_cast<double>(p.cycles) - static_cast<double>(q.cycles)) /
+        static_cast<double>(q.cycles);
+    EXPECT_LT(diff, 0.03) << "p750 " << p.cycles << " vs port " << q.cycles
+                          << ", seed " << opt.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence, ::testing::Range(0, 20));
+
+TEST(RandomEquivalence, LoopHeavyPrograms) {
+    for (int i = 0; i < 5; ++i) {
+        workloads::randprog_options opt;
+        opt.seed = 9000u + static_cast<unsigned>(i);
+        opt.blocks = 8;
+        opt.block_len = 6;
+        opt.loop_count = 12;
+        const auto img = workloads::make_random_program(opt);
+        const auto ref = run_iss(img);
+        const auto p = run_p750(img);
+        expect_arch_equal(ref, p, "p750", opt.seed);
+    }
+}
+
+}  // namespace

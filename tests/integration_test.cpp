@@ -1,0 +1,194 @@
+// Cross-module integration: configuration sweeps over the two case-study
+// models must move the performance metrics in the physically sensible
+// direction while never changing architectural results.
+#include <gtest/gtest.h>
+
+#include "baseline/hardwired_sarm.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace osm;
+
+std::uint64_t sarm_cycles(const workloads::workload& w, const sarm::sarm_config& cfg,
+                          std::uint32_t* out_a0 = nullptr) {
+    mem::main_memory m;
+    sarm::sarm_model model(cfg, m);
+    model.load(w.image);
+    model.run(2'000'000'000ull);
+    EXPECT_TRUE(model.halted()) << w.name;
+    if (out_a0 != nullptr) *out_a0 = model.gpr(4);
+    return model.stats().cycles;
+}
+
+std::uint64_t p750_cycles(const workloads::workload& w, const ppc750::p750_config& cfg,
+                          std::uint32_t* out_a0 = nullptr) {
+    mem::main_memory m;
+    ppc750::p750_model model(cfg, m);
+    model.load(w.image);
+    model.run(2'000'000'000ull);
+    EXPECT_TRUE(model.halted()) << w.name;
+    if (out_a0 != nullptr) *out_a0 = model.gpr(4);
+    return model.stats().cycles;
+}
+
+TEST(SweepSarm, SmallerDcacheNeverFaster) {
+    const auto w = workloads::make_mpeg2_enc(1);  // memory heavy
+    std::uint64_t prev = 0;
+    std::uint32_t a0_ref = 0;
+    for (const std::uint32_t kb : {1u, 4u, 16u}) {
+        sarm::sarm_config cfg;
+        cfg.dcache.size_bytes = kb * 1024;
+        cfg.dcache.ways = 8;
+        std::uint32_t a0 = 0;
+        const auto cycles = sarm_cycles(w, cfg, &a0);
+        if (prev != 0) {
+            EXPECT_LE(cycles, prev) << kb << " KiB dcache slower than smaller one";
+        }
+        if (a0_ref == 0) a0_ref = a0;
+        EXPECT_EQ(a0, a0_ref) << "cache size must not change results";
+        prev = cycles;
+    }
+}
+
+TEST(SweepSarm, SlowerMemoryCostsCycles) {
+    const auto w = workloads::make_mpeg2_dec(1);
+    sarm::sarm_config fast;
+    fast.mem_latency = 4;
+    sarm::sarm_config slow;
+    slow.mem_latency = 40;
+    EXPECT_LT(sarm_cycles(w, fast), sarm_cycles(w, slow));
+}
+
+TEST(SweepSarm, ForwardingHelpsEveryWorkload) {
+    for (auto& w : workloads::mediabench_suite(1)) {
+        sarm::sarm_config with;
+        sarm::sarm_config without;
+        without.forwarding = false;
+        EXPECT_LT(sarm_cycles(w, with), sarm_cycles(w, without)) << w.name;
+    }
+}
+
+TEST(SweepSarm, RestartPolicyNeverChangesTiming) {
+    // Paper §5: with age ranking the Fig. 3 restart is unnecessary — and
+    // harmless.  Must hold on every workload class.
+    for (auto& w : workloads::mixed_suite(1)) {
+        sarm::sarm_config a;
+        a.director_restart = false;
+        sarm::sarm_config b;
+        b.director_restart = true;
+        EXPECT_EQ(sarm_cycles(w, a), sarm_cycles(w, b)) << w.name;
+    }
+}
+
+TEST(SweepP750, WiderDispatchNeverSlower) {
+    const auto w = workloads::make_compress(1);
+    std::uint64_t prev = ~0ull;
+    for (const unsigned bw : {1u, 2u, 4u}) {
+        ppc750::p750_config cfg;
+        cfg.dispatch_bw = bw;
+        cfg.fetch_bw = bw;
+        cfg.retire_bw = bw;
+        const auto cycles = p750_cycles(w, cfg);
+        EXPECT_LE(cycles, prev) << "dispatch width " << bw;
+        prev = cycles;
+    }
+}
+
+TEST(SweepP750, MoreRenamesNeverSlower) {
+    const auto w = workloads::make_gsm_dec(1);
+    std::uint64_t prev = ~0ull;
+    std::uint32_t a0_ref = 0;
+    bool first = true;
+    for (const unsigned renames : {2u, 4u, 8u}) {
+        ppc750::p750_config cfg;
+        cfg.gpr_renames = renames;
+        std::uint32_t a0 = 0;
+        const auto cycles = p750_cycles(w, cfg, &a0);
+        EXPECT_LE(cycles, prev) << renames << " renames";
+        if (first) {
+            a0_ref = a0;
+            first = false;
+        }
+        EXPECT_EQ(a0, a0_ref) << "rename count must not change results";
+        prev = cycles;
+    }
+}
+
+TEST(SweepP750, DeeperQueuesNeverSlower) {
+    const auto w = workloads::make_sort(1);
+    std::uint64_t prev = ~0ull;
+    for (const unsigned depth : {2u, 4u, 6u, 12u}) {
+        ppc750::p750_config cfg;
+        cfg.fetch_queue = depth;
+        cfg.completion_queue = depth;
+        const auto cycles = p750_cycles(w, cfg);
+        EXPECT_LE(cycles, prev) << "queue depth " << depth;
+        prev = cycles;
+    }
+}
+
+TEST(SweepP750, BiggerBhtNeverMoreMispredicts) {
+    const auto w = workloads::make_g721_enc(1);
+    std::uint64_t prev = ~0ull;
+    for (const unsigned entries : {16u, 128u, 1024u}) {
+        ppc750::p750_config cfg;
+        cfg.bht_entries = entries;
+        mem::main_memory m;
+        ppc750::p750_model model(cfg, m);
+        model.load(w.image);
+        model.run(2'000'000'000ull);
+        EXPECT_LE(model.stats().mispredicts, prev) << entries << "-entry BHT";
+        prev = model.stats().mispredicts;
+    }
+}
+
+TEST(Integration, SuperscalarBeatsScalarOnEveryWorkload) {
+    for (auto& w : workloads::mixed_suite(1)) {
+        const auto scalar = sarm_cycles(w, sarm::sarm_config{});
+        const auto super = p750_cycles(w, ppc750::p750_config{});
+        EXPECT_LT(super, scalar) << w.name;
+    }
+}
+
+TEST(SweepSarm, WriteBufferHelpsStoreHeavyCode) {
+    // mpeg2/enc writes coefficient blocks; with write-through caches the
+    // store misses hit the bus, so a write buffer must pay off.
+    const auto w = workloads::make_mpeg2_enc(1);
+    sarm::sarm_config base;
+    base.dcache.wpolicy = mem::write_policy::write_through;
+    sarm::sarm_config buffered = base;
+    buffered.write_buffer = true;
+    std::uint32_t a0_a = 0;
+    std::uint32_t a0_b = 0;
+    const auto plain = sarm_cycles(w, base, &a0_a);
+    const auto with_wb = sarm_cycles(w, buffered, &a0_b);
+    EXPECT_EQ(a0_a, a0_b) << "write buffer is timing-only";
+    EXPECT_LT(with_wb, plain);
+}
+
+TEST(Integration, WritePolicySweepPreservesResults) {
+    const auto w = workloads::make_mpeg2_enc(1);
+    std::uint32_t ref = 0;
+    bool first = true;
+    for (const auto policy : {mem::write_policy::write_back, mem::write_policy::write_through}) {
+        for (const auto repl :
+             {mem::replacement::lru, mem::replacement::fifo, mem::replacement::random_repl}) {
+            sarm::sarm_config cfg;
+            cfg.dcache.wpolicy = policy;
+            cfg.dcache.repl = repl;
+            std::uint32_t a0 = 0;
+            sarm_cycles(w, cfg, &a0);
+            if (first) {
+                ref = a0;
+                first = false;
+            }
+            EXPECT_EQ(a0, ref);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// VR32 ISA: encode/decode bijection (property sweep over the op space),
+// per-class semantics, division/FP corner cases, ISS execution.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/xrandom.hpp"
+#include "isa/arch.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "isa/semantics.hpp"
+#include "mem/main_memory.hpp"
+
+namespace {
+
+using namespace osm;
+using isa::decoded_inst;
+using isa::op;
+
+TEST(Arch, RegisterNamesParse) {
+    EXPECT_EQ(isa::parse_gpr("x0"), 0);
+    EXPECT_EQ(isa::parse_gpr("zero"), 0);
+    EXPECT_EQ(isa::parse_gpr("ra"), 1);
+    EXPECT_EQ(isa::parse_gpr("a0"), 4);
+    EXPECT_EQ(isa::parse_gpr("t9"), 21);
+    EXPECT_EQ(isa::parse_gpr("s9"), 31);
+    EXPECT_EQ(isa::parse_gpr("x31"), 31);
+    EXPECT_EQ(isa::parse_gpr("x32"), -1);
+    EXPECT_EQ(isa::parse_gpr("f3"), -1);
+    EXPECT_EQ(isa::parse_fpr("f31"), 31);
+    EXPECT_EQ(isa::parse_fpr("f32"), -1);
+}
+
+// Property: encode/decode is a bijection over randomly drawn well-formed
+// instructions of every opcode.
+class EncodeDecode : public ::testing::TestWithParam<int> {};
+
+decoded_inst random_inst(op c, xrandom& rng) {
+    decoded_inst di;
+    di.code = c;
+    di.rd = static_cast<std::uint8_t>(rng.next_below(32));
+    di.rs1 = static_cast<std::uint8_t>(rng.next_below(32));
+    di.rs2 = static_cast<std::uint8_t>(rng.next_below(32));
+    // Draw an immediate valid for this op's format.
+    if (isa::is_branch(c)) {
+        di.imm = static_cast<std::int32_t>(rng.next_range(-32768, 32767)) * 4;
+    } else if (c == op::jal) {
+        di.imm = static_cast<std::int32_t>(rng.next_range(-(1 << 20), (1 << 20) - 1)) * 4;
+    } else if (c == op::lui || c == op::auipc || c == op::andi || c == op::ori ||
+               c == op::xori || c == op::syscall_op) {
+        di.imm = static_cast<std::int32_t>(rng.next_below(0x10000));
+    } else if (c == op::halt) {
+        di.imm = 0;
+    } else if ((isa::uses_rs2(c) && !isa::is_store(c)) ||
+               (isa::is_fp(c) && c != op::flw && c != op::fsw)) {
+        di.imm = 0;  // R format (three-register and unary FP forms)
+    } else {
+        di.imm = static_cast<std::int32_t>(rng.next_range(-32768, 32767));
+    }
+    // Normalize fields the format does not encode.
+    if (!isa::writes_rd(c)) di.rd = isa::is_store(c) || isa::is_branch(c) ? 0 : di.rd;
+    if (isa::is_branch(c)) di.rd = 0;
+    if (isa::is_store(c)) di.rd = 0;
+    if (c == op::jal || c == op::lui || c == op::auipc) di.rs1 = 0;
+    if (c == op::syscall_op || c == op::halt) {
+        di.rd = di.rs1 = di.rs2 = 0;
+    }
+    if (!isa::uses_rs2(c)) di.rs2 = 0;
+    return di;
+}
+
+TEST_P(EncodeDecode, RoundTripsEveryOp) {
+    xrandom rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    for (int oc = 1; oc < static_cast<int>(op::count_); ++oc) {
+        const op c = static_cast<op>(oc);
+        const decoded_inst di = random_inst(c, rng);
+        const std::uint32_t word = isa::encode(di);
+        const decoded_inst back = isa::decode(word);
+        EXPECT_EQ(back.code, di.code) << isa::op_name(c);
+        EXPECT_EQ(back.rd, di.rd) << isa::op_name(c);
+        EXPECT_EQ(back.rs1, di.rs1) << isa::op_name(c);
+        EXPECT_EQ(back.rs2, di.rs2) << isa::op_name(c);
+        EXPECT_EQ(back.imm, di.imm) << isa::op_name(c);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecode, ::testing::Range(0, 16));
+
+TEST(Decode, UnknownOpcodeIsInvalid) {
+    EXPECT_EQ(isa::decode((0xFFFFFFFFu & ~(0x3Fu << 26)) | (0x30u << 26)).code,
+              op::invalid);
+    // Unknown funct under the integer ALU primary opcode.
+    EXPECT_EQ(isa::decode(0x000007FFu).code, op::invalid);
+}
+
+isa::exec_out run1(op c, std::uint32_t a, std::uint32_t b, std::int32_t imm = 0,
+                   std::uint32_t pc = 0x1000) {
+    decoded_inst di;
+    di.code = c;
+    di.imm = imm;
+    return isa::compute(di, pc, a, b);
+}
+
+TEST(Semantics, IntegerAlu) {
+    EXPECT_EQ(run1(op::add_r, 2, 3).value, 5u);
+    EXPECT_EQ(run1(op::sub_r, 2, 3).value, 0xFFFFFFFFu);
+    EXPECT_EQ(run1(op::and_r, 0xF0F0, 0xFF00).value, 0xF000u);
+    EXPECT_EQ(run1(op::nor_r, 0, 0).value, 0xFFFFFFFFu);
+    EXPECT_EQ(run1(op::sll_r, 1, 33).value, 2u);  // shift amount mod 32
+    EXPECT_EQ(run1(op::sra_r, 0x80000000, 31).value, 0xFFFFFFFFu);
+    EXPECT_EQ(run1(op::slt_r, 0xFFFFFFFF, 0).value, 1u);   // -1 < 0
+    EXPECT_EQ(run1(op::sltu_r, 0xFFFFFFFF, 0).value, 0u);  // unsigned
+    EXPECT_EQ(run1(op::lui, 0, 0, 0x1234).value, 0x12340000u);
+    EXPECT_EQ(run1(op::auipc, 0, 0, 0x1, 0x1000).value, 0x11000u);
+}
+
+TEST(Semantics, MultiplyDivideCornerCases) {
+    EXPECT_EQ(run1(op::mul, 0x10000, 0x10000).value, 0u);
+    EXPECT_EQ(run1(op::mulh, 0x80000000, 0x80000000).value, 0x40000000u);
+    EXPECT_EQ(run1(op::mulhu, 0xFFFFFFFF, 0xFFFFFFFF).value, 0xFFFFFFFEu);
+    // Division by zero: quotient all-ones, remainder = dividend.
+    EXPECT_EQ(run1(op::div_s, 17, 0).value, 0xFFFFFFFFu);
+    EXPECT_EQ(run1(op::div_u, 17, 0).value, 0xFFFFFFFFu);
+    EXPECT_EQ(run1(op::rem_s, 17, 0).value, 17u);
+    EXPECT_EQ(run1(op::rem_u, 17, 0).value, 17u);
+    // INT_MIN / -1 overflow: quotient INT_MIN, remainder 0.
+    EXPECT_EQ(run1(op::div_s, 0x80000000, 0xFFFFFFFF).value, 0x80000000u);
+    EXPECT_EQ(run1(op::rem_s, 0x80000000, 0xFFFFFFFF).value, 0u);
+    EXPECT_EQ(run1(op::div_s, 0xFFFFFFF9, 2).value,
+              static_cast<std::uint32_t>(-3));  // -7/2 truncates toward zero
+}
+
+TEST(Semantics, BranchesAndJumps) {
+    auto taken = run1(op::beq, 5, 5, 16);
+    EXPECT_TRUE(taken.redirect);
+    EXPECT_EQ(taken.next_pc, 0x1000u + 4 + 16);
+    auto not_taken = run1(op::beq, 5, 6, 16);
+    EXPECT_FALSE(not_taken.redirect);
+    EXPECT_EQ(not_taken.next_pc, 0x1004u);
+    EXPECT_TRUE(run1(op::blt, 0xFFFFFFFF, 0, 8).redirect);
+    EXPECT_FALSE(run1(op::bltu, 0xFFFFFFFF, 0, 8).redirect);
+
+    auto j = run1(op::jal, 0, 0, -8);
+    EXPECT_TRUE(j.redirect);
+    EXPECT_EQ(j.next_pc, 0x1000u + 4 - 8);
+    EXPECT_EQ(j.value, 0x1004u);  // link
+
+    auto jr = run1(op::jalr, 0x2003, 0, 1);
+    EXPECT_EQ(jr.next_pc, 0x2004u & ~3u);
+    EXPECT_EQ(jr.value, 0x1004u);
+}
+
+TEST(Semantics, FloatingPoint) {
+    const auto f = [](float x) { return std::bit_cast<std::uint32_t>(x); };
+    EXPECT_EQ(run1(op::fadd, f(1.5f), f(2.25f)).value, f(3.75f));
+    EXPECT_EQ(run1(op::fmul, f(3.0f), f(-2.0f)).value, f(-6.0f));
+    EXPECT_EQ(run1(op::fdiv, f(1.0f), f(4.0f)).value, f(0.25f));
+    EXPECT_EQ(run1(op::fmin, f(1.0f), f(-1.0f)).value, f(-1.0f));
+    EXPECT_EQ(run1(op::fabs_f, f(-8.0f), 0).value, f(8.0f));
+    EXPECT_EQ(run1(op::fneg_f, f(8.0f), 0).value, f(-8.0f));
+    EXPECT_EQ(run1(op::feq, f(2.0f), f(2.0f)).value, 1u);
+    EXPECT_EQ(run1(op::flt_f, f(1.0f), f(2.0f)).value, 1u);
+    EXPECT_EQ(run1(op::fcvt_s_w, static_cast<std::uint32_t>(-7), 0).value, f(-7.0f));
+    EXPECT_EQ(run1(op::fcvt_w_s, f(-7.9f), 0).value, static_cast<std::uint32_t>(-7));
+    // NaN converts saturate.
+    EXPECT_EQ(run1(op::fcvt_w_s, f(std::bit_cast<float>(0x7FC00000)), 0).value,
+              0x7FFFFFFFu);
+    EXPECT_EQ(run1(op::fcvt_w_s, f(3e9f), 0).value, 0x7FFFFFFFu);
+    EXPECT_EQ(run1(op::fcvt_w_s, f(-3e9f), 0).value, 0x80000000u);
+}
+
+TEST(Semantics, LoadStoreWidths) {
+    mem::main_memory m;
+    isa::do_store(op::sw, m, 0x100, 0x8899AABB);
+    EXPECT_EQ(isa::do_load(op::lw, m, 0x100), 0x8899AABBu);
+    EXPECT_EQ(isa::do_load(op::lb, m, 0x100), 0xFFFFFFBBu);   // sign extend
+    EXPECT_EQ(isa::do_load(op::lbu, m, 0x100), 0xBBu);
+    EXPECT_EQ(isa::do_load(op::lh, m, 0x102), 0xFFFF8899u);
+    EXPECT_EQ(isa::do_load(op::lhu, m, 0x102), 0x8899u);
+    isa::do_store(op::sb, m, 0x101, 0x11);
+    EXPECT_EQ(isa::do_load(op::lw, m, 0x100), 0x889911BBu);
+    isa::do_store(op::sh, m, 0x102, 0x2233);
+    EXPECT_EQ(isa::do_load(op::lw, m, 0x100), 0x223311BBu);
+}
+
+TEST(Iss, X0StaysZero) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    const auto img = isa::assemble(R"(
+        addi x0, x0, 55
+        add a0, x0, x0
+        halt
+    )");
+    sim.load(img);
+    sim.run();
+    EXPECT_EQ(sim.state().gpr[0], 0u);
+    EXPECT_EQ(sim.state().gpr[4], 0u);
+}
+
+TEST(Iss, HaltsOnInvalidOpcode) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    isa::program_image img;
+    img.entry = 0x1000;
+    img.segments.push_back({0x1000, {0xEF, 0xBE, 0xAD, 0xDE}});  // garbage
+    sim.load(img);
+    sim.run();
+    EXPECT_TRUE(sim.state().halted);
+}
+
+TEST(Iss, InstretCountsRetired) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    sim.load(isa::assemble("addi a0, zero, 1\naddi a1, zero, 2\nhalt\n"));
+    sim.run();
+    EXPECT_EQ(sim.instret(), 3u);
+}
+
+TEST(Disasm, RendersCommonForms) {
+    decoded_inst di;
+    di.code = op::add_r;
+    di.rd = 4;
+    di.rs1 = 5;
+    di.rs2 = 6;
+    EXPECT_EQ(isa::disassemble(di), "add x4, x5, x6");
+    di = decoded_inst{};
+    di.code = op::lw;
+    di.rd = 4;
+    di.rs1 = 2;
+    di.imm = -8;
+    EXPECT_EQ(isa::disassemble(di), "lw x4, -8(x2)");
+    di = decoded_inst{};
+    di.code = op::halt;
+    EXPECT_EQ(isa::disassemble(di), "halt");
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Memory subsystem: functional storage, cache geometry/replacement/write
+// policies (parameterized sweeps), TLB, bus timing.
+#include <gtest/gtest.h>
+
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/tlb.hpp"
+#include "mem/write_buffer.hpp"
+
+namespace {
+
+using namespace osm::mem;
+
+TEST(MainMemory, ZeroFilledAndByteAddressable) {
+    main_memory m;
+    EXPECT_EQ(m.read32(0x1234), 0u);
+    m.write8(0x1000, 0xAB);
+    m.write8(0x1001, 0xCD);
+    EXPECT_EQ(m.read16(0x1000), 0xCDABu);  // little endian
+    m.write32(0x2000, 0x11223344);
+    EXPECT_EQ(m.read8(0x2000), 0x44u);
+    EXPECT_EQ(m.read8(0x2003), 0x11u);
+}
+
+TEST(MainMemory, CrossPageAccess) {
+    main_memory m;
+    const std::uint32_t addr = main_memory::page_size - 2;
+    m.write32(addr, 0xA1B2C3D4);
+    EXPECT_EQ(m.read32(addr), 0xA1B2C3D4u);
+    EXPECT_EQ(m.read16(addr + 2), 0xA1B2u);
+    EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(MainMemory, BulkLoad) {
+    main_memory m;
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    m.load(0x500, data, sizeof data);
+    for (unsigned i = 0; i < 5; ++i) EXPECT_EQ(m.read8(0x500 + i), data[i]);
+}
+
+cache_config small_cache(replacement r, write_policy w) {
+    cache_config c;
+    c.size_bytes = 256;  // 4 sets x 2 ways x 32B lines
+    c.line_bytes = 32;
+    c.ways = 2;
+    c.repl = r;
+    c.wpolicy = w;
+    c.hit_latency = 1;
+    return c;
+}
+
+TEST(Cache, HitAfterMiss) {
+    fixed_latency_mem lower(10);
+    cache c(small_cache(replacement::lru, write_policy::write_back), lower);
+    const auto first = c.access(0x100, false, 4);
+    EXPECT_FALSE(first.hit);
+    EXPECT_GT(first.latency, 10u);
+    const auto second = c.access(0x104, false, 4);  // same line
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(second.latency, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+    EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+    fixed_latency_mem lower(10);
+    cache c(small_cache(replacement::lru, write_policy::write_back), lower);
+    // Set 0 lines: addresses with identical set index, different tags.
+    const std::uint32_t a = 0x0000;
+    const std::uint32_t b = 0x0080;  // 4 sets * 32B = 128 bytes stride
+    const std::uint32_t d = 0x0100;
+    c.access(a, false, 4);
+    c.access(b, false, 4);
+    c.access(a, false, 4);  // a is now MRU
+    c.access(d, false, 4);  // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, FifoEvictsOldestFill) {
+    fixed_latency_mem lower(10);
+    cache c(small_cache(replacement::fifo, write_policy::write_back), lower);
+    const std::uint32_t a = 0x0000;
+    const std::uint32_t b = 0x0080;
+    const std::uint32_t d = 0x0100;
+    c.access(a, false, 4);
+    c.access(b, false, 4);
+    c.access(a, false, 4);  // reuse does not refresh FIFO stamp
+    c.access(d, false, 4);  // evicts a (oldest fill)
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, WriteBackDefersAndWritesBackDirty) {
+    fixed_latency_mem lower(10);
+    cache c(small_cache(replacement::lru, write_policy::write_back), lower);
+    c.access(0x0000, true, 4);  // miss + fill, marks dirty
+    EXPECT_EQ(c.stats().writebacks, 0u);
+    const auto w2 = c.access(0x0004, true, 4);  // dirty hit: no lower traffic
+    EXPECT_TRUE(w2.hit);
+    EXPECT_EQ(w2.latency, 1u);
+    // Evict the dirty line: two more tags in the same set.
+    c.access(0x0080, false, 4);
+    c.access(0x0100, false, 4);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughAlwaysTouchesLower) {
+    fixed_latency_mem lower(10);
+    cache c(small_cache(replacement::lru, write_policy::write_through), lower);
+    c.access(0x0000, true, 4);
+    const auto w = c.access(0x0004, true, 4);  // hit, but write-through
+    EXPECT_TRUE(w.hit);
+    EXPECT_GT(w.latency, 10u);
+    // Evictions never write back (nothing is dirty).
+    c.access(0x0080, false, 4);
+    c.access(0x0100, false, 4);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+// Parameterized sweep: for every geometry, sequential access of exactly
+// cache-size bytes then re-access gives 100% hits the second time.
+struct geom {
+    std::uint32_t size;
+    std::uint32_t line;
+    std::uint32_t ways;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<geom> {};
+
+TEST_P(CacheGeometry, FitsItsOwnCapacity) {
+    const geom g = GetParam();
+    fixed_latency_mem lower(20);
+    cache_config cfg;
+    cfg.size_bytes = g.size;
+    cfg.line_bytes = g.line;
+    cfg.ways = g.ways;
+    cache c(cfg, lower);
+    for (std::uint32_t a = 0; a < g.size; a += g.line) c.access(a, false, 4);
+    c.reset_stats();
+    for (std::uint32_t a = 0; a < g.size; a += g.line) c.access(a, false, 4);
+    EXPECT_EQ(c.stats().misses, 0u) << "size=" << g.size << " line=" << g.line
+                                    << " ways=" << g.ways;
+    EXPECT_EQ(c.stats().hits, g.size / g.line);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheGeometry,
+                         ::testing::Values(geom{256, 16, 1}, geom{256, 16, 2},
+                                           geom{512, 32, 4}, geom{1024, 32, 8},
+                                           geom{4096, 64, 2}, geom{16384, 32, 32},
+                                           geom{8192, 16, 8}));
+
+TEST(Tlb, HitAfterFillAndLru) {
+    tlb_config cfg;
+    cfg.entries = 2;
+    cfg.page_bits = 12;
+    cfg.miss_penalty = 30;
+    tlb t(cfg);
+    EXPECT_EQ(t.translate(0x1000), 30u);
+    EXPECT_EQ(t.translate(0x1FFF), 0u);  // same page
+    EXPECT_EQ(t.translate(0x2000), 30u);
+    EXPECT_EQ(t.translate(0x1000), 0u);   // refresh LRU
+    EXPECT_EQ(t.translate(0x3000), 30u);  // evicts page 2
+    EXPECT_EQ(t.translate(0x2000), 30u);
+    EXPECT_EQ(t.stats().misses, 4u);
+}
+
+TEST(WriteBuffer, AbsorbsStoresUntilFull) {
+    write_buffer_config cfg;
+    cfg.entries = 2;
+    cfg.drain_cycles = 5;
+    write_buffer wb(cfg);
+    EXPECT_EQ(wb.push_store(), 0u);
+    EXPECT_EQ(wb.push_store(), 0u);
+    EXPECT_TRUE(wb.full());
+    // Third store waits for the head's remaining drain time.
+    EXPECT_EQ(wb.push_store(), 5u);
+    EXPECT_EQ(wb.stats().full_stalls, 1u);
+}
+
+TEST(WriteBuffer, DrainsInBackground) {
+    write_buffer_config cfg;
+    cfg.entries = 2;
+    cfg.drain_cycles = 3;
+    write_buffer wb(cfg);
+    wb.push_store();
+    EXPECT_EQ(wb.occupancy(), 1u);
+    wb.tick();
+    wb.tick();
+    EXPECT_EQ(wb.occupancy(), 1u);
+    wb.tick();  // third tick retires the entry
+    EXPECT_EQ(wb.occupancy(), 0u);
+    EXPECT_EQ(wb.stats().drained, 1u);
+    // A partially drained head shortens the full-stall.
+    wb.push_store();
+    wb.push_store();
+    wb.tick();
+    EXPECT_EQ(wb.push_store(), 2u);
+}
+
+TEST(WriteBuffer, ClearResets) {
+    write_buffer wb;
+    wb.push_store();
+    wb.clear();
+    EXPECT_EQ(wb.occupancy(), 0u);
+    EXPECT_EQ(wb.stats().stores, 0u);
+}
+
+TEST(Bus, ChargesSetupAndBeats) {
+    fixed_latency_mem lower(5);
+    bus_config cfg;
+    cfg.setup_cycles = 3;
+    cfg.bytes_per_cycle = 4;
+    bus b(cfg, lower);
+    EXPECT_EQ(b.access(0, false, 4).latency, 3u + 1u + 5u);
+    EXPECT_EQ(b.access(0, false, 32).latency, 3u + 8u + 5u);
+    EXPECT_EQ(b.stats().transfers, 2u);
+    EXPECT_EQ(b.stats().bytes, 36u);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// SMT model (paper §6): thread-tagged token identifiers, per-thread
+// control hazards, fetch policies, and thread-priority ranking.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+#include "smt/smt.hpp"
+
+namespace {
+
+using namespace osm;
+
+/// Dependent-chain program: heavy RAW stalls on a single thread.
+isa::program_image chain(unsigned length, unsigned seed, std::uint32_t base) {
+    std::string src = "li a0, " + std::to_string(seed) + "\n";
+    for (unsigned i = 0; i < length; ++i) {
+        src += "addi a0, a0, 1\nslli a1, a0, 1\nadd a0, a0, a1\n";
+    }
+    src += "halt\n";
+    return isa::assemble(src, base);
+}
+
+/// Loop program computing sum 1..n (exercises per-thread branches).
+isa::program_image summing(unsigned n, std::uint32_t base) {
+    const std::string src = R"(
+        li a0, 0
+        li a1, 1
+        li a2, )" + std::to_string(n) + R"(
+loop:   add a0, a0, a1
+        addi a1, a1, 1
+        bge a2, a1, loop
+        halt
+    )";
+    return isa::assemble(src, base);
+}
+
+TEST(Smt, ThreadsComputeIndependently) {
+    mem::main_memory m;
+    smt::smt_config cfg;
+    smt::smt_model model(cfg, m);
+    model.load(0, summing(100, 0x1000));
+    model.load(1, summing(50, 0x5000));
+    model.run(1'000'000);
+    EXPECT_TRUE(model.all_done());
+    EXPECT_EQ(model.gpr(0, 4), 5050u);
+    EXPECT_EQ(model.gpr(1, 4), 1275u);
+    // Register files are isolated: thread 0's a1 ran to 101, thread 1's 51.
+    EXPECT_EQ(model.gpr(0, 5), 101u);
+    EXPECT_EQ(model.gpr(1, 5), 51u);
+}
+
+TEST(Smt, MatchesIssPerThread) {
+    const auto p0 = summing(77, 0x1000);
+    const auto p1 = chain(20, 3, 0x5000);
+    mem::main_memory m0, m1, m2;
+    isa::iss r0(m0);
+    r0.load(p0);
+    r0.run();
+    isa::iss r1(m1);
+    r1.load(p1);
+    r1.run();
+
+    smt::smt_config cfg;
+    smt::smt_model model(cfg, m2);
+    model.load(0, p0);
+    model.load(1, p1);
+    model.run(1'000'000);
+    for (unsigned r = 0; r < 32; ++r) {
+        EXPECT_EQ(model.gpr(0, r), r0.state().gpr[r]) << "t0 x" << r;
+        EXPECT_EQ(model.gpr(1, r), r1.state().gpr[r]) << "t1 x" << r;
+    }
+    EXPECT_EQ(model.stats().retired[0], r0.instret());
+    EXPECT_EQ(model.stats().retired[1], r1.instret());
+}
+
+TEST(Smt, SecondThreadHidesStalls) {
+    // One stall-bound thread alone vs two of them interleaved: total IPC
+    // should roughly double (the SMT pitch).
+    mem::main_memory m_solo, m_smt;
+    smt::smt_config cfg;
+    smt::smt_model solo(cfg, m_solo);
+    solo.load(0, chain(40, 1, 0x1000));
+    solo.run(1'000'000);
+
+    smt::smt_model both(cfg, m_smt);
+    both.load(0, chain(40, 1, 0x1000));
+    both.load(1, chain(40, 2, 0x5000));
+    both.run(1'000'000);
+
+    EXPECT_GT(both.stats().ipc(), solo.stats().ipc() * 1.6);
+}
+
+TEST(Smt, RoundRobinIsFair) {
+    mem::main_memory m;
+    smt::smt_config cfg;
+    cfg.policy = smt::fetch_policy::round_robin;
+    smt::smt_model model(cfg, m);
+    model.load(0, chain(40, 1, 0x1000));
+    model.load(1, chain(40, 2, 0x5000));
+    model.run(1'000'000);
+    const auto& st = model.stats();
+    // Identical programs, alternating fetch: equal retirement.
+    EXPECT_EQ(st.retired[0], st.retired[1]);
+}
+
+TEST(Smt, PriorityThreadFinishesFirst) {
+    // With a foreground thread, its program should complete in fewer cycles
+    // than under fair scheduling, at the background thread's expense.
+    const auto prog0 = chain(40, 1, 0x1000);
+    const auto prog1 = chain(40, 2, 0x5000);
+
+    const auto cycles_until_t0_done = [&](int priority) {
+        mem::main_memory m;
+        smt::smt_config cfg;
+        cfg.priority_thread = priority;
+        smt::smt_model model(cfg, m);
+        model.load(0, prog0);
+        model.load(1, prog1);
+        std::uint64_t cycles = 0;
+        while (!model.thread_done(0) && cycles < 100000) {
+            model.run(1);
+            ++cycles;
+        }
+        return cycles;
+    };
+    const auto fair = cycles_until_t0_done(-1);
+    const auto boosted = cycles_until_t0_done(0);
+    EXPECT_LE(boosted, fair);
+}
+
+TEST(Smt, IcountPolicyRunsBothThreads) {
+    mem::main_memory m;
+    smt::smt_config cfg;
+    cfg.policy = smt::fetch_policy::icount;
+    smt::smt_model model(cfg, m);
+    model.load(0, summing(60, 0x1000));
+    model.load(1, chain(25, 5, 0x5000));
+    model.run(1'000'000);
+    EXPECT_TRUE(model.all_done());
+    EXPECT_GT(model.stats().retired[0], 0u);
+    EXPECT_GT(model.stats().retired[1], 0u);
+    EXPECT_EQ(model.gpr(0, 4), 1830u);
+}
+
+TEST(Smt, FourThreads) {
+    mem::main_memory m;
+    smt::smt_config cfg;
+    cfg.threads = 4;
+    cfg.num_osms = 12;
+    smt::smt_model model(cfg, m);
+    for (unsigned t = 0; t < 4; ++t) {
+        model.load(t, summing(10 * (t + 1), 0x1000 + t * 0x4000));
+    }
+    model.run(1'000'000);
+    EXPECT_TRUE(model.all_done());
+    EXPECT_EQ(model.gpr(0, 4), 55u);
+    EXPECT_EQ(model.gpr(1, 4), 210u);
+    EXPECT_EQ(model.gpr(2, 4), 465u);
+    EXPECT_EQ(model.gpr(3, 4), 820u);
+}
+
+TEST(Smt, SingleThreadDegeneratesGracefully) {
+    mem::main_memory m;
+    smt::smt_config cfg;
+    cfg.threads = 1;
+    smt::smt_model model(cfg, m);
+    model.load(0, summing(30, 0x1000));
+    model.run(1'000'000);
+    EXPECT_TRUE(model.all_done());
+    EXPECT_EQ(model.gpr(0, 4), 465u);
+}
+
+TEST(Smt, ConsoleInterleavesByRetirement) {
+    mem::main_memory m;
+    smt::smt_config cfg;
+    smt::smt_model model(cfg, m);
+    model.load(0, isa::assemble("li a0, 65\nsyscall 1\nsyscall 0\n", 0x1000));
+    model.load(1, isa::assemble("li a0, 66\nsyscall 1\nsyscall 0\n", 0x5000));
+    model.run(100000);
+    // Both characters appear exactly once, order depends on interleaving.
+    const std::string c = model.console();
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_NE(c.find('A'), std::string::npos);
+    EXPECT_NE(c.find('B'), std::string::npos);
+}
+
+}  // namespace

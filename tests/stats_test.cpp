@@ -1,0 +1,122 @@
+// Statistics module: histograms, report serialization, and the model
+// report integration (stall attribution, queue occupancy).
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+#include "stats/stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace osm;
+
+TEST(Histogram, CountsAndClamps) {
+    stats::histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(1);
+    h.add(99);  // clamps into bucket 3
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 1 + 3) / 4.0);
+}
+
+TEST(Histogram, Percentiles) {
+    stats::histogram h(10);
+    for (int i = 0; i < 90; ++i) h.add(2);
+    for (int i = 0; i < 10; ++i) h.add(7);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(0.89), 2u);
+    EXPECT_EQ(h.percentile(0.99), 7u);
+    EXPECT_EQ(stats::histogram(5).percentile(0.5), 0u);  // empty
+}
+
+TEST(Histogram, ClearResets) {
+    stats::histogram h(4);
+    h.add(3);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Report, JsonIsStableAndTyped) {
+    stats::report r;
+    r.put("b_section", "zeta", 7.5);
+    r.put("a_section", "count", std::uint64_t{42});
+    r.put("a_section", "name", std::string("x"));
+    const std::string json = r.to_json();
+    // Sections and keys render sorted, values typed.
+    EXPECT_LT(json.find("a_section"), json.find("b_section"));
+    EXPECT_NE(json.find("\"count\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"x\""), std::string::npos);
+    EXPECT_NE(json.find("\"zeta\": 7.5"), std::string::npos);
+    EXPECT_EQ(std::get<std::uint64_t>(r.at("a_section", "count")), 42u);
+    EXPECT_THROW(r.at("missing", "key"), std::out_of_range);
+}
+
+TEST(Report, HistogramExpansion) {
+    stats::report r;
+    stats::histogram h(4);
+    h.add(1);
+    h.add(3);
+    r.put("q", "occ", h);
+    EXPECT_EQ(std::get<std::uint64_t>(r.at("q", "occ.samples")), 2u);
+    EXPECT_EQ(std::get<std::uint64_t>(r.at("q", "occ.p99")), 3u);
+}
+
+TEST(ModelReports, SarmStallAttribution) {
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    const auto w = workloads::make_gsm_dec(1);
+    model.load(w.image);
+    model.run(2'000'000'000ull);
+    const auto r = model.make_report();
+    EXPECT_EQ(std::get<std::uint64_t>(r.at("run", "cycles")), model.stats().cycles);
+    // The multiply-heavy GSM kernel must show execute-hold stalls.
+    EXPECT_GT(std::get<std::uint64_t>(r.at("stalls", "exec_hold_cycles")), 1000u);
+    // Stall attributions cannot exceed total cycles individually.
+    for (const char* k : {"fetch_hold_cycles", "mem_hold_cycles", "exec_hold_cycles"}) {
+        EXPECT_LE(std::get<std::uint64_t>(r.at("stalls", k)), model.stats().cycles) << k;
+    }
+    EXPECT_NE(r.to_json().find("\"ipc\""), std::string::npos);
+}
+
+TEST(ModelReports, P750QueueOccupancy) {
+    mem::main_memory m;
+    ppc750::p750_model model(ppc750::p750_config{}, m);
+    const auto w = workloads::make_g721_enc(1);
+    model.load(w.image);
+    model.run(2'000'000'000ull);
+    // Occupancy sampled once per cycle.
+    EXPECT_EQ(model.fq_occupancy().total(), model.stats().cycles);
+    EXPECT_EQ(model.cq_occupancy().total(), model.stats().cycles);
+    // Queues hold at most their capacity (6) — buckets 7 must be empty.
+    EXPECT_EQ(model.fq_occupancy().count(7), 0u);
+    EXPECT_EQ(model.cq_occupancy().count(7), 0u);
+    // The machine actually used its queues.
+    EXPECT_GT(model.cq_occupancy().mean(), 0.5);
+    const auto r = model.make_report();
+    EXPECT_GT(std::get<double>(r.at("queues", "cq_occupancy.mean")), 0.0);
+}
+
+TEST(ModelReports, ForwardingAblationVisibleInStalls) {
+    const auto w = workloads::make_gsm_dec(1);
+    std::uint64_t cycles[2];
+    for (int fwd = 0; fwd < 2; ++fwd) {
+        mem::main_memory m;
+        sarm::sarm_config cfg;
+        cfg.forwarding = fwd != 0;
+        sarm::sarm_model model(cfg, m);
+        model.load(w.image);
+        model.run(2'000'000'000ull);
+        cycles[fwd] = model.stats().cycles;
+    }
+    EXPECT_LT(cycles[1], cycles[0]);
+}
+
+}  // namespace

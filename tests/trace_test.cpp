@@ -1,0 +1,111 @@
+// Trace/observability: pipeline tracer sampling, transition log through
+// the director observer, and image (de)serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "isa/image_io.hpp"
+#include "mem/main_memory.hpp"
+#include "sarm/sarm.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace osm;
+
+TEST(PipelineTracer, SamplesEveryCycle) {
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    trace::pipeline_tracer tracer(model.dir(), model.kernel(), 10000);
+    tracer.start();
+    model.load(isa::assemble("li a0, 1\nli a1, 2\nadd a2, a0, a1\nhalt\n"));
+    model.run(1000);
+    EXPECT_EQ(tracer.cycles(), model.stats().cycles);
+    const std::string chart = tracer.render();
+    EXPECT_NE(chart.find("op0"), std::string::npos);
+    // Every pipeline stage letter appears somewhere in the chart.
+    for (const char stage : {'F', 'D', 'E', 'B', 'W'}) {
+        EXPECT_NE(chart.find(stage), std::string::npos) << stage;
+    }
+}
+
+TEST(PipelineTracer, StartStopBoundsSamples) {
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    trace::pipeline_tracer tracer(model.dir(), model.kernel(), 10000);
+    model.load(isa::assemble("li a0, 1\nhalt\n"));
+    model.run(1000);  // tracer not started
+    EXPECT_EQ(tracer.cycles(), 0u);
+}
+
+TEST(PipelineTracer, CapacityCap) {
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    trace::pipeline_tracer tracer(model.dir(), model.kernel(), /*max_cycles=*/8);
+    tracer.start();
+    model.load(isa::assemble("li a0, 0\nli a1, 100\nloop: addi a0, a0, 1\nblt a0, a1, loop\nhalt\n"));
+    model.run(100000);
+    EXPECT_EQ(tracer.cycles(), 8u);
+}
+
+TEST(TransitionLog, RecordsCommittedTransitions) {
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    trace::transition_log log(model.dir());
+    model.load(isa::assemble("li a0, 1\nli a1, 2\nhalt\n"));
+    model.run(10000);
+    EXPECT_GT(log.total_transitions(), 0u);
+    // Each retired instruction passed W once; 3 instructions retired plus
+    // the serialized halt refetches.
+    EXPECT_GE(log.count("W", "I"), 3u);
+    EXPECT_GE(log.count("I", "F"), 3u);
+    EXPECT_EQ(log.count("I", "W"), 0u) << "no such edge exists";
+}
+
+TEST(TransitionLog, FilterSelects) {
+    mem::main_memory m;
+    sarm::sarm_model model(sarm::sarm_config{}, m);
+    trace::transition_log log(model.dir(), [](const core::osm&, const core::graph_edge& e) {
+        return e.to == 0;  // only edges into state I
+    });
+    model.load(isa::assemble("li a0, 1\nhalt\n"));
+    model.run(10000);
+    for (const auto& r : log.records()) EXPECT_EQ(r.to, "I");
+    EXPECT_LT(log.records().size(), log.total_transitions());
+}
+
+TEST(ImageIo, RoundTripsThroughDisk) {
+    const auto img = isa::assemble(R"(
+        .data 0x9000
+tab:    .word 0xDEADBEEF, 2, 3
+        .text
+        li a0, 7
+        halt
+    )");
+    const std::string path = ::testing::TempDir() + "/roundtrip.vri";
+    isa::save_image(path, img);
+    const auto back = isa::load_image(path);
+    EXPECT_EQ(back.entry, img.entry);
+    ASSERT_EQ(back.segments.size(), img.segments.size());
+    for (std::size_t i = 0; i < img.segments.size(); ++i) {
+        EXPECT_EQ(back.segments[i].base, img.segments[i].base);
+        EXPECT_EQ(back.segments[i].bytes, img.segments[i].bytes);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsGarbage) {
+    const std::string path = ::testing::TempDir() + "/garbage.vri";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not an image", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(isa::load_image(path), std::runtime_error);
+    EXPECT_THROW(isa::load_image(path + ".missing"), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+}  // namespace

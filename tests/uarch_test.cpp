@@ -1,0 +1,275 @@
+// Micro-architecture component library: scoreboarded register file,
+// rename buffers, in-order queues, reset manager, branch predictors.
+#include <gtest/gtest.h>
+
+#include "core/osm.hpp"
+#include "core/osm_graph.hpp"
+#include "uarch/inorder_queue.hpp"
+#include "uarch/predictor.hpp"
+#include "uarch/register_file.hpp"
+#include "uarch/rename.hpp"
+#include "uarch/reset.hpp"
+
+namespace {
+
+using namespace osm;
+using osm_t = osm::core::osm;
+
+using core::osm_graph;
+using uarch::reg_update_ident;
+using uarch::reg_value_ident;
+
+struct fixture {
+    osm_graph g{"f"};
+    fixture() {
+        g.add_state("I");
+        g.finalize();
+    }
+};
+
+TEST(RegisterFile, ScoreboardBlocksReadersUntilRelease) {
+    fixture f;
+    osm_t w(f.g, "w");
+    osm_t r(f.g, "r");
+    uarch::register_file_manager rf("rf", 32, true, /*forwarding=*/false);
+
+    EXPECT_TRUE(rf.inquire(reg_value_ident(5), r));
+    EXPECT_TRUE(rf.can_allocate(reg_update_ident(5), w));
+    rf.do_allocate(reg_update_ident(5), w);
+    EXPECT_FALSE(rf.inquire(reg_value_ident(5), r));  // pending writer
+    EXPECT_FALSE(rf.can_allocate(reg_update_ident(5), r));  // single writer
+
+    rf.publish(5, 77);
+    EXPECT_FALSE(rf.inquire(reg_value_ident(5), r));  // no forwarding
+    EXPECT_TRUE(rf.can_release(reg_update_ident(5), w));
+    rf.do_release(reg_update_ident(5), w);
+    EXPECT_TRUE(rf.inquire(reg_value_ident(5), r));
+    EXPECT_EQ(rf.arch_read(5), 77u);
+    EXPECT_EQ(rf.read(5), 77u);
+}
+
+TEST(RegisterFile, ForwardingBypassesAfterPublish) {
+    fixture f;
+    osm_t w(f.g, "w");
+    osm_t r(f.g, "r");
+    uarch::register_file_manager rf("rf", 32, true, /*forwarding=*/true);
+    rf.do_allocate(reg_update_ident(9), w);
+    EXPECT_FALSE(rf.inquire(reg_value_ident(9), r));
+    rf.publish(9, 123);
+    EXPECT_TRUE(rf.inquire(reg_value_ident(9), r));  // bypass network
+    EXPECT_EQ(rf.read(9), 123u);
+    EXPECT_EQ(rf.arch_read(9), 0u);  // not yet committed
+}
+
+TEST(RegisterFile, X0IsImmutable) {
+    fixture f;
+    osm_t w(f.g, "w");
+    uarch::register_file_manager rf("rf", 32, true, true);
+    EXPECT_TRUE(rf.can_allocate(reg_update_ident(0), w));  // never conflicts
+    rf.do_allocate(reg_update_ident(0), w);
+    rf.publish(0, 55);
+    rf.do_release(reg_update_ident(0), w);
+    EXPECT_EQ(rf.arch_read(0), 0u);
+    EXPECT_EQ(rf.read(0), 0u);
+}
+
+TEST(RegisterFile, DiscardDropsPendingUpdate) {
+    fixture f;
+    osm_t w(f.g, "w");
+    osm_t r(f.g, "r");
+    uarch::register_file_manager rf("rf", 32, true, true);
+    rf.do_allocate(reg_update_ident(3), w);
+    rf.publish(3, 99);
+    rf.discard(reg_update_ident(3), w);
+    EXPECT_TRUE(rf.inquire(reg_value_ident(3), r));
+    EXPECT_EQ(rf.arch_read(3), 0u);  // squashed, never committed
+}
+
+TEST(Rename, CaptureTracksSpecificProducer) {
+    fixture f;
+    osm_t w1(f.g, "w1");
+    osm_t w2(f.g, "w2");
+    osm_t r(f.g, "r");
+    uarch::rename_manager rn("rn", 32, 4, true);
+
+    rn.do_allocate(reg_update_ident(7), w1);
+    const auto dep = rn.capture(7, &r);
+    EXPECT_TRUE(uarch::rename_manager::ident_is_entry(dep));
+    EXPECT_FALSE(rn.inquire(dep, r));
+
+    // A *younger* writer dispatches; the captured dependency is unaffected.
+    rn.do_allocate(reg_update_ident(7), w2);
+    rn.publish(7, w2, 222);
+    EXPECT_FALSE(rn.inquire(dep, r)) << "captured producer not yet published";
+
+    rn.publish(7, w1, 111);
+    EXPECT_TRUE(rn.inquire(dep, r));
+    EXPECT_EQ(rn.read(dep, 7, &r), 111u) << "must read w1's value, not w2's";
+}
+
+TEST(Rename, ArchFinalCaptureIgnoresLaterWriters) {
+    fixture f;
+    osm_t w(f.g, "w");
+    osm_t r(f.g, "r");
+    uarch::rename_manager rn("rn", 32, 4, true);
+    rn.arch_write(6, 42);
+
+    const auto dep = rn.capture(6, &r);  // no outstanding writer
+    EXPECT_TRUE(rn.inquire(dep, r));
+    // A younger writer appears and even publishes.
+    rn.do_allocate(reg_update_ident(6), w);
+    rn.publish(6, w, 1000);
+    EXPECT_TRUE(rn.inquire(dep, r));
+    EXPECT_EQ(rn.read(dep, 6, &r), 42u) << "arch-final capture must not see w";
+}
+
+TEST(Rename, InOrderCommitPerRegister) {
+    fixture f;
+    osm_t w1(f.g, "w1");
+    osm_t w2(f.g, "w2");
+    uarch::rename_manager rn("rn", 32, 4, true);
+    rn.do_allocate(reg_update_ident(4), w1);
+    rn.do_allocate(reg_update_ident(4), w2);
+    rn.publish(4, w1, 10);
+    rn.publish(4, w2, 20);
+    EXPECT_FALSE(rn.can_release(reg_update_ident(4), w2)) << "w2 is younger";
+    EXPECT_TRUE(rn.can_release(reg_update_ident(4), w1));
+    rn.do_release(reg_update_ident(4), w1);
+    EXPECT_EQ(rn.arch_read(4), 10u);
+    EXPECT_TRUE(rn.can_release(reg_update_ident(4), w2));
+    rn.do_release(reg_update_ident(4), w2);
+    EXPECT_EQ(rn.arch_read(4), 20u);
+}
+
+TEST(Rename, PoolExhaustionBlocksAllocate) {
+    fixture f;
+    osm_t w1(f.g, "w1");
+    osm_t w2(f.g, "w2");
+    osm_t w3(f.g, "w3");
+    uarch::rename_manager rn("rn", 32, 2, true);
+    rn.do_allocate(reg_update_ident(1), w1);
+    rn.do_allocate(reg_update_ident(2), w2);
+    EXPECT_FALSE(rn.can_allocate(reg_update_ident(3), w3));
+    EXPECT_EQ(rn.buffers_in_use(), 2u);
+    rn.do_release(reg_update_ident(1), w1);
+    EXPECT_TRUE(rn.can_allocate(reg_update_ident(3), w3));
+}
+
+TEST(Rename, SquashDiscardRestoresOlderValue) {
+    fixture f;
+    osm_t w1(f.g, "w1");
+    osm_t w2(f.g, "w2");
+    osm_t r(f.g, "r");
+    uarch::rename_manager rn("rn", 32, 4, true);
+    rn.do_allocate(reg_update_ident(8), w1);
+    rn.publish(8, w1, 5);
+    rn.do_allocate(reg_update_ident(8), w2);
+    rn.publish(8, w2, 6);
+    // Squash the younger writer.
+    rn.discard(reg_update_ident(8), w2);
+    const auto dep = rn.capture(8, &r);
+    EXPECT_TRUE(rn.inquire(dep, r));
+    EXPECT_EQ(rn.read(dep, 8, &r), 5u);
+    EXPECT_EQ(rn.writers_of(8), 1u);
+}
+
+TEST(InorderQueue, HeadOnlyReleaseAndBandwidth) {
+    fixture f;
+    osm_t a(f.g, "a");
+    osm_t b(f.g, "b");
+    osm_t c(f.g, "c");
+    uarch::inorder_queue_manager q("q", 4, /*alloc_bw=*/2, /*release_bw=*/1);
+
+    EXPECT_TRUE(q.can_allocate(0, a));
+    q.do_allocate(0, a);
+    q.do_allocate(0, b);
+    EXPECT_FALSE(q.can_allocate(0, c)) << "alloc bandwidth spent";
+    q.tick();
+    q.do_allocate(0, c);
+    EXPECT_EQ(q.size(), 3u);
+
+    EXPECT_FALSE(q.can_release(0, b)) << "not the head";
+    EXPECT_TRUE(q.can_release(0, a));
+    q.do_release(0, a);
+    EXPECT_FALSE(q.can_release(0, b)) << "release bandwidth spent";
+    q.tick();
+    EXPECT_TRUE(q.can_release(0, b));
+    EXPECT_EQ(q.position_of(c), 1);
+}
+
+TEST(InorderQueue, DiscardRemovesFromMiddle) {
+    fixture f;
+    osm_t a(f.g, "a");
+    osm_t b(f.g, "b");
+    osm_t c(f.g, "c");
+    uarch::inorder_queue_manager q("q", 4);
+    q.do_allocate(0, a);
+    q.do_allocate(0, b);
+    q.do_allocate(0, c);
+    q.discard(0, b);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.head(), &a);
+    EXPECT_EQ(q.position_of(c), 1);
+}
+
+TEST(InorderQueue, AllocBlackout) {
+    fixture f;
+    osm_t a(f.g, "a");
+    uarch::inorder_queue_manager q("q", 4);
+    q.block_alloc_for(2);
+    EXPECT_FALSE(q.can_allocate(0, a));
+    q.tick();
+    EXPECT_FALSE(q.can_allocate(0, a));
+    q.tick();
+    EXPECT_TRUE(q.can_allocate(0, a));
+}
+
+TEST(ResetManager, OnlyVictimsPassInquiry) {
+    fixture f;
+    osm_t normal(f.g, "normal");
+    osm_t victim(f.g, "victim");
+    uarch::reset_manager rm("rm");
+    EXPECT_FALSE(rm.inquire(0, victim)) << "disarmed: reject everyone";
+    rm.arm([&](const osm_t& m) { return &m == &victim; });
+    EXPECT_FALSE(rm.inquire(0, normal));
+    EXPECT_TRUE(rm.inquire(0, victim));
+    EXPECT_EQ(rm.kills(), 1u);
+    rm.disarm();
+    EXPECT_FALSE(rm.inquire(0, victim));
+}
+
+TEST(Bht, SaturatingCountersLearn) {
+    uarch::bht b(16);
+    const std::uint32_t pc = 0x1000;
+    EXPECT_FALSE(b.predict(pc));  // weakly not-taken
+    b.update(pc, true);
+    EXPECT_TRUE(b.predict(pc));
+    b.update(pc, true);
+    b.update(pc, true);  // saturate
+    b.update(pc, false);
+    EXPECT_TRUE(b.predict(pc)) << "one not-taken should not flip a strong counter";
+    b.update(pc, false);
+    b.update(pc, false);
+    EXPECT_FALSE(b.predict(pc));
+}
+
+TEST(Bht, IndexingSeparatesBranches) {
+    uarch::bht b(16);
+    b.update(0x1000, true);
+    b.update(0x1000, true);
+    EXPECT_TRUE(b.predict(0x1000));
+    EXPECT_FALSE(b.predict(0x1004)) << "different slot";
+}
+
+TEST(Btic, TagsPreventAliasedHits) {
+    uarch::btic t(16);
+    EXPECT_FALSE(t.lookup(0x1000).has_value());
+    t.insert(0x1000, 0x2000);
+    EXPECT_EQ(t.lookup(0x1000).value(), 0x2000u);
+    // Same index (16 entries * 4B granuarity = 64B stride), different tag.
+    EXPECT_FALSE(t.lookup(0x1040).has_value());
+    t.insert(0x1040, 0x3000);
+    EXPECT_FALSE(t.lookup(0x1000).has_value()) << "direct-mapped eviction";
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Workload generators: every surrogate benchmark terminates, has the
+// expected dynamic character, and is bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+#include "workloads/randprog.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace osm;
+using workloads::workload;
+
+struct profile {
+    std::uint64_t instret = 0;
+    std::uint64_t mul_div = 0;
+    std::uint64_t mem = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t fp = 0;
+    bool halted = false;
+};
+
+profile profile_workload(const workload& w) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    sim.load(w.image);
+    profile p;
+    while (!sim.state().halted && p.instret < 50'000'000) {
+        const auto di = isa::decode(m.read32(sim.state().pc));
+        if (isa::is_mul_div(di.code)) ++p.mul_div;
+        if (isa::is_mem(di.code)) ++p.mem;
+        if (isa::is_branch(di.code)) ++p.branches;
+        if (isa::is_fp(di.code)) ++p.fp;
+        if (!sim.step()) break;
+        ++p.instret;
+    }
+    p.halted = sim.state().halted;
+    return p;
+}
+
+class MediabenchSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(MediabenchSuite, TerminatesWithExpectedSize) {
+    const auto suite = workloads::mediabench_suite(1);
+    const workload& w = suite[static_cast<std::size_t>(GetParam())];
+    const profile p = profile_workload(w);
+    EXPECT_TRUE(p.halted) << w.name;
+    EXPECT_GT(p.instret, 100'000u) << w.name;
+    EXPECT_LT(p.instret, 20'000'000u) << w.name;
+    EXPECT_GT(p.branches, 1000u) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, MediabenchSuite, ::testing::Range(0, 6));
+
+TEST(Workloads, GsmIsMultiplyHeavy) {
+    const profile p = profile_workload(workloads::make_gsm_dec(1));
+    EXPECT_GT(static_cast<double>(p.mul_div) / static_cast<double>(p.instret), 0.03);
+}
+
+TEST(Workloads, G721IsBranchHeavy) {
+    const profile p = profile_workload(workloads::make_g721_enc(1));
+    EXPECT_GT(static_cast<double>(p.branches) / static_cast<double>(p.instret), 0.10);
+}
+
+TEST(Workloads, Mpeg2IsMemoryHeavy) {
+    const profile p = profile_workload(workloads::make_mpeg2_dec(1));
+    EXPECT_GT(static_cast<double>(p.mem) / static_cast<double>(p.instret), 0.08);
+}
+
+TEST(Workloads, FpKernelUsesFpu) {
+    const profile p = profile_workload(workloads::make_fp_kernel(1));
+    EXPECT_GT(p.fp, 10'000u);
+}
+
+TEST(Workloads, SpecMixTerminates) {
+    for (const auto& w :
+         {workloads::make_compress(1), workloads::make_dijkstra(1), workloads::make_sort(1),
+          workloads::make_crc32(1), workloads::make_fft(1), workloads::make_strsearch(1)}) {
+        const profile p = profile_workload(w);
+        EXPECT_TRUE(p.halted) << w.name;
+        EXPECT_GT(p.instret, 50'000u) << w.name;
+    }
+}
+
+TEST(Workloads, Crc32IsShiftXorLoadHeavy) {
+    const profile p = profile_workload(workloads::make_crc32(1));
+    EXPECT_GT(static_cast<double>(p.mem) / static_cast<double>(p.instret), 0.10);
+    EXPECT_LT(static_cast<double>(p.mul_div) / static_cast<double>(p.instret), 0.01);
+}
+
+TEST(Workloads, FftMixesMultiplyAndMemory) {
+    const profile p = profile_workload(workloads::make_fft(1));
+    EXPECT_GT(static_cast<double>(p.mul_div) / static_cast<double>(p.instret), 0.02);
+    EXPECT_GT(static_cast<double>(p.mem) / static_cast<double>(p.instret), 0.10);
+}
+
+TEST(Workloads, StrsearchIsBranchy) {
+    const profile p = profile_workload(workloads::make_strsearch(1));
+    EXPECT_GT(static_cast<double>(p.branches) / static_cast<double>(p.instret), 0.15);
+}
+
+TEST(Workloads, ScaleGrowsWork) {
+    const profile p1 = profile_workload(workloads::make_gsm_dec(1));
+    const profile p2 = profile_workload(workloads::make_gsm_dec(2));
+    EXPECT_GT(p2.instret, p1.instret + p1.instret / 2);
+}
+
+TEST(Workloads, DeterministicImages) {
+    const auto a = workloads::make_mpeg2_enc(1);
+    const auto b = workloads::make_mpeg2_enc(1);
+    ASSERT_EQ(a.image.segments.size(), b.image.segments.size());
+    for (std::size_t i = 0; i < a.image.segments.size(); ++i) {
+        EXPECT_EQ(a.image.segments[i].bytes, b.image.segments[i].bytes);
+    }
+}
+
+class RandProg : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandProg, AlwaysTerminatesAndChecksums) {
+    workloads::randprog_options opt;
+    opt.seed = static_cast<std::uint64_t>(GetParam()) * 1337 + 1;
+    opt.with_fp = (GetParam() % 3 == 0);
+    const auto img = workloads::make_random_program(opt);
+    mem::main_memory m;
+    isa::iss sim(m);
+    sim.load(img);
+    sim.run(5'000'000);
+    EXPECT_TRUE(sim.state().halted) << "seed " << opt.seed;
+    EXPECT_FALSE(sim.host().console().empty()) << "checksum must be printed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandProg, ::testing::Range(0, 25));
+
+TEST(RandProg, DifferentSeedsDiffer) {
+    workloads::randprog_options a;
+    a.seed = 1;
+    workloads::randprog_options b;
+    b.seed = 2;
+    mem::main_memory ma, mb;
+    isa::iss sa(ma), sb(mb);
+    sa.load(workloads::make_random_program(a));
+    sb.load(workloads::make_random_program(b));
+    sa.run(5'000'000);
+    sb.run(5'000'000);
+    EXPECT_NE(sa.host().console(), sb.host().console());
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// osm-as: assemble a VR32 assembly file into a VRI image.
+//
+//   osm-as input.s [-o output.vri] [--text-base ADDR] [--data-base ADDR]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "isa/image_io.hpp"
+
+namespace {
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: osm-as input.s [-o output.vri] [--text-base ADDR] "
+                 "[--data-base ADDR]\n");
+    std::exit(2);
+}
+
+std::uint32_t parse_addr(const char* s) {
+    return static_cast<std::uint32_t>(std::strtoul(s, nullptr, 0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string input;
+    std::string output;
+    std::uint32_t text_base = 0x1000;
+    std::uint32_t data_base = 0x00100000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--text-base" && i + 1 < argc) {
+            text_base = parse_addr(argv[++i]);
+        } else if (arg == "--data-base" && i + 1 < argc) {
+            data_base = parse_addr(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            usage();
+        }
+    }
+    if (input.empty()) usage();
+    if (output.empty()) {
+        output = input;
+        const auto dot = output.rfind('.');
+        if (dot != std::string::npos) output.resize(dot);
+        output += ".vri";
+    }
+
+    std::ifstream in(input);
+    if (!in) {
+        std::fprintf(stderr, "osm-as: cannot open %s\n", input.c_str());
+        return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    try {
+        const auto img = osm::isa::assemble(src.str(), text_base, data_base);
+        osm::isa::save_image(output, img);
+        std::printf("osm-as: %s -> %s (%zu bytes, entry 0x%X)\n", input.c_str(),
+                    output.c_str(), img.total_bytes(), img.entry);
+    } catch (const osm::isa::asm_error& e) {
+        std::fprintf(stderr, "osm-as: %s: %s\n", input.c_str(), e.what());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "osm-as: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+// osm-dis: disassemble a VRI image.
+//
+//   osm-dis image.vri [--all]    (default: the segment containing entry)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/image_io.hpp"
+
+int main(int argc, char** argv) {
+    std::string input;
+    bool all = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--all") == 0) {
+            all = true;
+        } else if (input.empty()) {
+            input = argv[i];
+        } else {
+            std::fprintf(stderr, "usage: osm-dis image.vri [--all]\n");
+            return 2;
+        }
+    }
+    if (input.empty()) {
+        std::fprintf(stderr, "usage: osm-dis image.vri [--all]\n");
+        return 2;
+    }
+
+    try {
+        const auto img = osm::isa::load_image(input);
+        std::printf("; %s  entry=0x%X  segments=%zu\n", input.c_str(), img.entry,
+                    img.segments.size());
+        for (const auto& seg : img.segments) {
+            const bool is_text =
+                img.entry >= seg.base && img.entry < seg.base + seg.bytes.size();
+            if (!is_text && !all) continue;
+            std::printf("\n; segment 0x%08X..0x%08zX%s\n", seg.base,
+                        seg.base + seg.bytes.size(), is_text ? " (text)" : "");
+            for (std::size_t off = 0; off + 4 <= seg.bytes.size(); off += 4) {
+                const std::uint32_t w =
+                    static_cast<std::uint32_t>(seg.bytes[off]) |
+                    static_cast<std::uint32_t>(seg.bytes[off + 1]) << 8 |
+                    static_cast<std::uint32_t>(seg.bytes[off + 2]) << 16 |
+                    static_cast<std::uint32_t>(seg.bytes[off + 3]) << 24;
+                const auto pc = seg.base + static_cast<std::uint32_t>(off);
+                const auto di = osm::isa::decode(w);
+                std::printf("%08X:  %08X  %s\n", pc, w,
+                            osm::isa::disassemble(di, pc).c_str());
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "osm-dis: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

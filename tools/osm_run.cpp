@@ -1,0 +1,170 @@
+// osm-run: execute a VR32 program (assembly or VRI image) on any of the
+// framework's execution engines.
+//
+//   osm-run prog.s|prog.vri [--engine iss|sarm|hw|p750|port]
+//           [--max-cycles N] [--trace] [--regs] [--json] [--no-forwarding]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "baseline/hardwired_sarm.hpp"
+#include "baseline/port_ppc.hpp"
+#include "isa/arch.hpp"
+#include "isa/assembler.hpp"
+#include "isa/image_io.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+#include "trace/trace.hpp"
+
+using namespace osm;
+
+namespace {
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: osm-run prog.s|prog.vri [--engine iss|sarm|hw|p750|port]\n"
+                 "               [--max-cycles N] [--trace] [--regs] [--json] "
+                 "[--no-forwarding]\n");
+    std::exit(2);
+}
+
+void dump_regs(const std::function<std::uint32_t(unsigned)>& gpr) {
+    for (unsigned r = 0; r < isa::num_gprs; ++r) {
+        std::printf("%5s=%08X%s", std::string(isa::gpr_name(r)).c_str(), gpr(r),
+                    (r % 4 == 3) ? "\n" : "  ");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string input;
+    std::string engine = "sarm";
+    std::uint64_t max_cycles = 2'000'000'000ull;
+    bool want_trace = false;
+    bool want_regs = false;
+    bool want_json = false;
+    bool forwarding = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) engine = argv[++i];
+        else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::strtoull(argv[++i], nullptr, 0);
+        else if (arg == "--trace") want_trace = true;
+        else if (arg == "--json") want_json = true;
+        else if (arg == "--regs") want_regs = true;
+        else if (arg == "--no-forwarding") forwarding = false;
+        else if (!arg.empty() && arg[0] == '-') usage();
+        else if (input.empty()) input = arg;
+        else usage();
+    }
+    if (input.empty()) usage();
+
+    isa::program_image img;
+    try {
+        if (input.size() > 4 && input.substr(input.size() - 4) == ".vri") {
+            img = isa::load_image(input);
+        } else {
+            std::ifstream in(input);
+            if (!in) throw std::runtime_error("cannot open " + input);
+            std::ostringstream src;
+            src << in.rdbuf();
+            img = isa::assemble(src.str());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "osm-run: %s\n", e.what());
+        return 1;
+    }
+
+    mem::main_memory memory;
+    if (engine == "iss") {
+        isa::iss sim(memory);
+        sim.load(img);
+        sim.run(max_cycles);
+        std::printf("%s", sim.host().console().c_str());
+        std::printf("[iss] retired=%llu halted=%d\n",
+                    static_cast<unsigned long long>(sim.instret()),
+                    sim.state().halted);
+        if (want_regs) dump_regs([&](unsigned r) { return sim.state().gpr[r]; });
+        return sim.state().halted ? 0 : 3;
+    }
+    if (engine == "sarm" || engine == "hw") {
+        sarm::sarm_config cfg;
+        cfg.forwarding = forwarding;
+        if (engine == "hw") {
+            baseline::hardwired_sarm sim(cfg, memory);
+            sim.load(img);
+            sim.run(max_cycles);
+            std::printf("%s", sim.console().c_str());
+            std::printf("[hw] cycles=%llu retired=%llu ipc=%.3f halted=%d\n",
+                        static_cast<unsigned long long>(sim.cycles()),
+                        static_cast<unsigned long long>(sim.retired()), sim.ipc(),
+                        sim.halted());
+            if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
+            return sim.halted() ? 0 : 3;
+        }
+        sarm::sarm_model sim(cfg, memory);
+        std::unique_ptr<trace::pipeline_tracer> tracer;
+        if (want_trace) {
+            tracer = std::make_unique<trace::pipeline_tracer>(sim.dir(), sim.kernel());
+            tracer->start();
+        }
+        sim.load(img);
+        sim.run(max_cycles);
+        std::printf("%s", sim.console().c_str());
+        const auto& st = sim.stats();
+        std::printf("[sarm] cycles=%llu retired=%llu ipc=%.3f branches=%llu "
+                    "redirects=%llu kills=%llu halted=%d\n",
+                    static_cast<unsigned long long>(st.cycles),
+                    static_cast<unsigned long long>(st.retired), st.ipc(),
+                    static_cast<unsigned long long>(st.branches),
+                    static_cast<unsigned long long>(st.redirects),
+                    static_cast<unsigned long long>(st.kills), sim.halted());
+        if (tracer) std::printf("%s", tracer->render(72).c_str());
+        if (want_json) std::printf("%s", sim.make_report().to_json().c_str());
+        if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
+        return sim.halted() ? 0 : 3;
+    }
+    if (engine == "p750" || engine == "port") {
+        ppc750::p750_config cfg;
+        if (engine == "port") {
+            baseline::port_ppc sim(cfg, memory);
+            sim.load(img);
+            sim.run(max_cycles);
+            std::printf("%s", sim.console().c_str());
+            std::printf("[port] cycles=%llu retired=%llu ipc=%.3f halted=%d\n",
+                        static_cast<unsigned long long>(sim.stats().cycles),
+                        static_cast<unsigned long long>(sim.stats().retired),
+                        sim.stats().ipc(), sim.halted());
+            if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
+            return sim.halted() ? 0 : 3;
+        }
+        ppc750::p750_model sim(cfg, memory);
+        std::unique_ptr<trace::pipeline_tracer> tracer;
+        if (want_trace) {
+            tracer = std::make_unique<trace::pipeline_tracer>(sim.dir(), sim.kernel());
+            tracer->start();
+        }
+        sim.load(img);
+        sim.run(max_cycles);
+        std::printf("%s", sim.console().c_str());
+        const auto& st = sim.stats();
+        std::printf("[p750] cycles=%llu retired=%llu ipc=%.3f mispred=%llu "
+                    "squashed=%llu halted=%d\n",
+                    static_cast<unsigned long long>(st.cycles),
+                    static_cast<unsigned long long>(st.retired), st.ipc(),
+                    static_cast<unsigned long long>(st.mispredicts),
+                    static_cast<unsigned long long>(st.squashed), sim.halted());
+        if (tracer) std::printf("%s", tracer->render(72).c_str());
+        if (want_json) std::printf("%s", sim.make_report().to_json().c_str());
+        if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
+        return sim.halted() ? 0 : 3;
+    }
+    usage();
+}
