@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_uarch.dir/bench_ablation_uarch.cpp.o"
+  "CMakeFiles/bench_ablation_uarch.dir/bench_ablation_uarch.cpp.o.d"
+  "bench_ablation_uarch"
+  "bench_ablation_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

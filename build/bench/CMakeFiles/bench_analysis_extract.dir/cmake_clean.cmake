@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_extract.dir/bench_analysis_extract.cpp.o"
+  "CMakeFiles/bench_analysis_extract.dir/bench_analysis_extract.cpp.o.d"
+  "bench_analysis_extract"
+  "bench_analysis_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

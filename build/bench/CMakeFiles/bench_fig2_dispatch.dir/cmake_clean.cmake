@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dispatch.dir/bench_fig2_dispatch.cpp.o"
+  "CMakeFiles/bench_fig2_dispatch.dir/bench_fig2_dispatch.cpp.o.d"
+  "bench_fig2_dispatch"
+  "bench_fig2_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

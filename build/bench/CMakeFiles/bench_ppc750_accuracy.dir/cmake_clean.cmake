@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppc750_accuracy.dir/bench_ppc750_accuracy.cpp.o"
+  "CMakeFiles/bench_ppc750_accuracy.dir/bench_ppc750_accuracy.cpp.o.d"
+  "bench_ppc750_accuracy"
+  "bench_ppc750_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppc750_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

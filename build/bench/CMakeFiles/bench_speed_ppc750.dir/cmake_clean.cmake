@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_ppc750.dir/bench_speed_ppc750.cpp.o"
+  "CMakeFiles/bench_speed_ppc750.dir/bench_speed_ppc750.cpp.o.d"
+  "bench_speed_ppc750"
+  "bench_speed_ppc750.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_ppc750.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_sarm.dir/bench_speed_sarm.cpp.o"
+  "CMakeFiles/bench_speed_sarm.dir/bench_speed_sarm.cpp.o.d"
+  "bench_speed_sarm"
+  "bench_speed_sarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_sarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_pipeline.dir/adl_pipeline.cpp.o"
+  "CMakeFiles/adl_pipeline.dir/adl_pipeline.cpp.o.d"
+  "adl_pipeline"
+  "adl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

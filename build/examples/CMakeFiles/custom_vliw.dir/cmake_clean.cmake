@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_vliw.dir/custom_vliw.cpp.o"
+  "CMakeFiles/custom_vliw.dir/custom_vliw.cpp.o.d"
+  "custom_vliw"
+  "custom_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

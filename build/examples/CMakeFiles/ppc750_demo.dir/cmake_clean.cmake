@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc750_demo.dir/ppc750_demo.cpp.o"
+  "CMakeFiles/ppc750_demo.dir/ppc750_demo.cpp.o.d"
+  "ppc750_demo"
+  "ppc750_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc750_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

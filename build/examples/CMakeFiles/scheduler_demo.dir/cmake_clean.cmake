@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_demo.dir/scheduler_demo.cpp.o"
+  "CMakeFiles/scheduler_demo.dir/scheduler_demo.cpp.o.d"
+  "scheduler_demo"
+  "scheduler_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

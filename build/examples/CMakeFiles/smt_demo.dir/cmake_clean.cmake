@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_demo.dir/smt_demo.cpp.o"
+  "CMakeFiles/smt_demo.dir/smt_demo.cpp.o.d"
+  "smt_demo"
+  "smt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

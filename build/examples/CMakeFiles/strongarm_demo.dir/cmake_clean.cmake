@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strongarm_demo.dir/strongarm_demo.cpp.o"
+  "CMakeFiles/strongarm_demo.dir/strongarm_demo.cpp.o.d"
+  "strongarm_demo"
+  "strongarm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strongarm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

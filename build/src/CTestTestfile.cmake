@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("de")
+subdirs("isa")
+subdirs("mem")
+subdirs("core")
+subdirs("uarch")
+subdirs("sarm")
+subdirs("ppc750")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("trace")
+subdirs("smt")
+subdirs("analysis")
+subdirs("adl")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_adl.dir/adl.cpp.o"
+  "CMakeFiles/osm_adl.dir/adl.cpp.o.d"
+  "CMakeFiles/osm_adl.dir/adl_sarm.cpp.o"
+  "CMakeFiles/osm_adl.dir/adl_sarm.cpp.o.d"
+  "libosm_adl.a"
+  "libosm_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

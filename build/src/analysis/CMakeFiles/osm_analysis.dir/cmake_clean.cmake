@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/osm_analysis.dir/analysis.cpp.o.d"
+  "libosm_analysis.a"
+  "libosm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

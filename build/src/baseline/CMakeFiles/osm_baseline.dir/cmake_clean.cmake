@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_baseline.dir/hardwired_sarm.cpp.o"
+  "CMakeFiles/osm_baseline.dir/hardwired_sarm.cpp.o.d"
+  "CMakeFiles/osm_baseline.dir/port_ppc.cpp.o"
+  "CMakeFiles/osm_baseline.dir/port_ppc.cpp.o.d"
+  "libosm_baseline.a"
+  "libosm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

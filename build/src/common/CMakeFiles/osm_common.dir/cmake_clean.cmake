@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_common.dir/bits.cpp.o"
+  "CMakeFiles/osm_common.dir/bits.cpp.o.d"
+  "CMakeFiles/osm_common.dir/log.cpp.o"
+  "CMakeFiles/osm_common.dir/log.cpp.o.d"
+  "CMakeFiles/osm_common.dir/xrandom.cpp.o"
+  "CMakeFiles/osm_common.dir/xrandom.cpp.o.d"
+  "libosm_common.a"
+  "libosm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

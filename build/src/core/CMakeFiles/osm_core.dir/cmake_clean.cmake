@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_core.dir/core.cpp.o"
+  "CMakeFiles/osm_core.dir/core.cpp.o.d"
+  "CMakeFiles/osm_core.dir/sim_kernel.cpp.o"
+  "CMakeFiles/osm_core.dir/sim_kernel.cpp.o.d"
+  "libosm_core.a"
+  "libosm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/de/clock.cpp" "src/de/CMakeFiles/osm_de.dir/clock.cpp.o" "gcc" "src/de/CMakeFiles/osm_de.dir/clock.cpp.o.d"
+  "/root/repo/src/de/event_queue.cpp" "src/de/CMakeFiles/osm_de.dir/event_queue.cpp.o" "gcc" "src/de/CMakeFiles/osm_de.dir/event_queue.cpp.o.d"
+  "/root/repo/src/de/kernel.cpp" "src/de/CMakeFiles/osm_de.dir/kernel.cpp.o" "gcc" "src/de/CMakeFiles/osm_de.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_de.dir/clock.cpp.o"
+  "CMakeFiles/osm_de.dir/clock.cpp.o.d"
+  "CMakeFiles/osm_de.dir/event_queue.cpp.o"
+  "CMakeFiles/osm_de.dir/event_queue.cpp.o.d"
+  "CMakeFiles/osm_de.dir/kernel.cpp.o"
+  "CMakeFiles/osm_de.dir/kernel.cpp.o.d"
+  "libosm_de.a"
+  "libosm_de.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_de.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

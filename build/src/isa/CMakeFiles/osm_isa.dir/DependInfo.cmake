@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arch.cpp" "src/isa/CMakeFiles/osm_isa.dir/arch.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/arch.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/osm_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/decoded_inst.cpp" "src/isa/CMakeFiles/osm_isa.dir/decoded_inst.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/decoded_inst.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/osm_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/osm_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/image_io.cpp" "src/isa/CMakeFiles/osm_isa.dir/image_io.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/image_io.cpp.o.d"
+  "/root/repo/src/isa/iss.cpp" "src/isa/CMakeFiles/osm_isa.dir/iss.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/iss.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/osm_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/program.cpp.o.d"
+  "/root/repo/src/isa/semantics.cpp" "src/isa/CMakeFiles/osm_isa.dir/semantics.cpp.o" "gcc" "src/isa/CMakeFiles/osm_isa.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/osm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_isa.dir/arch.cpp.o"
+  "CMakeFiles/osm_isa.dir/arch.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/assembler.cpp.o"
+  "CMakeFiles/osm_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/decoded_inst.cpp.o"
+  "CMakeFiles/osm_isa.dir/decoded_inst.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/disasm.cpp.o"
+  "CMakeFiles/osm_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/encoding.cpp.o"
+  "CMakeFiles/osm_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/image_io.cpp.o"
+  "CMakeFiles/osm_isa.dir/image_io.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/iss.cpp.o"
+  "CMakeFiles/osm_isa.dir/iss.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/program.cpp.o"
+  "CMakeFiles/osm_isa.dir/program.cpp.o.d"
+  "CMakeFiles/osm_isa.dir/semantics.cpp.o"
+  "CMakeFiles/osm_isa.dir/semantics.cpp.o.d"
+  "libosm_isa.a"
+  "libosm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_mem.dir/cache.cpp.o"
+  "CMakeFiles/osm_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/osm_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/osm_mem.dir/main_memory.cpp.o.d"
+  "CMakeFiles/osm_mem.dir/tlb.cpp.o"
+  "CMakeFiles/osm_mem.dir/tlb.cpp.o.d"
+  "CMakeFiles/osm_mem.dir/write_buffer.cpp.o"
+  "CMakeFiles/osm_mem.dir/write_buffer.cpp.o.d"
+  "libosm_mem.a"
+  "libosm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

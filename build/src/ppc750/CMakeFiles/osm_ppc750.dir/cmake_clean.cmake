@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_ppc750.dir/ppc750.cpp.o"
+  "CMakeFiles/osm_ppc750.dir/ppc750.cpp.o.d"
+  "libosm_ppc750.a"
+  "libosm_ppc750.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_ppc750.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_sarm.dir/sarm.cpp.o"
+  "CMakeFiles/osm_sarm.dir/sarm.cpp.o.d"
+  "libosm_sarm.a"
+  "libosm_sarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_sarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_smt.dir/smt.cpp.o"
+  "CMakeFiles/osm_smt.dir/smt.cpp.o.d"
+  "libosm_smt.a"
+  "libosm_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

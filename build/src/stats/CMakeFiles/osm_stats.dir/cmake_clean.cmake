@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_stats.dir/stats.cpp.o"
+  "CMakeFiles/osm_stats.dir/stats.cpp.o.d"
+  "libosm_stats.a"
+  "libosm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

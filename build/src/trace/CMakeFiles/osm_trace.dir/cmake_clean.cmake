@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_trace.dir/trace.cpp.o"
+  "CMakeFiles/osm_trace.dir/trace.cpp.o.d"
+  "libosm_trace.a"
+  "libosm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

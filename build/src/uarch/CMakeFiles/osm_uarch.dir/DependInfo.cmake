@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/inorder_queue.cpp" "src/uarch/CMakeFiles/osm_uarch.dir/inorder_queue.cpp.o" "gcc" "src/uarch/CMakeFiles/osm_uarch.dir/inorder_queue.cpp.o.d"
+  "/root/repo/src/uarch/predictor.cpp" "src/uarch/CMakeFiles/osm_uarch.dir/predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/osm_uarch.dir/predictor.cpp.o.d"
+  "/root/repo/src/uarch/register_file.cpp" "src/uarch/CMakeFiles/osm_uarch.dir/register_file.cpp.o" "gcc" "src/uarch/CMakeFiles/osm_uarch.dir/register_file.cpp.o.d"
+  "/root/repo/src/uarch/rename.cpp" "src/uarch/CMakeFiles/osm_uarch.dir/rename.cpp.o" "gcc" "src/uarch/CMakeFiles/osm_uarch.dir/rename.cpp.o.d"
+  "/root/repo/src/uarch/reset.cpp" "src/uarch/CMakeFiles/osm_uarch.dir/reset.cpp.o" "gcc" "src/uarch/CMakeFiles/osm_uarch.dir/reset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/osm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/osm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/de/CMakeFiles/osm_de.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/osm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_uarch.dir/inorder_queue.cpp.o"
+  "CMakeFiles/osm_uarch.dir/inorder_queue.cpp.o.d"
+  "CMakeFiles/osm_uarch.dir/predictor.cpp.o"
+  "CMakeFiles/osm_uarch.dir/predictor.cpp.o.d"
+  "CMakeFiles/osm_uarch.dir/register_file.cpp.o"
+  "CMakeFiles/osm_uarch.dir/register_file.cpp.o.d"
+  "CMakeFiles/osm_uarch.dir/rename.cpp.o"
+  "CMakeFiles/osm_uarch.dir/rename.cpp.o.d"
+  "CMakeFiles/osm_uarch.dir/reset.cpp.o"
+  "CMakeFiles/osm_uarch.dir/reset.cpp.o.d"
+  "libosm_uarch.a"
+  "libosm_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosm_uarch.a"
+)

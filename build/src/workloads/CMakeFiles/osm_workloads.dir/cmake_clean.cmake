@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_workloads.dir/randprog.cpp.o"
+  "CMakeFiles/osm_workloads.dir/randprog.cpp.o.d"
+  "CMakeFiles/osm_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/osm_workloads.dir/workloads.cpp.o.d"
+  "libosm_workloads.a"
+  "libosm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

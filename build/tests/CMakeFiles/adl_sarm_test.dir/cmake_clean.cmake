@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_sarm_test.dir/adl_sarm_test.cpp.o"
+  "CMakeFiles/adl_sarm_test.dir/adl_sarm_test.cpp.o.d"
+  "adl_sarm_test"
+  "adl_sarm_test.pdb"
+  "adl_sarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_sarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_test.dir/de_test.cpp.o"
+  "CMakeFiles/de_test.dir/de_test.cpp.o.d"
+  "de_test"
+  "de_test.pdb"
+  "de_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/equivalence_test.cpp" "tests/CMakeFiles/equivalence_test.dir/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/osm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/de/CMakeFiles/osm_de.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/osm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/osm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/osm_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sarm/CMakeFiles/osm_sarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppc750/CMakeFiles/osm_ppc750.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/osm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/osm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/osm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/osm_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/osm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/osm_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/osm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc750_test.dir/ppc750_test.cpp.o"
+  "CMakeFiles/ppc750_test.dir/ppc750_test.cpp.o.d"
+  "ppc750_test"
+  "ppc750_test.pdb"
+  "ppc750_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc750_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

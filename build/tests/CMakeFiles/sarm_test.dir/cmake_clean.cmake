@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarm_test.dir/sarm_test.cpp.o"
+  "CMakeFiles/sarm_test.dir/sarm_test.cpp.o.d"
+  "sarm_test"
+  "sarm_test.pdb"
+  "sarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm-as.dir/osm_as.cpp.o"
+  "CMakeFiles/osm-as.dir/osm_as.cpp.o.d"
+  "osm-as"
+  "osm-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

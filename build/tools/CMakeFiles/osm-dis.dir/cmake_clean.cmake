@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm-dis.dir/osm_dis.cpp.o"
+  "CMakeFiles/osm-dis.dir/osm_dis.cpp.o.d"
+  "osm-dis"
+  "osm-dis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm-dis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm-run.dir/osm_run.cpp.o"
+  "CMakeFiles/osm-run.dir/osm_run.cpp.o.d"
+  "osm-run"
+  "osm-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
