@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full Release build + test suite (ROADMAP.md), then the
+# kernel- and bit-level tests again under ASan+UBSan (OSM_SANITIZE preset).
+# The sanitizer pass builds only the two targets it runs, so it stays cheap;
+# the binaries are invoked directly rather than through ctest because test
+# discovery would otherwise require building every gtest target twice.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+cmake -B build-asan -S . -DOSM_SANITIZE=ON
+cmake --build build-asan -j --target de_test common_test
+./build-asan/tests/de_test
+./build-asan/tests/common_test
+
+echo "tier1: OK (ctest suite + sanitized de_test/common_test)"

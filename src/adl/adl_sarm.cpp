@@ -92,6 +92,7 @@ adl_sarm_model::adl_sarm_model(const sarm::sarm_config& cfg, mem::main_memory& m
       dcache_(cfg.dcache, bus_),
       itlb_(cfg.itlb),
       dtlb_(cfg.dtlb),
+      dcode_(cfg.decode_cache_entries),
       kern_(dir_) {
     action_registry reg;
     reg["fetch"] = [this](core::osm& m) { act_fetch(m); };
@@ -132,6 +133,8 @@ void adl_sarm_model::load(const isa::program_image& img) {
     halted_ = false;
     stats_ = {};
     host_.clear();
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
     kern_.clear_stop();
     for (auto& o : ops_) o->hard_reset();
 }
@@ -175,7 +178,8 @@ void adl_sarm_model::act_fetch(core::osm& m) {
     latency += icache_.access(o.pc, false, 4).latency;
     if (latency > 1) m_f_->hold_for(latency);
 
-    o.di = isa::decode(mem_.read32(o.pc));
+    const std::uint32_t word = mem_.read32(o.pc);
+    o.di = cfg_.decode_cache ? dcode_.lookup(o.pc, word).di : isa::decode(word);
     o.ex = {};
     for (std::int32_t s = 0; s < sarm::sarm_slot_count; ++s) {
         o.set_ident(s, core::k_null_ident);

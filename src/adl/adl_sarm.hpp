@@ -68,6 +68,7 @@ private:
     mem::cache dcache_;
     mem::tlb itlb_;
     mem::tlb dtlb_;
+    isa::decode_cache dcode_;
 
     std::unique_ptr<machine> machine_;
     // Managers resolved by name from the elaborated machine.

@@ -15,7 +15,8 @@ hardwired_sarm::hardwired_sarm(const sarm::sarm_config& cfg, mem::main_memory& m
       icache_(cfg.icache, bus_),
       dcache_(cfg.dcache, bus_),
       itlb_(cfg.itlb),
-      dtlb_(cfg.dtlb) {}
+      dtlb_(cfg.dtlb),
+      dcode_(cfg.decode_cache_entries) {}
 
 void hardwired_sarm::load(const isa::program_image& img) {
     img.load_into(mem_);
@@ -34,6 +35,8 @@ void hardwired_sarm::load(const isa::program_image& img) {
     dcache_.flush();
     itlb_.flush();
     dtlb_.flush();
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
 }
 
 bool hardwired_sarm::operand_ready(unsigned reg, bool fpr) const {
@@ -194,7 +197,8 @@ void hardwired_sarm::cycle() {
         unsigned latency = itlb_.translate(n.pc);
         latency += icache_.access(n.pc, false, 4).latency;
         f_busy_ = latency - 1;
-        n.di = isa::decode(mem_.read32(n.pc));
+        const std::uint32_t word = mem_.read32(n.pc);
+        n.di = cfg_.decode_cache ? dcode_.lookup(n.pc, word).di : isa::decode(word);
         f_ = n;
     }
 }

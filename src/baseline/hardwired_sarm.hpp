@@ -41,6 +41,7 @@ public:
     std::uint32_t gpr(unsigned r) const { return gpr_[r]; }
     std::uint32_t fpr(unsigned r) const { return fpr_[r]; }
     const std::string& console() const { return host_.console(); }
+    const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
     double ipc() const {
         return cycles_ == 0 ? 0.0
                             : static_cast<double>(retired_) / static_cast<double>(cycles_);
@@ -70,6 +71,7 @@ private:
     mem::cache dcache_;
     mem::tlb itlb_;
     mem::tlb dtlb_;
+    isa::decode_cache dcode_;
 
     std::array<std::uint32_t, isa::num_gprs> gpr_{};
     std::array<std::uint32_t, isa::num_fprs> fpr_{};

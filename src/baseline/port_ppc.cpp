@@ -448,7 +448,9 @@ public:
                 }
             }
 
-            o.di = isa::decode(t.mem_.read32(o.pc));
+            const std::uint32_t word = t.mem_.read32(o.pc);
+            o.di = t.cfg_.decode_cache ? t.dcode_.lookup(o.pc, word).di
+                                       : isa::decode(word);
             o.fu = select_unit(o.di);
             o.dual_alu = is_simple_alu(o.di);
             o.predicted_taken = false;
@@ -487,6 +489,7 @@ port_ppc::port_ppc(const ppc750::p750_config& cfg, mem::main_memory& memory)
       icache_(cfg.icache, bus_),
       dcache_(cfg.dcache, bus_),
       dtlb_(cfg.dtlb),
+      dcode_(cfg.decode_cache_entries),
       bht_(cfg.bht_entries),
       btic_(cfg.btic_entries),
       table_(64) {
@@ -639,6 +642,8 @@ void port_ppc::load(const isa::program_image& img) {
     icache_.flush();
     dcache_.flush();
     dtlb_.flush();
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
 }
 
 std::uint64_t port_ppc::run(std::uint64_t max_cycles) {

@@ -67,6 +67,7 @@ public:
     std::uint32_t gpr(unsigned r) const;
     std::uint32_t fpr(unsigned r) const;
     const std::string& console() const { return host_.console(); }
+    const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
 
 private:
     // ---- wire payload types (each stands for a bus of wires) ----
@@ -164,6 +165,7 @@ private:
     mem::cache icache_;
     mem::cache dcache_;
     mem::tlb dtlb_;
+    isa::decode_cache dcode_;
     uarch::bht bht_;
     uarch::btic btic_;
     isa::syscall_host host_;

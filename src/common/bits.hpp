@@ -8,26 +8,39 @@
 
 namespace osm {
 
-/// Extract bits [lo, lo+len) of `value` (little-endian bit numbering).
+/// Extract bits [lo, min(lo+len, 32)) of `value` (little-endian bit
+/// numbering).  Contract: well-defined for every (lo, len) — a field that
+/// reaches past bit 31 is truncated to the bits that exist, `lo >= 32` or
+/// `len == 0` yields 0.  (The unguarded form computed `1u << len` with
+/// `len >= 32` and `value >> lo` with `lo >= 32`, both shift UB.)
 constexpr std::uint32_t bits(std::uint32_t value, unsigned lo, unsigned len) noexcept {
-    return (len >= 32u) ? (value >> lo)
-                        : ((value >> lo) & ((1u << len) - 1u));
+    if (lo >= 32u || len == 0u) return 0u;
+    const std::uint32_t shifted = value >> lo;
+    return (len >= 32u - lo) ? shifted : (shifted & ((1u << len) - 1u));
 }
 
-/// Extract a single bit of `value`.
+/// Extract a single bit of `value`; positions past 31 read as 0.
 constexpr std::uint32_t bit(std::uint32_t value, unsigned pos) noexcept {
-    return (value >> pos) & 1u;
+    return pos >= 32u ? 0u : ((value >> pos) & 1u);
 }
 
-/// Insert `field` (of `len` bits) into bits [lo, lo+len) of `base`.
+/// Insert `field` (of `len` bits) into bits [lo, min(lo+len, 32)) of
+/// `base`.  Same truncation contract as bits(): out-of-range positions are
+/// dropped, `lo >= 32` or `len == 0` returns `base` unchanged.
 constexpr std::uint32_t insert_bits(std::uint32_t base, std::uint32_t field,
                                     unsigned lo, unsigned len) noexcept {
-    const std::uint32_t mask = (len >= 32u) ? ~0u : ((1u << len) - 1u);
+    if (lo >= 32u || len == 0u) return base;
+    const std::uint32_t mask = (len >= 32u - lo) ? (~0u >> lo) : ((1u << len) - 1u);
     return (base & ~(mask << lo)) | ((field & mask) << lo);
 }
 
 /// Sign-extend the low `len` bits of `value` to a signed 32-bit integer.
+/// Contract: `len == 0` is an empty field and yields 0; `len >= 32` is the
+/// identity.  (The unguarded form computed `1u << (len - 1)` — shift UB for
+/// both `len == 0` and `len > 32`.)
 constexpr std::int32_t sign_extend(std::uint32_t value, unsigned len) noexcept {
+    if (len == 0u) return 0;
+    if (len >= 32u) return static_cast<std::int32_t>(value);
     const std::uint32_t m = 1u << (len - 1);
     const std::uint32_t v = bits(value, 0, len);
     return static_cast<std::int32_t>((v ^ m) - m);

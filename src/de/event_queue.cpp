@@ -1,30 +1,31 @@
 #include "de/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace osm::de {
 
 void event_queue::push(tick_t when, event_fn fn) {
-    heap_.push(entry{when, next_seq_++, std::move(fn)});
+    heap_.push_back(entry{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), later{});
 }
 
 tick_t event_queue::next_time() const {
     assert(!heap_.empty());
-    return heap_.top().when;
+    return heap_.front().when;
 }
 
 event_fn event_queue::pop() {
     assert(!heap_.empty());
-    // priority_queue::top() is const; the action must be moved out, so we
-    // cast away constness right before the pop — the entry is discarded.
-    event_fn fn = std::move(const_cast<entry&>(heap_.top()).fn);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), later{});
+    event_fn fn = std::move(heap_.back().fn);
+    heap_.pop_back();
     return fn;
 }
 
 void event_queue::clear() {
-    while (!heap_.empty()) heap_.pop();
+    heap_.clear();
     next_seq_ = 0;
 }
 

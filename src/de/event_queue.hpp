@@ -1,11 +1,17 @@
 // Time-ordered event queue for the discrete-event kernel.  Events with equal
 // timestamps are delivered in insertion order (stable), which keeps model
 // behaviour deterministic regardless of heap layout.
+//
+// Implemented as an explicit std::vector managed with std::push_heap /
+// std::pop_heap rather than std::priority_queue: the earliest entry's action
+// must be *moved out* on pop, and priority_queue::top() only exposes a const
+// reference (moving through a const_cast is undefined behaviour).  With the
+// explicit heap, pop_heap rotates the earliest entry to the back where it is
+// legally mutable.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "de/time.hpp"
@@ -34,7 +40,8 @@ public:
     /// Remove and return the earliest event's action.  Precondition: !empty().
     event_fn pop();
 
-    /// Drop all pending events.
+    /// Drop all pending events (the insertion-order counter restarts, so
+    /// same-tick FIFO delivery is preserved across a clear).
     void clear();
 
 private:
@@ -43,6 +50,8 @@ private:
         std::uint64_t seq;
         event_fn fn;
     };
+    /// Max-heap comparator: the entry that should run *last* is "largest",
+    /// so the heap front is the earliest (time, then insertion order).
     struct later {
         bool operator()(const entry& a, const entry& b) const noexcept {
             if (a.when != b.when) return a.when > b.when;
@@ -50,7 +59,7 @@ private:
         }
     };
 
-    std::priority_queue<entry, std::vector<entry>, later> heap_;
+    std::vector<entry> heap_;
     std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,60 @@
+#include "isa/decode_cache.hpp"
+
+#include "common/bits.hpp"
+#include "isa/encoding.hpp"
+
+namespace osm::isa {
+
+predecoded_inst predecoded_inst::make(std::uint32_t word) {
+    predecoded_inst pd;
+    pd.di = decode(word);
+    const op c = pd.di.code;
+    std::uint16_t f = 0;
+    // The classification predicates are namespace-scope functions; the
+    // member accessors of the same name shadow them here, so qualify.
+    if (osm::isa::is_load(c)) f |= f_load;
+    if (osm::isa::is_store(c)) f |= f_store;
+    if (osm::isa::is_branch(c)) f |= f_branch;
+    if (osm::isa::is_jump(c)) f |= f_jump;
+    if (osm::isa::writes_rd(c)) f |= f_writes_rd;
+    if (osm::isa::rd_is_fpr(c)) f |= f_rd_fpr;
+    if (osm::isa::uses_rs1(c)) f |= f_uses_rs1;
+    if (osm::isa::rs1_is_fpr(c)) f |= f_rs1_fpr;
+    if (osm::isa::uses_rs2(c)) f |= f_uses_rs2;
+    if (osm::isa::rs2_is_fpr(c)) f |= f_rs2_fpr;
+    if (osm::isa::is_mul_div(c)) f |= f_mul_div;
+    if (osm::isa::is_system(c)) f |= f_system;
+    pd.flags = f;
+    pd.extra_cycles = static_cast<std::uint8_t>(extra_exec_cycles(c));
+    return pd;
+}
+
+decode_cache::decode_cache(std::size_t entries) {
+    std::size_t n = 1;
+    while (n < entries) n <<= 1;
+    lines_.resize(n);
+    mask_ = static_cast<std::uint32_t>(n - 1);
+}
+
+const predecoded_inst& decode_cache::fill(line& l, std::uint32_t pc,
+                                          std::uint32_t word) {
+    ++stats_.misses;
+    if (l.valid) {
+        if (l.pc == pc) {
+            ++stats_.smc_redecodes;  // same location, rewritten word
+        } else {
+            ++stats_.evictions;
+        }
+    }
+    l.pd = predecoded_inst::make(word);
+    l.pc = pc;
+    l.word = word;
+    l.valid = true;
+    return l.pd;
+}
+
+void decode_cache::invalidate_all() {
+    for (line& l : lines_) l.valid = false;
+}
+
+}  // namespace osm::isa

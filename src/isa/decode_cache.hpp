@@ -1,0 +1,127 @@
+// Decoded-instruction cache: the shared fetch/decode fast path.
+//
+// Every execution engine in the repository re-decoded the raw instruction
+// word on every fetch.  Decode itself is a wide switch plus field
+// extraction, and the engines follow it with half a dozen out-of-line
+// classification calls (is_load, writes_rd, ...) — together a significant
+// slice of the per-instruction budget of the functional ISS and the
+// hand-coded baselines.  Caching the *pre-decoded* instruction (fields plus
+// classification flags resolved once) is the standard cycle-accurate
+// simulator optimization (Reshadi & Dutt, "Generic Pipelined Processor
+// Modeling and High Performance Cycle-Accurate Simulator Generation").
+//
+// Organization: direct-mapped, indexed by pc, tagged by (pc, raw word).
+// Tagging by the raw word makes self-modifying code correct by
+// construction: a store that changes an instruction word causes a tag
+// mismatch on the next fetch of that pc and the entry is re-decoded — no
+// invalidation protocol between the store path and the cache is needed.
+// The cache is a pure software lookup structure; it models no timing and
+// is architecturally invisible (cycle counts are bit-identical on/off).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/decoded_inst.hpp"
+
+namespace osm::isa {
+
+/// Software-cache counters (exported through stats::report by the models).
+struct decode_cache_stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;       ///< misses that displaced another pc
+    std::uint64_t smc_redecodes = 0;   ///< same pc, changed word (self-modifying code)
+
+    double hit_ratio() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/// A decoded instruction plus every classification the engines would
+/// otherwise recompute per fetch.  `make` is the single decode entry point
+/// used on the miss path (and by engines running with the cache disabled),
+/// so cached and uncached execution see identical values.
+struct predecoded_inst {
+    enum : std::uint16_t {
+        f_load = 1u << 0,
+        f_store = 1u << 1,
+        f_branch = 1u << 2,
+        f_jump = 1u << 3,
+        f_writes_rd = 1u << 4,
+        f_rd_fpr = 1u << 5,
+        f_uses_rs1 = 1u << 6,
+        f_rs1_fpr = 1u << 7,
+        f_uses_rs2 = 1u << 8,
+        f_rs2_fpr = 1u << 9,
+        f_mul_div = 1u << 10,
+        f_system = 1u << 11,
+    };
+
+    decoded_inst di{};
+    std::uint16_t flags = 0;
+    std::uint8_t extra_cycles = 0;  ///< extra_exec_cycles(di.code)
+
+    bool load() const noexcept { return flags & f_load; }
+    bool store() const noexcept { return flags & f_store; }
+    bool mem() const noexcept { return flags & (f_load | f_store); }
+    bool branch() const noexcept { return flags & f_branch; }
+    bool jump() const noexcept { return flags & f_jump; }
+    bool writes_rd() const noexcept { return flags & f_writes_rd; }
+    bool rd_fpr() const noexcept { return flags & f_rd_fpr; }
+    bool uses_rs1() const noexcept { return flags & f_uses_rs1; }
+    bool rs1_fpr() const noexcept { return flags & f_rs1_fpr; }
+    bool uses_rs2() const noexcept { return flags & f_uses_rs2; }
+    bool rs2_fpr() const noexcept { return flags & f_rs2_fpr; }
+    bool mul_div() const noexcept { return flags & f_mul_div; }
+    bool system() const noexcept { return flags & f_system; }
+
+    /// Decode `word` and resolve all classifications.
+    static predecoded_inst make(std::uint32_t word);
+};
+
+/// Direct-mapped, pc-indexed cache of pre-decoded instructions tagged by
+/// the raw word.  `entries` is rounded up to a power of two.
+class decode_cache {
+public:
+    static constexpr std::size_t k_default_entries = 4096;
+
+    explicit decode_cache(std::size_t entries = k_default_entries);
+
+    /// Return the pre-decoded form of (`pc`, `word`), decoding on miss.
+    /// The reference stays valid until the next lookup that maps to the
+    /// same line (callers copy or consume immediately).
+    const predecoded_inst& lookup(std::uint32_t pc, std::uint32_t word) {
+        line& l = lines_[(pc >> 2) & mask_];
+        if (l.valid && l.pc == pc && l.word == word) {
+            ++stats_.hits;
+            return l.pd;
+        }
+        return fill(l, pc, word);
+    }
+
+    /// Drop every entry (counters are preserved; see reset_stats).
+    void invalidate_all();
+
+    void reset_stats() noexcept { stats_ = {}; }
+
+    std::size_t entries() const noexcept { return lines_.size(); }
+    const decode_cache_stats& stats() const noexcept { return stats_; }
+
+private:
+    struct line {
+        std::uint32_t pc = 0;
+        std::uint32_t word = 0;
+        bool valid = false;
+        predecoded_inst pd{};
+    };
+
+    const predecoded_inst& fill(line& l, std::uint32_t pc, std::uint32_t word);
+
+    std::vector<line> lines_;
+    std::uint32_t mask_;
+    decode_cache_stats stats_;
+};
+
+}  // namespace osm::isa

@@ -31,12 +31,22 @@ void iss::load(const program_image& img) {
     state_.pc = img.entry;
     instret_ = 0;
     host_.clear();
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
 }
 
 bool iss::step() {
     if (state_.halted) return false;
+    // The word is always fetched from memory, even on a cache hit: the
+    // cache line's word tag is compared against it, which is what makes
+    // self-modifying code re-decode without an invalidation protocol.
     const std::uint32_t word = mem_.read32(state_.pc);
-    const decoded_inst di = decode(word);
+    if (decode_cache_on_) return step_with(dcode_.lookup(state_.pc, word));
+    return step_with(predecoded_inst::make(word));
+}
+
+bool iss::step_with(const predecoded_inst& pd) {
+    const decoded_inst& di = pd.di;
 
     if (di.code == op::invalid || di.code == op::halt) {
         state_.halted = true;
@@ -50,18 +60,18 @@ bool iss::step() {
         return !state_.halted;
     }
 
-    const std::uint32_t a = rs1_is_fpr(di.code) ? state_.fpr[di.rs1] : state_.gpr[di.rs1];
-    const std::uint32_t b = rs2_is_fpr(di.code) ? state_.fpr[di.rs2] : state_.gpr[di.rs2];
+    const std::uint32_t a = pd.rs1_fpr() ? state_.fpr[di.rs1] : state_.gpr[di.rs1];
+    const std::uint32_t b = pd.rs2_fpr() ? state_.fpr[di.rs2] : state_.gpr[di.rs2];
     exec_out out = compute(di, state_.pc, a, b);
 
-    if (is_load(di.code)) {
+    if (pd.load()) {
         out.value = do_load(di.code, mem_, out.mem_addr);
-    } else if (is_store(di.code)) {
+    } else if (pd.store()) {
         do_store(di.code, mem_, out.mem_addr, out.store_data);
     }
 
-    if (writes_rd(di.code)) {
-        if (rd_is_fpr(di.code)) {
+    if (pd.writes_rd()) {
+        if (pd.rd_fpr()) {
             state_.fpr[di.rd] = out.value;
         } else {
             state_.set_gpr(di.rd, out.value);

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "isa/arch.hpp"
+#include "isa/decode_cache.hpp"
 #include "isa/program.hpp"
 #include "isa/semantics.hpp"
 #include "mem/memory_if.hpp"
@@ -33,7 +34,8 @@ private:
 /// Interpreted functional simulator.
 class iss {
 public:
-    explicit iss(mem::memory_if& m) : mem_(m) {}
+    explicit iss(mem::memory_if& m, bool use_decode_cache = true)
+        : mem_(m), decode_cache_on_(use_decode_cache) {}
 
     /// Load `img` into memory and point pc at its entry.
     void load(const program_image& img);
@@ -53,11 +55,21 @@ public:
     /// Run until halt or `max_steps`; returns instructions executed.
     std::uint64_t run(std::uint64_t max_steps = ~0ull);
 
+    /// Toggle the decoded-instruction cache (architecturally invisible;
+    /// load() clears the cache either way).
+    void set_decode_cache(bool on) noexcept { decode_cache_on_ = on; }
+    bool decode_cache_enabled() const noexcept { return decode_cache_on_; }
+    const decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
+
 private:
+    bool step_with(const predecoded_inst& pd);
+
     mem::memory_if& mem_;
     arch_state state_;
     syscall_host host_;
     std::uint64_t instret_ = 0;
+    decode_cache dcode_;
+    bool decode_cache_on_ = true;
 };
 
 }  // namespace osm::isa

@@ -35,7 +35,6 @@ void write_buffer::tick() {
 
 void write_buffer::clear() {
     while (!fifo_.empty()) fifo_.pop_front();
-    stats_ = {};
 }
 
 }  // namespace osm::mem

@@ -39,7 +39,12 @@ public:
     unsigned occupancy() const noexcept { return static_cast<unsigned>(fifo_.size()); }
     bool full() const noexcept { return fifo_.full(); }
     const write_buffer_stats& stats() const noexcept { return stats_; }
+
+    /// Drop all buffered entries (e.g. on a pipeline squash).  Statistics
+    /// are deliberately untouched — a flush must not erase the occupancy /
+    /// drain history; call reset_stats() separately for a fresh run.
     void clear();
+    void reset_stats() noexcept { stats_ = {}; }
 
 private:
     write_buffer_config cfg_;

@@ -57,6 +57,7 @@ p750_model::p750_model(const p750_config& cfg, mem::main_memory& memory)
       icache_(cfg.icache, bus_),
       dcache_(cfg.dcache, bus_),
       dtlb_(cfg.dtlb),
+      dcode_(cfg.decode_cache_entries),
       m_fq_("m_fq", cfg.fetch_queue, cfg.fetch_bw, cfg.dispatch_bw),
       m_cq_("m_cq", cfg.completion_queue, cfg.dispatch_bw, cfg.retire_bw),
       m_gpr_("m_gpr", isa::num_gprs, cfg.gpr_renames, /*reg0_is_zero=*/true),
@@ -217,6 +218,8 @@ void p750_model::load(const isa::program_image& img) {
     halted_ = false;
     stats_ = {};
     host_.clear();
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
     kern_.clear_stop();
     m_cq_.unblock_release();
     kills_at_load_ = m_reset_.kills();
@@ -266,6 +269,12 @@ stats::report p750_model::make_report() const {
     r.put("queues", "cq_occupancy", cq_occ_);
     r.put("icache", "hit_ratio", icache_.stats().hit_ratio());
     r.put("dcache", "hit_ratio", dcache_.stats().hit_ratio());
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(cfg_.decode_cache ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "evictions", dcode_.stats().evictions);
+    r.put("decode_cache", "smc_redecodes", dcode_.stats().smc_redecodes);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
     r.put("director", "control_steps", dir_.stats().control_steps);
     r.put("director", "transitions", dir_.stats().transitions);
     return r;
@@ -302,7 +311,10 @@ void p750_model::act_fetch(p750_op& o) {
         if (lat > 1) m_fq_.block_alloc_for(lat - 1);
     }
 
-    o.di = isa::decode(mem_.read32(o.pc));
+    // The word tag on the decode cache makes stores to fetched code
+    // re-decode naturally (self-modifying code needs no invalidation).
+    const std::uint32_t word = mem_.read32(o.pc);
+    o.di = cfg_.decode_cache ? dcode_.lookup(o.pc, word).di : isa::decode(word);
     const op c = o.di.code;
     o.fu = select_unit(o.di);
 

@@ -68,6 +68,8 @@ struct p750_config {
     unsigned mem_latency = 12;
     bool director_restart = false;  ///< paper §5: age rank needs no restart
     bool deadlock_check = false;
+    bool decode_cache = true;       ///< cache pre-decoded instructions by (pc, word)
+    unsigned decode_cache_entries = 4096;
     mem::bus_config bus{};
     mem::cache_config icache{"icache", 32 * 1024, 32, 8,
                              mem::replacement::lru, mem::write_policy::write_back, 1};
@@ -139,6 +141,7 @@ public:
     core::sim_kernel& kernel() noexcept { return kern_; }
     const core::osm_graph& graph() const noexcept { return graph_; }
     const uarch::bht& branch_history() const noexcept { return bht_; }
+    const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
 
 private:
     struct store_entry {
@@ -173,6 +176,7 @@ private:
     mem::cache icache_;
     mem::cache dcache_;
     mem::tlb dtlb_;
+    isa::decode_cache dcode_;
 
     // TMI-enabled modules (19 in the paper's model; enumerated here).
     uarch::inorder_queue_manager m_fq_;   // 1 fetch queue

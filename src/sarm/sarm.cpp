@@ -23,6 +23,7 @@ sarm_model::sarm_model(const sarm_config& cfg, mem::main_memory& memory)
       itlb_(cfg.itlb),
       dtlb_(cfg.dtlb),
       wbuf_(cfg.wbuf),
+      dcode_(cfg.decode_cache_entries),
       m_f_("m_f"),
       m_d_("m_d"),
       m_e_("m_e"),
@@ -154,6 +155,9 @@ void sarm_model::load(const isa::program_image& img) {
     stats_ = {};
     host_.clear();
     wbuf_.clear();
+    wbuf_.reset_stats();
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
     kern_.clear_stop();
     kills_at_load_ = m_reset_.kills();
     cycles_at_load_ = kern_.cycles();
@@ -211,6 +215,12 @@ stats::report sarm_model::make_report() const {
     r.put("icache", "hit_ratio", icache_.stats().hit_ratio());
     r.put("dcache", "accesses", dcache_.stats().accesses);
     r.put("dcache", "hit_ratio", dcache_.stats().hit_ratio());
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(cfg_.decode_cache ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "evictions", dcode_.stats().evictions);
+    r.put("decode_cache", "smc_redecodes", dcode_.stats().smc_redecodes);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
     r.put("director", "control_steps", dir_.stats().control_steps);
     r.put("director", "transitions", dir_.stats().transitions);
     r.put("director", "primitives_evaluated", dir_.stats().primitives_evaluated);
@@ -230,9 +240,11 @@ void sarm_model::act_fetch(sarm_op& o) {
     latency += icache_.access(o.pc, false, 4).latency;
     if (latency > 1) m_f_.hold_for(latency);
 
-    // Decode and initialize all transaction identifiers (paper §4).
+    // Decode and initialize all transaction identifiers (paper §4).  The
+    // word read feeds the decode cache's word tag, so stores to fetched
+    // code re-decode naturally (self-modifying code needs no invalidation).
     const std::uint32_t word = mem_.read32(o.pc);
-    o.di = isa::decode(word);
+    o.di = cfg_.decode_cache ? dcode_.lookup(o.pc, word).di : isa::decode(word);
     o.ex = {};
 
     for (std::int32_t s = 0; s < sarm_slot_count; ++s) o.set_ident(s, k_null_ident);

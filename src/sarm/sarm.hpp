@@ -48,6 +48,8 @@ struct sarm_config {
     unsigned mem_latency = 12;      ///< DRAM cycles
     unsigned mul_extra = 0;         ///< extra multiplier/divider cycles (silicon-revision knob)
     bool write_buffer = false;      ///< SA-110-style store buffer hides store miss latency
+    bool decode_cache = true;       ///< cache pre-decoded instructions by (pc, word)
+    unsigned decode_cache_entries = 4096;
     mem::write_buffer_config wbuf{};
     mem::bus_config bus{};
     mem::cache_config icache{"icache", 16 * 1024, 32, 32,
@@ -117,6 +119,7 @@ public:
     const mem::cache& dcache() const noexcept { return dcache_; }
     const mem::write_buffer& store_buffer() const noexcept { return wbuf_; }
     const uarch::register_file_manager& gpr_file() const noexcept { return m_r_; }
+    const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
 
 private:
     void build_graph();
@@ -140,6 +143,7 @@ private:
     mem::tlb itlb_;
     mem::tlb dtlb_;
     mem::write_buffer wbuf_;
+    isa::decode_cache dcode_;
 
     // Token managers (the hardware layer's TMIs).
     core::unit_token_manager m_f_, m_d_, m_e_, m_b_, m_w_, m_mul_;

@@ -21,6 +21,7 @@ core::ident_t tagged_update(unsigned thread, unsigned reg) {
 smt_model::smt_model(const smt_config& cfg, mem::main_memory& memory)
     : cfg_(cfg),
       mem_(memory),
+      dcode_(cfg.decode_cache_entries),
       m_f_("m_f"),
       m_x_("m_x"),
       m_w_("m_w"),
@@ -91,6 +92,7 @@ void smt_model::load(unsigned t, const isa::program_image& img) {
     pc_.at(t) = img.entry;
     loaded_[t] = true;
     done_[t] = false;
+    dcode_.invalidate_all();
 }
 
 bool smt_model::all_done() const {
@@ -141,7 +143,8 @@ void smt_model::act_fetch(smt_op& o) {
     o.past_end = done_[t] || !loaded_[t];
     o.epoch = epoch_[t];
     o.pc = pc_[t];
-    o.di = isa::decode(mem_.read32(o.pc));
+    const std::uint32_t word = mem_.read32(o.pc);
+    o.di = cfg_.decode_cache ? dcode_.lookup(o.pc, word).di : isa::decode(word);
     if (!o.past_end) ++stats_.fetched[t];
     if (o.di.code == op::halt || o.di.code == op::invalid) {
         done_[t] = true;

@@ -49,6 +49,8 @@ struct smt_config {
     /// ranking".
     int priority_thread = -1;
     unsigned num_osms = 8;
+    bool decode_cache = true;  ///< cache pre-decoded instructions by (pc, word)
+    unsigned decode_cache_entries = 4096;
 };
 
 struct smt_stats {
@@ -114,6 +116,7 @@ private:
 
     smt_config cfg_;
     mem::main_memory& mem_;
+    isa::decode_cache dcode_;
     core::unit_token_manager m_f_, m_x_, m_w_;
     uarch::register_file_manager m_r_;
     uarch::reset_manager m_reset_;

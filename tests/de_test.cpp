@@ -35,6 +35,27 @@ TEST(EventQueue, StableForEqualTimestamps) {
     for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+// Regression: clear() restarts the FIFO sequence counter; events pushed at
+// the same tick after a clear() must still fire in push order.  (The old
+// implementation popped through a const_cast of priority_queue::top(),
+// which is undefined behaviour — the heap rewrite must preserve ordering.)
+TEST(EventQueue, StableAcrossClear) {
+    event_queue q;
+    std::vector<int> order;
+    q.push(7, [&] { order.push_back(-1); });
+    q.push(7, [&] { order.push_back(-2); });
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 10; ++i) {
+        q.push(7, [&order, i] { order.push_back(i); });
+    }
+    q.push(3, [&] { order.push_back(100); });
+    while (!q.empty()) q.pop()();
+    ASSERT_EQ(order.size(), 11u);
+    EXPECT_EQ(order[0], 100);  // earlier tick first, cleared events gone
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i + 1)], i);
+}
+
 TEST(Kernel, RunUntilDeadline) {
     kernel k;
     int fired = 0;

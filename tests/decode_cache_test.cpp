@@ -1,0 +1,193 @@
+// Decoded-instruction cache: direct-mapped indexing, (pc, word) tagging,
+// hit/miss/evict/SMC counters, pre-decoded classification flags, the
+// decode<->encode round-trip property over random programs, and an
+// ISS-level self-modifying-code program proving the word tag forces
+// re-decode without any explicit invalidation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/decode_cache.hpp"
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "isa/program.hpp"
+#include "mem/main_memory.hpp"
+#include "workloads/randprog.hpp"
+
+namespace {
+
+using namespace osm;
+using isa::decode_cache;
+using isa::decoded_inst;
+using isa::op;
+using isa::predecoded_inst;
+
+TEST(DecodeCache, RoundsEntriesUpToPowerOfTwo) {
+    EXPECT_EQ(decode_cache(1).entries(), 1u);
+    EXPECT_EQ(decode_cache(4).entries(), 4u);
+    EXPECT_EQ(decode_cache(5).entries(), 8u);
+    EXPECT_EQ(decode_cache(4095).entries(), 4096u);
+    EXPECT_EQ(decode_cache().entries(), decode_cache::k_default_entries);
+}
+
+TEST(DecodeCache, HitMissEvictCounters) {
+    decode_cache dc(4);
+    const std::uint32_t w = isa::encode(decoded_inst{op::addi, 5, 0, 0, 7, 0});
+
+    EXPECT_EQ(dc.lookup(0x1000, w).di.code, op::addi);  // cold miss
+    EXPECT_EQ(dc.stats().misses, 1u);
+    EXPECT_EQ(dc.stats().hits, 0u);
+
+    EXPECT_EQ(dc.lookup(0x1000, w).di.imm, 7);  // hit
+    EXPECT_EQ(dc.stats().hits, 1u);
+
+    // 4 entries => pcs 16 bytes apart share a line: 0x1010 evicts 0x1000.
+    dc.lookup(0x1010, w);
+    EXPECT_EQ(dc.stats().misses, 2u);
+    EXPECT_EQ(dc.stats().evictions, 1u);
+    dc.lookup(0x1000, w);  // conflict miss again
+    EXPECT_EQ(dc.stats().misses, 3u);
+    EXPECT_EQ(dc.stats().evictions, 2u);
+    EXPECT_EQ(dc.stats().smc_redecodes, 0u);
+
+    dc.invalidate_all();
+    dc.lookup(0x1000, w);
+    EXPECT_EQ(dc.stats().misses, 4u);
+    EXPECT_EQ(dc.stats().evictions, 2u);  // invalid line: not an eviction
+
+    dc.reset_stats();
+    EXPECT_EQ(dc.stats().hits, 0u);
+    EXPECT_EQ(dc.stats().misses, 0u);
+}
+
+// The self-modifying-code guarantee at the unit level: a changed word at an
+// unchanged pc is a tag mismatch, so the stale decode can never be served.
+TEST(DecodeCache, WordTagForcesRedecode) {
+    decode_cache dc(16);
+    const std::uint32_t w1 = isa::encode(decoded_inst{op::addi, 5, 0, 0, 1, 0});
+    const std::uint32_t w2 = isa::encode(decoded_inst{op::addi, 5, 0, 0, 42, 0});
+
+    EXPECT_EQ(dc.lookup(0x2000, w1).di.imm, 1);
+    EXPECT_EQ(dc.lookup(0x2000, w1).di.imm, 1);
+    EXPECT_EQ(dc.stats().hits, 1u);
+
+    const predecoded_inst& pd = dc.lookup(0x2000, w2);  // rewritten word
+    EXPECT_EQ(pd.di.imm, 42);
+    EXPECT_EQ(pd.di, isa::decode(w2));
+    EXPECT_EQ(dc.stats().smc_redecodes, 1u);
+    EXPECT_EQ(dc.stats().evictions, 0u);
+
+    EXPECT_EQ(dc.lookup(0x2000, w2).di.imm, 42);  // new word now cached
+    EXPECT_EQ(dc.stats().hits, 2u);
+}
+
+// Pre-decoded classification flags must agree with the predicate functions
+// for every word a random program can contain.
+TEST(DecodeCache, PredecodedFlagsMatchPredicates) {
+    workloads::randprog_options opt;
+    opt.seed = 77;
+    opt.with_fp = true;
+    const auto img = workloads::make_random_program(opt);
+    unsigned checked = 0;
+    for (const auto& seg : img.segments) {
+        if (img.entry < seg.base || img.entry >= seg.base + seg.bytes.size())
+            continue;  // text segment only
+        for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+            const std::uint32_t w = static_cast<std::uint32_t>(seg.bytes[i]) |
+                                    (static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8) |
+                                    (static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16) |
+                                    (static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24);
+            const predecoded_inst pd = predecoded_inst::make(w);
+            const op c = pd.di.code;
+            EXPECT_EQ(pd.load(), isa::is_load(c));
+            EXPECT_EQ(pd.store(), isa::is_store(c));
+            EXPECT_EQ(pd.mem(), isa::is_mem(c));
+            EXPECT_EQ(pd.branch(), isa::is_branch(c));
+            EXPECT_EQ(pd.jump(), isa::is_jump(c));
+            EXPECT_EQ(pd.writes_rd(), isa::writes_rd(c));
+            EXPECT_EQ(pd.rd_fpr(), isa::rd_is_fpr(c));
+            EXPECT_EQ(pd.uses_rs1(), isa::uses_rs1(c));
+            EXPECT_EQ(pd.rs1_fpr(), isa::rs1_is_fpr(c));
+            EXPECT_EQ(pd.uses_rs2(), isa::uses_rs2(c));
+            EXPECT_EQ(pd.rs2_fpr(), isa::rs2_is_fpr(c));
+            EXPECT_EQ(pd.mul_div(), isa::is_mul_div(c));
+            EXPECT_EQ(pd.system(), isa::is_system(c));
+            EXPECT_EQ(static_cast<unsigned>(pd.extra_cycles), isa::extra_exec_cycles(c));
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 50u);
+}
+
+// Property: decode is a left inverse of encode (and encode of decode, on
+// valid words) across everything the random program generator emits.
+TEST(DecodeCache, DecodeEncodeRoundTripProperty) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 101ull, 202ull, 303ull}) {
+        workloads::randprog_options opt;
+        opt.seed = seed;
+        opt.with_fp = (seed % 2 == 1);
+        const auto img = workloads::make_random_program(opt);
+        unsigned checked = 0;
+        for (const auto& seg : img.segments) {
+            if (img.entry < seg.base || img.entry >= seg.base + seg.bytes.size())
+                continue;
+            for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+                const std::uint32_t w =
+                    static_cast<std::uint32_t>(seg.bytes[i]) |
+                    (static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8) |
+                    (static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16) |
+                    (static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24);
+                const decoded_inst di = isa::decode(w);
+                ASSERT_NE(di.code, op::invalid) << "seed " << seed << " word " << i / 4;
+                EXPECT_EQ(isa::encode(di), w) << "seed " << seed;
+                decoded_inst again = isa::decode(isa::encode(di));
+                EXPECT_EQ(again, di) << "seed " << seed;
+                ++checked;
+            }
+        }
+        EXPECT_GT(checked, 50u) << "seed " << seed;
+    }
+}
+
+// End-to-end self-modifying code on the ISS: a loop body instruction is
+// overwritten by a store between the first and second trip.  Because every
+// lookup re-reads the word and compares it to the tag, the cached stale
+// decode is unreachable; cache-on and cache-off runs must agree exactly.
+TEST(DecodeCache, SelfModifyingCodeRedecodes) {
+    isa::program_builder b;
+    b.li(9, 2);  // trip count
+    const auto loop = b.here();
+    const std::uint32_t target = b.emit_i(op::addi, 5, 0, 1);  // the patchee
+    b.emit_r(op::add_r, 8, 8, 5);                              // x8 += x5
+    b.emit_i(op::addi, 10, 10, 1);                             // ++counter
+    // Patch the target in place: after this store the next trip must see
+    // "addi x5, x0, 42".
+    const std::uint32_t new_word = isa::encode(decoded_inst{op::addi, 5, 0, 0, 42, 0});
+    b.li(6, target);
+    b.li(7, new_word);
+    b.emit_store(op::sw, 7, 6, 0);
+    b.emit_branch(op::blt, 10, 9, loop);
+    b.halt_op();
+    const auto img = b.finish();
+
+    {
+        mem::main_memory m;
+        isa::iss sim(m, true);
+        sim.load(img);
+        sim.run(10'000);
+        EXPECT_TRUE(sim.state().halted);
+        EXPECT_EQ(sim.state().gpr[5], 42u);       // second trip ran the new word
+        EXPECT_EQ(sim.state().gpr[8], 1u + 42u);  // old word ran exactly once
+        EXPECT_GE(sim.decode_stats().smc_redecodes, 1u);
+
+        mem::main_memory m2;
+        isa::iss off(m2, false);
+        off.load(img);
+        off.run(10'000);
+        EXPECT_EQ(sim.state().gpr, off.state().gpr);
+        EXPECT_EQ(sim.state().fpr, off.state().fpr);
+        EXPECT_EQ(sim.instret(), off.instret());
+    }
+}
+
+}  // namespace

@@ -7,6 +7,8 @@
 // expose wrong-path fetch accounting differences, the paper's error class).
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "baseline/hardwired_sarm.hpp"
 #include "baseline/port_ppc.hpp"
 #include "isa/iss.hpp"
@@ -28,9 +30,9 @@ struct final_state {
     bool halted = false;
 };
 
-final_state run_iss(const isa::program_image& img) {
+final_state run_iss(const isa::program_image& img, bool dcache = true) {
     mem::main_memory m;
-    isa::iss sim(m);
+    isa::iss sim(m, dcache);
     sim.load(img);
     sim.run(50'000'000);
     final_state f;
@@ -42,9 +44,10 @@ final_state run_iss(const isa::program_image& img) {
     return f;
 }
 
-final_state run_sarm(const isa::program_image& img) {
+final_state run_sarm(const isa::program_image& img, bool dcache = true) {
     mem::main_memory m;
     sarm::sarm_config cfg;
+    cfg.decode_cache = dcache;
     sarm::sarm_model sim(cfg, m);
     sim.load(img);
     sim.run(100'000'000);
@@ -60,9 +63,10 @@ final_state run_sarm(const isa::program_image& img) {
     return f;
 }
 
-final_state run_hw(const isa::program_image& img) {
+final_state run_hw(const isa::program_image& img, bool dcache = true) {
     mem::main_memory m;
     sarm::sarm_config cfg;
+    cfg.decode_cache = dcache;
     baseline::hardwired_sarm sim(cfg, m);
     sim.load(img);
     sim.run(100'000'000);
@@ -78,9 +82,10 @@ final_state run_hw(const isa::program_image& img) {
     return f;
 }
 
-final_state run_p750(const isa::program_image& img) {
+final_state run_p750(const isa::program_image& img, bool dcache = true) {
     mem::main_memory m;
     ppc750::p750_config cfg;
+    cfg.decode_cache = dcache;
     ppc750::p750_model sim(cfg, m);
     sim.load(img);
     sim.run(100'000'000);
@@ -96,9 +101,10 @@ final_state run_p750(const isa::program_image& img) {
     return f;
 }
 
-final_state run_port(const isa::program_image& img) {
+final_state run_port(const isa::program_image& img, bool dcache = true) {
     mem::main_memory m;
     ppc750::p750_config cfg;
+    cfg.decode_cache = dcache;
     baseline::port_ppc sim(cfg, m);
     sim.load(img);
     sim.run(100'000'000);
@@ -166,6 +172,33 @@ TEST_P(RandomEquivalence, AllEnginesAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence, ::testing::Range(0, 20));
+
+// The decode cache is a pure host-side optimization: every engine must
+// produce *bit-identical* results — architectural state, console, retired
+// count AND cycle count — with the cache on and off.  A cycle divergence
+// here would mean the cache leaked into simulated timing.
+TEST(DecodeCacheAblation, BitIdenticalOnAndOff) {
+    for (int i = 0; i < 6; ++i) {
+        workloads::randprog_options opt;
+        opt.seed = 4200u + static_cast<unsigned>(i);
+        opt.blocks = 10;
+        opt.block_len = 10;
+        opt.with_fp = (i % 2 == 0);
+        const auto img = workloads::make_random_program(opt);
+
+        const auto pairs = {
+            std::pair{run_iss(img, true), run_iss(img, false)},
+            std::pair{run_sarm(img, true), run_sarm(img, false)},
+            std::pair{run_hw(img, true), run_hw(img, false)},
+            std::pair{run_p750(img, true), run_p750(img, false)},
+            std::pair{run_port(img, true), run_port(img, false)},
+        };
+        for (const auto& [on, off] : pairs) {
+            expect_arch_equal(on, off, "decode-cache off", opt.seed);
+            EXPECT_EQ(on.cycles, off.cycles) << "seed " << opt.seed;
+        }
+    }
+}
 
 TEST(RandomEquivalence, LoopHeavyPrograms) {
     for (int i = 0; i < 5; ++i) {

@@ -201,12 +201,19 @@ TEST(WriteBuffer, DrainsInBackground) {
     EXPECT_EQ(wb.push_store(), 2u);
 }
 
-TEST(WriteBuffer, ClearResets) {
+TEST(WriteBuffer, ClearDropsEntriesButKeepsStats) {
     write_buffer wb;
     wb.push_store();
+    wb.tick();
     wb.clear();
     EXPECT_EQ(wb.occupancy(), 0u);
+    // A squash-path flush must not erase accounting (the old behaviour
+    // silently zeroed the occupancy/drain history).
+    EXPECT_EQ(wb.stats().stores, 1u);
+    EXPECT_EQ(wb.stats().occupancy_cycles, 1u);
+    wb.reset_stats();
     EXPECT_EQ(wb.stats().stores, 0u);
+    EXPECT_EQ(wb.stats().occupancy_cycles, 0u);
 }
 
 TEST(Bus, ChargesSetupAndBeats) {
