@@ -8,40 +8,66 @@
 // declarative OSM model outruns the hardware-centric port model — is what
 // this bench checks; the measured delta-cycle count per simulated cycle
 // quantifies the DE machinery overhead the paper blames.
+//
+// Engines come from the sim::engine registry (hot loop unchanged: one
+// engine::run() per workload); the per-cycle DE overhead is read from the
+// port engine's uniform stats_report.  The ablation iterates every
+// registered engine over the mixed suite.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
-#include "baseline/port_ppc.hpp"
-#include "isa/iss.hpp"
-#include "mem/main_memory.hpp"
-#include "ppc750/ppc750.hpp"
+#include "sim/diff_runner.hpp"
+#include "sim/registry.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace osm;
 
 namespace {
 
-/// Simulated-instruction throughput (Minst/s) over the mixed suite.  The
-/// model is re-loaded per run; `retired` extracts the per-run retirement
-/// count and `reps` repeats short workloads above timer noise.
-template <typename Model, typename Retired>
-double measure_minst(Model& model, Retired retired, unsigned reps) {
+struct timed_run {
+    double secs = 0;
+    std::unique_ptr<sim::engine> eng;
+};
+
+timed_run measure(const std::string& name, const sim::engine_config& cfg,
+                  const isa::program_image& img) {
+    timed_run t;
+    t.eng = sim::make_engine(name, cfg);
+    t.eng->load(img);
+    const auto t0 = std::chrono::steady_clock::now();
+    t.eng->run(2'000'000'000ull);
+    t.secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return t;
+}
+
+/// Simulated-instruction throughput (Minst/s) of engine `name` over the
+/// mixed suite; fresh engine per run, FP workloads skipped for integer-only
+/// engines, `reps` repeats short workloads above timer noise.
+double measure_minst(const std::string& name, const sim::engine_config& cfg,
+                     unsigned reps) {
+    const bool fp_ok = sim::make_engine(name, cfg)->executes_fp();
     double insts = 0;
     double secs = 0;
     for (auto& w : workloads::mixed_suite(2)) {
+        if (!fp_ok && sim::program_uses_fp(w.image)) continue;
         for (unsigned r = 0; r < reps; ++r) {
-            model.load(w.image);
-            const auto t0 = std::chrono::steady_clock::now();
-            model.run(2'000'000'000ull);
-            secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                        .count();
-            insts += static_cast<double>(retired(model));
+            auto t = measure(name, cfg, w.image);
+            secs += t.secs;
+            insts += static_cast<double>(t.eng->retired());
         }
     }
-    return insts / secs / 1e6;
+    return secs > 0 ? insts / secs / 1e6 : -1.0;
 }
 
-/// Decode-cache on/off ablation (see bench_speed_sarm for the SARM-side
+unsigned reps_for(const std::string& name) {
+    if (name == "iss") return 8;
+    if (name == "hw") return 2;
+    return 1;
+}
+
+/// Decode-cache on/off ablation (see bench_speed_sarm for the SARM-suite
 /// table).  The ISS row is the pure fetch/decode hot path; the superscalar
 /// engines spend most of their time in per-cycle scheduling, so their rows
 /// quantify how much the decode win is diluted there.
@@ -51,44 +77,16 @@ void decode_cache_ablation() {
                 "speedup");
 
     double iss_ratio = 0;
-    {
-        mem::main_memory m;
-        isa::iss sim(m, /*use_decode_cache=*/true);
-        const double on = measure_minst(
-            sim, [](const isa::iss& s) { return s.instret(); }, 8);
-        sim.set_decode_cache(false);
-        const double off = measure_minst(
-            sim, [](const isa::iss& s) { return s.instret(); }, 8);
-        iss_ratio = on / off;
-        std::printf("%-26s %12.1f %12.1f %8.2fx\n", "iss (fetch/decode path)", on,
-                    off, iss_ratio);
-    }
-    {
-        ppc750::p750_config cfg;
-        mem::main_memory m;
+    for (const auto& name : sim::engine_registry::instance().names()) {
+        sim::engine_config cfg;
+        const unsigned reps = reps_for(name);
         cfg.decode_cache = true;
-        ppc750::p750_model on_model(cfg, m);
-        const double on = measure_minst(
-            on_model, [](const ppc750::p750_model& s) { return s.stats().retired; }, 1);
+        const double on = measure_minst(name, cfg, reps);
         cfg.decode_cache = false;
-        ppc750::p750_model off_model(cfg, m);
-        const double off = measure_minst(
-            off_model, [](const ppc750::p750_model& s) { return s.stats().retired; }, 1);
-        std::printf("%-26s %12.2f %12.2f %8.2fx\n", "OSM P750 model", on, off,
-                    on / off);
-    }
-    {
-        ppc750::p750_config cfg;
-        mem::main_memory m;
-        cfg.decode_cache = true;
-        baseline::port_ppc on_model(cfg, m);
-        const double on = measure_minst(
-            on_model, [](const baseline::port_ppc& s) { return s.stats().retired; }, 1);
-        cfg.decode_cache = false;
-        baseline::port_ppc off_model(cfg, m);
-        const double off = measure_minst(
-            off_model, [](const baseline::port_ppc& s) { return s.stats().retired; }, 1);
-        std::printf("%-26s %12.2f %12.2f %8.2fx\n", "port/wire DE model", on, off,
+        const double off = measure_minst(name, cfg, reps);
+        if (on < 0 || off < 0) continue;
+        if (name == "iss") iss_ratio = on / off;
+        std::printf("%-26s %12.2f %12.2f %8.2fx\n", name.c_str(), on, off,
                     on / off);
     }
     std::printf("\nfetch/decode hot path speedup with the cache on: %.2fx (target >= 1.2x: %s)\n",
@@ -102,38 +100,29 @@ int main() {
     std::printf("%-14s %14s %14s %8s %12s\n", "workload", "OSM kcyc/s",
                 "port kcyc/s", "ratio", "deltas/cyc");
 
+    const sim::engine_config cfg;
     double osm_cycles = 0;
     double osm_secs = 0;
     double port_cycles = 0;
     double port_secs = 0;
     for (auto& w : workloads::mixed_suite(2)) {
-        ppc750::p750_config cfg;
-        mem::main_memory m1, m2;
+        auto osm_run = measure("p750", cfg, w.image);
+        auto port_run = measure("port", cfg, w.image);
 
-        ppc750::p750_model osm_model(cfg, m1);
-        osm_model.load(w.image);
-        auto t0 = std::chrono::steady_clock::now();
-        osm_model.run(2'000'000'000ull);
-        const double s1 =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-
-        baseline::port_ppc port(cfg, m2);
-        port.load(w.image);
-        t0 = std::chrono::steady_clock::now();
-        port.run(2'000'000'000ull);
-        const double s2 =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-
-        const double k1 = static_cast<double>(osm_model.stats().cycles) / s1 / 1e3;
-        const double k2 = static_cast<double>(port.stats().cycles) / s2 / 1e3;
+        const double k1 =
+            static_cast<double>(osm_run.eng->cycles()) / osm_run.secs / 1e3;
+        const double k2 =
+            static_cast<double>(port_run.eng->cycles()) / port_run.secs / 1e3;
+        const auto rep = port_run.eng->stats_report();
+        const double deltas = static_cast<double>(
+            std::get<std::uint64_t>(rep.at("de", "delta_cycles")));
         std::printf("%-14s %14.0f %14.0f %7.2fx %12.1f\n", w.name.c_str(), k1, k2,
                     k1 / k2,
-                    static_cast<double>(port.stats().delta_cycles) /
-                        static_cast<double>(port.stats().cycles));
-        osm_cycles += static_cast<double>(osm_model.stats().cycles);
-        osm_secs += s1;
-        port_cycles += static_cast<double>(port.stats().cycles);
-        port_secs += s2;
+                    deltas / static_cast<double>(port_run.eng->cycles()));
+        osm_cycles += static_cast<double>(osm_run.eng->cycles());
+        osm_secs += osm_run.secs;
+        port_cycles += static_cast<double>(port_run.eng->cycles());
+        port_secs += port_run.secs;
     }
     const double k_osm = osm_cycles / osm_secs / 1e3;
     const double k_port = port_cycles / port_secs / 1e3;

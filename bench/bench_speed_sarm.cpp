@@ -8,94 +8,92 @@
 // baseline is leaner than SimpleScalar (no RUU machinery, no per-cycle
 // statistics sweep), so the measured ratio overstates the hand-coded side
 // relative to the paper's comparison; EXPERIMENTS.md discusses this.
+//
+// Engines are constructed through the sim::engine registry; the hot loop is
+// still a single engine::run() call over the whole workload, so the adapter
+// adds no per-cycle overhead.  The decode-cache ablation iterates every
+// registered engine, so a newly-registered engine is benched for free.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
-#include "baseline/hardwired_sarm.hpp"
-#include "isa/iss.hpp"
-#include "mem/main_memory.hpp"
-#include "sarm/sarm.hpp"
+#include "sim/diff_runner.hpp"
+#include "sim/registry.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace osm;
 
 namespace {
 
-template <typename Model>
-double measure_kcps(Model& model, const isa::program_image& img) {
-    model.load(img);
+/// Load + run `img` on a fresh `name` engine; returns {seconds, engine}.
+struct timed_run {
+    double secs = 0;
+    std::unique_ptr<sim::engine> eng;
+};
+
+timed_run measure(const std::string& name, const sim::engine_config& cfg,
+                  const isa::program_image& img) {
+    timed_run t;
+    t.eng = sim::make_engine(name, cfg);
+    t.eng->load(img);
     const auto t0 = std::chrono::steady_clock::now();
-    model.run(2'000'000'000ull);
-    const double secs =
+    t.eng->run(2'000'000'000ull);
+    t.secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    return secs;
+    return t;
 }
 
-/// Simulated-instruction throughput (Minst/s) of `model` over the workload
-/// suite, repeated `reps` times so short workloads measure above timer
-/// noise.  `retired` must return the per-run retirement count.
-template <typename Model, typename Retired>
-double measure_minst(Model& model, Retired retired, unsigned reps) {
+/// Simulated-instruction throughput (Minst/s) of engine `name` over the
+/// workload suite, repeated `reps` times so short workloads measure above
+/// timer noise.  A fresh engine is built per run (construction is noise
+/// next to millions of simulated cycles).  FP workloads are skipped for
+/// integer-only engines; returns a negative value if nothing ran.
+double measure_minst(const std::string& name, const sim::engine_config& cfg,
+                     unsigned reps) {
+    const bool fp_ok = sim::make_engine(name, cfg)->executes_fp();
     double insts = 0;
     double secs = 0;
     for (auto& w : workloads::mediabench_suite(2)) {
+        if (!fp_ok && sim::program_uses_fp(w.image)) continue;
         for (unsigned r = 0; r < reps; ++r) {
-            secs += measure_kcps(model, w.image);
-            insts += static_cast<double>(retired(model));
+            auto t = measure(name, cfg, w.image);
+            secs += t.secs;
+            insts += static_cast<double>(t.eng->retired());
         }
     }
-    return insts / secs / 1e6;
+    return secs > 0 ? insts / secs / 1e6 : -1.0;
+}
+
+/// Per-engine repetition counts: the fast functional ISS needs more reps to
+/// rise above timer noise; the cycle-accurate engines need fewer.
+unsigned reps_for(const std::string& name) {
+    if (name == "iss") return 8;
+    if (name == "hw") return 2;
+    return 1;
 }
 
 /// Decode-cache on/off ablation: the cache is architecturally invisible, so
 /// the *only* difference between the two configurations is wall-clock time
 /// per simulated instruction.  The functional ISS is the pure fetch/decode
 /// hot path; the cycle-accurate engines dilute the win with per-cycle
-/// scheduling work, which the table makes visible.
+/// scheduling work, which the table makes visible.  Every engine in the
+/// registry gets a row.
 void decode_cache_ablation() {
     std::printf("\n== decode-cache ablation (pre-decoded (pc, word)-tagged cache) ==\n\n");
     std::printf("%-26s %12s %12s %9s\n", "engine", "on Minst/s", "off Minst/s",
                 "speedup");
 
     double iss_ratio = 0;
-    {
-        mem::main_memory m;
-        isa::iss sim(m, /*use_decode_cache=*/true);
-        const double on = measure_minst(
-            sim, [](const isa::iss& s) { return s.instret(); }, 8);
-        sim.set_decode_cache(false);
-        const double off = measure_minst(
-            sim, [](const isa::iss& s) { return s.instret(); }, 8);
-        iss_ratio = on / off;
-        std::printf("%-26s %12.1f %12.1f %8.2fx\n", "iss (fetch/decode path)", on,
-                    off, iss_ratio);
-    }
-    {
-        sarm::sarm_config cfg;
-        mem::main_memory m;
+    for (const auto& name : sim::engine_registry::instance().names()) {
+        sim::engine_config cfg;
+        const unsigned reps = reps_for(name);
         cfg.decode_cache = true;
-        baseline::hardwired_sarm on_model(cfg, m);
-        const double on = measure_minst(
-            on_model, [](const baseline::hardwired_sarm& s) { return s.retired(); }, 2);
+        const double on = measure_minst(name, cfg, reps);
         cfg.decode_cache = false;
-        baseline::hardwired_sarm off_model(cfg, m);
-        const double off = measure_minst(
-            off_model, [](const baseline::hardwired_sarm& s) { return s.retired(); }, 2);
-        std::printf("%-26s %12.2f %12.2f %8.2fx\n", "hand-coded cycle sim", on, off,
-                    on / off);
-    }
-    {
-        sarm::sarm_config cfg;
-        mem::main_memory m;
-        cfg.decode_cache = true;
-        sarm::sarm_model on_model(cfg, m);
-        const double on = measure_minst(
-            on_model, [](const sarm::sarm_model& s) { return s.stats().retired; }, 1);
-        cfg.decode_cache = false;
-        sarm::sarm_model off_model(cfg, m);
-        const double off = measure_minst(
-            off_model, [](const sarm::sarm_model& s) { return s.stats().retired; }, 1);
-        std::printf("%-26s %12.2f %12.2f %8.2fx\n", "OSM SARM model", on, off,
+        const double off = measure_minst(name, cfg, reps);
+        if (on < 0 || off < 0) continue;
+        if (name == "iss") iss_ratio = on / off;
+        std::printf("%-26s %12.2f %12.2f %8.2fx\n", name.c_str(), on, off,
                     on / off);
     }
     std::printf("\nfetch/decode hot path speedup with the cache on: %.2fx (target >= 1.2x: %s)\n",
@@ -108,25 +106,24 @@ int main() {
     std::printf("== §5.1 speed: OSM SARM model vs hand-coded cycle simulator ==\n\n");
     std::printf("%-12s %14s %14s %8s\n", "workload", "OSM kcyc/s", "hand kcyc/s", "ratio");
 
+    const sim::engine_config cfg;
     double osm_cycles = 0;
     double osm_secs = 0;
     double hw_cycles = 0;
     double hw_secs = 0;
     for (auto& w : workloads::mediabench_suite(2)) {
-        sarm::sarm_config cfg;
-        mem::main_memory m1, m2;
-        sarm::sarm_model osm_model(cfg, m1);
-        const double s1 = measure_kcps(osm_model, w.image);
-        baseline::hardwired_sarm hw(cfg, m2);
-        const double s2 = measure_kcps(hw, w.image);
+        auto osm_run = measure("sarm", cfg, w.image);
+        auto hw_run = measure("hw", cfg, w.image);
 
-        const double k1 = static_cast<double>(osm_model.stats().cycles) / s1 / 1e3;
-        const double k2 = static_cast<double>(hw.cycles()) / s2 / 1e3;
+        const double k1 =
+            static_cast<double>(osm_run.eng->cycles()) / osm_run.secs / 1e3;
+        const double k2 =
+            static_cast<double>(hw_run.eng->cycles()) / hw_run.secs / 1e3;
         std::printf("%-12s %14.0f %14.0f %7.2fx\n", w.name.c_str(), k1, k2, k1 / k2);
-        osm_cycles += static_cast<double>(osm_model.stats().cycles);
-        osm_secs += s1;
-        hw_cycles += static_cast<double>(hw.cycles());
-        hw_secs += s2;
+        osm_cycles += static_cast<double>(osm_run.eng->cycles());
+        osm_secs += osm_run.secs;
+        hw_cycles += static_cast<double>(hw_run.eng->cycles());
+        hw_secs += hw_run.secs;
     }
     const double k_osm = osm_cycles / osm_secs / 1e3;
     const double k_hw = hw_cycles / hw_secs / 1e3;

@@ -1,0 +1,14 @@
+# Iterative Fibonacci: print fib(0)..fib(20), one per line.  Exercises
+# dependent adds and a counted backward branch on every engine.
+        li t0, 0                ; fib(i)
+        li t1, 1                ; fib(i+1)
+        li t2, 21               ; iterations
+loop:   mv a0, t0
+        syscall 2               ; print fib(i)
+        syscall 3               ; newline
+        add t3, t0, t1
+        mv t0, t1
+        mv t1, t3
+        addi t2, t2, -1
+        bne t2, zero, loop
+        syscall 0               ; exit

@@ -1,0 +1,26 @@
+# Floating-point dot product of two 8-element vectors, printed as the
+# truncated integer 120 (= 1*8 + 2*7 + ... + 8*1).  Uses the FP register
+# file, so integer-only engines (smt) are skipped by `osm-run --diff`.
+        .data 0x8000
+vec_a:  .word 0x3F800000, 0x40000000, 0x40400000, 0x40800000   ; 1 2 3 4
+        .word 0x40A00000, 0x40C00000, 0x40E00000, 0x41000000   ; 5 6 7 8
+vec_b:  .word 0x41000000, 0x40E00000, 0x40C00000, 0x40A00000   ; 8 7 6 5
+        .word 0x40800000, 0x40400000, 0x40000000, 0x3F800000   ; 4 3 2 1
+        .text
+        li t0, 0x8000          ; vec_a
+        li t1, 0x8020          ; vec_b
+        li t2, 8                ; elements
+        li t3, 0
+        fcvt.s.w f0, t3         ; accumulator = 0.0
+loop:   flw f1, 0(t0)
+        flw f2, 0(t1)
+        fmul f3, f1, f2
+        fadd f0, f0, f3
+        addi t0, t0, 4
+        addi t1, t1, 4
+        addi t2, t2, -1
+        bne t2, zero, loop
+        fcvt.w.s a0, f0         ; truncate to integer
+        syscall 2               ; print 120
+        syscall 3
+        syscall 0

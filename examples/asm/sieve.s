@@ -1,0 +1,36 @@
+# Sieve of Eratosthenes over [2, 200): counts primes (46) with byte
+# loads/stores to a data region — exercises the memory pipelines and
+# D-cache paths of the cycle-accurate engines.
+        .data 0x8000
+flags:  .space 200
+        .text
+        li a1, 200              ; limit
+        li t0, 2                ; i
+mark_outer:
+        mul t1, t0, t0          ; i*i
+        bge t1, a1, count       ; i*i >= limit -> done marking
+        li t2, 0x8000          ; flags base
+        add t3, t2, t1          ; &flags[i*i]
+mark_inner:
+        li t4, 1
+        li t2, 0x8000          ; flags base
+        add t5, t2, t1
+        sb t4, 0(t5)            ; flags[j] = 1
+        add t1, t1, t0          ; j += i
+        blt t1, a1, mark_inner
+        addi t0, t0, 1
+        jal zero, mark_outer
+count:  li a0, 0                ; prime count
+        li t0, 2
+count_loop:
+        li t2, 0x8000          ; flags base
+        add t3, t2, t0
+        lbu t4, 0(t3)
+        bne t4, zero, not_prime
+        addi a0, a0, 1
+not_prime:
+        addi t0, t0, 1
+        blt t0, a1, count_loop
+        syscall 2               ; print count
+        syscall 3
+        syscall 0

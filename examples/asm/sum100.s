@@ -1,0 +1,11 @@
+# Sum 1..100 and print the result (5050).  Integer-only: runs on every
+# registered engine, including the SMT pipeline.
+        li a0, 0                ; accumulator
+        li a1, 1                ; counter
+        li a2, 100              ; limit
+loop:   add a0, a0, a1
+        addi a1, a1, 1
+        bge a2, a1, loop
+        syscall 2               ; print a0 as decimal
+        syscall 3               ; newline
+        syscall 0               ; exit

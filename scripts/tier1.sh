@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full Release build + test suite (ROADMAP.md), then the
-# kernel- and bit-level tests again under ASan+UBSan (OSM_SANITIZE preset).
-# The sanitizer pass builds only the two targets it runs, so it stays cheap;
-# the binaries are invoked directly rather than through ctest because test
-# discovery would otherwise require building every gtest target twice.
+# kernel- and bit-level tests again under ASan+UBSan (OSM_SANITIZE preset),
+# plus a registry-driven differential smoke: one random program executed on
+# every registered engine under the sanitizers, requiring zero architectural
+# divergence.  The sanitizer pass builds only the targets it runs, so it
+# stays cheap; the binaries are invoked directly rather than through ctest
+# because test discovery would otherwise require building every gtest
+# target twice.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,8 +15,12 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 cmake -B build-asan -S . -DOSM_SANITIZE=ON
-cmake --build build-asan -j --target de_test common_test
+cmake --build build-asan -j --target de_test common_test osm-run
 ./build-asan/tests/de_test
 ./build-asan/tests/common_test
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test)"
+# Differential smoke: every engine in the registry must agree on a random
+# program while ASan+UBSan watch the models themselves.
+./build-asan/tools/osm-run --rand 20260805 --diff all --max-cycles 50000000
+
+echo "tier1: OK (ctest suite + sanitized de_test/common_test + all-engine diff)"

@@ -166,6 +166,29 @@ std::uint64_t adl_sarm_model::run(std::uint64_t max_cycles) {
     return executed;
 }
 
+stats::report adl_sarm_model::make_report() const {
+    stats::report r;
+    r.put("model", "name", std::string("adl"));
+    r.put("run", "cycles", stats_.cycles);
+    r.put("run", "retired", stats_.retired);
+    r.put("run", "ipc", stats_.ipc());
+    r.put("branches", "executed", stats_.branches);
+    r.put("branches", "taken", stats_.taken_branches);
+    r.put("branches", "redirects", stats_.redirects);
+    r.put("branches", "squashed_ops", stats_.kills);
+    r.put("icache", "accesses", icache_.stats().accesses);
+    r.put("icache", "hit_ratio", icache_.stats().hit_ratio());
+    r.put("dcache", "accesses", dcache_.stats().accesses);
+    r.put("dcache", "hit_ratio", dcache_.stats().hit_ratio());
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(cfg_.decode_cache ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
+    r.put("director", "control_steps", dir_.stats().control_steps);
+    r.put("director", "transitions", dir_.stats().transitions);
+    return r;
+}
+
 // ---- actions (the code an ADL generator would leave to the user) ----------
 
 void adl_sarm_model::act_fetch(core::osm& m) {

@@ -47,8 +47,15 @@ public:
     const sarm::sarm_stats& stats() const noexcept { return stats_; }
     std::uint32_t gpr(unsigned r) const { return m_r_->arch_read(r); }
     std::uint32_t fpr(unsigned r) const { return m_fr_->arch_read(r); }
+    /// Next-fetch pc (speculative: may point past the halt after the end).
+    std::uint32_t fetch_pc() const noexcept { return fetch_pc_; }
     const std::string& console() const { return host_.console(); }
     const core::osm_graph& graph() const noexcept { return machine_->graph; }
+    core::director& dir() noexcept { return dir_; }
+    core::sim_kernel& kernel() noexcept { return kern_; }
+
+    /// Structured report of every counter (JSON-renderable).
+    stats::report make_report() const;
 
 private:
     class op_ctx;  // the operation subclass

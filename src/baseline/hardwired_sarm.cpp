@@ -209,4 +209,21 @@ std::uint64_t hardwired_sarm::run(std::uint64_t max_cycles) {
     return cycles_ - start;
 }
 
+stats::report hardwired_sarm::make_report() const {
+    stats::report r;
+    r.put("model", "name", std::string("hw"));
+    r.put("run", "cycles", cycles_);
+    r.put("run", "retired", retired_);
+    r.put("run", "ipc", ipc());
+    r.put("icache", "accesses", icache_.stats().accesses);
+    r.put("icache", "hit_ratio", icache_.stats().hit_ratio());
+    r.put("dcache", "accesses", dcache_.stats().accesses);
+    r.put("dcache", "hit_ratio", dcache_.stats().hit_ratio());
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(cfg_.decode_cache ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
+    return r;
+}
+
 }  // namespace osm::baseline

@@ -40,12 +40,17 @@ public:
     std::uint64_t retired() const noexcept { return retired_; }
     std::uint32_t gpr(unsigned r) const { return gpr_[r]; }
     std::uint32_t fpr(unsigned r) const { return fpr_[r]; }
+    /// Next-fetch pc (speculative: may point past the halt after the end).
+    std::uint32_t fetch_pc() const noexcept { return fetch_pc_; }
     const std::string& console() const { return host_.console(); }
     const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
     double ipc() const {
         return cycles_ == 0 ? 0.0
                             : static_cast<double>(retired_) / static_cast<double>(cycles_);
     }
+
+    /// Structured report of every counter (JSON-renderable).
+    stats::report make_report() const;
 
 private:
     /// Pipeline latch: one in-flight instruction.

@@ -656,4 +656,25 @@ std::uint64_t port_ppc::run(std::uint64_t max_cycles) {
     return stats_.cycles - start;
 }
 
+stats::report port_ppc::make_report() const {
+    stats::report r;
+    r.put("model", "name", std::string("port"));
+    r.put("run", "cycles", stats_.cycles);
+    r.put("run", "retired", stats_.retired);
+    r.put("run", "ipc", stats_.ipc());
+    r.put("branches", "executed", stats_.branches);
+    r.put("branches", "mispredicts", stats_.mispredicts);
+    r.put("branches", "squashed_ops", stats_.squashed);
+    r.put("de", "delta_cycles", stats_.delta_cycles);
+    r.put("icache", "accesses", icache_.stats().accesses);
+    r.put("icache", "hit_ratio", icache_.stats().hit_ratio());
+    r.put("dcache", "accesses", dcache_.stats().accesses);
+    r.put("dcache", "hit_ratio", dcache_.stats().hit_ratio());
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(cfg_.decode_cache ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
+    return r;
+}
+
 }  // namespace osm::baseline

@@ -66,8 +66,13 @@ public:
     const port_ppc_stats& stats() const noexcept { return stats_; }
     std::uint32_t gpr(unsigned r) const;
     std::uint32_t fpr(unsigned r) const;
+    /// Next-fetch pc (speculative: may point past the halt after the end).
+    std::uint32_t fetch_pc() const noexcept { return fetch_pc_; }
     const std::string& console() const { return host_.console(); }
     const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
+
+    /// Structured report of every counter (JSON-renderable).
+    stats::report make_report() const;
 
 private:
     // ---- wire payload types (each stands for a bus of wires) ----

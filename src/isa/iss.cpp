@@ -82,6 +82,19 @@ bool iss::step_with(const predecoded_inst& pd) {
     return true;
 }
 
+stats::report iss::make_report() const {
+    stats::report r;
+    r.put("model", "name", std::string("iss"));
+    r.put("run", "retired", instret_);
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(decode_cache_on_ ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "evictions", dcode_.stats().evictions);
+    r.put("decode_cache", "smc_redecodes", dcode_.stats().smc_redecodes);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
+    return r;
+}
+
 std::uint64_t iss::run(std::uint64_t max_steps) {
     std::uint64_t n = 0;
     while (n < max_steps && step()) ++n;

@@ -14,6 +14,7 @@
 #include "isa/program.hpp"
 #include "isa/semantics.hpp"
 #include "mem/memory_if.hpp"
+#include "stats/stats.hpp"
 
 namespace osm::isa {
 
@@ -43,6 +44,7 @@ public:
     arch_state& state() noexcept { return state_; }
     const arch_state& state() const noexcept { return state_; }
     syscall_host& host() noexcept { return host_; }
+    const syscall_host& host() const noexcept { return host_; }
 
     /// Retired instruction count.
     std::uint64_t instret() const noexcept { return instret_; }
@@ -60,6 +62,9 @@ public:
     void set_decode_cache(bool on) noexcept { decode_cache_on_ = on; }
     bool decode_cache_enabled() const noexcept { return decode_cache_on_; }
     const decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
+
+    /// Structured report (retired count + decode-cache counters).
+    stats::report make_report() const;
 
 private:
     bool step_with(const predecoded_inst& pd);

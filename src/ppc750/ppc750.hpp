@@ -132,6 +132,8 @@ public:
 
     std::uint32_t gpr(unsigned r) const { return m_gpr_.arch_read(r); }
     std::uint32_t fpr(unsigned r) const { return m_fpr_.arch_read(r); }
+    /// Next-fetch pc (speculative: may point past the halt after the end).
+    std::uint32_t fetch_pc() const noexcept { return fetch_pc_; }
     const std::string& console() const { return host_.console(); }
 
     /// Debug/trace hook invoked at each in-order retirement.

@@ -107,6 +107,8 @@ public:
     /// Architectural state after (or during) simulation.
     std::uint32_t gpr(unsigned r) const { return m_r_.arch_read(r); }
     std::uint32_t fpr(unsigned r) const { return m_fr_.arch_read(r); }
+    /// Next-fetch pc (speculative: may point past the halt after the end).
+    std::uint32_t fetch_pc() const noexcept { return fetch_pc_; }
     const std::string& console() const { return host_.console(); }
 
     /// Structured report of every counter (JSON-renderable).

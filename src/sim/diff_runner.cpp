@@ -1,0 +1,129 @@
+#include "sim/diff_runner.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "isa/arch.hpp"
+#include "isa/encoding.hpp"
+#include "sim/registry.hpp"
+
+namespace osm::sim {
+
+namespace {
+
+std::string hex32(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08X", v);
+    return buf;
+}
+
+std::string printable(const std::string& s) {
+    // Console streams can be long; show enough to localize the mismatch.
+    constexpr std::size_t limit = 64;
+    std::string out;
+    for (char c : s.substr(0, limit)) {
+        if (c == '\n') out += "\\n";
+        else out += c;
+    }
+    if (s.size() > limit) out += "...";
+    return out;
+}
+
+}  // namespace
+
+std::string divergence::to_string() const {
+    std::string s = "engine " + engine + " diverges from " + reference + ": " + kind;
+    if (kind == "gpr" || kind == "fpr") s += "[" + std::to_string(index) + "]";
+    s += " expected " + expected + " actual " + actual;
+    return s;
+}
+
+bool program_uses_fp(const isa::program_image& img) {
+    for (const auto& seg : img.segments) {
+        if (img.entry < seg.base || img.entry >= seg.base + seg.bytes.size()) continue;
+        for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+            const std::uint32_t word = static_cast<std::uint32_t>(seg.bytes[i]) |
+                                       static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8 |
+                                       static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16 |
+                                       static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24;
+            if (isa::is_fp(isa::decode(word).code)) return true;
+        }
+    }
+    return false;
+}
+
+diff_result diff_engines(const std::vector<std::string>& names,
+                         const isa::program_image& img, const diff_options& opt) {
+    if (names.size() < 2) {
+        throw std::invalid_argument("diff_engines: need a reference and at least one engine");
+    }
+    auto& reg = engine_registry::instance();
+    // Resolve every name up front so a typo fails before any simulation.
+    for (const auto& n : names) {
+        if (!reg.contains(n)) reg.create(n, opt.config);  // throws unknown_engine
+    }
+
+    const bool fp_program = program_uses_fp(img);
+    diff_result result;
+
+    auto ref = reg.create(names.front(), opt.config);
+    ref->load(img);
+    ref->run(opt.max_cycles);
+    result.runs.push_back({std::string(ref->name()), true, "", ref->halted(),
+                           ref->cycles(), ref->retired()});
+
+    for (std::size_t i = 1; i < names.size(); ++i) {
+        auto eng = reg.create(names[i], opt.config);
+        if (fp_program && !eng->executes_fp()) {
+            result.runs.push_back({names[i], false, "no FP support, program uses FP",
+                                   false, 0, 0});
+            continue;
+        }
+        eng->load(img);
+        eng->run(opt.max_cycles);
+        result.runs.push_back({names[i], true, "", eng->halted(), eng->cycles(),
+                               eng->retired()});
+
+        auto diverged = [&](std::string kind, unsigned index, std::string expected,
+                            std::string actual) {
+            result.divergences.push_back({std::string(ref->name()), names[i],
+                                          std::move(kind), index, std::move(expected),
+                                          std::move(actual)});
+        };
+
+        // First divergence only: the earliest mismatch is the actionable one.
+        if (eng->halted() != ref->halted()) {
+            diverged("halted", 0, std::to_string(ref->halted()),
+                     std::to_string(eng->halted()));
+            continue;
+        }
+        bool mismatch = false;
+        for (unsigned r = 0; r < isa::num_gprs && !mismatch; ++r) {
+            if (eng->gpr(r) != ref->gpr(r)) {
+                diverged("gpr", r, hex32(ref->gpr(r)), hex32(eng->gpr(r)));
+                mismatch = true;
+            }
+        }
+        if (mismatch) continue;
+        if (ref->executes_fp() && eng->executes_fp()) {
+            for (unsigned r = 0; r < isa::num_fprs && !mismatch; ++r) {
+                if (eng->fpr(r) != ref->fpr(r)) {
+                    diverged("fpr", r, hex32(ref->fpr(r)), hex32(eng->fpr(r)));
+                    mismatch = true;
+                }
+            }
+            if (mismatch) continue;
+        }
+        if (eng->console() != ref->console()) {
+            diverged("console", 0, printable(ref->console()), printable(eng->console()));
+            continue;
+        }
+        if (eng->retired() != ref->retired()) {
+            diverged("retired", 0, std::to_string(ref->retired()),
+                     std::to_string(eng->retired()));
+        }
+    }
+    return result;
+}
+
+}  // namespace osm::sim

@@ -1,0 +1,66 @@
+// N-engine differential runner.
+//
+// Executes one program on every named engine (first name = reference) and
+// reports the first architectural divergence per engine: register file,
+// console stream, retired count, halt status.  This is the paper's
+// retargetability claim turned into a push-button check — `osm-run --diff
+// iss,sarm,p750,...` — and the registry makes any new engine diffable the
+// moment it registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/engine.hpp"
+
+namespace osm::sim {
+
+struct diff_options {
+    engine_config config{};
+    std::uint64_t max_cycles = 2'000'000'000ull;
+};
+
+/// Per-engine execution summary (also covers engines that were skipped,
+/// e.g. an FP program on an integer-only engine).
+struct engine_run {
+    std::string engine;
+    bool ran = false;
+    std::string skip_reason;
+    bool halted = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+};
+
+/// One observed architectural difference against the reference engine.
+struct divergence {
+    std::string reference;
+    std::string engine;
+    std::string kind;    ///< "halted" | "gpr" | "fpr" | "console" | "retired"
+    unsigned index = 0;  ///< register number for gpr/fpr kinds
+    std::string expected;
+    std::string actual;
+
+    /// "engine sarm diverges from iss: gpr[7] expected 00000010 actual ..."
+    std::string to_string() const;
+};
+
+struct diff_result {
+    std::vector<engine_run> runs;
+    std::vector<divergence> divergences;
+    bool ok() const { return divergences.empty(); }
+};
+
+/// True when the text segment (the one containing `img.entry`) holds any
+/// FP-register opcode; used to skip engines with executes_fp() == false.
+bool program_uses_fp(const isa::program_image& img);
+
+/// Run `img` on every engine in `names` (first = reference, typically
+/// "iss").  Requires at least two names; throws unknown_engine for
+/// unregistered names before running anything.
+diff_result diff_engines(const std::vector<std::string>& names,
+                         const isa::program_image& img,
+                         const diff_options& opt = {});
+
+}  // namespace osm::sim

@@ -1,0 +1,20 @@
+#include "sim/engine.hpp"
+
+namespace osm::sim {
+
+engine::~engine() = default;
+
+stats::report engine::make_report() const { return {}; }
+
+stats::report engine::stats_report() const {
+    stats::report r = make_report();
+    r.put("engine", "name", std::string(name()));
+    r.put("run", "cycles", cycles());
+    r.put("run", "retired", retired());
+    r.put("run", "ipc", ipc());
+    r.put("run", "halted", static_cast<std::uint64_t>(halted() ? 1 : 0));
+    r.put("run", "console_bytes", static_cast<std::uint64_t>(console().size()));
+    return r;
+}
+
+}  // namespace osm::sim

@@ -1,0 +1,102 @@
+// Unified execution-engine interface.
+//
+// The paper's central claim is retargetability: one OSM substrate, many
+// processor models.  This layer is the framework-side half of that claim —
+// every execution engine (functional ISS, OSM models, hand-coded and
+// port/wire baselines, the SMT pipeline, the OSM-DL elaborated machine)
+// is driven through one abstract `sim::engine` contract: load an image,
+// run under a cycle budget, observe architectural state (GPR/FPR/PC),
+// console output, halt status and retirement/cycle counters, and emit a
+// structured `stats::report` with a stable common schema.  Tools, tests
+// and benches program against this interface and pick concrete engines
+// from the name-keyed registry (registry.hpp), so adding an engine makes
+// it runnable, diffable and benchable everywhere at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+#include "stats/stats.hpp"
+
+namespace osm::core {
+class director;
+class sim_kernel;
+}  // namespace osm::core
+
+namespace osm::sim {
+
+/// Engine-independent construction knobs.  Each adapter maps the subset
+/// that exists in its model's native config struct and ignores the rest
+/// (the ISS has no forwarding network; the P750 always forwards).
+struct engine_config {
+    bool forwarding = true;        ///< bypass network (sarm/hw/smt)
+    bool decode_cache = true;      ///< pre-decoded (pc, word)-tagged cache
+    unsigned decode_cache_entries = 4096;
+};
+
+/// Abstract execution engine: the adapter contract.
+///
+/// Lifecycle: construct (owns its own main memory), `load()` an image,
+/// `run()` under a budget, then read state.  `load()` may be called again
+/// to re-run a fresh program on the same engine instance where the
+/// underlying model supports it (all built-ins do).
+class engine {
+public:
+    virtual ~engine();
+
+    /// Registry key ("iss", "sarm", ...).
+    virtual std::string_view name() const = 0;
+
+    /// Load `img` into the engine's memory and reset architectural state.
+    virtual void load(const isa::program_image& img) = 0;
+
+    /// Simulate until halt or `max_cycles` (instructions for the untimed
+    /// ISS).  Returns cycles (steps) executed by this call.
+    virtual std::uint64_t run(std::uint64_t max_cycles) = 0;
+
+    // ---- architectural state ----
+    virtual bool halted() const = 0;
+    virtual std::uint32_t gpr(unsigned r) const = 0;
+    virtual std::uint32_t fpr(unsigned r) const = 0;
+    /// Next-fetch pc (informational: pipelined engines legitimately differ
+    /// here after halt because of speculative fetch).
+    virtual std::uint32_t pc() const = 0;
+    virtual const std::string& console() const = 0;
+
+    // ---- counters ----
+    virtual std::uint64_t cycles() const = 0;
+    virtual std::uint64_t retired() const = 0;
+    double ipc() const {
+        const auto c = cycles();
+        return c == 0 ? 0.0 : static_cast<double>(retired()) / static_cast<double>(c);
+    }
+
+    // ---- capabilities ----
+    /// False for purely functional engines whose "cycles" are just retired
+    /// instructions (the ISS); their timing must not be compared.
+    virtual bool models_timing() const { return true; }
+    /// False for engines without an FP register file (the SMT pipeline);
+    /// FP programs are skipped / FPRs not compared for them.
+    virtual bool executes_fp() const { return true; }
+
+    /// Uniform statistics report.  Every engine's report carries the same
+    /// core keys — engine.name, run.cycles, run.retired, run.ipc,
+    /// run.halted, run.console_bytes — plus engine-specific sections, so
+    /// `osm-run --json` has one stable schema regardless of engine.
+    stats::report stats_report() const;
+
+    /// OSM-framework hooks for the pipeline tracer; null for engines not
+    /// built on the director/kernel (iss, hw, port).
+    virtual core::director* director() { return nullptr; }
+    virtual core::sim_kernel* kernel() { return nullptr; }
+
+protected:
+    /// Engine-specific report body; the uniform core keys are stamped on
+    /// top by stats_report().
+    virtual stats::report make_report() const;
+};
+
+}  // namespace osm::sim

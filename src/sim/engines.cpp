@@ -1,0 +1,250 @@
+// Adapters binding the seven built-in execution engines to the unified
+// sim::engine contract, plus their registry registration.
+//
+// Each adapter owns its model *and* the main memory behind it, so an
+// engine instance is a self-contained machine: tools and tests never
+// juggle per-engine memory/config plumbing again.  Adding an eighth
+// engine means writing one more adapter here (or registering one from
+// user code) — see docs/engines.md.
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "adl/adl_sarm.hpp"
+#include "baseline/hardwired_sarm.hpp"
+#include "baseline/port_ppc.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+#include "ppc750/ppc750.hpp"
+#include "sarm/sarm.hpp"
+#include "sim/registry.hpp"
+#include "smt/smt.hpp"
+
+namespace osm::sim {
+namespace {
+
+sarm::sarm_config to_sarm_config(const engine_config& cfg) {
+    sarm::sarm_config c;
+    c.forwarding = cfg.forwarding;
+    c.decode_cache = cfg.decode_cache;
+    c.decode_cache_entries = cfg.decode_cache_entries;
+    return c;
+}
+
+ppc750::p750_config to_p750_config(const engine_config& cfg) {
+    ppc750::p750_config c;
+    c.decode_cache = cfg.decode_cache;
+    c.decode_cache_entries = cfg.decode_cache_entries;
+    return c;
+}
+
+/// Functional ISS: untimed golden model ("cycles" = retired instructions).
+class iss_engine final : public engine {
+public:
+    explicit iss_engine(const engine_config& cfg) : sim_(mem_, cfg.decode_cache) {}
+
+    std::string_view name() const override { return "iss"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.state().halted; }
+    std::uint32_t gpr(unsigned r) const override { return sim_.state().gpr[r]; }
+    std::uint32_t fpr(unsigned r) const override { return sim_.state().fpr[r]; }
+    std::uint32_t pc() const override { return sim_.state().pc; }
+    const std::string& console() const override { return sim_.host().console(); }
+    std::uint64_t cycles() const override { return sim_.instret(); }
+    std::uint64_t retired() const override { return sim_.instret(); }
+    bool models_timing() const override { return false; }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    isa::iss sim_;
+};
+
+/// OSM StrongARM-like 5-stage in-order pipeline (paper §5.1).
+class sarm_engine final : public engine {
+public:
+    explicit sarm_engine(const engine_config& cfg) : sim_(to_sarm_config(cfg), mem_) {}
+
+    std::string_view name() const override { return "sarm"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
+    std::uint32_t pc() const override { return sim_.fetch_pc(); }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.stats().cycles; }
+    std::uint64_t retired() const override { return sim_.stats().retired; }
+    core::director* director() override { return &sim_.dir(); }
+    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    sarm::sarm_model sim_;
+};
+
+/// Hand-coded cycle simulator of the SARM pipeline (SimpleScalar surrogate).
+class hw_engine final : public engine {
+public:
+    explicit hw_engine(const engine_config& cfg) : sim_(to_sarm_config(cfg), mem_) {}
+
+    std::string_view name() const override { return "hw"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
+    std::uint32_t pc() const override { return sim_.fetch_pc(); }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.cycles(); }
+    std::uint64_t retired() const override { return sim_.retired(); }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    baseline::hardwired_sarm sim_;
+};
+
+/// SARM elaborated from OSM-DL text (the paper's §7 ADL direction).
+class adl_engine final : public engine {
+public:
+    explicit adl_engine(const engine_config& cfg) : sim_(to_sarm_config(cfg), mem_) {}
+
+    std::string_view name() const override { return "adl"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
+    std::uint32_t pc() const override { return sim_.fetch_pc(); }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.stats().cycles; }
+    std::uint64_t retired() const override { return sim_.stats().retired; }
+    core::director* director() override { return &sim_.dir(); }
+    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    adl::adl_sarm_model sim_;
+};
+
+/// SMT pipeline driven single-threaded (paper §6).  Integer-only: the
+/// model has no FP register file, so executes_fp() is false and FP
+/// programs are skipped by the differential harnesses.
+class smt_engine final : public engine {
+public:
+    explicit smt_engine(const engine_config& cfg) : sim_(to_smt_config(cfg), mem_) {}
+
+    std::string_view name() const override { return "smt"; }
+    void load(const isa::program_image& img) override { sim_.load(0, img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.all_done(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(0, r); }
+    std::uint32_t fpr(unsigned) const override { return 0; }
+    std::uint32_t pc() const override { return sim_.pc(0); }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.stats().cycles; }
+    std::uint64_t retired() const override { return sim_.stats().total_retired(); }
+    bool executes_fp() const override { return false; }
+    core::director* director() override { return &sim_.dir(); }
+    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    static smt::smt_config to_smt_config(const engine_config& cfg) {
+        smt::smt_config c;
+        c.threads = 1;
+        c.forwarding = cfg.forwarding;
+        c.decode_cache = cfg.decode_cache;
+        c.decode_cache_entries = cfg.decode_cache_entries;
+        return c;
+    }
+
+    mem::main_memory mem_;
+    smt::smt_model sim_;
+};
+
+/// OSM PowerPC-750-like dual-issue out-of-order superscalar (paper §5.2).
+class p750_engine final : public engine {
+public:
+    explicit p750_engine(const engine_config& cfg) : sim_(to_p750_config(cfg), mem_) {}
+
+    std::string_view name() const override { return "p750"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
+    std::uint32_t pc() const override { return sim_.fetch_pc(); }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.stats().cycles; }
+    std::uint64_t retired() const override { return sim_.stats().retired; }
+    core::director* director() override { return &sim_.dir(); }
+    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    ppc750::p750_model sim_;
+};
+
+/// Port/wire discrete-event superscalar (SystemC surrogate).
+class port_engine final : public engine {
+public:
+    explicit port_engine(const engine_config& cfg) : sim_(to_p750_config(cfg), mem_) {}
+
+    std::string_view name() const override { return "port"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
+    std::uint32_t pc() const override { return sim_.fetch_pc(); }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.stats().cycles; }
+    std::uint64_t retired() const override { return sim_.stats().retired; }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    baseline::port_ppc sim_;
+};
+
+template <typename Engine>
+engine_registry::entry make_entry(std::string name, std::string description) {
+    return {std::move(name), std::move(description),
+            [](const engine_config& cfg) -> std::unique_ptr<engine> {
+                return std::make_unique<Engine>(cfg);
+            }};
+}
+
+}  // namespace
+
+void register_builtin_engines(engine_registry& r) {
+    r.add(make_entry<iss_engine>("iss", "functional instruction-set simulator (golden model)"));
+    r.add(make_entry<sarm_engine>("sarm", "OSM StrongARM-like 5-stage in-order pipeline (paper 5.1)"));
+    r.add(make_entry<hw_engine>("hw", "hand-coded cycle simulator of the SARM pipeline (SimpleScalar surrogate)"));
+    r.add(make_entry<adl_engine>("adl", "SARM elaborated from OSM-DL text (paper 7)"));
+    r.add(make_entry<smt_engine>("smt", "SMT pipeline run single-threaded (paper 6, integer only)"));
+    r.add(make_entry<p750_engine>("p750", "OSM PowerPC-750-like out-of-order superscalar (paper 5.2)"));
+    r.add(make_entry<port_engine>("port", "port/wire discrete-event superscalar (SystemC surrogate)"));
+}
+
+}  // namespace osm::sim

@@ -1,0 +1,60 @@
+#include "sim/registry.hpp"
+
+#include <sstream>
+
+namespace osm::sim {
+
+// Defined in engines.cpp; installs the seven built-in adapters.
+void register_builtin_engines(engine_registry& r);
+
+engine_registry& engine_registry::instance() {
+    // Construct-on-first-use with eager built-in registration: the built-ins
+    // live in this library, so no static-initializer ordering or dead
+    // registration-object stripping can lose them.
+    static engine_registry* reg = [] {
+        auto* r = new engine_registry;
+        register_builtin_engines(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+void engine_registry::add(entry e) {
+    for (auto& existing : entries_) {
+        if (existing.name == e.name) {
+            existing = std::move(e);
+            return;
+        }
+    }
+    entries_.push_back(std::move(e));
+}
+
+const engine_registry::entry* engine_registry::find(const std::string& name) const {
+    for (const auto& e : entries_) {
+        if (e.name == name) return &e;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<engine> engine_registry::create(const std::string& name,
+                                                const engine_config& cfg) const {
+    if (const entry* e = find(name)) return e->make(cfg);
+    std::ostringstream msg;
+    msg << "unknown engine '" << name << "' (registered:";
+    for (const auto& e : entries_) msg << ' ' << e.name;
+    msg << ')';
+    throw unknown_engine(msg.str());
+}
+
+std::vector<std::string> engine_registry::names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.name);
+    return out;
+}
+
+std::unique_ptr<engine> make_engine(const std::string& name, const engine_config& cfg) {
+    return engine_registry::instance().create(name, cfg);
+}
+
+}  // namespace osm::sim

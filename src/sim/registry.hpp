@@ -1,0 +1,62 @@
+// Name-keyed engine registry.
+//
+// The seven built-in engines self-register on first use; external code can
+// add more (docs/engines.md walks through adding an eighth).  Tools and
+// tests resolve engines by name, so an unknown `--engine` value fails with
+// the registered list instead of silently falling through.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace osm::sim {
+
+/// Thrown by create() for a name with no registered factory; carries the
+/// registered list in what().
+class unknown_engine : public std::runtime_error {
+public:
+    explicit unknown_engine(const std::string& what) : std::runtime_error(what) {}
+};
+
+class engine_registry {
+public:
+    using factory = std::function<std::unique_ptr<engine>(const engine_config&)>;
+
+    struct entry {
+        std::string name;         ///< registry key, also engine::name()
+        std::string description;  ///< one-line summary for --list-engines
+        factory make;
+    };
+
+    /// Process-wide registry, populated with the built-in engines on first
+    /// access.
+    static engine_registry& instance();
+
+    /// Register (or replace, keyed by name) an engine factory.
+    void add(entry e);
+
+    /// Instantiate `name`; throws unknown_engine listing what is registered.
+    std::unique_ptr<engine> create(const std::string& name,
+                                   const engine_config& cfg = {}) const;
+
+    const entry* find(const std::string& name) const;
+    bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+    /// Registered names in registration order (built-ins first).
+    std::vector<std::string> names() const;
+    const std::vector<entry>& entries() const noexcept { return entries_; }
+
+private:
+    std::vector<entry> entries_;
+};
+
+/// Convenience: engine_registry::instance().create(name, cfg).
+std::unique_ptr<engine> make_engine(const std::string& name,
+                                    const engine_config& cfg = {});
+
+}  // namespace osm::sim

@@ -16,6 +16,11 @@ core::ident_t tagged_value(unsigned thread, unsigned reg) {
 core::ident_t tagged_update(unsigned thread, unsigned reg) {
     return uarch::reg_update_ident(thread * 32 + reg);
 }
+bool is_exit_syscall(const isa::decoded_inst& di) {
+    return di.code == op::syscall_op &&
+           static_cast<std::uint16_t>(di.imm) ==
+               static_cast<std::uint16_t>(isa::syscall_code::exit);
+}
 }  // namespace
 
 smt_model::smt_model(const smt_config& cfg, mem::main_memory& memory)
@@ -146,7 +151,11 @@ void smt_model::act_fetch(smt_op& o) {
     const std::uint32_t word = mem_.read32(o.pc);
     o.di = cfg_.decode_cache ? dcode_.lookup(o.pc, word).di : isa::decode(word);
     if (!o.past_end) ++stats_.fetched[t];
-    if (o.di.code == op::halt || o.di.code == op::invalid) {
+    // An exit syscall's code is an immediate, so it terminates the thread's
+    // fetch stream just like halt: no younger operation may enter the
+    // pipeline behind it (the ISS never executes past an exit).  A
+    // wrong-path exit parks the thread; the redirect revives it.
+    if (o.di.code == op::halt || o.di.code == op::invalid || is_exit_syscall(o.di)) {
         done_[t] = true;
     } else {
         pc_[t] += 4;  // redirects happen at execute
@@ -155,7 +164,10 @@ void smt_model::act_fetch(smt_op& o) {
     const op c = o.di.code;
     o.set_ident(0, isa::uses_rs1(c) ? tagged_value(t, o.di.rs1) : k_null_ident);
     o.set_ident(1, isa::uses_rs2(c) ? tagged_value(t, o.di.rs2) : k_null_ident);
-    o.set_ident(2, isa::writes_rd(c) && !isa::rd_is_fpr(c)
+    // rd == 0 gets no update token: the shared register-file manager cannot
+    // pin r0 per thread (ids are thread-tagged), so x0 writes are dropped
+    // here instead.
+    o.set_ident(2, isa::writes_rd(c) && !isa::rd_is_fpr(c) && o.di.rd != 0
                        ? tagged_update(t, o.di.rd)
                        : k_null_ident);
 }
@@ -171,7 +183,7 @@ void smt_model::act_execute(smt_op& o) {
     } else if (isa::is_store(c)) {
         isa::do_store(c, mem_, out.mem_addr, out.store_data);
     }
-    if (isa::writes_rd(c) && !isa::rd_is_fpr(c)) {
+    if (isa::writes_rd(c) && !isa::rd_is_fpr(c) && o.di.rd != 0) {
         m_r_.publish(o.thread * 32 + o.di.rd, out.value);
     }
     if (out.redirect) {
@@ -191,23 +203,47 @@ void smt_model::act_retire(smt_op& o) {
         isa::arch_state st;
         for (unsigned r = 0; r < 32; ++r) st.gpr[r] = m_r_.arch_read(o.thread * 32 + r);
         host_.handle(static_cast<std::uint16_t>(o.di.imm), st);
-        if (st.halted) done_[o.thread] = true;
+        if (st.halted) {
+            done_[o.thread] = true;
+            note_thread_exit();
+        }
         return;
     }
-    if (o.di.code == op::halt || o.di.code == op::invalid) {
-        ++halts_retired_;
-        unsigned expected = 0;
-        for (unsigned t = 0; t < cfg_.threads; ++t) {
-            if (loaded_[t]) ++expected;
-        }
-        if (halts_retired_ >= expected) kern_.request_stop();
+    if (o.di.code == op::halt || o.di.code == op::invalid) note_thread_exit();
+}
+
+void smt_model::note_thread_exit() {
+    ++halts_retired_;
+    unsigned expected = 0;
+    for (unsigned t = 0; t < cfg_.threads; ++t) {
+        if (loaded_[t]) ++expected;
     }
+    if (halts_retired_ >= expected) kern_.request_stop();
 }
 
 std::uint64_t smt_model::run(std::uint64_t max_cycles) {
     const std::uint64_t executed = kern_.run(max_cycles);
     stats_.cycles = kern_.cycles();
     return executed;
+}
+
+stats::report smt_model::make_report() const {
+    stats::report r;
+    r.put("model", "name", std::string("smt"));
+    r.put("run", "cycles", stats_.cycles);
+    r.put("run", "retired", stats_.total_retired());
+    r.put("run", "ipc", stats_.ipc());
+    r.put("smt", "threads", static_cast<std::uint64_t>(cfg_.threads));
+    for (unsigned t = 0; t < cfg_.threads; ++t) {
+        const std::string tag = "t" + std::to_string(t);
+        r.put("smt", tag + "_retired", stats_.retired[t]);
+        r.put("smt", tag + "_fetched", stats_.fetched[t]);
+    }
+    r.put("decode_cache", "enabled", static_cast<std::uint64_t>(cfg_.decode_cache ? 1 : 0));
+    r.put("decode_cache", "hits", dcode_.stats().hits);
+    r.put("decode_cache", "misses", dcode_.stats().misses);
+    r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
+    return r;
 }
 
 }  // namespace osm::smt

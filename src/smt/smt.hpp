@@ -27,6 +27,7 @@
 #include "isa/iss.hpp"
 #include "isa/program.hpp"
 #include "mem/main_memory.hpp"
+#include "stats/stats.hpp"
 #include "uarch/register_file.hpp"
 #include "uarch/reset.hpp"
 
@@ -99,7 +100,13 @@ public:
     std::uint32_t gpr(unsigned t, unsigned r) const {
         return m_r_.arch_read(t * 32 + r);
     }
+    /// Thread `t`'s next-fetch pc.
+    std::uint32_t pc(unsigned t) const { return pc_.at(t); }
     const std::string& console() const { return host_.console(); }
+    const isa::decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
+
+    /// Structured report of every counter (JSON-renderable).
+    stats::report make_report() const;
 
     core::director& dir() noexcept { return dir_; }
     core::sim_kernel& kernel() noexcept { return kern_; }
@@ -113,6 +120,7 @@ private:
     void act_fetch(smt_op& o);
     void act_execute(smt_op& o);
     void act_retire(smt_op& o);
+    void note_thread_exit();
 
     smt_config cfg_;
     mem::main_memory& mem_;

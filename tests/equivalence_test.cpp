@@ -1,20 +1,21 @@
-// Cross-engine equivalence property tests: random programs executed on the
-// ISS, the OSM SARM model, the hardwired baseline, the OSM P750 model and
-// the port/wire model must produce identical final architectural state and
-// console output; the independently-implemented pairs must also agree on
-// timing within the paper's few-percent tolerance (structured kernels agree
-// exactly — see baseline_test — while mispredict-heavy random programs
-// expose wrong-path fetch accounting differences, the paper's error class).
+// Cross-engine equivalence property tests: random programs executed on
+// every engine in the sim::engine registry must produce identical final
+// architectural state and console output; the independently-implemented
+// pairs must also agree on timing within the paper's few-percent tolerance
+// (structured kernels agree exactly — see baseline_test — while
+// mispredict-heavy random programs expose wrong-path fetch accounting
+// differences, the paper's error class).
+//
+// The harness is registry-driven: a new engine registered with
+// sim::engine_registry is cross-checked against the ISS here with no test
+// changes.
 #include <gtest/gtest.h>
 
-#include <utility>
+#include <map>
+#include <string>
 
-#include "baseline/hardwired_sarm.hpp"
-#include "baseline/port_ppc.hpp"
-#include "isa/iss.hpp"
-#include "mem/main_memory.hpp"
-#include "ppc750/ppc750.hpp"
-#include "sarm/sarm.hpp"
+#include "sim/engine.hpp"
+#include "sim/registry.hpp"
 #include "workloads/randprog.hpp"
 
 namespace {
@@ -28,104 +29,38 @@ struct final_state {
     std::uint64_t retired = 0;
     std::uint64_t cycles = 0;
     bool halted = false;
+    bool fp = true;  ///< engine executes the FP register file
 };
 
-final_state run_iss(const isa::program_image& img, bool dcache = true) {
-    mem::main_memory m;
-    isa::iss sim(m, dcache);
-    sim.load(img);
-    sim.run(50'000'000);
-    final_state f;
-    f.gpr = sim.state().gpr;
-    f.fpr = sim.state().fpr;
-    f.console = sim.host().console();
-    f.retired = sim.instret();
-    f.halted = sim.state().halted;
-    return f;
-}
-
-final_state run_sarm(const isa::program_image& img, bool dcache = true) {
-    mem::main_memory m;
-    sarm::sarm_config cfg;
+final_state run_engine(const std::string& name, const isa::program_image& img,
+                       bool dcache = true) {
+    sim::engine_config cfg;
     cfg.decode_cache = dcache;
-    sarm::sarm_model sim(cfg, m);
-    sim.load(img);
-    sim.run(100'000'000);
+    auto sim = sim::make_engine(name, cfg);
+    sim->load(img);
+    sim->run(100'000'000);
     final_state f;
     for (unsigned r = 0; r < 32; ++r) {
-        f.gpr[r] = sim.gpr(r);
-        f.fpr[r] = sim.fpr(r);
+        f.gpr[r] = sim->gpr(r);
+        f.fpr[r] = sim->fpr(r);
     }
-    f.console = sim.console();
-    f.retired = sim.stats().retired;
-    f.cycles = sim.stats().cycles;
-    f.halted = sim.halted();
-    return f;
-}
-
-final_state run_hw(const isa::program_image& img, bool dcache = true) {
-    mem::main_memory m;
-    sarm::sarm_config cfg;
-    cfg.decode_cache = dcache;
-    baseline::hardwired_sarm sim(cfg, m);
-    sim.load(img);
-    sim.run(100'000'000);
-    final_state f;
-    for (unsigned r = 0; r < 32; ++r) {
-        f.gpr[r] = sim.gpr(r);
-        f.fpr[r] = sim.fpr(r);
-    }
-    f.console = sim.console();
-    f.retired = sim.retired();
-    f.cycles = sim.cycles();
-    f.halted = sim.halted();
-    return f;
-}
-
-final_state run_p750(const isa::program_image& img, bool dcache = true) {
-    mem::main_memory m;
-    ppc750::p750_config cfg;
-    cfg.decode_cache = dcache;
-    ppc750::p750_model sim(cfg, m);
-    sim.load(img);
-    sim.run(100'000'000);
-    final_state f;
-    for (unsigned r = 0; r < 32; ++r) {
-        f.gpr[r] = sim.gpr(r);
-        f.fpr[r] = sim.fpr(r);
-    }
-    f.console = sim.console();
-    f.retired = sim.stats().retired;
-    f.cycles = sim.stats().cycles;
-    f.halted = sim.halted();
-    return f;
-}
-
-final_state run_port(const isa::program_image& img, bool dcache = true) {
-    mem::main_memory m;
-    ppc750::p750_config cfg;
-    cfg.decode_cache = dcache;
-    baseline::port_ppc sim(cfg, m);
-    sim.load(img);
-    sim.run(100'000'000);
-    final_state f;
-    for (unsigned r = 0; r < 32; ++r) {
-        f.gpr[r] = sim.gpr(r);
-        f.fpr[r] = sim.fpr(r);
-    }
-    f.console = sim.console();
-    f.retired = sim.stats().retired;
-    f.cycles = sim.stats().cycles;
-    f.halted = sim.halted();
+    f.console = sim->console();
+    f.retired = sim->retired();
+    f.cycles = sim->cycles();
+    f.halted = sim->halted();
+    f.fp = sim->executes_fp();
     return f;
 }
 
 void expect_arch_equal(const final_state& a, const final_state& b,
-                       const char* engine, std::uint64_t seed) {
+                       const std::string& engine, std::uint64_t seed) {
     EXPECT_TRUE(b.halted) << engine << " seed=" << seed;
     for (unsigned r = 0; r < 32; ++r) {
         EXPECT_EQ(a.gpr[r], b.gpr[r]) << engine << " x" << r << " seed=" << seed;
-        EXPECT_EQ(a.fpr[r], b.fpr[r]) << engine << " f" << r << " seed=" << seed;
+        if (a.fp && b.fp) {
+            EXPECT_EQ(a.fpr[r], b.fpr[r])
+                << engine << " f" << r << " seed=" << seed;
+        }
     }
     EXPECT_EQ(a.console, b.console) << engine << " seed=" << seed;
     EXPECT_EQ(a.retired, b.retired) << engine << " seed=" << seed;
@@ -141,17 +76,20 @@ TEST_P(RandomEquivalence, AllEnginesAgree) {
     opt.with_fp = (GetParam() % 2 == 0);
     const auto img = workloads::make_random_program(opt);
 
-    const auto ref = run_iss(img);
+    const auto ref = run_engine("iss", img);
     ASSERT_TRUE(ref.halted) << "seed " << opt.seed;
 
-    const auto s = run_sarm(img);
-    expect_arch_equal(ref, s, "sarm", opt.seed);
-    const auto h = run_hw(img);
-    expect_arch_equal(ref, h, "hardwired", opt.seed);
-    const auto p = run_p750(img);
-    expect_arch_equal(ref, p, "p750", opt.seed);
-    const auto q = run_port(img);
-    expect_arch_equal(ref, q, "port", opt.seed);
+    // Every registered engine — including any added after this test was
+    // written — is cross-checked against the ISS.  Integer-only engines
+    // (executes_fp() == false) sit out FP programs.
+    std::map<std::string, final_state> results;
+    for (const auto& name : sim::engine_registry::instance().names()) {
+        if (name == "iss") continue;
+        if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
+        const auto f = run_engine(name, img);
+        expect_arch_equal(ref, f, name, opt.seed);
+        results.emplace(name, f);
+    }
 
     // Timing agreement between independent implementations.  Random
     // programs are branch-mispredict heavy and the two implementations
@@ -159,24 +97,32 @@ TEST_P(RandomEquivalence, AllEnginesAgree) {
     // (the paper's own comparisons carry the same class of residual), so
     // the bound here is the paper's few-percent tolerance; structured
     // kernels agree exactly (see baseline_test).
+    const auto& s = results.at("sarm");
+    const auto& h = results.at("hw");
     const double sdiff =
         std::abs(static_cast<double>(s.cycles) - static_cast<double>(h.cycles)) /
         static_cast<double>(h.cycles);
     EXPECT_LT(sdiff, 0.05) << "sarm " << s.cycles << " vs hardwired "
                            << h.cycles << ", seed " << opt.seed;
+    const auto& p = results.at("p750");
+    const auto& q = results.at("port");
     const double diff =
         std::abs(static_cast<double>(p.cycles) - static_cast<double>(q.cycles)) /
         static_cast<double>(q.cycles);
     EXPECT_LT(diff, 0.03) << "p750 " << p.cycles << " vs port " << q.cycles
                           << ", seed " << opt.seed;
+
+    // The ADL-elaborated SARM is the same machine description in OSM-DL
+    // text form: it must match the C++ OSM SARM cycle-for-cycle.
+    EXPECT_EQ(results.at("adl").cycles, s.cycles) << "seed " << opt.seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence, ::testing::Range(0, 20));
 
-// The decode cache is a pure host-side optimization: every engine must
-// produce *bit-identical* results — architectural state, console, retired
-// count AND cycle count — with the cache on and off.  A cycle divergence
-// here would mean the cache leaked into simulated timing.
+// The decode cache is a pure host-side optimization: every registered
+// engine must produce *bit-identical* results — architectural state,
+// console, retired count AND cycle count — with the cache on and off.  A
+// cycle divergence here would mean the cache leaked into simulated timing.
 TEST(DecodeCacheAblation, BitIdenticalOnAndOff) {
     for (int i = 0; i < 6; ++i) {
         workloads::randprog_options opt;
@@ -186,16 +132,12 @@ TEST(DecodeCacheAblation, BitIdenticalOnAndOff) {
         opt.with_fp = (i % 2 == 0);
         const auto img = workloads::make_random_program(opt);
 
-        const auto pairs = {
-            std::pair{run_iss(img, true), run_iss(img, false)},
-            std::pair{run_sarm(img, true), run_sarm(img, false)},
-            std::pair{run_hw(img, true), run_hw(img, false)},
-            std::pair{run_p750(img, true), run_p750(img, false)},
-            std::pair{run_port(img, true), run_port(img, false)},
-        };
-        for (const auto& [on, off] : pairs) {
-            expect_arch_equal(on, off, "decode-cache off", opt.seed);
-            EXPECT_EQ(on.cycles, off.cycles) << "seed " << opt.seed;
+        for (const auto& name : sim::engine_registry::instance().names()) {
+            if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
+            const auto on = run_engine(name, img, true);
+            const auto off = run_engine(name, img, false);
+            expect_arch_equal(on, off, name + " decode-cache off", opt.seed);
+            EXPECT_EQ(on.cycles, off.cycles) << name << " seed " << opt.seed;
         }
     }
 }
@@ -208,8 +150,8 @@ TEST(RandomEquivalence, LoopHeavyPrograms) {
         opt.block_len = 6;
         opt.loop_count = 12;
         const auto img = workloads::make_random_program(opt);
-        const auto ref = run_iss(img);
-        const auto p = run_p750(img);
+        const auto ref = run_engine("iss", img);
+        const auto p = run_engine("p750", img);
         expect_arch_equal(ref, p, "p750", opt.seed);
     }
 }

@@ -1,8 +1,17 @@
-// osm-run: execute a VR32 program (assembly or VRI image) on any of the
-// framework's execution engines.
+// osm-run: execute a VR32 program (assembly, VRI image, or a generated
+// random program) on any registered execution engine, or differentially
+// across several engines at once.
 //
-//   osm-run prog.s|prog.vri [--engine iss|sarm|hw|p750|port]
-//           [--max-cycles N] [--trace] [--regs] [--json] [--no-forwarding]
+//   osm-run prog.s|prog.vri [--engine NAME] [--max-cycles N] [--trace]
+//           [--regs] [--json] [--no-forwarding] [--no-decode-cache]
+//   osm-run prog --diff iss,sarm,p750     first engine is the reference
+//   osm-run prog --diff all               every registered engine vs iss
+//   osm-run --rand SEED [...]             random terminating program input
+//   osm-run --list-engines
+//
+// Engines come from the sim::engine_registry: unknown names are rejected
+// with the registered list, and a newly registered engine is immediately
+// runnable and diffable here with no tool changes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,17 +19,15 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "baseline/hardwired_sarm.hpp"
-#include "baseline/port_ppc.hpp"
 #include "isa/arch.hpp"
 #include "isa/assembler.hpp"
 #include "isa/image_io.hpp"
-#include "isa/iss.hpp"
-#include "mem/main_memory.hpp"
-#include "ppc750/ppc750.hpp"
-#include "sarm/sarm.hpp"
+#include "sim/diff_runner.hpp"
+#include "sim/registry.hpp"
 #include "trace/trace.hpp"
+#include "workloads/randprog.hpp"
 
 using namespace osm;
 
@@ -28,17 +35,69 @@ namespace {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: osm-run prog.s|prog.vri [--engine iss|sarm|hw|p750|port]\n"
-                 "               [--max-cycles N] [--trace] [--regs] [--json] "
-                 "[--no-forwarding]\n");
+                 "usage: osm-run prog.s|prog.vri [--engine NAME] [--diff a,b,...|all]\n"
+                 "               [--max-cycles N] [--trace] [--regs] [--json]\n"
+                 "               [--no-forwarding] [--no-decode-cache]\n"
+                 "       osm-run --rand SEED [options]   run a generated random program\n"
+                 "       osm-run --list-engines\n");
     std::exit(2);
 }
 
-void dump_regs(const std::function<std::uint32_t(unsigned)>& gpr) {
+void list_engines() {
+    for (const auto& e : sim::engine_registry::instance().entries()) {
+        std::printf("%-6s %s\n", e.name.c_str(), e.description.c_str());
+    }
+}
+
+void dump_regs(const sim::engine& eng) {
     for (unsigned r = 0; r < isa::num_gprs; ++r) {
-        std::printf("%5s=%08X%s", std::string(isa::gpr_name(r)).c_str(), gpr(r),
+        std::printf("%5s=%08X%s", std::string(isa::gpr_name(r)).c_str(), eng.gpr(r),
                     (r % 4 == 3) ? "\n" : "  ");
     }
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        if (!name.empty()) out.push_back(name);
+    }
+    return out;
+}
+
+int run_diff(const std::string& spec, const isa::program_image& img,
+             const sim::diff_options& opt) {
+    std::vector<std::string> names;
+    if (spec == "all") {
+        names = sim::engine_registry::instance().names();
+    } else {
+        names = split_names(spec);
+    }
+    if (names.size() < 2) {
+        std::fprintf(stderr, "osm-run: --diff needs at least two engines\n");
+        return 2;
+    }
+    const auto result = sim::diff_engines(names, img, opt);
+    for (const auto& run : result.runs) {
+        if (!run.ran) {
+            std::printf("%-6s skipped (%s)\n", run.engine.c_str(),
+                        run.skip_reason.c_str());
+            continue;
+        }
+        std::printf("%-6s cycles=%-12llu retired=%-10llu halted=%d\n",
+                    run.engine.c_str(), static_cast<unsigned long long>(run.cycles),
+                    static_cast<unsigned long long>(run.retired), run.halted);
+    }
+    if (result.ok()) {
+        std::printf("diff: no architectural divergence across %zu engine(s)\n",
+                    result.runs.size());
+        return 0;
+    }
+    for (const auto& d : result.divergences) {
+        std::printf("diff: %s\n", d.to_string().c_str());
+    }
+    return 4;
 }
 
 }  // namespace
@@ -46,29 +105,40 @@ void dump_regs(const std::function<std::uint32_t(unsigned)>& gpr) {
 int main(int argc, char** argv) {
     std::string input;
     std::string engine = "sarm";
+    std::string diff_spec;
     std::uint64_t max_cycles = 2'000'000'000ull;
+    std::uint64_t rand_seed = 0;
+    bool have_rand = false;
     bool want_trace = false;
     bool want_regs = false;
     bool want_json = false;
-    bool forwarding = true;
+    sim::engine_config cfg;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--engine" && i + 1 < argc) engine = argv[++i];
+        else if (arg == "--diff" && i + 1 < argc) diff_spec = argv[++i];
         else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::strtoull(argv[++i], nullptr, 0);
+        else if (arg == "--rand" && i + 1 < argc) { rand_seed = std::strtoull(argv[++i], nullptr, 0); have_rand = true; }
         else if (arg == "--trace") want_trace = true;
         else if (arg == "--json") want_json = true;
         else if (arg == "--regs") want_regs = true;
-        else if (arg == "--no-forwarding") forwarding = false;
+        else if (arg == "--no-forwarding") cfg.forwarding = false;
+        else if (arg == "--no-decode-cache") cfg.decode_cache = false;
+        else if (arg == "--list-engines") { list_engines(); return 0; }
         else if (!arg.empty() && arg[0] == '-') usage();
         else if (input.empty()) input = arg;
         else usage();
     }
-    if (input.empty()) usage();
+    if (input.empty() && !have_rand) usage();
 
     isa::program_image img;
     try {
-        if (input.size() > 4 && input.substr(input.size() - 4) == ".vri") {
+        if (have_rand) {
+            workloads::randprog_options opt;
+            opt.seed = rand_seed;
+            img = workloads::make_random_program(opt);
+        } else if (input.size() > 4 && input.substr(input.size() - 4) == ".vri") {
             img = isa::load_image(input);
         } else {
             std::ifstream in(input);
@@ -82,89 +152,54 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    mem::main_memory memory;
-    if (engine == "iss") {
-        isa::iss sim(memory);
-        sim.load(img);
-        sim.run(max_cycles);
-        std::printf("%s", sim.host().console().c_str());
-        std::printf("[iss] retired=%llu halted=%d\n",
-                    static_cast<unsigned long long>(sim.instret()),
-                    sim.state().halted);
-        if (want_regs) dump_regs([&](unsigned r) { return sim.state().gpr[r]; });
-        return sim.state().halted ? 0 : 3;
-    }
-    if (engine == "sarm" || engine == "hw") {
-        sarm::sarm_config cfg;
-        cfg.forwarding = forwarding;
-        if (engine == "hw") {
-            baseline::hardwired_sarm sim(cfg, memory);
-            sim.load(img);
-            sim.run(max_cycles);
-            std::printf("%s", sim.console().c_str());
-            std::printf("[hw] cycles=%llu retired=%llu ipc=%.3f halted=%d\n",
-                        static_cast<unsigned long long>(sim.cycles()),
-                        static_cast<unsigned long long>(sim.retired()), sim.ipc(),
-                        sim.halted());
-            if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
-            return sim.halted() ? 0 : 3;
+    if (!diff_spec.empty()) {
+        sim::diff_options opt;
+        opt.config = cfg;
+        opt.max_cycles = max_cycles;
+        try {
+            return run_diff(diff_spec, img, opt);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "osm-run: %s\n", e.what());
+            return 1;
         }
-        sarm::sarm_model sim(cfg, memory);
-        std::unique_ptr<trace::pipeline_tracer> tracer;
-        if (want_trace) {
-            tracer = std::make_unique<trace::pipeline_tracer>(sim.dir(), sim.kernel());
+    }
+
+    std::unique_ptr<sim::engine> sim;
+    try {
+        sim = sim::make_engine(engine, cfg);
+    } catch (const sim::unknown_engine& e) {
+        std::fprintf(stderr, "osm-run: %s\n", e.what());
+        return 1;
+    }
+
+    std::unique_ptr<trace::pipeline_tracer> tracer;
+    if (want_trace) {
+        if (sim->director() && sim->kernel()) {
+            tracer = std::make_unique<trace::pipeline_tracer>(*sim->director(),
+                                                              *sim->kernel());
             tracer->start();
+        } else {
+            std::fprintf(stderr,
+                         "osm-run: engine '%s' is not OSM-director based; --trace ignored\n",
+                         engine.c_str());
         }
-        sim.load(img);
-        sim.run(max_cycles);
-        std::printf("%s", sim.console().c_str());
-        const auto& st = sim.stats();
-        std::printf("[sarm] cycles=%llu retired=%llu ipc=%.3f branches=%llu "
-                    "redirects=%llu kills=%llu halted=%d\n",
-                    static_cast<unsigned long long>(st.cycles),
-                    static_cast<unsigned long long>(st.retired), st.ipc(),
-                    static_cast<unsigned long long>(st.branches),
-                    static_cast<unsigned long long>(st.redirects),
-                    static_cast<unsigned long long>(st.kills), sim.halted());
-        if (tracer) std::printf("%s", tracer->render(72).c_str());
-        if (want_json) std::printf("%s", sim.make_report().to_json().c_str());
-        if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
-        return sim.halted() ? 0 : 3;
     }
-    if (engine == "p750" || engine == "port") {
-        ppc750::p750_config cfg;
-        if (engine == "port") {
-            baseline::port_ppc sim(cfg, memory);
-            sim.load(img);
-            sim.run(max_cycles);
-            std::printf("%s", sim.console().c_str());
-            std::printf("[port] cycles=%llu retired=%llu ipc=%.3f halted=%d\n",
-                        static_cast<unsigned long long>(sim.stats().cycles),
-                        static_cast<unsigned long long>(sim.stats().retired),
-                        sim.stats().ipc(), sim.halted());
-            if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
-            return sim.halted() ? 0 : 3;
-        }
-        ppc750::p750_model sim(cfg, memory);
-        std::unique_ptr<trace::pipeline_tracer> tracer;
-        if (want_trace) {
-            tracer = std::make_unique<trace::pipeline_tracer>(sim.dir(), sim.kernel());
-            tracer->start();
-        }
-        sim.load(img);
-        sim.run(max_cycles);
-        std::printf("%s", sim.console().c_str());
-        const auto& st = sim.stats();
-        std::printf("[p750] cycles=%llu retired=%llu ipc=%.3f mispred=%llu "
-                    "squashed=%llu halted=%d\n",
-                    static_cast<unsigned long long>(st.cycles),
-                    static_cast<unsigned long long>(st.retired), st.ipc(),
-                    static_cast<unsigned long long>(st.mispredicts),
-                    static_cast<unsigned long long>(st.squashed), sim.halted());
-        if (tracer) std::printf("%s", tracer->render(72).c_str());
-        if (want_json) std::printf("%s", sim.make_report().to_json().c_str());
-        if (want_regs) dump_regs([&](unsigned r) { return sim.gpr(r); });
-        return sim.halted() ? 0 : 3;
-    }
-    usage();
+
+    sim->load(img);
+    sim->run(max_cycles);
+
+    // With --json, stdout carries exactly one JSON document; the program's
+    // console stream and the human summary move to stderr so scripts can
+    // pipe the report straight into a parser.
+    FILE* human = want_json ? stderr : stdout;
+    std::fprintf(human, "%s", sim->console().c_str());
+    std::fprintf(human, "[%s] cycles=%llu retired=%llu ipc=%.3f halted=%d\n",
+                 std::string(sim->name()).c_str(),
+                 static_cast<unsigned long long>(sim->cycles()),
+                 static_cast<unsigned long long>(sim->retired()), sim->ipc(),
+                 sim->halted());
+    if (tracer) std::fprintf(human, "%s", tracer->render(72).c_str());
+    if (want_json) std::printf("%s", sim->stats_report().to_json().c_str());
+    if (want_regs) dump_regs(*sim);
+    return sim->halted() ? 0 : 3;
 }
