@@ -15,7 +15,7 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 cmake -B build-asan -S . -DOSM_SANITIZE=ON
-cmake --build build-asan -j --target de_test common_test osm-run
+cmake --build build-asan -j --target de_test common_test osm-run osm-fuzz
 ./build-asan/tests/de_test
 ./build-asan/tests/common_test
 
@@ -23,4 +23,10 @@ cmake --build build-asan -j --target de_test common_test osm-run
 # program while ASan+UBSan watch the models themselves.
 ./build-asan/tools/osm-run --rand 20260805 --diff all --max-cycles 50000000
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test + all-engine diff)"
+# Sanitized fuzz smoke: a bounded quick-matrix campaign over all engines,
+# plus a replay of the committed regression corpus (exit 4 = divergence,
+# exit 1 = setup error — both fail the gate).
+./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
+    --max-cycles 20000000 --replay tests/corpus
+
+echo "tier1: OK (ctest suite + sanitized de_test/common_test + all-engine diff + fuzz smoke)"

@@ -1,0 +1,213 @@
+#include "fuzz/campaign.hpp"
+
+#include <cstdio>
+
+#include "sim/registry.hpp"
+#include "workloads/randprog_cli.hpp"
+
+namespace osm::fuzz {
+
+namespace {
+
+matrix_row row(std::string name,
+               void (*tweak)(workloads::randprog_options&) = nullptr) {
+    matrix_row r;
+    r.name = std::move(name);
+    if (tweak != nullptr) tweak(r.options);
+    return r;
+}
+
+std::vector<matrix_row> build_matrix(bool quick) {
+    std::vector<matrix_row> m;
+    m.push_back(row("baseline"));
+    m.push_back(row("fp", [](workloads::randprog_options& o) { o.with_fp = true; }));
+    m.push_back(row("load_use", [](workloads::randprog_options& o) {
+        o.hazard_load_use = true;
+    }));
+    m.push_back(row("branch_dense", [](workloads::randprog_options& o) {
+        o.hazard_branch_dense = true;
+    }));
+    if (quick) return m;
+    m.push_back(row("no_mul_div", [](workloads::randprog_options& o) {
+        o.with_mul_div = false;
+    }));
+    m.push_back(row("no_memory", [](workloads::randprog_options& o) {
+        o.with_memory = false;
+    }));
+    m.push_back(row("no_branches", [](workloads::randprog_options& o) {
+        o.with_branches = false;
+    }));
+    m.push_back(row("alu_only", [](workloads::randprog_options& o) {
+        o.with_mul_div = o.with_memory = o.with_branches = false;
+    }));
+    m.push_back(row("fp_heavy", [](workloads::randprog_options& o) {
+        o.with_fp = true;
+        o.block_len = 16;
+    }));
+    m.push_back(row("tiny_blocks", [](workloads::randprog_options& o) {
+        o.blocks = 24;
+        o.block_len = 3;
+    }));
+    m.push_back(row("big_blocks", [](workloads::randprog_options& o) {
+        o.blocks = 4;
+        o.block_len = 40;
+    }));
+    m.push_back(row("deep_loops", [](workloads::randprog_options& o) {
+        o.blocks = 8;
+        o.loop_count = 9;
+    }));
+    m.push_back(row("hazard_mix", [](workloads::randprog_options& o) {
+        o.hazard_load_use = o.hazard_branch_dense = true;
+        o.with_fp = true;
+    }));
+    return m;
+}
+
+void count_features(const workloads::randprog_options& o,
+                    std::map<std::string, std::uint64_t>& fc) {
+    if (o.with_mul_div) ++fc["mul_div"];
+    if (o.with_memory) ++fc["memory"];
+    if (o.with_branches) ++fc["branches"];
+    if (o.with_fp) ++fc["fp"];
+    if (o.hazard_load_use) ++fc["hazard_load_use"];
+    if (o.hazard_branch_dense) ++fc["hazard_branch_dense"];
+}
+
+void absorb_runs(const sim::diff_result& d, campaign_result& res) {
+    for (const auto& r : d.runs) {
+        if (r.ran) {
+            ++res.engine_runs;
+            res.instructions += r.retired;
+        } else {
+            ++res.skipped_runs;
+        }
+    }
+}
+
+std::string zero_pad(std::uint64_t v, int width) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%0*llu", width,
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+const std::vector<matrix_row>& feature_matrix(bool quick) {
+    static const std::vector<matrix_row> full = build_matrix(false);
+    static const std::vector<matrix_row> small = build_matrix(true);
+    return quick ? small : full;
+}
+
+stats::report campaign_result::summary() const {
+    stats::report rep;
+    rep.put("campaign", "programs", programs);
+    rep.put("campaign", "corpus_replayed", corpus_replayed);
+    rep.put("campaign", "engine_runs", engine_runs);
+    rep.put("campaign", "skipped_runs", skipped_runs);
+    rep.put("campaign", "instructions", instructions);
+    rep.put("campaign", "divergences", static_cast<std::uint64_t>(findings.size()));
+    for (const auto& [name, count] : row_programs) {
+        rep.put("coverage.rows", name, count);
+    }
+    for (const auto& [name, count] : feature_programs) {
+        rep.put("coverage.features", name, count);
+    }
+    unsigned i = 0;
+    for (const auto& f : findings) {
+        const std::string key = "finding." + zero_pad(i++, 3);
+        rep.put(key, "seed", f.seed);
+        rep.put(key, "row", f.row);
+        rep.put(key, "options", workloads::randprog_flags(f.options));
+        rep.put(key, "divergence", f.first.to_string());
+        rep.put(key, "original_words", static_cast<std::uint64_t>(f.original_words));
+        rep.put(key, "minimized_words", static_cast<std::uint64_t>(f.minimized_words));
+        if (!f.artifact.empty()) rep.put(key, "artifact", f.artifact);
+    }
+    return rep;
+}
+
+campaign_result run_campaign(const campaign_options& opt) {
+    auto engines = opt.engines;
+    if (engines.empty()) engines = sim::engine_registry::instance().names();
+    // Resolve every engine up front: a typo must be a setup error, not 500
+    // silent exceptions mid-sweep.
+    for (const auto& n : engines) {
+        (void)sim::engine_registry::instance().create(n, opt.config);
+    }
+
+    campaign_result res;
+    const auto& matrix = feature_matrix(opt.quick);
+
+    // Replay the committed corpus first: regressions there are the
+    // highest-signal findings a campaign can produce.
+    if (!opt.replay_dir.empty()) {
+        for (const auto& path : list_corpus(opt.replay_dir)) {
+            auto rr = replay_artifact(path, {}, opt.config);
+            ++res.corpus_replayed;
+            absorb_runs(rr.diff, res);
+            for (const auto& d : rr.diff.divergences) {
+                campaign_finding f;
+                f.row = "corpus:" + rr.meta.name;
+                f.first = d;
+                res.findings.push_back(std::move(f));
+            }
+        }
+    }
+
+    sim::diff_options dopt;
+    dopt.config = opt.config;
+    dopt.max_cycles = opt.max_cycles;
+
+    for (std::uint64_t seed = opt.seed_lo; seed <= opt.seed_hi; ++seed) {
+        const auto& mrow = matrix[(seed - opt.seed_lo) % matrix.size()];
+        workloads::randprog_options po = mrow.options;
+        po.seed = seed;
+        const auto img = workloads::make_random_program(po);
+        const auto d = sim::diff_engines(engines, img, dopt);
+        ++res.programs;
+        ++res.row_programs[mrow.name];
+        count_features(po, res.feature_programs);
+        absorb_runs(d, res);
+        if (d.ok()) continue;
+
+        campaign_finding f;
+        f.seed = seed;
+        f.row = mrow.name;
+        f.options = po;
+        f.first = d.divergences.front();
+        f.original_words = f.minimized_words = img.text_words();
+
+        isa::program_image artifact_img = img;
+        if (opt.minimize) {
+            minimize_options mo;
+            mo.engines = {engines.front(), f.first.engine};
+            mo.config = opt.config;
+            mo.max_cycles = opt.max_cycles;
+            const auto m = minimize_divergence(img, mo);
+            if (m.was_divergent) {
+                f.first = m.first;
+                f.minimized_words = m.minimized_words;
+                artifact_img = m.image;
+            }
+        }
+        if (!opt.save_dir.empty()) {
+            reproducer_meta meta;
+            meta.name = "fuzz_" + zero_pad(seed, 6) + "_" + mrow.name;
+            meta.kind = "fuzz";
+            meta.engines = engines.front() + "," + f.first.engine;
+            meta.seed = seed;
+            meta.rand_options = workloads::randprog_flags(po);
+            meta.max_cycles = opt.max_cycles;
+            meta.note = "campaign-found divergence (minimized from " +
+                        std::to_string(f.original_words) + " to " +
+                        std::to_string(f.minimized_words) + " words)";
+            meta.divergence = f.first.to_string();
+            f.artifact = save_reproducer(opt.save_dir, meta, artifact_img);
+        }
+        res.findings.push_back(std::move(f));
+    }
+    return res;
+}
+
+}  // namespace osm::fuzz

@@ -1,0 +1,82 @@
+// Differential fuzzing campaigns.
+//
+// A campaign sweeps the feature matrix (instruction-mix and hazard-shape
+// rows built on workloads::randprog_options) over a seed range, runs every
+// generated program on all requested engines through sim::diff_engines,
+// and aggregates a deterministic summary: programs run, instructions
+// executed, per-row and per-feature coverage counters, and every observed
+// divergence.  Divergent programs are optionally delta-debugged down to a
+// minimal reproducer and persisted to the corpus (corpus.hpp), which is
+// how a fuzzing find becomes a committed regression test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimize.hpp"
+#include "sim/diff_runner.hpp"
+#include "stats/stats.hpp"
+#include "workloads/randprog.hpp"
+
+namespace osm::fuzz {
+
+/// One feature-matrix row: a named generator configuration (seed unset).
+struct matrix_row {
+    std::string name;
+    workloads::randprog_options options;
+};
+
+/// The campaign feature matrix.  `quick` selects the 4-row subset used by
+/// smoke tests and the sanitized tier-1 gate; the full matrix adds
+/// single-feature ablations and block/loop size extremes.
+const std::vector<matrix_row>& feature_matrix(bool quick);
+
+struct campaign_options {
+    std::uint64_t seed_lo = 1;
+    std::uint64_t seed_hi = 100;           ///< inclusive
+    std::vector<std::string> engines;      ///< empty = all registered
+    sim::engine_config config{};
+    std::uint64_t max_cycles = 50'000'000;
+    bool quick = false;                    ///< quick feature matrix
+    bool minimize = true;                  ///< shrink divergent programs
+    std::string save_dir;                  ///< persist reproducers here if set
+    std::string replay_dir;                ///< also replay this corpus if set
+};
+
+/// One divergence found by a campaign (post-minimization when enabled).
+struct campaign_finding {
+    std::uint64_t seed = 0;                ///< 0 for corpus-replay findings
+    std::string row;                       ///< matrix row, or "corpus:<name>"
+    workloads::randprog_options options;
+    sim::divergence first;
+    std::size_t original_words = 0;
+    std::size_t minimized_words = 0;
+    std::string artifact;                  ///< saved .s path, if persisted
+};
+
+struct campaign_result {
+    std::uint64_t programs = 0;            ///< generated programs executed
+    std::uint64_t corpus_replayed = 0;     ///< corpus artifacts replayed
+    std::uint64_t engine_runs = 0;         ///< engine executions (ran)
+    std::uint64_t skipped_runs = 0;        ///< engine executions skipped
+    std::uint64_t instructions = 0;        ///< retired, summed over all runs
+    std::map<std::string, std::uint64_t> row_programs;      ///< per-row counts
+    std::map<std::string, std::uint64_t> feature_programs;  ///< per-feature counts
+    std::vector<campaign_finding> findings;
+
+    bool ok() const { return findings.empty(); }
+
+    /// Deterministic summary (no timestamps, sorted keys): byte-identical
+    /// across runs of the same campaign.
+    stats::report summary() const;
+};
+
+/// Run a campaign.  Throws sim::unknown_engine for a bad engine name and
+/// std::runtime_error for an unusable replay_dir artifact; divergences are
+/// reported in the result, not thrown.
+campaign_result run_campaign(const campaign_options& opt);
+
+}  // namespace osm::fuzz

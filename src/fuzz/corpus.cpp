@@ -1,0 +1,291 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/arch.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "sim/registry.hpp"
+
+namespace osm::fuzz {
+
+namespace {
+
+std::uint32_t word_at(const isa::program_image::segment& seg, std::size_t i) {
+    return static_cast<std::uint32_t>(seg.bytes[i]) |
+           static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8 |
+           static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16 |
+           static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24;
+}
+
+const isa::program_image::segment* text_segment(const isa::program_image& img) {
+    for (const auto& seg : img.segments) {
+        if (img.entry >= seg.base && img.entry < seg.base + seg.bytes.size()) {
+            return &seg;
+        }
+    }
+    return nullptr;
+}
+
+std::string label_for(std::uint32_t addr) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "L_%05X", addr);
+    return buf;
+}
+
+std::string hex(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%X", v);
+    return buf;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') { out += "\\n"; continue; }
+        out += c;
+    }
+    return out;
+}
+
+std::string json_unescape(const std::string& s) {
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            out += (s[i] == 'n') ? '\n' : s[i];
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    out << text;
+}
+
+std::vector<std::string> split_engines(const std::string& list) {
+    if (list.empty() || list == "all") {
+        return sim::engine_registry::instance().names();
+    }
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        if (!name.empty()) out.push_back(name);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string image_to_asm(const isa::program_image& img) {
+    const auto* text = text_segment(img);
+    std::string out;
+
+    if (text != nullptr) {
+        const std::size_t words = text->bytes.size() / 4;
+        // Pass 1: collect in-text branch/jal targets so they become labels.
+        std::set<std::uint32_t> targets;
+        for (std::size_t i = 0; i < words; ++i) {
+            const auto di = isa::decode(word_at(*text, i * 4));
+            if (isa::is_branch(di.code) || di.code == isa::op::jal) {
+                const std::uint32_t pc = text->base + static_cast<std::uint32_t>(i * 4);
+                targets.insert(pc + 4 + static_cast<std::uint32_t>(di.imm));
+            }
+        }
+        out += ".text " + hex(text->base) + "\n";
+        if (img.entry != text->base) out += "; entry below at _start\n";
+        for (std::size_t i = 0; i < words; ++i) {
+            const std::uint32_t pc = text->base + static_cast<std::uint32_t>(i * 4);
+            if (pc == img.entry && img.entry != text->base) out += "_start:\n";
+            if (targets.count(pc)) out += label_for(pc) + ":\n";
+            const auto di = isa::decode(word_at(*text, i * 4));
+            std::string line;
+            if (isa::is_branch(di.code) || di.code == isa::op::jal) {
+                const std::uint32_t tgt = pc + 4 + static_cast<std::uint32_t>(di.imm);
+                const bool in_text =
+                    tgt >= text->base && tgt <= text->base + words * 4;
+                const std::string where = in_text ? label_for(tgt) : hex(tgt);
+                if (isa::is_branch(di.code)) {
+                    line = std::string(isa::op_name(di.code)) + " " +
+                           std::string(isa::gpr_name(di.rs1)) + ", " +
+                           std::string(isa::gpr_name(di.rs2)) + ", " + where;
+                } else {
+                    line = "jal " + std::string(isa::gpr_name(di.rd)) + ", " + where;
+                }
+            } else {
+                line = isa::disassemble(di, pc);
+            }
+            out += "        " + line + "\n";
+        }
+        // A branch may target the address just past the last instruction.
+        const std::uint32_t end = text->base + static_cast<std::uint32_t>(words * 4);
+        if (targets.count(end)) out += label_for(end) + ":\n";
+    }
+
+    for (const auto& seg : img.segments) {
+        if (&seg == text) continue;
+        out += ".data " + hex(seg.base) + "\n";
+        std::size_t i = 0;
+        for (; i + 4 <= seg.bytes.size(); i += 4) {
+            out += ".word " + hex(word_at(seg, i)) + "\n";
+        }
+        for (; i < seg.bytes.size(); ++i) {
+            out += ".byte " + hex(seg.bytes[i]) + "\n";
+        }
+    }
+    return out;
+}
+
+std::string reproducer_meta::to_json() const {
+    std::ostringstream o;
+    o << "{\n"
+      << "  \"name\": \"" << json_escape(name) << "\",\n"
+      << "  \"kind\": \"" << json_escape(kind) << "\",\n"
+      << "  \"engines\": \"" << json_escape(engines) << "\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"rand_options\": \"" << json_escape(rand_options) << "\",\n"
+      << "  \"max_cycles\": " << max_cycles << ",\n"
+      << "  \"note\": \"" << json_escape(note) << "\",\n"
+      << "  \"divergence\": \"" << json_escape(divergence) << "\"\n"
+      << "}\n";
+    return o.str();
+}
+
+std::map<std::string, std::string> parse_flat_json(const std::string& text) {
+    std::map<std::string, std::string> out;
+    std::size_t i = 0;
+    const auto skip_ws = [&] {
+        while (i < text.size() && (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+                                   text[i] == ',' || text[i] == '{' || text[i] == '}')) {
+            ++i;
+        }
+    };
+    const auto string_at = [&]() -> std::string {
+        ++i;  // opening quote
+        std::string raw;
+        while (i < text.size() && text[i] != '"') {
+            if (text[i] == '\\' && i + 1 < text.size()) raw += text[i++];
+            raw += text[i++];
+        }
+        ++i;  // closing quote
+        return json_unescape(raw);
+    };
+    while (true) {
+        skip_ws();
+        if (i >= text.size() || text[i] != '"') break;
+        const std::string key = string_at();
+        skip_ws();
+        if (i >= text.size() || text[i] != ':') {
+            throw std::runtime_error("corpus metadata: expected ':' after \"" + key + "\"");
+        }
+        ++i;
+        skip_ws();
+        if (i < text.size() && text[i] == '"') {
+            out[key] = string_at();
+        } else {
+            std::string num;
+            while (i < text.size() && (std::isalnum(static_cast<unsigned char>(text[i])) != 0 ||
+                                       text[i] == '-' || text[i] == '.')) {
+                num += text[i++];
+            }
+            out[key] = num;
+        }
+    }
+    return out;
+}
+
+reproducer_meta reproducer_meta::from_json(const std::string& text) {
+    const auto kv = parse_flat_json(text);
+    reproducer_meta m;
+    const auto get = [&kv](const char* key, const std::string& def) {
+        const auto it = kv.find(key);
+        return it == kv.end() ? def : it->second;
+    };
+    m.name = get("name", "");
+    m.kind = get("kind", m.kind);
+    m.engines = get("engines", m.engines);
+    m.seed = std::strtoull(get("seed", "0").c_str(), nullptr, 10);
+    m.rand_options = get("rand_options", "");
+    if (kv.count("max_cycles")) {
+        m.max_cycles = std::strtoull(kv.at("max_cycles").c_str(), nullptr, 10);
+    }
+    m.note = get("note", "");
+    m.divergence = get("divergence", "");
+    return m;
+}
+
+std::string save_reproducer(const std::string& dir, const reproducer_meta& meta,
+                            const isa::program_image& img) {
+    std::filesystem::create_directories(dir);
+    const std::string stem = dir + "/" + meta.name;
+    std::string asm_text = "; " + meta.name + " (" + meta.kind + ")\n";
+    if (!meta.note.empty()) asm_text += "; " + meta.note + "\n";
+    if (!meta.divergence.empty()) asm_text += "; found: " + meta.divergence + "\n";
+    asm_text += "; replay: osm-fuzz replay " + meta.name + ".s\n";
+    asm_text += image_to_asm(img);
+    write_file(stem + ".s", asm_text);
+    write_file(stem + ".json", meta.to_json());
+    return stem + ".s";
+}
+
+replay_result replay_artifact(const std::string& asm_path,
+                              const std::vector<std::string>& engines_override,
+                              const sim::engine_config& cfg) {
+    replay_result r;
+    r.path = asm_path;
+    std::string meta_path = asm_path;
+    if (meta_path.size() > 2 && meta_path.substr(meta_path.size() - 2) == ".s") {
+        meta_path = meta_path.substr(0, meta_path.size() - 2) + ".json";
+    }
+    if (std::filesystem::exists(meta_path)) {
+        r.meta = reproducer_meta::from_json(read_file(meta_path));
+    } else {
+        r.meta.name = std::filesystem::path(asm_path).stem().string();
+    }
+
+    const auto img = isa::assemble(read_file(asm_path));
+    auto engines = engines_override.empty() ? split_engines(r.meta.engines)
+                                            : engines_override;
+    sim::diff_options opt;
+    opt.config = cfg;
+    opt.max_cycles = r.meta.max_cycles;
+    r.diff = sim::diff_engines(engines, img, opt);
+    return r;
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+    std::vector<std::string> out;
+    if (!std::filesystem::is_directory(dir)) return out;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+        if (e.is_regular_file() && e.path().extension() == ".s") {
+            out.push_back(e.path().string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace osm::fuzz

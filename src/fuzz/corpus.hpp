@@ -1,0 +1,70 @@
+// Reproducer corpus: persistent, replayable differential-testing artifacts.
+//
+// Every divergence a fuzzing campaign finds is worth keeping forever: the
+// program is serialized to assembly (label-based, so it survives editing
+// and re-assembles exactly) next to a flat metadata JSON carrying the seed,
+// generator options, engine list and the first-divergence report observed
+// when it was found.  Committed artifacts live in tests/corpus/ and are
+// replayed by the fuzz_smoke ctest and scripts/tier1.sh, so a fixed bug
+// stays fixed on every engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/diff_runner.hpp"
+
+namespace osm::fuzz {
+
+/// Serialize `img` to assembler-input text.  Branch and jal targets inside
+/// the text segment become labels, so the output re-assembles to an image
+/// with identical architectural behaviour (and identical words, except
+/// that hand-edits remain possible).  Non-text segments are emitted as
+/// .data/.byte directives.
+std::string image_to_asm(const isa::program_image& img);
+
+/// Metadata sidecar for one corpus artifact (<name>.s + <name>.json).
+struct reproducer_meta {
+    std::string name;
+    std::string kind = "fuzz";     ///< "fuzz" (campaign-found) | "regression"
+    std::string engines = "all";   ///< comma list, or "all"
+    std::uint64_t seed = 0;        ///< generator seed (0 = hand-written)
+    std::string rand_options;      ///< canonical --rand-* flag string
+    std::uint64_t max_cycles = 50'000'000;
+    std::string note;              ///< human context: what bug this guards
+    std::string divergence;        ///< first-divergence report when found
+
+    std::string to_json() const;
+    static reproducer_meta from_json(const std::string& text);
+};
+
+/// Write <dir>/<name>.s and <dir>/<name>.json (creates `dir` if needed).
+/// Returns the path of the .s file.
+std::string save_reproducer(const std::string& dir, const reproducer_meta& meta,
+                            const isa::program_image& img);
+
+/// Outcome of replaying one artifact.
+struct replay_result {
+    std::string path;
+    reproducer_meta meta;
+    sim::diff_result diff;
+    bool ok() const { return diff.ok(); }
+};
+
+/// Replay one .s artifact (its .json sidecar is optional: defaults apply).
+/// `engines_override`, when non-empty, wins over the metadata engine list.
+replay_result replay_artifact(const std::string& asm_path,
+                              const std::vector<std::string>& engines_override = {},
+                              const sim::engine_config& cfg = {});
+
+/// All .s artifacts under `dir`, sorted by filename for determinism.
+std::vector<std::string> list_corpus(const std::string& dir);
+
+/// Parse a flat (one-level, string/number-valued) JSON object.  This is
+/// the only JSON shape the corpus uses; no external dependency needed.
+std::map<std::string, std::string> parse_flat_json(const std::string& text);
+
+}  // namespace osm::fuzz

@@ -1,0 +1,213 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "isa/encoding.hpp"
+
+namespace osm::fuzz {
+
+namespace {
+
+/// One working-list instruction: a decoded word plus, for in-text CTIs,
+/// the *index* of the target instruction (indices survive removal; byte
+/// offsets do not).  `target == list size` means "just past the end".
+struct winst {
+    isa::decoded_inst di;
+    bool has_target = false;
+    std::size_t target = 0;
+    std::int64_t abs_target = -1;  ///< CTI target outside the text segment
+};
+
+bool is_reloc_cti(isa::op c) { return isa::is_branch(c) || c == isa::op::jal; }
+
+const isa::program_image::segment* text_segment(const isa::program_image& img) {
+    for (const auto& seg : img.segments) {
+        if (img.entry >= seg.base && img.entry < seg.base + seg.bytes.size()) {
+            return &seg;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<winst> decode_text(const isa::program_image::segment& seg) {
+    const std::size_t words = seg.bytes.size() / 4;
+    std::vector<winst> out;
+    out.reserve(words);
+    for (std::size_t i = 0; i < words; ++i) {
+        const std::uint32_t word = static_cast<std::uint32_t>(seg.bytes[i * 4]) |
+                                   static_cast<std::uint32_t>(seg.bytes[i * 4 + 1]) << 8 |
+                                   static_cast<std::uint32_t>(seg.bytes[i * 4 + 2]) << 16 |
+                                   static_cast<std::uint32_t>(seg.bytes[i * 4 + 3]) << 24;
+        winst w;
+        w.di = isa::decode(word);
+        if (is_reloc_cti(w.di.code)) {
+            const std::uint32_t pc = seg.base + static_cast<std::uint32_t>(i * 4);
+            const std::int64_t tgt =
+                static_cast<std::int64_t>(pc) + 4 + w.di.imm;
+            const std::int64_t off = tgt - seg.base;
+            if (off >= 0 && off % 4 == 0 &&
+                static_cast<std::size_t>(off / 4) <= words) {
+                w.has_target = true;
+                w.target = static_cast<std::size_t>(off / 4);
+            } else {
+                w.abs_target = tgt;
+            }
+        }
+        out.push_back(w);
+    }
+    return out;
+}
+
+/// Re-encode the working list into an image (branch offsets recomputed
+/// from target indices).  Throws if an offset no longer fits its field.
+isa::program_image rebuild(const isa::program_image& original,
+                           const isa::program_image::segment& text,
+                           const std::vector<winst>& list) {
+    isa::program_image img;
+    img.entry = text.base;  // callers guarantee entry == text base
+    isa::program_image::segment seg;
+    seg.base = text.base;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        isa::decoded_inst di = list[i].di;
+        if (list[i].has_target) {
+            di.imm = static_cast<std::int32_t>(
+                (static_cast<std::int64_t>(list[i].target) -
+                 static_cast<std::int64_t>(i) - 1) *
+                4);
+        } else if (list[i].abs_target >= 0) {
+            const std::int64_t pc = seg.base + static_cast<std::int64_t>(i * 4);
+            di.imm = static_cast<std::int32_t>(list[i].abs_target - pc - 4);
+        }
+        if (is_reloc_cti(di.code) && !isa::immediate_fits(di.code, di.imm)) {
+            throw std::out_of_range("branch offset no longer encodable");
+        }
+        const std::uint32_t word = isa::encode(di);
+        seg.bytes.push_back(static_cast<std::uint8_t>(word));
+        seg.bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+        seg.bytes.push_back(static_cast<std::uint8_t>(word >> 16));
+        seg.bytes.push_back(static_cast<std::uint8_t>(word >> 24));
+    }
+    img.segments.push_back(std::move(seg));
+    for (const auto& s : original.segments) {
+        if (&s != &text) img.segments.push_back(s);
+    }
+    return img;
+}
+
+/// Remove [first, first+count) from `list`, remapping target indices
+/// across the gap (targets inside the gap snap to the gap's start).
+std::vector<winst> remove_range(const std::vector<winst>& list,
+                                std::size_t first, std::size_t count) {
+    std::vector<winst> out;
+    out.reserve(list.size() - count);
+    const auto remap = [&](std::size_t t) {
+        if (t <= first) return t;
+        if (t >= first + count) return t - count;
+        return first;
+    };
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i >= first && i < first + count) continue;
+        winst w = list[i];
+        if (w.has_target) w.target = remap(w.target);
+        out.push_back(w);
+    }
+    return out;
+}
+
+bool is_nop(const isa::decoded_inst& di) {
+    return di.code == isa::op::addi && di.rd == 0 && di.rs1 == 0 && di.imm == 0;
+}
+
+}  // namespace
+
+minimize_result minimize_divergence(const isa::program_image& img,
+                                    const minimize_options& opt) {
+    if (opt.engines.size() < 2) {
+        throw std::invalid_argument(
+            "minimize_divergence: need a reference and at least one engine");
+    }
+    minimize_result res;
+    res.image = img;
+
+    sim::diff_options dopt;
+    dopt.config = opt.config;
+    dopt.max_cycles = opt.max_cycles;
+
+    // Establish the divergence to preserve.
+    auto initial = sim::diff_engines(opt.engines, img, dopt);
+    ++res.probes;
+    if (initial.ok()) return res;  // was_divergent stays false
+    res.was_divergent = true;
+    res.first = initial.divergences.front();
+    const std::string pinned = res.first.engine;
+
+    const auto* text = text_segment(img);
+    if (text == nullptr || img.entry != text->base) {
+        // No recognizable text segment (or a non-default entry we cannot
+        // rebuild); report the divergence without shrinking.
+        res.original_words = res.minimized_words =
+            text != nullptr ? text->bytes.size() / 4 : 0;
+        return res;
+    }
+
+    std::vector<winst> cur = decode_text(*text);
+    res.original_words = cur.size();
+
+    // The candidate still fails iff the *same* engine diverges again.
+    const auto still_fails = [&](const std::vector<winst>& list) {
+        if (res.probes >= opt.max_probes) return false;
+        ++res.probes;
+        try {
+            const auto candidate = rebuild(img, *text, list);
+            const auto d = sim::diff_engines(opt.engines, candidate, dopt);
+            for (const auto& div : d.divergences) {
+                if (div.engine == pinned) {
+                    res.first = div;
+                    return true;
+                }
+            }
+        } catch (const std::exception&) {
+            // Unencodable or otherwise broken candidate: not a reproducer.
+        }
+        return false;
+    };
+
+    // Phase 1+3: drop contiguous chunks, halving the chunk size (ddmin).
+    const auto removal_pass = [&] {
+        std::size_t chunk = std::max<std::size_t>(1, cur.size() / 2);
+        while (!cur.empty()) {
+            std::size_t start = 0;
+            while (start < cur.size() && res.probes < opt.max_probes) {
+                const std::size_t count = std::min(chunk, cur.size() - start);
+                auto candidate = remove_range(cur, start, count);
+                if (still_fails(candidate)) {
+                    cur = std::move(candidate);  // keep scanning at `start`
+                } else {
+                    start += chunk;
+                }
+            }
+            if (chunk == 1) break;
+            chunk /= 2;
+        }
+    };
+    removal_pass();
+
+    // Phase 2: nop out single surviving instructions.
+    for (std::size_t i = 0; i < cur.size() && res.probes < opt.max_probes; ++i) {
+        if (is_nop(cur[i].di)) continue;
+        auto candidate = cur;
+        candidate[i] = winst{};  // decoded_inst{} defaults to invalid; set nop
+        candidate[i].di.code = isa::op::addi;
+        if (still_fails(candidate)) cur = std::move(candidate);
+    }
+
+    // Phase 3: strip the nops phase 2 committed.
+    removal_pass();
+
+    res.image = rebuild(img, *text, cur);
+    res.minimized_words = cur.size();
+    return res;
+}
+
+}  // namespace osm::fuzz

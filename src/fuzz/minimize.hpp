@@ -1,0 +1,50 @@
+// Delta-debugging reproducer minimizer.
+//
+// Given a program on which two engines disagree, shrink it while the same
+// engine keeps diverging from the reference: first drop contiguous
+// instruction ranges (rewriting branch targets across the gap, ddmin
+// style, halving the chunk size), then nop out single instructions, then
+// drop the committed nops.  Every candidate is re-validated by actually
+// running the engines, so the minimizer needs no knowledge of *why* the
+// divergence happens — only that it persists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/diff_runner.hpp"
+
+namespace osm::fuzz {
+
+struct minimize_options {
+    /// Engines to re-check each candidate on; first is the reference.
+    /// Typically just {reference, divergent_engine} for speed.
+    std::vector<std::string> engines;
+    sim::engine_config config{};
+    /// Per-probe cycle budget.  Candidates may loop differently than the
+    /// original, so this also bounds pathological intermediate programs.
+    std::uint64_t max_cycles = 5'000'000;
+    /// Hard cap on predicate evaluations (each runs every engine once).
+    unsigned max_probes = 4000;
+};
+
+struct minimize_result {
+    /// False when the input program did not diverge at all (nothing to
+    /// minimize; `image` is the input unchanged).
+    bool was_divergent = false;
+    isa::program_image image;          ///< minimized program
+    std::size_t original_words = 0;    ///< text instructions before
+    std::size_t minimized_words = 0;   ///< text instructions after
+    unsigned probes = 0;               ///< predicate evaluations spent
+    sim::divergence first;             ///< divergence of the minimized program
+};
+
+/// Shrink `img` while `opt.engines` keep diverging.  The divergent engine
+/// is pinned from the initial run: a candidate only counts as failing when
+/// that same engine disagrees with the reference again.
+minimize_result minimize_divergence(const isa::program_image& img,
+                                    const minimize_options& opt);
+
+}  // namespace osm::fuzz

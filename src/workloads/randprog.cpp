@@ -19,6 +19,148 @@ constexpr std::uint32_t k_sandbox_mask = 0x0FFC;  // 4 KiB, word aligned
 unsigned rand_reg(xrandom& rng) { return 4 + static_cast<unsigned>(rng.next_below(18)); }
 unsigned rand_fpr(xrandom& rng) { return static_cast<unsigned>(rng.next_below(16)); }
 
+/// Mask `reg` into the data sandbox and rebase it; afterwards `reg` is a
+/// safe load/store address no matter what it held before.
+void sandbox_addr(program_builder& b, unsigned reg, unsigned base_reg) {
+    b.emit_i(op::andi, reg, reg, static_cast<std::int32_t>(k_sandbox_mask));
+    b.emit_r(op::add_r, reg, reg, base_reg);
+}
+
+/// Load-use dependence chain: each loaded value feeds the very next
+/// instruction (the classic one-cycle interlock) and then becomes the next
+/// iteration's address seed, so address generation itself depends on the
+/// preceding load.
+void emit_load_use_chain(program_builder& b, xrandom& rng, unsigned len,
+                         unsigned base_reg) {
+    unsigned addr = rand_reg(rng);
+    for (unsigned k = 0; k * 4 < len; ++k) {
+        sandbox_addr(b, addr, base_reg);
+        unsigned val = rand_reg(rng);
+        if (val == addr) val = (val == 21) ? 4 : val + 1;
+        b.emit_load(op::lw, val, addr, 0);
+        const unsigned use = rand_reg(rng);
+        b.emit_r(op::add_r, use, val, val);  // load-use: consumed next inst
+        b.emit_store(op::sw, use, addr, 0);  // store-to-load forwarding pressure
+        addr = use;                          // chain into next address
+    }
+}
+
+/// Branch-dense block: a conditional branch every 2-3 instructions, each
+/// hopping over a single ALU op, mixing taken and not-taken at high density.
+void emit_branch_dense(program_builder& b, xrandom& rng, unsigned len) {
+    static constexpr op br[] = {op::beq, op::bne, op::blt,
+                                op::bge, op::bltu, op::bgeu};
+    for (unsigned k = 0; k * 3 < len; ++k) {
+        const auto skip = b.new_label();
+        b.emit_branch(br[rng.next_below(std::size(br))], rand_reg(rng),
+                      rand_reg(rng), skip);
+        b.emit_r(op::xor_r, rand_reg(rng), rand_reg(rng), rand_reg(rng));
+        b.bind(skip);
+        b.emit_i(op::addi, rand_reg(rng), rand_reg(rng),
+                 static_cast<std::int32_t>(rng.next_range(-64, 64)));
+    }
+}
+
+/// Uniformly random straight-line/branchy block: the default block shape.
+void emit_random_block(program_builder& b, xrandom& rng,
+                       const randprog_options& opt, unsigned base_reg) {
+    program_builder::label skip{};
+    bool skipping = false;
+    for (unsigned i = 0; i < opt.block_len; ++i) {
+        const unsigned kind = static_cast<unsigned>(rng.next_below(10));
+        if (kind < 4) {
+            // R-type ALU
+            static constexpr op alu[] = {op::add_r, op::sub_r, op::and_r,
+                                         op::or_r,  op::xor_r, op::nor_r,
+                                         op::sll_r, op::srl_r, op::sra_r,
+                                         op::slt_r, op::sltu_r};
+            b.emit_r(alu[rng.next_below(std::size(alu))], rand_reg(rng),
+                     rand_reg(rng), rand_reg(rng));
+        } else if (kind < 6) {
+            // I-type ALU
+            static constexpr op alui[] = {op::addi, op::slti, op::sltiu,
+                                          op::slli, op::srli, op::srai};
+            const op c = alui[rng.next_below(std::size(alui))];
+            const std::int32_t imm =
+                (c == op::slli || c == op::srli || c == op::srai)
+                    ? static_cast<std::int32_t>(rng.next_below(32))
+                    : static_cast<std::int32_t>(rng.next_range(-2048, 2047));
+            b.emit_i(c, rand_reg(rng), rand_reg(rng), imm);
+        } else if (kind == 6 && opt.with_mul_div) {
+            static constexpr op md[] = {op::mul, op::mulh, op::mulhu,
+                                        op::div_s, op::div_u, op::rem_s,
+                                        op::rem_u};
+            b.emit_r(md[rng.next_below(std::size(md))], rand_reg(rng),
+                     rand_reg(rng), rand_reg(rng));
+        } else if (kind == 7 && opt.with_memory) {
+            // Sandboxed load or store: mask an arbitrary register into
+            // the sandbox, then access.
+            const unsigned addr_reg = rand_reg(rng);
+            const unsigned val_reg = rand_reg(rng);
+            b.emit_i(op::andi, addr_reg, addr_reg,
+                     static_cast<std::int32_t>(k_sandbox_mask));
+            b.emit_r(op::add_r, addr_reg, addr_reg, base_reg);
+            if (opt.with_fp && rng.chance(1, 4)) {
+                // FP memory: word-aligned flw/fsw against the sandbox.
+                if (rng.chance(1, 2)) {
+                    b.emit_load(op::flw, rand_fpr(rng), addr_reg, 0);
+                } else {
+                    b.emit_store(op::fsw, rand_fpr(rng), addr_reg, 0);
+                }
+            } else {
+                static constexpr op mops[] = {op::lw, op::lh, op::lhu,
+                                              op::lb, op::lbu, op::sw,
+                                              op::sh, op::sb};
+                const op c = mops[rng.next_below(std::size(mops))];
+                if (isa::is_load(c)) {
+                    b.emit_load(c, val_reg, addr_reg, 0);
+                } else {
+                    b.emit_store(c, val_reg, addr_reg, 0);
+                }
+            }
+        } else if (kind == 8 && opt.with_fp) {
+            const unsigned sel = static_cast<unsigned>(rng.next_below(12));
+            if (sel < 7) {
+                static constexpr op fops[] = {op::fadd, op::fsub, op::fmul,
+                                              op::fmin, op::fmax, op::fabs_f,
+                                              op::fneg_f};
+                b.emit_r(fops[sel], rand_fpr(rng), rand_fpr(rng),
+                         rand_fpr(rng));
+            } else if (sel < 10) {
+                // FP compares write a GPR, so FP dataflow reaches the
+                // integer checksum even on engines that only diff GPRs.
+                static constexpr op fcmp[] = {op::feq, op::flt_f, op::fle};
+                b.emit_r(fcmp[sel - 7], rand_reg(rng), rand_fpr(rng),
+                         rand_fpr(rng));
+            } else if (sel == 10) {
+                // Converts cross the register files in both directions.
+                if (rng.chance(1, 2)) {
+                    b.emit_r(op::fcvt_w_s, rand_reg(rng), rand_fpr(rng), 0);
+                } else {
+                    b.emit_r(op::fcvt_s_w, rand_fpr(rng), rand_reg(rng), 0);
+                }
+            } else {
+                if (rng.chance(1, 2)) {
+                    b.emit_r(op::fmv_x_w, rand_reg(rng), rand_fpr(rng), 0);
+                } else {
+                    b.emit_r(op::fmv_w_x, rand_fpr(rng), rand_reg(rng), 0);
+                }
+            }
+        } else if (kind == 9 && opt.with_branches && !skipping && i + 2 < opt.block_len) {
+            // Forward conditional branch over the rest of the block.
+            skip = b.new_label();
+            skipping = true;
+            static constexpr op br[] = {op::beq, op::bne, op::blt,
+                                        op::bge, op::bltu, op::bgeu};
+            b.emit_branch(br[rng.next_below(std::size(br))], rand_reg(rng),
+                          rand_reg(rng), skip);
+        } else {
+            b.emit_r(op::add_r, rand_reg(rng), rand_reg(rng), rand_reg(rng));
+        }
+    }
+    if (skipping) b.bind(skip);
+}
+
 }  // namespace
 
 isa::program_image make_random_program(const randprog_options& opt) {
@@ -48,69 +190,19 @@ isa::program_image make_random_program(const randprog_options& opt) {
             loop_head = b.here();
         }
 
-        program_builder::label skip{};
-        bool skipping = false;
-        for (unsigned i = 0; i < opt.block_len; ++i) {
-            const unsigned kind = static_cast<unsigned>(rng.next_below(10));
-            if (kind < 4) {
-                // R-type ALU
-                static constexpr op alu[] = {op::add_r, op::sub_r, op::and_r,
-                                             op::or_r,  op::xor_r, op::nor_r,
-                                             op::sll_r, op::srl_r, op::sra_r,
-                                             op::slt_r, op::sltu_r};
-                b.emit_r(alu[rng.next_below(std::size(alu))], rand_reg(rng),
-                         rand_reg(rng), rand_reg(rng));
-            } else if (kind < 6) {
-                // I-type ALU
-                static constexpr op alui[] = {op::addi, op::slti, op::sltiu,
-                                              op::slli, op::srli, op::srai};
-                const op c = alui[rng.next_below(std::size(alui))];
-                const std::int32_t imm =
-                    (c == op::slli || c == op::srli || c == op::srai)
-                        ? static_cast<std::int32_t>(rng.next_below(32))
-                        : static_cast<std::int32_t>(rng.next_range(-2048, 2047));
-                b.emit_i(c, rand_reg(rng), rand_reg(rng), imm);
-            } else if (kind == 6 && opt.with_mul_div) {
-                static constexpr op md[] = {op::mul, op::mulh, op::mulhu,
-                                            op::div_s, op::div_u, op::rem_s,
-                                            op::rem_u};
-                b.emit_r(md[rng.next_below(std::size(md))], rand_reg(rng),
-                         rand_reg(rng), rand_reg(rng));
-            } else if (kind == 7 && opt.with_memory) {
-                // Sandboxed load or store: mask an arbitrary register into
-                // the sandbox, then access.
-                const unsigned addr_reg = rand_reg(rng);
-                const unsigned val_reg = rand_reg(rng);
-                b.emit_i(op::andi, addr_reg, addr_reg,
-                         static_cast<std::int32_t>(k_sandbox_mask));
-                b.emit_r(op::add_r, addr_reg, addr_reg, base_reg);
-                static constexpr op mops[] = {op::lw, op::lh, op::lhu, op::lb,
-                                              op::lbu, op::sw, op::sh, op::sb};
-                const op c = mops[rng.next_below(std::size(mops))];
-                if (isa::is_load(c)) {
-                    b.emit_load(c, val_reg, addr_reg, 0);
-                } else {
-                    b.emit_store(c, val_reg, addr_reg, 0);
-                }
-            } else if (kind == 8 && opt.with_fp) {
-                static constexpr op fops[] = {op::fadd, op::fsub, op::fmul,
-                                              op::fmin, op::fmax, op::fabs_f,
-                                              op::fneg_f};
-                const op c = fops[rng.next_below(std::size(fops))];
-                b.emit_r(c, rand_fpr(rng), rand_fpr(rng), rand_fpr(rng));
-            } else if (kind == 9 && opt.with_branches && !skipping && i + 2 < opt.block_len) {
-                // Forward conditional branch over the rest of the block.
-                skip = b.new_label();
-                skipping = true;
-                static constexpr op br[] = {op::beq, op::bne, op::blt,
-                                            op::bge, op::bltu, op::bgeu};
-                b.emit_branch(br[rng.next_below(std::size(br))], rand_reg(rng),
-                              rand_reg(rng), skip);
-            } else {
-                b.emit_r(op::add_r, rand_reg(rng), rand_reg(rng), rand_reg(rng));
-            }
+        // Hazard-template blocks replace the uniform random mix for a
+        // third of the blocks when the corresponding knob is on.
+        const unsigned shape =
+            (opt.hazard_load_use || opt.hazard_branch_dense)
+                ? static_cast<unsigned>(rng.next_below(3))
+                : 0;
+        if (opt.hazard_load_use && shape == 1) {
+            emit_load_use_chain(b, rng, opt.block_len, base_reg);
+        } else if (opt.hazard_branch_dense && opt.with_branches && shape == 2) {
+            emit_branch_dense(b, rng, opt.block_len);
+        } else {
+            emit_random_block(b, rng, opt, base_reg);
         }
-        if (skipping) b.bind(skip);
         if (looped) {
             b.emit_i(op::addi, 23, 23, -1);
             b.emit_branch(op::bne, 23, 0, loop_head);

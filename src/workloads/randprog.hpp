@@ -20,8 +20,16 @@ struct randprog_options {
     bool with_mul_div = true;
     bool with_memory = true;
     bool with_branches = true;
-    bool with_fp = false;
+    bool with_fp = false;           ///< FP arithmetic, compare, convert, flw/fsw
     unsigned loop_count = 3;        ///< trip count of counted loops
+    // Targeted hazard templates: some blocks are emitted as dedicated
+    // hazard shapes instead of uniformly random instruction mixes, so
+    // fuzzing campaigns stress the hazard classes the pipeline models
+    // actually implement (load-use interlocks, branch resolution).
+    bool hazard_load_use = false;   ///< load -> immediate-use dependence chains
+    bool hazard_branch_dense = false;  ///< a taken/not-taken branch every 2-3 insts
+
+    bool operator==(const randprog_options&) const = default;
 };
 
 /// Generate a terminating random program.

@@ -1,0 +1,73 @@
+#include "workloads/randprog_cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace osm::workloads {
+
+namespace {
+
+unsigned parse_count(const char* flag, int argc, char** argv, int& i) {
+    if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+    }
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(argv[++i], &end, 0);
+    if (end == argv[i] || *end != '\0' || v == 0 || v > 1'000'000) {
+        throw std::invalid_argument(std::string(flag) + ": bad value '" +
+                                    argv[i] + "'");
+    }
+    return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+bool parse_randprog_flag(int argc, char** argv, int& i, randprog_options& opt) {
+    const std::string arg = argv[i];
+    if (arg == "--rand-blocks") opt.blocks = parse_count(argv[i], argc, argv, i);
+    else if (arg == "--rand-block-len") opt.block_len = parse_count(argv[i], argc, argv, i);
+    else if (arg == "--rand-loops") opt.loop_count = parse_count(argv[i], argc, argv, i);
+    else if (arg == "--rand-fp") opt.with_fp = true;
+    else if (arg == "--rand-no-fp") opt.with_fp = false;
+    else if (arg == "--rand-no-mul-div") opt.with_mul_div = false;
+    else if (arg == "--rand-no-memory") opt.with_memory = false;
+    else if (arg == "--rand-no-branches") opt.with_branches = false;
+    else if (arg == "--rand-hazard-load-use") opt.hazard_load_use = true;
+    else if (arg == "--rand-hazard-branches") opt.hazard_branch_dense = true;
+    else return false;
+    return true;
+}
+
+std::string randprog_flags_help() {
+    return
+        "  --rand-blocks N          straight-line blocks (default 12)\n"
+        "  --rand-block-len N       instructions per block (default 10)\n"
+        "  --rand-loops N           counted-loop trip count (default 3)\n"
+        "  --rand-fp                include FP arithmetic/compare/convert\n"
+        "  --rand-no-mul-div        drop integer multiply/divide\n"
+        "  --rand-no-memory         drop loads/stores\n"
+        "  --rand-no-branches       straight-line code only\n"
+        "  --rand-hazard-load-use   load->use dependence-chain blocks\n"
+        "  --rand-hazard-branches   branch-dense blocks\n";
+}
+
+std::string randprog_flags(const randprog_options& opt) {
+    const randprog_options def{};
+    std::string s;
+    auto add = [&s](const std::string& f) {
+        if (!s.empty()) s += ' ';
+        s += f;
+    };
+    if (opt.blocks != def.blocks) add("--rand-blocks " + std::to_string(opt.blocks));
+    if (opt.block_len != def.block_len) add("--rand-block-len " + std::to_string(opt.block_len));
+    if (opt.loop_count != def.loop_count) add("--rand-loops " + std::to_string(opt.loop_count));
+    if (opt.with_fp) add("--rand-fp");
+    if (!opt.with_mul_div) add("--rand-no-mul-div");
+    if (!opt.with_memory) add("--rand-no-memory");
+    if (!opt.with_branches) add("--rand-no-branches");
+    if (opt.hazard_load_use) add("--rand-hazard-load-use");
+    if (opt.hazard_branch_dense) add("--rand-hazard-branches");
+    return s;
+}
+
+}  // namespace osm::workloads

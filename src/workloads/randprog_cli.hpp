@@ -1,0 +1,27 @@
+// Shared command-line surface for the random-program generator.
+//
+// osm-run and osm-fuzz both expose the generator's knobs; keeping the flag
+// parsing (and the inverse: rendering options back to a canonical flag
+// string for reproducer metadata) in one place guarantees the two tools
+// never drift apart.
+#pragma once
+
+#include <string>
+
+#include "workloads/randprog.hpp"
+
+namespace osm::workloads {
+
+/// If argv[i] is a --rand-* generator flag, apply it to `opt`, advance `i`
+/// past any consumed value, and return true; otherwise leave both alone.
+/// Throws std::invalid_argument for a flag with a missing/garbage value.
+bool parse_randprog_flag(int argc, char** argv, int& i, randprog_options& opt);
+
+/// Usage text block listing every flag parse_randprog_flag understands.
+std::string randprog_flags_help();
+
+/// Canonical flag string for `opt` (only non-default knobs, stable order).
+/// parse_randprog_flag round-trips it; reproducer metadata records it.
+std::string randprog_flags(const randprog_options& opt);
+
+}  // namespace osm::workloads

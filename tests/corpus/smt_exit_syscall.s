@@ -1,0 +1,15 @@
+; smt_exit_syscall (regression)
+; PR 3 fix: a program terminated by the exit syscall (no halt opcode) must
+; stop the SMT kernel.  Before the fix the exiting thread kept fetching and
+; the kernel ran until the cycle budget, so halted/cycle state diverged
+; from every other engine.
+; replay: osm-fuzz replay smt_exit_syscall.s
+        li a0, 0
+        li a1, 1
+        li a2, 100
+loop:   add a0, a0, a1
+        addi a1, a1, 1
+        bge a2, a1, loop
+        syscall 2
+        syscall 3
+        syscall 0

@@ -1,0 +1,19 @@
+; smt_jal_zero (regression)
+; PR 3 fix: writes with rd == x0 must not leak into the SMT pipeline's
+; thread-tagged register file.  `jal zero, target` (plain jump) wrote the
+; link address into the tagged x0 entry, so later reads of x0 returned
+; pc+4 instead of zero and every x0-relative value diverged.
+; replay: osm-fuzz replay smt_jal_zero.s
+        li a0, 7
+        li a3, 5
+        jal zero, over          ; jump, link discarded into x0
+        addi a0, a0, 100        ; skipped
+over:   add a1, zero, zero      ; a1 must be 0
+        add a2, a0, zero        ; x0 must still read as zero
+        jal zero, fin
+        addi a2, a2, 900        ; skipped
+fin:    add a0, a1, a2
+        add a0, a0, a3
+        syscall 2
+        syscall 3
+        syscall 0

@@ -1,0 +1,304 @@
+// Tests for the differential fuzzing subsystem (src/fuzz): deterministic
+// bounded campaigns, corpus serialization/replay (including the committed
+// regression corpus under tests/corpus), and the delta-debugging
+// minimizer validated against deliberately broken engines.  The broken
+// engines are registered into the process-wide registry, so — as in
+// sim_test.cpp — every test that registers one must come after all tests
+// that iterate "all registered engines".
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimize.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "sim/registry.hpp"
+#include "workloads/randprog.hpp"
+#include "workloads/randprog_cli.hpp"
+
+#ifndef OSM_CORPUS_DIR
+#define OSM_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace {
+
+using namespace osm;
+
+// Per-process scratch directory: ctest runs every discovered test in its
+// own process, possibly concurrently, so fixed /tmp names would race.
+std::filesystem::path scratch_dir(const std::string& tag) {
+    return std::filesystem::temp_directory_path() /
+           (tag + "_" + std::to_string(::getpid()));
+}
+
+fuzz::campaign_options small_campaign() {
+    fuzz::campaign_options opt;
+    opt.seed_lo = 1;
+    opt.seed_hi = 24;
+    opt.quick = true;
+    opt.max_cycles = 20'000'000;
+    return opt;
+}
+
+TEST(FuzzSmoke, QuickCampaignRunsCleanOnAllEngines) {
+    const auto res = fuzz::run_campaign(small_campaign());
+    EXPECT_TRUE(res.ok()) << (res.findings.empty()
+                                  ? ""
+                                  : res.findings.front().first.to_string());
+    EXPECT_EQ(res.programs, 24u);
+    EXPECT_GT(res.instructions, 0u);
+    EXPECT_GT(res.engine_runs, res.programs);  // > 1 engine per program
+    // Every quick-matrix row was exercised.
+    for (const auto& row : fuzz::feature_matrix(true)) {
+        EXPECT_TRUE(res.row_programs.count(row.name)) << row.name;
+    }
+    EXPECT_GT(res.feature_programs.at("fp"), 0u);
+    EXPECT_GT(res.feature_programs.at("hazard_load_use"), 0u);
+    EXPECT_GT(res.feature_programs.at("hazard_branch_dense"), 0u);
+}
+
+TEST(FuzzSmoke, CampaignSummaryIsByteIdenticalAcrossRuns) {
+    const auto a = fuzz::run_campaign(small_campaign()).summary().to_json();
+    const auto b = fuzz::run_campaign(small_campaign()).summary().to_json();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(FuzzSmoke, ReplaysEveryCommittedCorpusArtifact) {
+    const auto paths = fuzz::list_corpus(OSM_CORPUS_DIR);
+    ASSERT_GE(paths.size(), 2u) << "committed corpus missing from " OSM_CORPUS_DIR;
+    for (const auto& path : paths) {
+        const auto rr = fuzz::replay_artifact(path);
+        EXPECT_TRUE(rr.ok()) << path << ": "
+                             << (rr.ok() ? ""
+                                         : rr.diff.divergences.front().to_string());
+        EXPECT_FALSE(rr.meta.name.empty()) << path;
+        EXPECT_EQ(rr.meta.kind, "regression") << path;
+        EXPECT_FALSE(rr.meta.note.empty()) << path << " metadata must say what it guards";
+    }
+}
+
+TEST(FuzzSmoke, CampaignReplayDirFoldsCorpusIntoTheSweep) {
+    auto opt = small_campaign();
+    opt.seed_hi = 4;
+    opt.replay_dir = OSM_CORPUS_DIR;
+    const auto res = fuzz::run_campaign(opt);
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.corpus_replayed, fuzz::list_corpus(OSM_CORPUS_DIR).size());
+}
+
+TEST(ImageToAsm, RoundTripsGeneratedProgramsExactly) {
+    for (std::uint64_t seed : {2u, 9u, 17u}) {
+        workloads::randprog_options opt;
+        opt.seed = seed;
+        opt.with_fp = (seed % 2) == 1;
+        opt.hazard_load_use = true;
+        opt.hazard_branch_dense = true;
+        const auto img = workloads::make_random_program(opt);
+        const auto text = fuzz::image_to_asm(img);
+        const auto back = isa::assemble(text);
+        ASSERT_EQ(back.segments.size(), img.segments.size()) << "seed " << seed;
+        EXPECT_EQ(back.entry, img.entry);
+        for (std::size_t s = 0; s < img.segments.size(); ++s) {
+            EXPECT_EQ(back.segments[s].base, img.segments[s].base);
+            EXPECT_EQ(back.segments[s].bytes, img.segments[s].bytes)
+                << "seed " << seed << " segment " << s;
+        }
+    }
+}
+
+TEST(Corpus, MetadataRoundTripsThroughJson) {
+    fuzz::reproducer_meta m;
+    m.name = "example";
+    m.kind = "fuzz";
+    m.engines = "iss,smt";
+    m.seed = 42;
+    m.rand_options = "--rand-fp --rand-blocks 6";
+    m.max_cycles = 123456;
+    m.note = "a \"quoted\" note\nwith a newline";
+    m.divergence = "engine smt diverges from iss: gpr[10] ...";
+    const auto back = fuzz::reproducer_meta::from_json(m.to_json());
+    EXPECT_EQ(back.name, m.name);
+    EXPECT_EQ(back.kind, m.kind);
+    EXPECT_EQ(back.engines, m.engines);
+    EXPECT_EQ(back.seed, m.seed);
+    EXPECT_EQ(back.rand_options, m.rand_options);
+    EXPECT_EQ(back.max_cycles, m.max_cycles);
+    EXPECT_EQ(back.note, m.note);
+    EXPECT_EQ(back.divergence, m.divergence);
+}
+
+TEST(Corpus, SaveThenReplayFromDisk) {
+    const auto dir = scratch_dir("osm_fuzz_corpus_test");
+    std::filesystem::remove_all(dir);
+
+    workloads::randprog_options opt;
+    opt.seed = 11;
+    fuzz::reproducer_meta meta;
+    meta.name = "saved_rand_11";
+    meta.engines = "iss,sarm,hw";
+    meta.seed = 11;
+    meta.max_cycles = 20'000'000;
+    const auto path = fuzz::save_reproducer(dir.string(), meta,
+                                            workloads::make_random_program(opt));
+    EXPECT_TRUE(std::filesystem::exists(path));
+
+    const auto found = fuzz::list_corpus(dir.string());
+    ASSERT_EQ(found.size(), 1u);
+    const auto rr = fuzz::replay_artifact(found.front());
+    EXPECT_TRUE(rr.ok());
+    EXPECT_EQ(rr.meta.name, "saved_rand_11");
+    ASSERT_EQ(rr.diff.runs.size(), 3u);  // engine list came from metadata
+    std::filesystem::remove_all(dir);
+}
+
+// ---- deliberately broken engines (KEEP these tests last: they mutate the
+// ---- process-wide registry, like sim_test.cpp's bogus engine).
+
+/// ISS wrapper whose x10 reads are corrupted once the program has printed
+/// anything: a minimal reproducer must therefore preserve some console
+/// output, so the minimizer has to keep the trigger alive while deleting
+/// everything else.
+class broken_after_print_engine final : public sim::engine {
+public:
+    explicit broken_after_print_engine(const sim::engine_config& cfg)
+        : inner_(sim::make_engine("iss", cfg)) {}
+    std::string_view name() const override { return "brk_print"; }
+    void load(const isa::program_image& img) override { inner_->load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override {
+        return inner_->run(max_cycles);
+    }
+    bool halted() const override { return inner_->halted(); }
+    std::uint32_t gpr(unsigned r) const override {
+        const bool armed = !inner_->console().empty();
+        return inner_->gpr(r) ^ ((armed && r == 10) ? 0xdead0000u : 0u);
+    }
+    std::uint32_t fpr(unsigned r) const override { return inner_->fpr(r); }
+    std::uint32_t pc() const override { return inner_->pc(); }
+    const std::string& console() const override { return inner_->console(); }
+    std::uint64_t cycles() const override { return inner_->cycles(); }
+    std::uint64_t retired() const override { return inner_->retired(); }
+    bool models_timing() const override { return false; }
+
+private:
+    std::unique_ptr<sim::engine> inner_;
+};
+
+// Each Minimizer test registers the broken engine itself: ctest runs every
+// discovered test in its own process, so registration done by one test is
+// invisible to the others (add() replaces by name, so re-adding is safe).
+void register_broken_engine() {
+    sim::engine_registry::instance().add(
+        {"brk_print", "ISS wrapper corrupting x10 after console output (test only)",
+         [](const sim::engine_config& cfg) {
+             return std::make_unique<broken_after_print_engine>(cfg);
+         }});
+}
+
+TEST(Minimizer, ShrinksDivergentProgramToAFewInstructions) {
+    register_broken_engine();
+
+    workloads::randprog_options opt;
+    opt.seed = 33;
+    const auto img = workloads::make_random_program(opt);
+
+    fuzz::minimize_options mo;
+    mo.engines = {"iss", "brk_print"};
+    mo.max_cycles = 2'000'000;
+    const auto res = fuzz::minimize_divergence(img, mo);
+
+    ASSERT_TRUE(res.was_divergent);
+    EXPECT_EQ(res.first.engine, "brk_print");
+    EXPECT_EQ(res.first.kind, "gpr");
+    EXPECT_EQ(res.first.index, 10u);
+    EXPECT_GT(res.original_words, 100u);
+    EXPECT_LE(res.minimized_words, 10u)
+        << "minimizer left " << res.minimized_words << " instructions:\n"
+        << fuzz::image_to_asm(res.image);
+    EXPECT_GE(res.minimized_words, 1u)
+        << "an empty program prints nothing, so the corruption never arms";
+
+    // The minimized program must still print something (the trigger).
+    bool has_print = false;
+    for (const auto& seg : res.image.segments) {
+        for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+            const std::uint32_t w = static_cast<std::uint32_t>(seg.bytes[i]) |
+                                    static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8 |
+                                    static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16 |
+                                    static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24;
+            const auto di = isa::decode(w);
+            if (di.code == isa::op::syscall_op && di.imm != 0) has_print = true;
+        }
+    }
+    EXPECT_TRUE(has_print);
+}
+
+TEST(Minimizer, MinimizedReproducerSurvivesCorpusRoundTrip) {
+    // End-to-end: minimize against the broken engine, persist, replay from
+    // disk on the same engine pair, and check the divergence reproduces.
+    register_broken_engine();
+    workloads::randprog_options opt;
+    opt.seed = 47;
+    const auto img = workloads::make_random_program(opt);
+
+    fuzz::minimize_options mo;
+    mo.engines = {"iss", "brk_print"};
+    mo.max_cycles = 2'000'000;
+    const auto res = fuzz::minimize_divergence(img, mo);
+    ASSERT_TRUE(res.was_divergent);
+
+    const auto dir = scratch_dir("osm_fuzz_minimized_test");
+    std::filesystem::remove_all(dir);
+    fuzz::reproducer_meta meta;
+    meta.name = "min_seed_47";
+    meta.engines = "iss,brk_print";
+    meta.seed = 47;
+    meta.max_cycles = 2'000'000;
+    meta.divergence = res.first.to_string();
+    const auto path = fuzz::save_reproducer(dir.string(), meta, res.image);
+
+    const auto rr = fuzz::replay_artifact(path);
+    EXPECT_FALSE(rr.ok()) << "reproducer must still diverge after round-trip";
+    ASSERT_FALSE(rr.diff.divergences.empty());
+    EXPECT_EQ(rr.diff.divergences.front().engine, "brk_print");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Minimizer, CampaignMinimizesAndPersistsItsFindings) {
+    // A campaign run against a broken engine must detect, minimize and
+    // save a reproducer automatically.
+    register_broken_engine();
+    const auto dir = scratch_dir("osm_fuzz_campaign_save_test");
+    std::filesystem::remove_all(dir);
+
+    fuzz::campaign_options opt;
+    opt.seed_lo = 1;
+    opt.seed_hi = 3;
+    opt.engines = {"iss", "brk_print"};
+    opt.max_cycles = 2'000'000;
+    opt.quick = true;
+    opt.save_dir = dir.string();
+    const auto res = fuzz::run_campaign(opt);
+
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.findings.size(), 3u);  // every program prints its checksum
+    for (const auto& f : res.findings) {
+        EXPECT_LE(f.minimized_words, 10u) << "seed " << f.seed;
+        EXPECT_FALSE(f.artifact.empty());
+        EXPECT_TRUE(std::filesystem::exists(f.artifact)) << f.artifact;
+    }
+    // The summary names every finding deterministically.
+    const auto json = res.summary().to_json();
+    EXPECT_NE(json.find("finding.000"), std::string::npos);
+    EXPECT_NE(json.find("brk_print"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Property tests for the random program generator (workloads/randprog):
+// every program across the fuzzing feature matrix halts by itself under an
+// instruction budget and prints its register checksum; generation is
+// bit-deterministic; the hazard/FP knobs actually change what is emitted;
+// and the shared --rand-* CLI surface round-trips the option struct.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "isa/decoded_inst.hpp"
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "mem/main_memory.hpp"
+#include "workloads/randprog.hpp"
+#include "workloads/randprog_cli.hpp"
+
+namespace {
+
+using namespace osm;
+
+struct run_outcome {
+    bool halted = false;
+    std::uint64_t retired = 0;
+    std::string console;
+};
+
+run_outcome run_on_iss(const isa::program_image& img, std::uint64_t budget) {
+    mem::main_memory m;
+    isa::iss sim(m);
+    sim.load(img);
+    while (!sim.state().halted && sim.instret() < budget) sim.step();
+    return {sim.state().halted, sim.instret(), sim.host().console()};
+}
+
+std::vector<isa::decoded_inst> decode_text(const isa::program_image& img) {
+    std::vector<isa::decoded_inst> out;
+    for (const auto& seg : img.segments) {
+        if (img.entry < seg.base || img.entry >= seg.base + seg.bytes.size())
+            continue;
+        for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+            const std::uint32_t w = static_cast<std::uint32_t>(seg.bytes[i]) |
+                                    static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8 |
+                                    static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16 |
+                                    static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24;
+            out.push_back(isa::decode(w));
+        }
+    }
+    return out;
+}
+
+// Every feature-matrix row, many seeds: the program must halt on its own
+// well under the budget and print a checksum.  This is the termination
+// guarantee the whole fuzzing subsystem leans on.
+TEST(RandProg, EveryMatrixRowHaltsAndPrintsChecksum) {
+    constexpr std::uint64_t budget = 2'000'000;
+    for (const auto& row : fuzz::feature_matrix(false)) {
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            auto opt = row.options;
+            opt.seed = seed;
+            const auto img = workloads::make_random_program(opt);
+            const auto out = run_on_iss(img, budget);
+            EXPECT_TRUE(out.halted) << row.name << " seed " << seed
+                                    << " did not halt in " << budget;
+            EXPECT_LT(out.retired, budget) << row.name << " seed " << seed;
+            EXPECT_FALSE(out.console.empty())
+                << row.name << " seed " << seed << " printed no checksum";
+        }
+    }
+}
+
+TEST(RandProg, GenerationIsBitDeterministic) {
+    workloads::randprog_options opt;
+    opt.seed = 99;
+    opt.with_fp = true;
+    opt.hazard_load_use = true;
+    opt.hazard_branch_dense = true;
+    const auto a = workloads::make_random_program(opt);
+    const auto b = workloads::make_random_program(opt);
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    for (std::size_t s = 0; s < a.segments.size(); ++s) {
+        EXPECT_EQ(a.segments[s].bytes, b.segments[s].bytes);
+    }
+}
+
+TEST(RandProg, DistinctSeedsProduceDistinctPrograms) {
+    std::set<std::string> images;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        workloads::randprog_options opt;
+        opt.seed = seed;
+        const auto img = workloads::make_random_program(opt);
+        std::string bytes;
+        for (const auto& seg : img.segments) {
+            bytes.append(reinterpret_cast<const char*>(seg.bytes.data()),
+                         seg.bytes.size());
+        }
+        images.insert(bytes);
+    }
+    EXPECT_EQ(images.size(), 6u);
+}
+
+TEST(RandProg, FpKnobEmitsCompareAndConvertOps) {
+    // Aggregated over a few seeds the FP mix must include the PR 4
+    // additions: compares (feq/flt/fle) and converts/moves.
+    bool saw_compare = false, saw_convert = false, saw_fp_mem = false;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        workloads::randprog_options opt;
+        opt.seed = seed;
+        opt.with_fp = true;
+        for (const auto& di : decode_text(workloads::make_random_program(opt))) {
+            switch (di.code) {
+                case isa::op::feq:
+                case isa::op::flt_f:
+                case isa::op::fle: saw_compare = true; break;
+                case isa::op::fcvt_w_s:
+                case isa::op::fcvt_s_w:
+                case isa::op::fmv_x_w:
+                case isa::op::fmv_w_x: saw_convert = true; break;
+                case isa::op::flw:
+                case isa::op::fsw: saw_fp_mem = true; break;
+                default: break;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_compare);
+    EXPECT_TRUE(saw_convert);
+    EXPECT_TRUE(saw_fp_mem);
+}
+
+TEST(RandProg, HazardKnobsChangeTheEmittedProgram) {
+    workloads::randprog_options base;
+    base.seed = 5;
+    auto load_use = base;
+    load_use.hazard_load_use = true;
+    auto branchy = base;
+    branchy.hazard_branch_dense = true;
+
+    const auto count = [](const isa::program_image& img, auto pred) {
+        std::size_t n = 0;
+        for (const auto& di : decode_text(img))
+            if (pred(di.code)) ++n;
+        return n;
+    };
+    const auto base_img = workloads::make_random_program(base);
+    const auto lu_img = workloads::make_random_program(load_use);
+    const auto br_img = workloads::make_random_program(branchy);
+
+    EXPECT_GT(count(lu_img, isa::is_load), count(base_img, isa::is_load))
+        << "load-use hazard blocks should raise the load density";
+    EXPECT_GT(count(br_img, isa::is_branch), count(base_img, isa::is_branch))
+        << "branch-dense hazard blocks should raise the branch density";
+}
+
+// ---- shared CLI surface (workloads/randprog_cli) ----
+
+workloads::randprog_options parse_tokens(std::vector<std::string> tokens) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("test"));
+    for (auto& t : tokens) argv.push_back(t.data());
+    workloads::randprog_options opt;
+    for (int i = 1; i < static_cast<int>(argv.size()); ++i) {
+        EXPECT_TRUE(workloads::parse_randprog_flag(
+            static_cast<int>(argv.size()), argv.data(), i, opt))
+            << "unrecognized token " << argv[i];
+    }
+    return opt;
+}
+
+TEST(RandProgCli, CanonicalFlagStringRoundTrips) {
+    workloads::randprog_options opt;
+    opt.blocks = 24;
+    opt.block_len = 3;
+    opt.loop_count = 9;
+    opt.with_fp = true;
+    opt.with_mul_div = false;
+    opt.hazard_load_use = true;
+    opt.hazard_branch_dense = true;
+
+    const auto flags = workloads::randprog_flags(opt);
+    ASSERT_FALSE(flags.empty());
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos < flags.size()) {
+        const auto sp = flags.find(' ', pos);
+        tokens.push_back(flags.substr(pos, sp - pos));
+        if (sp == std::string::npos) break;
+        pos = sp + 1;
+    }
+    EXPECT_EQ(parse_tokens(tokens), opt);
+}
+
+TEST(RandProgCli, DefaultOptionsRenderToNoFlags) {
+    EXPECT_TRUE(workloads::randprog_flags(workloads::randprog_options{}).empty());
+}
+
+TEST(RandProgCli, RejectsGarbageValues) {
+    workloads::randprog_options opt;
+    char prog[] = "test";
+    char flag[] = "--rand-blocks";
+    char bad[] = "zero";
+    char* argv[] = {prog, flag, bad};
+    int i = 1;
+    EXPECT_THROW(workloads::parse_randprog_flag(3, argv, i, opt),
+                 std::invalid_argument);
+    char missing[] = "--rand-block-len";
+    char* argv2[] = {prog, missing};
+    i = 1;
+    EXPECT_THROW(workloads::parse_randprog_flag(2, argv2, i, opt),
+                 std::invalid_argument);
+}
+
+TEST(RandProgCli, LeavesUnknownFlagsAlone) {
+    workloads::randprog_options opt;
+    const workloads::randprog_options before = opt;
+    char prog[] = "test";
+    char other[] = "--engine";
+    char* argv[] = {prog, other};
+    int i = 1;
+    EXPECT_FALSE(workloads::parse_randprog_flag(2, argv, i, opt));
+    EXPECT_EQ(i, 1);
+    EXPECT_EQ(opt, before);
+}
+
+}  // namespace

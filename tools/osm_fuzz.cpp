@@ -1,0 +1,299 @@
+// osm-fuzz: differential fuzzing of every registered execution engine.
+//
+//   osm-fuzz campaign [--seeds LO:HI] [--engines a,b,...|all] [--matrix quick|full]
+//            [--max-cycles N] [--no-minimize] [--save DIR] [--replay DIR] [--json]
+//            [--no-forwarding] [--no-decode-cache]
+//   osm-fuzz minimize --rand SEED [--rand-* flags] --engines a,b [--save DIR]
+//            [--name NAME] [--max-cycles N] [--json]
+//   osm-fuzz minimize prog.s --engines a,b [--save DIR] [--name NAME] [--json]
+//   osm-fuzz replay prog.s|DIR [--engines a,b,...] [--json]
+//
+// A campaign sweeps the feature matrix over the seed range, diffing every
+// generated program across the engines; `minimize` delta-debugs one
+// divergent program to a minimal reproducer; `replay` re-runs committed
+// corpus artifacts (tests/corpus/).  With --json, stdout carries exactly
+// one deterministic JSON summary (byte-identical across repeat runs).
+//
+// Exit codes: 0 = no divergence, 2 = usage, 4 = divergence found
+// (campaign/replay) or, for minimize, 1 when the input does not diverge;
+// 1 also covers setup errors (unknown engine, unreadable input).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimize.hpp"
+#include "isa/assembler.hpp"
+#include "sim/registry.hpp"
+#include "workloads/randprog.hpp"
+#include "workloads/randprog_cli.hpp"
+
+using namespace osm;
+
+namespace {
+
+constexpr int exit_ok = 0;
+constexpr int exit_setup = 1;
+constexpr int exit_usage = 2;
+constexpr int exit_divergence = 4;
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: osm-fuzz campaign [--seeds LO:HI] [--engines LIST|all]\n"
+                 "                [--matrix quick|full] [--max-cycles N] [--no-minimize]\n"
+                 "                [--save DIR] [--replay DIR] [--json]\n"
+                 "                [--no-forwarding] [--no-decode-cache]\n"
+                 "       osm-fuzz minimize (--rand SEED [--rand-* flags] | prog.s)\n"
+                 "                [--engines a,b] [--save DIR] [--name NAME] [--json]\n"
+                 "       osm-fuzz replay prog.s|DIR [--engines LIST] [--json]\n"
+                 "generator flags (shared with osm-run --rand):\n%s",
+                 workloads::randprog_flags_help().c_str());
+    std::exit(exit_usage);
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        if (!name.empty()) out.push_back(name);
+    }
+    return out;
+}
+
+struct cli {
+    std::string command;
+    std::string input;              // minimize/replay positional argument
+    std::uint64_t seed_lo = 1, seed_hi = 100;
+    std::uint64_t rand_seed = 0;
+    bool have_rand = false;
+    std::vector<std::string> engines;
+    std::uint64_t max_cycles = 50'000'000;
+    bool quick = false;
+    bool minimize = true;
+    bool json = false;
+    std::string save_dir;
+    std::string replay_dir;
+    std::string name;
+    workloads::randprog_options rand_opt;
+    sim::engine_config config;
+};
+
+cli parse_args(int argc, char** argv) {
+    cli c;
+    int i = 1;
+    if (i < argc) {
+        std::string cmd = argv[i];
+        // Accept both subcommand and --flag spellings.
+        if (!cmd.empty() && cmd.rfind("--", 0) == 0) cmd = cmd.substr(2);
+        if (cmd == "campaign" || cmd == "minimize" || cmd == "replay") {
+            c.command = cmd;
+            ++i;
+        }
+    }
+    if (c.command.empty()) usage();
+
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (workloads::parse_randprog_flag(argc, argv, i, c.rand_opt)) continue;
+        if (arg == "--seeds" && i + 1 < argc) {
+            const std::string range = argv[++i];
+            const auto colon = range.find(':');
+            if (colon == std::string::npos) usage();
+            c.seed_lo = std::strtoull(range.substr(0, colon).c_str(), nullptr, 0);
+            c.seed_hi = std::strtoull(range.substr(colon + 1).c_str(), nullptr, 0);
+            if (c.seed_hi < c.seed_lo) usage();
+        } else if (arg == "--engines" && i + 1 < argc) {
+            const std::string list = argv[++i];
+            c.engines = (list == "all") ? std::vector<std::string>{} : split_names(list);
+        } else if (arg == "--matrix" && i + 1 < argc) {
+            const std::string m = argv[++i];
+            if (m == "quick") c.quick = true;
+            else if (m == "full") c.quick = false;
+            else usage();
+        } else if (arg == "--max-cycles" && i + 1 < argc) {
+            c.max_cycles = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--rand" && i + 1 < argc) {
+            c.rand_seed = std::strtoull(argv[++i], nullptr, 0);
+            c.have_rand = true;
+        } else if (arg == "--save" && i + 1 < argc) {
+            c.save_dir = argv[++i];
+        } else if (arg == "--replay" && i + 1 < argc) {
+            c.replay_dir = argv[++i];
+        } else if (arg == "--name" && i + 1 < argc) {
+            c.name = argv[++i];
+        } else if (arg == "--no-minimize") {
+            c.minimize = false;
+        } else if (arg == "--json") {
+            c.json = true;
+        } else if (arg == "--no-forwarding") {
+            c.config.forwarding = false;
+        } else if (arg == "--no-decode-cache") {
+            c.config.decode_cache = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else if (c.input.empty()) {
+            c.input = arg;
+        } else {
+            usage();
+        }
+    }
+    return c;
+}
+
+int run_campaign_cmd(const cli& c) {
+    fuzz::campaign_options opt;
+    opt.seed_lo = c.seed_lo;
+    opt.seed_hi = c.seed_hi;
+    opt.engines = c.engines;
+    opt.config = c.config;
+    opt.max_cycles = c.max_cycles;
+    opt.quick = c.quick;
+    opt.minimize = c.minimize;
+    opt.save_dir = c.save_dir;
+    opt.replay_dir = c.replay_dir;
+    const auto res = fuzz::run_campaign(opt);
+
+    FILE* human = c.json ? stderr : stdout;
+    std::fprintf(human,
+                 "campaign: %llu programs (%llu corpus replays), %llu engine runs, "
+                 "%llu instructions, %zu divergence(s)\n",
+                 static_cast<unsigned long long>(res.programs),
+                 static_cast<unsigned long long>(res.corpus_replayed),
+                 static_cast<unsigned long long>(res.engine_runs),
+                 static_cast<unsigned long long>(res.instructions),
+                 res.findings.size());
+    for (const auto& f : res.findings) {
+        std::fprintf(human, "  seed %llu row %s: %s\n",
+                     static_cast<unsigned long long>(f.seed), f.row.c_str(),
+                     f.first.to_string().c_str());
+        if (!f.artifact.empty()) {
+            std::fprintf(human, "    reproducer: %s\n", f.artifact.c_str());
+        }
+    }
+    if (c.json) std::printf("%s", res.summary().to_json().c_str());
+    return res.ok() ? exit_ok : exit_divergence;
+}
+
+int run_minimize_cmd(const cli& c) {
+    if (c.have_rand == !c.input.empty()) usage();  // exactly one input source
+    isa::program_image img;
+    workloads::randprog_options po = c.rand_opt;
+    if (c.have_rand) {
+        po.seed = c.rand_seed;
+        img = workloads::make_random_program(po);
+    } else {
+        std::ifstream in(c.input);
+        if (!in) {
+            std::fprintf(stderr, "osm-fuzz: cannot open %s\n", c.input.c_str());
+            return exit_setup;
+        }
+        std::ostringstream src;
+        src << in.rdbuf();
+        img = isa::assemble(src.str());
+    }
+
+    fuzz::minimize_options mo;
+    mo.engines = c.engines.empty() ? sim::engine_registry::instance().names()
+                                   : c.engines;
+    mo.config = c.config;
+    mo.max_cycles = c.max_cycles;
+    const auto res = fuzz::minimize_divergence(img, mo);
+
+    FILE* human = c.json ? stderr : stdout;
+    if (!res.was_divergent) {
+        std::fprintf(human, "minimize: input does not diverge (%u probes)\n",
+                     res.probes);
+        return exit_setup;
+    }
+    std::fprintf(human, "minimize: %zu -> %zu instructions in %u probes\n",
+                 res.original_words, res.minimized_words, res.probes);
+    std::fprintf(human, "minimize: %s\n", res.first.to_string().c_str());
+
+    std::string artifact;
+    if (!c.save_dir.empty()) {
+        fuzz::reproducer_meta meta;
+        meta.name = !c.name.empty()
+                        ? c.name
+                        : (c.have_rand ? "min_seed_" + std::to_string(c.rand_seed)
+                                       : std::filesystem::path(c.input).stem().string() +
+                                             "_min");
+        meta.kind = "fuzz";
+        meta.engines = res.first.reference + "," + res.first.engine;
+        meta.seed = c.have_rand ? c.rand_seed : 0;
+        meta.rand_options = c.have_rand ? workloads::randprog_flags(po) : "";
+        meta.max_cycles = c.max_cycles;
+        meta.divergence = res.first.to_string();
+        artifact = fuzz::save_reproducer(c.save_dir, meta, res.image);
+        std::fprintf(human, "minimize: saved %s\n", artifact.c_str());
+    } else {
+        std::fprintf(human, "%s", fuzz::image_to_asm(res.image).c_str());
+    }
+    if (c.json) {
+        stats::report rep;
+        rep.put("minimize", "original_words",
+                static_cast<std::uint64_t>(res.original_words));
+        rep.put("minimize", "minimized_words",
+                static_cast<std::uint64_t>(res.minimized_words));
+        rep.put("minimize", "probes", static_cast<std::uint64_t>(res.probes));
+        rep.put("minimize", "divergence", res.first.to_string());
+        if (!artifact.empty()) rep.put("minimize", "artifact", artifact);
+        std::printf("%s", rep.to_json().c_str());
+    }
+    return exit_ok;
+}
+
+int run_replay_cmd(const cli& c) {
+    if (c.input.empty()) usage();
+    std::vector<std::string> paths;
+    if (std::filesystem::is_directory(c.input)) {
+        paths = fuzz::list_corpus(c.input);
+        if (paths.empty()) {
+            std::fprintf(stderr, "osm-fuzz: no .s artifacts under %s\n",
+                         c.input.c_str());
+            return exit_setup;
+        }
+    } else {
+        paths.push_back(c.input);
+    }
+
+    FILE* human = c.json ? stderr : stdout;
+    stats::report rep;
+    std::uint64_t failures = 0;
+    for (const auto& path : paths) {
+        const auto rr = fuzz::replay_artifact(path, c.engines, c.config);
+        const bool ok = rr.ok();
+        failures += ok ? 0 : 1;
+        std::fprintf(human, "replay %-40s %s\n", path.c_str(),
+                     ok ? "ok" : "DIVERGED");
+        for (const auto& d : rr.diff.divergences) {
+            std::fprintf(human, "  %s\n", d.to_string().c_str());
+        }
+        rep.put("replay", rr.meta.name.empty() ? path : rr.meta.name,
+                ok ? std::string("ok") : rr.diff.divergences.front().to_string());
+    }
+    rep.put("summary", "artifacts", static_cast<std::uint64_t>(paths.size()));
+    rep.put("summary", "failures", failures);
+    if (c.json) std::printf("%s", rep.to_json().c_str());
+    return failures == 0 ? exit_ok : exit_divergence;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const cli c = parse_args(argc, argv);
+        if (c.command == "campaign") return run_campaign_cmd(c);
+        if (c.command == "minimize") return run_minimize_cmd(c);
+        return run_replay_cmd(c);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "osm-fuzz: %s\n", e.what());
+        return exit_setup;
+    }
+}

@@ -28,6 +28,7 @@
 #include "sim/registry.hpp"
 #include "trace/trace.hpp"
 #include "workloads/randprog.hpp"
+#include "workloads/randprog_cli.hpp"
 
 using namespace osm;
 
@@ -39,7 +40,9 @@ void usage() {
                  "               [--max-cycles N] [--trace] [--regs] [--json]\n"
                  "               [--no-forwarding] [--no-decode-cache]\n"
                  "       osm-run --rand SEED [options]   run a generated random program\n"
-                 "       osm-run --list-engines\n");
+                 "       osm-run --list-engines\n"
+                 "generator flags (with --rand, shared with osm-fuzz):\n%s",
+                 workloads::randprog_flags_help().c_str());
     std::exit(2);
 }
 
@@ -113,9 +116,16 @@ int main(int argc, char** argv) {
     bool want_regs = false;
     bool want_json = false;
     sim::engine_config cfg;
+    workloads::randprog_options rand_opt;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        try {
+            if (workloads::parse_randprog_flag(argc, argv, i, rand_opt)) continue;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "osm-run: %s\n", e.what());
+            return 2;
+        }
         if (arg == "--engine" && i + 1 < argc) engine = argv[++i];
         else if (arg == "--diff" && i + 1 < argc) diff_spec = argv[++i];
         else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::strtoull(argv[++i], nullptr, 0);
@@ -135,9 +145,8 @@ int main(int argc, char** argv) {
     isa::program_image img;
     try {
         if (have_rand) {
-            workloads::randprog_options opt;
-            opt.seed = rand_seed;
-            img = workloads::make_random_program(opt);
+            rand_opt.seed = rand_seed;
+            img = workloads::make_random_program(rand_opt);
         } else if (input.size() > 4 && input.substr(input.size() - 4) == ".vri") {
             img = isa::load_image(input);
         } else {
