@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden checkpoints under tests/golden/.
+#
+# Rule (shared with tests/checkpoint_test.cpp): each example is run to
+# completion on the ISS to learn its total retirement count T, then a fresh
+# ISS run is checkpointed at retirement T/2.  The checkpoint format is
+# deterministic, so CheckpointGolden.CommittedCheckpointsAreByteStable can
+# regenerate and byte-compare these files on every ctest run; only
+# re-commit them after a deliberate format or ISA change.
+#
+# usage: scripts/regen_golden_checkpoints.sh [BUILD_DIR]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+run="$build/tools/osm-run"
+[ -x "$run" ] || { echo "error: $run not built (cmake --build $build)"; exit 1; }
+
+mkdir -p tests/golden
+for name in sum100 fib sieve fp_dot; do
+    src="examples/asm/$name.s"
+    total=$("$run" "$src" --engine iss 2>/dev/null \
+                | sed -n 's/.*retired=\([0-9]*\).*/\1/p' | tail -1)
+    [ -n "$total" ] || { echo "error: could not measure $src"; exit 1; }
+    "$run" "$src" --engine iss --save-at $((total / 2)) \
+           --save "tests/golden/$name.ckpt" >/dev/null
+    echo "tests/golden/$name.ckpt (save at $((total / 2))/$total retirements)"
+done

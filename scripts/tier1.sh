@@ -15,9 +15,14 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 cmake -B build-asan -S . -DOSM_SANITIZE=ON
-cmake --build build-asan -j --target de_test common_test osm-run osm-fuzz
+cmake --build build-asan -j --target de_test common_test checkpoint_test osm-run osm-fuzz
 ./build-asan/tests/de_test
 ./build-asan/tests/common_test
+
+# Checkpoint suite under the sanitizers: round-trip property, golden
+# byte-stability, lockstep bisection (ctest -L checkpoint discovers the
+# already-built checkpoint_test binary only).
+ctest --test-dir build-asan -L checkpoint --output-on-failure -j
 
 # Differential smoke: every engine in the registry must agree on a random
 # program while ASan+UBSan watch the models themselves.
@@ -29,4 +34,21 @@ cmake --build build-asan -j --target de_test common_test osm-run osm-fuzz
 ./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
     --max-cycles 20000000 --replay tests/corpus
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test + all-engine diff + fuzz smoke)"
+# Sanitized checkpoint round-trip smoke on a timing engine: a run that
+# saves mid-flight and a run restored from that checkpoint must reach the
+# same architectural end state as an uninterrupted run.  pc=/cycles= lines
+# are dropped: an architectural-level restore refills the pipeline, so
+# those two legitimately differ.
+ck=$(mktemp -d)
+trap 'rm -rf "$ck"' EXIT
+./build-asan/tools/osm-run examples/asm/sum100.s --engine p750 \
+    --save-at 150 --save "$ck/mid.ckpt" --dump-arch >"$ck/straight.txt"
+./build-asan/tools/osm-run --restore "$ck/mid.ckpt" --engine p750 \
+    --dump-arch >"$ck/resumed.txt"
+if ! diff <(grep -v -e '^pc=' -e '^cycles=' -e '^\[' "$ck/straight.txt") \
+          <(grep -v -e '^pc=' -e '^cycles=' -e '^\[' "$ck/resumed.txt"); then
+    echo "tier1: FAIL checkpoint round-trip diverged" >&2
+    exit 1
+fi
+
+echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint suite + all-engine diff + fuzz smoke + checkpoint round-trip)"

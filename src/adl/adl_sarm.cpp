@@ -139,6 +139,16 @@ void adl_sarm_model::load(const isa::program_image& img) {
     for (auto& o : ops_) o->hard_reset();
 }
 
+void adl_sarm_model::restore_arch(const isa::arch_state& st, const std::string& console) {
+    for (unsigned r = 0; r < 32; ++r) {
+        m_r_->arch_write(r, st.gpr[r]);
+        m_fr_->arch_write(r, st.fpr[r]);
+    }
+    fetch_pc_ = st.pc;
+    halted_ = st.halted;
+    host_.seed(console);
+}
+
 void adl_sarm_model::on_cycle() {
     m_f_->tick();
     m_d_->tick();

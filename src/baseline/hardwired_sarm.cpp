@@ -39,6 +39,14 @@ void hardwired_sarm::load(const isa::program_image& img) {
     dcode_.reset_stats();
 }
 
+void hardwired_sarm::restore_arch(const isa::arch_state& st, const std::string& console) {
+    for (unsigned r = 0; r < isa::num_gprs; ++r) gpr_[r] = st.gpr[r];
+    for (unsigned r = 0; r < isa::num_fprs; ++r) fpr_[r] = st.fpr[r];
+    fetch_pc_ = st.pc;
+    halted_ = st.halted;
+    host_.seed(console);
+}
+
 bool hardwired_sarm::operand_ready(unsigned reg, bool fpr) const {
     // A source is blocked by any in-flight producer of the same register;
     // with forwarding, a producer whose value is already computed supplies

@@ -32,6 +32,9 @@ public:
     hardwired_sarm(const sarm::sarm_config& cfg, mem::main_memory& memory);
 
     void load(const isa::program_image& img);
+    /// Adopt checkpointed architectural state (call after load()): registers,
+    /// fetch pc, halt flag and console; pipeline latches stay empty.
+    void restore_arch(const isa::arch_state& st, const std::string& console);
     /// Simulate until halt or `max_cycles`; returns cycles executed.
     std::uint64_t run(std::uint64_t max_cycles = ~0ull);
 

@@ -646,6 +646,14 @@ void port_ppc::load(const isa::program_image& img) {
     dcode_.reset_stats();
 }
 
+void port_ppc::restore_arch(const isa::arch_state& st, const std::string& console) {
+    for (unsigned r = 0; r < isa::num_gprs; ++r) arch_gpr_[r] = st.gpr[r];
+    for (unsigned r = 0; r < isa::num_fprs; ++r) arch_fpr_[r] = st.fpr[r];
+    fetch_pc_ = st.pc;
+    halted_ = st.halted;
+    host_.seed(console);
+}
+
 std::uint64_t port_ppc::run(std::uint64_t max_cycles) {
     const std::uint64_t start = stats_.cycles;
     clk_->start();

@@ -60,6 +60,9 @@ public:
     ~port_ppc();
 
     void load(const isa::program_image& img);
+    /// Adopt checkpointed architectural state (call after load()): registers,
+    /// fetch pc, halt flag and console; queues/renames/stores stay reset.
+    void restore_arch(const isa::arch_state& st, const std::string& console);
     std::uint64_t run(std::uint64_t max_cycles = ~0ull);
 
     bool halted() const noexcept { return halted_; }

@@ -154,12 +154,30 @@ minimize_result minimize_divergence(const isa::program_image& img,
     std::vector<winst> cur = decode_text(*text);
     res.original_words = cur.size();
 
+    // Lockstep re-validation: compare the reference against the pinned
+    // engine at checkpoint boundaries so failing candidates are rejected
+    // at the first mismatch instead of running to completion.
+    sim::lockstep_options lopt;
+    lopt.reference = opt.engines.front();
+    lopt.config = opt.config;
+    lopt.interval = opt.checkpoint_interval;
+    lopt.max_retired = opt.max_cycles;
+    lopt.locate = false;
+
     // The candidate still fails iff the *same* engine diverges again.
     const auto still_fails = [&](const std::vector<winst>& list) {
         if (res.probes >= opt.max_probes) return false;
         ++res.probes;
         try {
             const auto candidate = rebuild(img, *text, list);
+            if (opt.checkpoint_revalidate) {
+                const auto r = sim::lockstep_diff(pinned, candidate, lopt);
+                if (r.ran && r.diverged) {
+                    res.first = r.div;
+                    return true;
+                }
+                return false;
+            }
             const auto d = sim::diff_engines(opt.engines, candidate, dopt);
             for (const auto& div : d.divergences) {
                 if (div.engine == pinned) {
@@ -207,6 +225,20 @@ minimize_result minimize_divergence(const isa::program_image& img,
 
     res.image = rebuild(img, *text, cur);
     res.minimized_words = cur.size();
+
+    // With checkpoints available, pin down *where* the minimized program
+    // first diverges: bisect via restore from the last-agreeing boundary.
+    if (opt.checkpoint_revalidate) {
+        res.used_checkpoints = true;
+        sim::lockstep_options locate = lopt;
+        locate.locate = true;
+        const auto r = sim::lockstep_diff(pinned, res.image, locate);
+        if (r.ran && r.diverged) {
+            res.first = r.div;
+            res.located = r.located;
+            res.first_divergent_retired = r.first_divergent_retired;
+        }
+    }
     return res;
 }
 

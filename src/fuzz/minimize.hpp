@@ -28,6 +28,15 @@ struct minimize_options {
     std::uint64_t max_cycles = 5'000'000;
     /// Hard cap on predicate evaluations (each runs every engine once).
     unsigned max_probes = 4000;
+    /// Re-validate candidates in checkpointed lockstep (reference vs the
+    /// pinned divergent engine) instead of full end-state re-runs: a failing
+    /// candidate is rejected at the first mismatching compare boundary, so
+    /// it never runs to completion.  The verdict is unchanged for
+    /// divergences that persist to the end of the run (the minimizer's
+    /// contract), so the minimized program is the same either way.
+    bool checkpoint_revalidate = false;
+    /// Retirements between lockstep compare points.
+    std::uint64_t checkpoint_interval = 256;
 };
 
 struct minimize_result {
@@ -39,6 +48,11 @@ struct minimize_result {
     std::size_t minimized_words = 0;   ///< text instructions after
     unsigned probes = 0;               ///< predicate evaluations spent
     sim::divergence first;             ///< divergence of the minimized program
+    bool used_checkpoints = false;     ///< lockstep re-validation was active
+    /// First divergent retirement of the minimized program (bisected via
+    /// checkpoint restore); valid when `located`.
+    bool located = false;
+    std::uint64_t first_divergent_retired = 0;
 };
 
 /// Shrink `img` while `opt.engines` keep diverging.  The divergent engine

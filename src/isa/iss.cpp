@@ -35,6 +35,15 @@ void iss::load(const program_image& img) {
     dcode_.reset_stats();
 }
 
+void iss::restore_arch(const arch_state& st, std::uint64_t instret,
+                       const std::string& console) {
+    state_ = st;
+    instret_ = instret;
+    host_.seed(console);
+    dcode_.invalidate_all();
+    dcode_.reset_stats();
+}
+
 bool iss::step() {
     if (state_.halted) return false;
     // The word is always fetched from memory, even on a cache hit: the
@@ -96,12 +105,12 @@ stats::report iss::make_report() const {
 }
 
 std::uint64_t iss::run(std::uint64_t max_steps) {
+    const std::uint64_t before = instret_;
     std::uint64_t n = 0;
     while (n < max_steps && step()) ++n;
-    if (n < max_steps && !state_.halted) {
-        // step() returned false on the halting instruction itself.
-    }
-    return instret_;
+    // step() returns false on the halting instruction itself but still
+    // counts it, so report retirements, not loop iterations.
+    return instret_ - before;
 }
 
 }  // namespace osm::isa

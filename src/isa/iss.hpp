@@ -27,6 +27,9 @@ public:
 
     const std::string& console() const noexcept { return console_; }
     void clear() { console_.clear(); }
+    /// Replace the stream wholesale (checkpoint restore: the restored
+    /// machine continues appending after the checkpointed output).
+    void seed(std::string s) { console_ = std::move(s); }
 
 private:
     std::string console_;
@@ -41,6 +44,13 @@ public:
     /// Load `img` into memory and point pc at its entry.
     void load(const program_image& img);
 
+    /// Adopt a previously captured architectural state: registers, pc and
+    /// halt flag from `st`, retired counter `instret`, console stream
+    /// `console`.  Memory is restored separately by the caller (the ISS
+    /// does not own its memory).  Decode-cache contents and counters reset.
+    void restore_arch(const arch_state& st, std::uint64_t instret,
+                      const std::string& console);
+
     arch_state& state() noexcept { return state_; }
     const arch_state& state() const noexcept { return state_; }
     syscall_host& host() noexcept { return host_; }
@@ -54,7 +64,8 @@ public:
     /// instruction trap).
     bool step();
 
-    /// Run until halt or `max_steps`; returns instructions executed.
+    /// Run until halt or `max_steps`; returns instructions executed by
+    /// this call (not the lifetime total — see instret()).
     std::uint64_t run(std::uint64_t max_steps = ~0ull);
 
     /// Toggle the decoded-instruction cache (architecturally invisible;

@@ -1,5 +1,6 @@
 #include "mem/main_memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace osm::mem {
@@ -88,6 +89,19 @@ void main_memory::write32(std::uint32_t addr, std::uint32_t value) {
         return;
     }
     memory_if::write32(addr, value);
+}
+
+std::vector<std::uint32_t> main_memory::resident_page_bases() const {
+    std::vector<std::uint32_t> bases;
+    bases.reserve(pages_.size());
+    for (const auto& [key, p] : pages_) bases.push_back(key << page_bits);
+    std::sort(bases.begin(), bases.end());
+    return bases;
+}
+
+const std::uint8_t* main_memory::page_data(std::uint32_t addr) const {
+    const page* p = peek_page(addr);
+    return p ? p->data() : nullptr;
 }
 
 void main_memory::load(std::uint32_t addr, const std::uint8_t* data, std::size_t n) {

@@ -33,6 +33,15 @@ public:
     /// Number of pages materialized so far.
     std::size_t resident_pages() const noexcept { return pages_.size(); }
 
+    /// Base addresses of all resident pages, ascending.  Iteration over the
+    /// underlying hash map is order-unstable; serializers (checkpoints)
+    /// must go through this to stay byte-deterministic.
+    std::vector<std::uint32_t> resident_page_bases() const;
+
+    /// Raw bytes of the resident page containing `addr` (page_size bytes),
+    /// or nullptr when the page has never been touched (reads as zero).
+    const std::uint8_t* page_data(std::uint32_t addr) const;
+
     /// Release all pages (memory reads as zero again).
     void clear() { pages_.clear(); }
 

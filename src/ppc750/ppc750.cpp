@@ -227,6 +227,16 @@ void p750_model::load(const isa::program_image& img) {
     for (auto& o : ops_) o->hard_reset();
 }
 
+void p750_model::restore_arch(const isa::arch_state& st, const std::string& console) {
+    for (unsigned r = 0; r < 32; ++r) {
+        m_gpr_.arch_write(r, st.gpr[r]);
+        m_fpr_.arch_write(r, st.fpr[r]);
+    }
+    fetch_pc_ = st.pc;
+    halted_ = st.halted;
+    host_.seed(console);
+}
+
 void p750_model::on_cycle() {
     m_fq_.tick();
     m_cq_.tick();

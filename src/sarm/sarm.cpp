@@ -164,6 +164,16 @@ void sarm_model::load(const isa::program_image& img) {
     for (auto& o : ops_) o->hard_reset();
 }
 
+void sarm_model::restore_arch(const isa::arch_state& st, const std::string& console) {
+    for (unsigned r = 0; r < 32; ++r) {
+        m_r_.arch_write(r, st.gpr[r]);
+        m_fr_.arch_write(r, st.fpr[r]);
+    }
+    fetch_pc_ = st.pc;
+    halted_ = st.halted;
+    host_.seed(console);
+}
+
 void sarm_model::on_cycle() {
     if (cfg_.write_buffer) wbuf_.tick();
     if (m_f_.hold_remaining() > 0) ++stats_.fetch_hold_cycles;

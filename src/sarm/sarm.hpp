@@ -98,6 +98,11 @@ public:
     /// Load a program and reset all machine state.
     void load(const isa::program_image& img);
 
+    /// Adopt checkpointed architectural state.  Call after load() (which
+    /// resets the pipeline); this overwrites registers, fetch pc, halt flag
+    /// and console so execution resumes from the quiesced boundary.
+    void restore_arch(const isa::arch_state& st, const std::string& console);
+
     /// Simulate until halt or `max_cycles`.  Returns cycles executed.
     std::uint64_t run(std::uint64_t max_cycles = ~0ull);
 

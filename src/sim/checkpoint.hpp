@@ -1,0 +1,96 @@
+// Versioned, deterministic simulator snapshots.
+//
+// The paper's determinism argument (the director's sequential scheduling,
+// Fig. 3, makes every control step reproducible) is what turns "simulator
+// state" into a well-defined serializable object.  This module defines that
+// object: architectural state (registers, pc, halt flag), the sparse memory
+// image, console output and retirement/cycle counters, plus an opaque
+// engine-private blob for engines that can resume bit-exactly.
+//
+// Determinism contract: serialize() is a pure function of the checkpoint
+// value — field-by-field little-endian writes (no struct memcpy, so no
+// padding bytes), memory pages sorted by base address with trailing zeros
+// trimmed and all-zero pages omitted, and an fnv1a-64 checksum trailer.
+// Saving the same machine state twice yields byte-identical files; the
+// golden regressions in tests/golden/ rely on this.
+//
+// Two fidelity levels (checkpoint_level):
+//   exact         — restore resumes bit-exactly, counters included (ISS);
+//   architectural — restore resumes from the quiesced retirement boundary:
+//                   registers/memory/console/retired match, but a timing
+//                   engine re-fills its pipeline so post-restore cycle
+//                   counts are not comparable to an uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/arch.hpp"
+#include "mem/main_memory.hpp"
+
+namespace osm::sim {
+
+/// What a restored engine guarantees relative to an uninterrupted run.
+enum class checkpoint_level : std::uint8_t {
+    none = 0,           ///< engine cannot checkpoint
+    architectural = 1,  ///< registers/memory/console/retired resume exactly
+    exact = 2,          ///< bit-exact resume including cycle counters
+};
+
+const char* to_string(checkpoint_level level);
+
+/// Malformed or corrupt checkpoint data.
+struct checkpoint_error : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// One resident memory page delta (trailing zeros trimmed; never empty).
+struct checkpoint_page {
+    std::uint32_t base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/// A complete snapshot of one engine's state.
+struct checkpoint {
+    static constexpr std::uint32_t format_version = 1;
+
+    std::string engine;  ///< producer's registry name ("iss", "sarm", ...)
+    checkpoint_level level = checkpoint_level::architectural;
+    isa::arch_state arch{};
+    std::uint64_t retired = 0;
+    std::uint64_t cycles = 0;
+    std::string console;
+    std::vector<checkpoint_page> pages;  ///< ascending base address
+    std::vector<std::uint8_t> micro;     ///< engine-private blob (exact level)
+};
+
+/// Deterministic binary encoding (see header comment for the contract).
+std::vector<std::uint8_t> serialize(const checkpoint& ck);
+
+/// Decode; throws checkpoint_error on bad magic/version/truncation/checksum.
+checkpoint deserialize(const std::uint8_t* data, std::size_t n);
+checkpoint deserialize(const std::vector<std::uint8_t>& buf);
+
+/// Human-readable JSON summary (field values, page/byte counts, checksum) —
+/// written next to the binary as `<path>.json`.  Deterministic like the
+/// binary encoding.
+std::string sidecar_json(const checkpoint& ck);
+
+/// Write `<path>` (binary) and `<path>.json` (sidecar).  Throws
+/// checkpoint_error on I/O failure.
+void save_checkpoint_file(const checkpoint& ck, const std::string& path);
+
+/// Read and validate a binary checkpoint file.
+checkpoint load_checkpoint_file(const std::string& path);
+
+/// Deterministic snapshot of a sparse memory: pages in ascending base
+/// order, trailing zeros trimmed, untouched/all-zero pages omitted.
+std::vector<checkpoint_page> snapshot_memory(const mem::main_memory& m);
+
+/// Load `pages` into `m` (callers clear() first for an exact image).
+void restore_memory(mem::main_memory& m, const std::vector<checkpoint_page>& pages);
+
+}  // namespace osm::sim

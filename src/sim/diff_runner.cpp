@@ -1,7 +1,10 @@
 #include "sim/diff_runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "isa/arch.hpp"
 #include "isa/encoding.hpp"
@@ -124,6 +127,147 @@ diff_result diff_engines(const std::vector<std::string>& names,
         }
     }
     return result;
+}
+
+namespace {
+
+/// Architectural-state compare at equal retirement counts (no cycle/pc
+/// compare: timing legitimately differs, and pipelined fetch pcs run ahead).
+std::optional<divergence> compare_state(const engine& ref, const engine& cand,
+                                        bool compare_fp) {
+    const auto make = [&](std::string kind, unsigned index, std::string expected,
+                          std::string actual) {
+        return divergence{std::string(ref.name()), std::string(cand.name()),
+                          std::move(kind), index, std::move(expected), std::move(actual)};
+    };
+    if (cand.halted() != ref.halted()) {
+        return make("halted", 0, std::to_string(ref.halted()),
+                    std::to_string(cand.halted()));
+    }
+    for (unsigned r = 0; r < isa::num_gprs; ++r) {
+        if (cand.gpr(r) != ref.gpr(r)) {
+            return make("gpr", r, hex32(ref.gpr(r)), hex32(cand.gpr(r)));
+        }
+    }
+    if (compare_fp) {
+        for (unsigned r = 0; r < isa::num_fprs; ++r) {
+            if (cand.fpr(r) != ref.fpr(r)) {
+                return make("fpr", r, hex32(ref.fpr(r)), hex32(cand.fpr(r)));
+            }
+        }
+    }
+    if (cand.console() != ref.console()) {
+        return make("console", 0, printable(ref.console()), printable(cand.console()));
+    }
+    if (cand.retired() != ref.retired()) {
+        return make("retired", 0, std::to_string(ref.retired()),
+                    std::to_string(cand.retired()));
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+lockstep_result lockstep_diff(const std::string& candidate, const isa::program_image& img,
+                              const lockstep_options& opt) {
+    auto& reg = engine_registry::instance();
+    auto ref = reg.create(opt.reference, opt.config);
+    auto cand = reg.create(candidate, opt.config);
+
+    lockstep_result result;
+    const bool fp_program = program_uses_fp(img);
+    if (fp_program && !cand->executes_fp()) {
+        result.skip_reason = "no FP support, program uses FP";
+        return result;
+    }
+    result.ran = true;
+    const bool compare_fp = ref->executes_fp() && cand->executes_fp();
+    // Probes warm-boot both engines from the reference's checkpoint: at an
+    // agreed boundary the architectural states are equal, so one snapshot
+    // serves both, and the (exact-level) reference saves without replay.
+    const bool use_ck = ref->supports_checkpoint() && cand->supports_checkpoint();
+
+    ref->load(img);
+    cand->load(img);
+
+    checkpoint ck_lo;
+    bool have_lo = false;
+    std::uint64_t lo = 0;
+
+    // Advance both engines to a shared retirement boundary >= `target`.
+    // The reference steps exactly, so it absorbs any candidate overshoot
+    // (a dual-retire engine can pass the boundary by one).
+    const auto advance_to = [&](engine& r, engine& c, std::uint64_t target) {
+        r.run_until_retired(target);
+        c.run_until_retired(r.retired());
+        while (c.retired() > r.retired() && !r.halted()) r.run_until_retired(c.retired());
+        return std::max(r.retired(), c.retired());
+    };
+
+    for (;;) {
+        const std::uint64_t boundary = advance_to(*ref, *cand, ref->retired() + opt.interval);
+        ++result.compares;
+        if (auto d = compare_state(*ref, *cand, compare_fp)) {
+            result.diverged = true;
+            result.div = *d;
+            result.final_retired = boundary;
+            if (opt.locate) {
+                std::uint64_t hi = boundary;
+                result.used_checkpoint_bisect = use_ck && have_lo;
+                const auto probe = [&](std::uint64_t n) -> std::pair<std::uint64_t, bool> {
+                    auto rp = reg.create(opt.reference, opt.config);
+                    auto cp = reg.create(candidate, opt.config);
+                    if (result.used_checkpoint_bisect) {
+                        rp->restore_state(ck_lo);
+                        cp->restore_state(ck_lo);
+                        result.restores += 2;
+                    } else {
+                        rp->load(img);
+                        cp->load(img);
+                    }
+                    const std::uint64_t m = advance_to(*rp, *cp, n);
+                    return {m, !compare_state(*rp, *cp, compare_fp).has_value()};
+                };
+                while (hi - lo > 1) {
+                    const std::uint64_t mid = lo + (hi - lo) / 2;
+                    const auto [m, agree] = probe(mid);
+                    if (agree) {
+                        if (m >= hi) {  // overshot the divergent boundary while agreeing
+                            lo = hi - 1;
+                            break;
+                        }
+                        lo = m;
+                    } else {
+                        if (m >= hi) break;  // overshoot: cannot tighten further
+                        hi = m;
+                    }
+                }
+                result.first_divergent_retired = hi;
+                result.located = true;
+            }
+            return result;
+        }
+        if (ref->halted() && cand->halted()) {
+            result.final_retired = boundary;
+            return result;
+        }
+        if (boundary == lo) {  // wedged: no forward progress and no halt
+            result.hit_budget = true;
+            result.final_retired = boundary;
+            return result;
+        }
+        if (boundary >= opt.max_retired) {
+            result.hit_budget = true;
+            result.final_retired = boundary;
+            return result;
+        }
+        lo = boundary;
+        if (opt.locate && use_ck) {
+            ck_lo = ref->save_state();
+            have_lo = true;
+            ++result.checkpoints;
+        }
+    }
 }
 
 }  // namespace osm::sim

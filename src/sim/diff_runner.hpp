@@ -63,4 +63,42 @@ diff_result diff_engines(const std::vector<std::string>& names,
                          const isa::program_image& img,
                          const diff_options& opt = {});
 
+// ---- lockstep mode with checkpointed divergence bisection ------------------
+
+struct lockstep_options {
+    std::string reference = "iss";  ///< should be cheap to checkpoint (exact)
+    engine_config config{};
+    std::uint64_t interval = 256;   ///< retirements between compare points
+    std::uint64_t max_retired = 100'000'000ull;
+    /// On divergence, binary-search the first divergent retirement.  Probes
+    /// restore from the last-agreeing checkpoint when both engines support
+    /// it, and re-run from zero otherwise.
+    bool locate = true;
+};
+
+struct lockstep_result {
+    bool ran = false;  ///< false = skipped (e.g. FP program, integer engine)
+    std::string skip_reason;
+    bool hit_budget = false;  ///< stopped at max_retired without divergence
+    bool diverged = false;
+    divergence div{};  ///< valid when diverged
+    /// Smallest compare boundary whose state mismatches (valid when
+    /// `located`); a dual-retire engine can blur this by one retirement.
+    std::uint64_t first_divergent_retired = 0;
+    bool located = false;
+    bool used_checkpoint_bisect = false;
+    std::uint64_t compares = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t final_retired = 0;
+};
+
+/// Run `candidate` against `opt.reference` in retirement lockstep: advance
+/// both by `interval` retirements, compare architectural state (halt flag,
+/// GPRs, FPRs when both execute FP, console), checkpoint each agreed
+/// boundary, and on mismatch bisect to the first divergent retirement by
+/// restoring the last-agreeing checkpoint instead of re-running from zero.
+lockstep_result lockstep_diff(const std::string& candidate, const isa::program_image& img,
+                              const lockstep_options& opt = {});
+
 }  // namespace osm::sim

@@ -6,6 +6,21 @@ engine::~engine() = default;
 
 stats::report engine::make_report() const { return {}; }
 
+checkpoint engine::save_state() const {
+    throw checkpoint_error(std::string(name()) + " does not support checkpointing");
+}
+
+void engine::restore_state(const checkpoint&) {
+    throw checkpoint_error(std::string(name()) + " does not support checkpointing");
+}
+
+std::uint64_t engine::run_until_retired(std::uint64_t target) {
+    while (!halted() && retired() < target) {
+        if (run(1) == 0 && retired() < target) break;  // wedged: avoid spinning
+    }
+    return retired();
+}
+
 stats::report engine::stats_report() const {
     stats::report r = make_report();
     r.put("engine", "name", std::string(name()));

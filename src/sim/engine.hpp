@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "isa/program.hpp"
+#include "sim/checkpoint.hpp"
 #include "stats/stats.hpp"
 
 namespace osm::core {
@@ -81,6 +82,30 @@ public:
     /// False for engines without an FP register file (the SMT pipeline);
     /// FP programs are skipped / FPRs not compared for them.
     virtual bool executes_fp() const { return true; }
+
+    // ---- checkpoint/restore ----
+    /// What restore_state() guarantees: `exact` resumes bit-exactly
+    /// (counters included), `architectural` resumes from the quiesced
+    /// retirement boundary (registers/memory/console/retired match; a
+    /// timing engine re-fills its pipeline, so cycle counts restart),
+    /// `none` means save/restore throw.
+    virtual checkpoint_level checkpoint_support() const { return checkpoint_level::none; }
+    bool supports_checkpoint() const { return checkpoint_support() != checkpoint_level::none; }
+
+    /// Snapshot the current state.  The engine itself is not disturbed:
+    /// it continues from where it was.  Throws checkpoint_error when
+    /// checkpoint_support() is none.
+    virtual checkpoint save_state() const;
+
+    /// Replace all state with `ck` (engine name need not match: any
+    /// engine can warm-boot from another's architectural checkpoint).
+    /// Throws checkpoint_error when unsupported or `ck` is unusable.
+    virtual void restore_state(const checkpoint& ck);
+
+    /// Step in 1-cycle increments until `retired() >= target` or halt.
+    /// Returns retired() — superscalar engines may overshoot `target` by
+    /// up to their retire bandwidth minus one.
+    std::uint64_t run_until_retired(std::uint64_t target);
 
     /// Uniform statistics report.  Every engine's report carries the same
     /// core keys — engine.name, run.cycles, run.retired, run.ipc,

@@ -6,7 +6,19 @@
 // juggle per-engine memory/config plumbing again.  Adding an eighth
 // engine means writing one more adapter here (or registering one from
 // user code) — see docs/engines.md.
+//
+// Checkpointing: the ISS snapshots directly (level `exact`).  The timing
+// engines snapshot at the quiesced retirement boundary (level
+// `architectural`) via *golden replay*: every engine retires the same
+// architectural trajectory (the repo's differential-test invariant, with
+// syscalls executing at retirement), so a fresh internal ISS replayed to
+// the engine's retired() count reconstructs its registers, memory and
+// console without having to drain or decode in-flight pipeline state
+// (speculative stores, half-filled latches).  Restoring re-emplaces the
+// model so caches, queues and kernels start pristine, then seeds the
+// architectural state; cycle counts restart at the boundary.
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -38,6 +50,51 @@ ppc750::p750_config to_p750_config(const engine_config& cfg) {
     return c;
 }
 
+/// Golden replay: reconstruct the architectural state at retirement
+/// boundary `retired` with a fresh ISS, starting either from the program
+/// image (cold) or from the checkpoint the engine itself was restored
+/// from (warm).  Valid because all engines share one architectural
+/// trajectory and syscalls execute at retirement, so the replayed
+/// console/registers/memory are exactly the engine's at that boundary.
+checkpoint replay_architectural(std::string_view engine_name, const isa::program_image* img,
+                                const checkpoint* base, std::uint64_t retired,
+                                std::uint64_t cycles) {
+    checkpoint ck;
+    ck.engine = std::string(engine_name);
+    ck.level = checkpoint_level::architectural;
+    ck.retired = retired;
+    ck.cycles = cycles;
+
+    mem::main_memory m;
+    isa::iss ref(m, false);
+    if (base != nullptr) {
+        restore_memory(m, base->pages);
+        ref.restore_arch(base->arch, base->retired, base->console);
+    } else if (img != nullptr) {
+        ref.load(*img);
+    } else {
+        throw checkpoint_error(std::string(engine_name) + ": save_state before load");
+    }
+    if (retired < ref.instret())
+        throw checkpoint_error(std::string(engine_name) + ": retired count behind base checkpoint");
+    ref.run(retired - ref.instret());
+    if (ref.instret() != retired)
+        throw checkpoint_error(std::string(engine_name) + ": golden replay halted early");
+
+    ck.arch = ref.state();
+    ck.console = ref.host().console();
+    ck.pages = snapshot_memory(m);
+    return ck;
+}
+
+/// A one-instruction-free image whose only effect is setting the entry pc;
+/// loaded into a restored model so its fetch engine starts at the boundary.
+isa::program_image resume_stub(std::uint32_t pc) {
+    isa::program_image stub;
+    stub.entry = pc;
+    return stub;
+}
+
 /// Functional ISS: untimed golden model ("cycles" = retired instructions).
 class iss_engine final : public engine {
 public:
@@ -55,6 +112,24 @@ public:
     std::uint64_t retired() const override { return sim_.instret(); }
     bool models_timing() const override { return false; }
 
+    checkpoint_level checkpoint_support() const override { return checkpoint_level::exact; }
+    checkpoint save_state() const override {
+        checkpoint ck;
+        ck.engine = std::string(name());
+        ck.level = checkpoint_level::exact;
+        ck.arch = sim_.state();
+        ck.retired = sim_.instret();
+        ck.cycles = sim_.instret();
+        ck.console = sim_.host().console();
+        ck.pages = snapshot_memory(mem_);
+        return ck;
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.restore_arch(ck.arch, ck.retired, ck.console);
+    }
+
 protected:
     stats::report make_report() const override { return sim_.make_report(); }
 
@@ -66,77 +141,167 @@ private:
 /// OSM StrongARM-like 5-stage in-order pipeline (paper §5.1).
 class sarm_engine final : public engine {
 public:
-    explicit sarm_engine(const engine_config& cfg) : sim_(to_sarm_config(cfg), mem_) {}
+    explicit sarm_engine(const engine_config& cfg) : cfg_(cfg) {
+        sim_.emplace(to_sarm_config(cfg_), mem_);
+    }
 
     std::string_view name() const override { return "sarm"; }
-    void load(const isa::program_image& img) override { sim_.load(img); }
-    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
-    bool halted() const override { return sim_.halted(); }
-    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
-    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
-    std::uint32_t pc() const override { return sim_.fetch_pc(); }
-    const std::string& console() const override { return sim_.console(); }
-    std::uint64_t cycles() const override { return sim_.stats().cycles; }
-    std::uint64_t retired() const override { return sim_.stats().retired; }
-    core::director* director() override { return &sim_.dir(); }
-    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+    void load(const isa::program_image& img) override {
+        sim_->load(img);
+        image_ = img;
+        has_program_ = true;
+        base_.reset();
+        base_retired_ = 0;
+    }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_->run(max_cycles); }
+    bool halted() const override { return sim_->halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_->gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_->fpr(r); }
+    std::uint32_t pc() const override { return sim_->fetch_pc(); }
+    const std::string& console() const override { return sim_->console(); }
+    std::uint64_t cycles() const override { return sim_->stats().cycles; }
+    std::uint64_t retired() const override { return base_retired_ + sim_->stats().retired; }
+    core::director* director() override { return &sim_->dir(); }
+    core::sim_kernel* kernel() override { return &sim_->kernel(); }
+
+    checkpoint_level checkpoint_support() const override {
+        return checkpoint_level::architectural;
+    }
+    checkpoint save_state() const override {
+        return replay_architectural(name(), has_program_ ? &image_ : nullptr,
+                                    base_ ? &*base_ : nullptr, retired(), cycles());
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.emplace(to_sarm_config(cfg_), mem_);
+        sim_->load(resume_stub(ck.arch.pc));
+        sim_->restore_arch(ck.arch, ck.console);
+        base_ = ck;
+        base_retired_ = ck.retired;
+    }
 
 protected:
-    stats::report make_report() const override { return sim_.make_report(); }
+    stats::report make_report() const override { return sim_->make_report(); }
 
 private:
+    engine_config cfg_;
     mem::main_memory mem_;
-    sarm::sarm_model sim_;
+    std::optional<sarm::sarm_model> sim_;
+    isa::program_image image_;
+    bool has_program_ = false;
+    std::optional<checkpoint> base_;
+    std::uint64_t base_retired_ = 0;
 };
 
 /// Hand-coded cycle simulator of the SARM pipeline (SimpleScalar surrogate).
 class hw_engine final : public engine {
 public:
-    explicit hw_engine(const engine_config& cfg) : sim_(to_sarm_config(cfg), mem_) {}
+    explicit hw_engine(const engine_config& cfg) : cfg_(cfg) {
+        sim_.emplace(to_sarm_config(cfg_), mem_);
+    }
 
     std::string_view name() const override { return "hw"; }
-    void load(const isa::program_image& img) override { sim_.load(img); }
-    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
-    bool halted() const override { return sim_.halted(); }
-    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
-    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
-    std::uint32_t pc() const override { return sim_.fetch_pc(); }
-    const std::string& console() const override { return sim_.console(); }
-    std::uint64_t cycles() const override { return sim_.cycles(); }
-    std::uint64_t retired() const override { return sim_.retired(); }
+    void load(const isa::program_image& img) override {
+        sim_->load(img);
+        image_ = img;
+        has_program_ = true;
+        base_.reset();
+        base_retired_ = 0;
+    }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_->run(max_cycles); }
+    bool halted() const override { return sim_->halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_->gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_->fpr(r); }
+    std::uint32_t pc() const override { return sim_->fetch_pc(); }
+    const std::string& console() const override { return sim_->console(); }
+    std::uint64_t cycles() const override { return sim_->cycles(); }
+    std::uint64_t retired() const override { return base_retired_ + sim_->retired(); }
+
+    checkpoint_level checkpoint_support() const override {
+        return checkpoint_level::architectural;
+    }
+    checkpoint save_state() const override {
+        return replay_architectural(name(), has_program_ ? &image_ : nullptr,
+                                    base_ ? &*base_ : nullptr, retired(), cycles());
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.emplace(to_sarm_config(cfg_), mem_);
+        sim_->load(resume_stub(ck.arch.pc));
+        sim_->restore_arch(ck.arch, ck.console);
+        base_ = ck;
+        base_retired_ = ck.retired;
+    }
 
 protected:
-    stats::report make_report() const override { return sim_.make_report(); }
+    stats::report make_report() const override { return sim_->make_report(); }
 
 private:
+    engine_config cfg_;
     mem::main_memory mem_;
-    baseline::hardwired_sarm sim_;
+    std::optional<baseline::hardwired_sarm> sim_;
+    isa::program_image image_;
+    bool has_program_ = false;
+    std::optional<checkpoint> base_;
+    std::uint64_t base_retired_ = 0;
 };
 
 /// SARM elaborated from OSM-DL text (the paper's §7 ADL direction).
 class adl_engine final : public engine {
 public:
-    explicit adl_engine(const engine_config& cfg) : sim_(to_sarm_config(cfg), mem_) {}
+    explicit adl_engine(const engine_config& cfg) : cfg_(cfg) {
+        sim_.emplace(to_sarm_config(cfg_), mem_);
+    }
 
     std::string_view name() const override { return "adl"; }
-    void load(const isa::program_image& img) override { sim_.load(img); }
-    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
-    bool halted() const override { return sim_.halted(); }
-    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
-    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
-    std::uint32_t pc() const override { return sim_.fetch_pc(); }
-    const std::string& console() const override { return sim_.console(); }
-    std::uint64_t cycles() const override { return sim_.stats().cycles; }
-    std::uint64_t retired() const override { return sim_.stats().retired; }
-    core::director* director() override { return &sim_.dir(); }
-    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+    void load(const isa::program_image& img) override {
+        sim_->load(img);
+        image_ = img;
+        has_program_ = true;
+        base_.reset();
+        base_retired_ = 0;
+    }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_->run(max_cycles); }
+    bool halted() const override { return sim_->halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_->gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_->fpr(r); }
+    std::uint32_t pc() const override { return sim_->fetch_pc(); }
+    const std::string& console() const override { return sim_->console(); }
+    std::uint64_t cycles() const override { return sim_->stats().cycles; }
+    std::uint64_t retired() const override { return base_retired_ + sim_->stats().retired; }
+    core::director* director() override { return &sim_->dir(); }
+    core::sim_kernel* kernel() override { return &sim_->kernel(); }
+
+    checkpoint_level checkpoint_support() const override {
+        return checkpoint_level::architectural;
+    }
+    checkpoint save_state() const override {
+        return replay_architectural(name(), has_program_ ? &image_ : nullptr,
+                                    base_ ? &*base_ : nullptr, retired(), cycles());
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.emplace(to_sarm_config(cfg_), mem_);
+        sim_->load(resume_stub(ck.arch.pc));
+        sim_->restore_arch(ck.arch, ck.console);
+        base_ = ck;
+        base_retired_ = ck.retired;
+    }
 
 protected:
-    stats::report make_report() const override { return sim_.make_report(); }
+    stats::report make_report() const override { return sim_->make_report(); }
 
 private:
+    engine_config cfg_;
     mem::main_memory mem_;
-    adl::adl_sarm_model sim_;
+    std::optional<adl::adl_sarm_model> sim_;
+    isa::program_image image_;
+    bool has_program_ = false;
+    std::optional<checkpoint> base_;
+    std::uint64_t base_retired_ = 0;
 };
 
 /// SMT pipeline driven single-threaded (paper §6).  Integer-only: the
@@ -144,24 +309,52 @@ private:
 /// programs are skipped by the differential harnesses.
 class smt_engine final : public engine {
 public:
-    explicit smt_engine(const engine_config& cfg) : sim_(to_smt_config(cfg), mem_) {}
+    explicit smt_engine(const engine_config& cfg) : cfg_(cfg) {
+        sim_.emplace(to_smt_config(cfg_), mem_);
+    }
 
     std::string_view name() const override { return "smt"; }
-    void load(const isa::program_image& img) override { sim_.load(0, img); }
-    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
-    bool halted() const override { return sim_.all_done(); }
-    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(0, r); }
+    void load(const isa::program_image& img) override {
+        sim_->load(0, img);
+        image_ = img;
+        has_program_ = true;
+        base_.reset();
+        base_retired_ = 0;
+    }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_->run(max_cycles); }
+    // drained(), not all_done(): the latter flips at fetch of the exit
+    // syscall, while it (and older ops) are still in flight.
+    bool halted() const override { return sim_->drained(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_->gpr(0, r); }
     std::uint32_t fpr(unsigned) const override { return 0; }
-    std::uint32_t pc() const override { return sim_.pc(0); }
-    const std::string& console() const override { return sim_.console(); }
-    std::uint64_t cycles() const override { return sim_.stats().cycles; }
-    std::uint64_t retired() const override { return sim_.stats().total_retired(); }
+    std::uint32_t pc() const override { return sim_->pc(0); }
+    const std::string& console() const override { return sim_->console(); }
+    std::uint64_t cycles() const override { return sim_->stats().cycles; }
+    std::uint64_t retired() const override {
+        return base_retired_ + sim_->stats().total_retired();
+    }
     bool executes_fp() const override { return false; }
-    core::director* director() override { return &sim_.dir(); }
-    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+    core::director* director() override { return &sim_->dir(); }
+    core::sim_kernel* kernel() override { return &sim_->kernel(); }
+
+    checkpoint_level checkpoint_support() const override {
+        return checkpoint_level::architectural;
+    }
+    checkpoint save_state() const override {
+        return replay_architectural(name(), has_program_ ? &image_ : nullptr,
+                                    base_ ? &*base_ : nullptr, retired(), cycles());
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.emplace(to_smt_config(cfg_), mem_);
+        sim_->restore_arch(ck.arch, ck.console);  // marks thread 0 loaded
+        base_ = ck;
+        base_retired_ = ck.retired;
+    }
 
 protected:
-    stats::report make_report() const override { return sim_.make_report(); }
+    stats::report make_report() const override { return sim_->make_report(); }
 
 private:
     static smt::smt_config to_smt_config(const engine_config& cfg) {
@@ -173,58 +366,123 @@ private:
         return c;
     }
 
+    engine_config cfg_;
     mem::main_memory mem_;
-    smt::smt_model sim_;
+    std::optional<smt::smt_model> sim_;
+    isa::program_image image_;
+    bool has_program_ = false;
+    std::optional<checkpoint> base_;
+    std::uint64_t base_retired_ = 0;
 };
 
 /// OSM PowerPC-750-like dual-issue out-of-order superscalar (paper §5.2).
 class p750_engine final : public engine {
 public:
-    explicit p750_engine(const engine_config& cfg) : sim_(to_p750_config(cfg), mem_) {}
+    explicit p750_engine(const engine_config& cfg) : cfg_(cfg) {
+        sim_.emplace(to_p750_config(cfg_), mem_);
+    }
 
     std::string_view name() const override { return "p750"; }
-    void load(const isa::program_image& img) override { sim_.load(img); }
-    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
-    bool halted() const override { return sim_.halted(); }
-    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
-    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
-    std::uint32_t pc() const override { return sim_.fetch_pc(); }
-    const std::string& console() const override { return sim_.console(); }
-    std::uint64_t cycles() const override { return sim_.stats().cycles; }
-    std::uint64_t retired() const override { return sim_.stats().retired; }
-    core::director* director() override { return &sim_.dir(); }
-    core::sim_kernel* kernel() override { return &sim_.kernel(); }
+    void load(const isa::program_image& img) override {
+        sim_->load(img);
+        image_ = img;
+        has_program_ = true;
+        base_.reset();
+        base_retired_ = 0;
+    }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_->run(max_cycles); }
+    bool halted() const override { return sim_->halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_->gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_->fpr(r); }
+    std::uint32_t pc() const override { return sim_->fetch_pc(); }
+    const std::string& console() const override { return sim_->console(); }
+    std::uint64_t cycles() const override { return sim_->stats().cycles; }
+    std::uint64_t retired() const override { return base_retired_ + sim_->stats().retired; }
+    core::director* director() override { return &sim_->dir(); }
+    core::sim_kernel* kernel() override { return &sim_->kernel(); }
+
+    checkpoint_level checkpoint_support() const override {
+        return checkpoint_level::architectural;
+    }
+    checkpoint save_state() const override {
+        return replay_architectural(name(), has_program_ ? &image_ : nullptr,
+                                    base_ ? &*base_ : nullptr, retired(), cycles());
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.emplace(to_p750_config(cfg_), mem_);
+        sim_->load(resume_stub(ck.arch.pc));
+        sim_->restore_arch(ck.arch, ck.console);
+        base_ = ck;
+        base_retired_ = ck.retired;
+    }
 
 protected:
-    stats::report make_report() const override { return sim_.make_report(); }
+    stats::report make_report() const override { return sim_->make_report(); }
 
 private:
+    engine_config cfg_;
     mem::main_memory mem_;
-    ppc750::p750_model sim_;
+    std::optional<ppc750::p750_model> sim_;
+    isa::program_image image_;
+    bool has_program_ = false;
+    std::optional<checkpoint> base_;
+    std::uint64_t base_retired_ = 0;
 };
 
 /// Port/wire discrete-event superscalar (SystemC surrogate).
 class port_engine final : public engine {
 public:
-    explicit port_engine(const engine_config& cfg) : sim_(to_p750_config(cfg), mem_) {}
+    explicit port_engine(const engine_config& cfg) : cfg_(cfg) {
+        sim_.emplace(to_p750_config(cfg_), mem_);
+    }
 
     std::string_view name() const override { return "port"; }
-    void load(const isa::program_image& img) override { sim_.load(img); }
-    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
-    bool halted() const override { return sim_.halted(); }
-    std::uint32_t gpr(unsigned r) const override { return sim_.gpr(r); }
-    std::uint32_t fpr(unsigned r) const override { return sim_.fpr(r); }
-    std::uint32_t pc() const override { return sim_.fetch_pc(); }
-    const std::string& console() const override { return sim_.console(); }
-    std::uint64_t cycles() const override { return sim_.stats().cycles; }
-    std::uint64_t retired() const override { return sim_.stats().retired; }
+    void load(const isa::program_image& img) override {
+        sim_->load(img);
+        image_ = img;
+        has_program_ = true;
+        base_.reset();
+        base_retired_ = 0;
+    }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_->run(max_cycles); }
+    bool halted() const override { return sim_->halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_->gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return sim_->fpr(r); }
+    std::uint32_t pc() const override { return sim_->fetch_pc(); }
+    const std::string& console() const override { return sim_->console(); }
+    std::uint64_t cycles() const override { return sim_->stats().cycles; }
+    std::uint64_t retired() const override { return base_retired_ + sim_->stats().retired; }
+
+    checkpoint_level checkpoint_support() const override {
+        return checkpoint_level::architectural;
+    }
+    checkpoint save_state() const override {
+        return replay_architectural(name(), has_program_ ? &image_ : nullptr,
+                                    base_ ? &*base_ : nullptr, retired(), cycles());
+    }
+    void restore_state(const checkpoint& ck) override {
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        sim_.emplace(to_p750_config(cfg_), mem_);
+        sim_->load(resume_stub(ck.arch.pc));
+        sim_->restore_arch(ck.arch, ck.console);
+        base_ = ck;
+        base_retired_ = ck.retired;
+    }
 
 protected:
-    stats::report make_report() const override { return sim_.make_report(); }
+    stats::report make_report() const override { return sim_->make_report(); }
 
 private:
+    engine_config cfg_;
     mem::main_memory mem_;
-    baseline::port_ppc sim_;
+    std::optional<baseline::port_ppc> sim_;
+    isa::program_image image_;
+    bool has_program_ = false;
+    std::optional<checkpoint> base_;
+    std::uint64_t base_retired_ = 0;
 };
 
 template <typename Engine>

@@ -100,11 +100,28 @@ void smt_model::load(unsigned t, const isa::program_image& img) {
     dcode_.invalidate_all();
 }
 
+void smt_model::restore_arch(const isa::arch_state& st, const std::string& console) {
+    for (unsigned r = 0; r < 32; ++r) m_r_.arch_write(r, st.gpr[r]);
+    pc_[0] = st.pc;
+    loaded_[0] = true;
+    done_[0] = st.halted;
+    if (st.halted) halts_retired_ = 1;  // the exit retired before the save
+    host_.seed(console);
+}
+
 bool smt_model::all_done() const {
     for (unsigned t = 0; t < cfg_.threads; ++t) {
         if (loaded_[t] && !done_[t]) return false;
     }
     return true;
+}
+
+bool smt_model::drained() const {
+    unsigned expected = 0;
+    for (unsigned t = 0; t < cfg_.threads; ++t) {
+        if (loaded_[t]) ++expected;
+    }
+    return halts_retired_ >= expected;
 }
 
 unsigned smt_model::in_flight(unsigned t) const {
@@ -222,6 +239,15 @@ void smt_model::note_thread_exit() {
 }
 
 std::uint64_t smt_model::run(std::uint64_t max_cycles) {
+    // A machine restored into the halted state never requested a kernel
+    // stop, so it must not enter the cycle loop at all.  `drained()`, not
+    // `all_done()`: the latter goes true at *fetch* of the exit, and
+    // cutting the run there would strand the exit (and anything older)
+    // in the pipeline when the caller steps cycle by cycle.
+    if (drained()) {
+        stats_.cycles = kern_.cycles();
+        return 0;
+    }
     const std::uint64_t executed = kern_.run(max_cycles);
     stats_.cycles = kern_.cycles();
     return executed;

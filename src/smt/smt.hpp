@@ -91,11 +91,20 @@ public:
     /// use disjoint text/data ranges).
     void load(unsigned t, const isa::program_image& img);
 
+    /// Adopt checkpointed architectural state as thread 0 (call on a fresh
+    /// model): registers, fetch pc, done flag and console.
+    void restore_arch(const isa::arch_state& st, const std::string& console);
+
     /// Run until every thread halts or `max_cycles`.  Returns cycles.
     std::uint64_t run(std::uint64_t max_cycles = ~0ull);
 
     bool thread_done(unsigned t) const { return done_.at(t); }
     bool all_done() const;
+    /// True once every loaded thread's exit has *retired* (not merely been
+    /// fetched, which is when `done_` flips): the architectural notion of
+    /// halted.  `all_done()` goes true while the exit is still in flight,
+    /// so single-cycle steppers must use this instead.
+    bool drained() const;
     const smt_stats& stats() const noexcept { return stats_; }
     std::uint32_t gpr(unsigned t, unsigned r) const {
         return m_r_.arch_read(t * 32 + r);

@@ -1,6 +1,7 @@
 #include "stats/stats.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace osm::stats {
@@ -64,19 +65,49 @@ void report::put(const std::string& section, const std::string& key, const histo
 }
 
 namespace {
+
+void render_string(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
 void render_value(std::ostringstream& os, const report::value& v) {
     if (const auto* u = std::get_if<std::uint64_t>(&v)) {
         os << *u;
     } else if (const auto* d = std::get_if<double>(&v)) {
         if (std::isfinite(*d)) {
-            os << *d;
+            // Canonical shortest-round-trip formatting: stream default
+            // precision (6) both loses information and varies with any
+            // ambient locale/format state, which breaks byte-comparison
+            // of reports and checkpoint sidecars.
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", *d);
+            os << buf;
         } else {
             os << "null";
         }
     } else {
-        os << '"' << std::get<std::string>(v) << '"';
+        render_string(os, std::get<std::string>(v));
     }
 }
+
 }  // namespace
 
 std::string report::to_json() const {

@@ -51,6 +51,9 @@ void usage() {
                  "                [--no-forwarding] [--no-decode-cache]\n"
                  "       osm-fuzz minimize (--rand SEED [--rand-* flags] | prog.s)\n"
                  "                [--engines a,b] [--save DIR] [--name NAME] [--json]\n"
+                 "                [--checkpoint [--interval N]]  lockstep re-validation:\n"
+                 "                reject failing candidates at the first mismatching\n"
+                 "                boundary and bisect the first divergent retirement\n"
                  "       osm-fuzz replay prog.s|DIR [--engines LIST] [--json]\n"
                  "generator flags (shared with osm-run --rand):\n%s",
                  workloads::randprog_flags_help().c_str());
@@ -81,6 +84,8 @@ struct cli {
     std::string save_dir;
     std::string replay_dir;
     std::string name;
+    bool checkpoint = false;
+    std::uint64_t interval = 256;
     workloads::randprog_options rand_opt;
     sim::engine_config config;
 };
@@ -128,6 +133,10 @@ cli parse_args(int argc, char** argv) {
             c.replay_dir = argv[++i];
         } else if (arg == "--name" && i + 1 < argc) {
             c.name = argv[++i];
+        } else if (arg == "--checkpoint") {
+            c.checkpoint = true;
+        } else if (arg == "--interval" && i + 1 < argc) {
+            c.interval = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--no-minimize") {
             c.minimize = false;
         } else if (arg == "--json") {
@@ -204,6 +213,8 @@ int run_minimize_cmd(const cli& c) {
                                    : c.engines;
     mo.config = c.config;
     mo.max_cycles = c.max_cycles;
+    mo.checkpoint_revalidate = c.checkpoint;
+    mo.checkpoint_interval = c.interval;
     const auto res = fuzz::minimize_divergence(img, mo);
 
     FILE* human = c.json ? stderr : stdout;
@@ -215,6 +226,10 @@ int run_minimize_cmd(const cli& c) {
     std::fprintf(human, "minimize: %zu -> %zu instructions in %u probes\n",
                  res.original_words, res.minimized_words, res.probes);
     std::fprintf(human, "minimize: %s\n", res.first.to_string().c_str());
+    if (res.located) {
+        std::fprintf(human, "minimize: first divergent retirement = %llu\n",
+                     static_cast<unsigned long long>(res.first_divergent_retired));
+    }
 
     std::string artifact;
     if (!c.save_dir.empty()) {
@@ -243,6 +258,9 @@ int run_minimize_cmd(const cli& c) {
                 static_cast<std::uint64_t>(res.minimized_words));
         rep.put("minimize", "probes", static_cast<std::uint64_t>(res.probes));
         rep.put("minimize", "divergence", res.first.to_string());
+        if (res.located) {
+            rep.put("minimize", "first_divergent_retired", res.first_divergent_retired);
+        }
         if (!artifact.empty()) rep.put("minimize", "artifact", artifact);
         std::printf("%s", rep.to_json().c_str());
     }

@@ -12,6 +12,7 @@
 // Engines come from the sim::engine_registry: unknown names are rejected
 // with the registered list, and a newly registered engine is immediately
 // runnable and diffable here with no tool changes.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,7 @@
 #include "isa/arch.hpp"
 #include "isa/assembler.hpp"
 #include "isa/image_io.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/diff_runner.hpp"
 #include "sim/registry.hpp"
 #include "trace/trace.hpp"
@@ -39,8 +41,17 @@ void usage() {
                  "usage: osm-run prog.s|prog.vri [--engine NAME] [--diff a,b,...|all]\n"
                  "               [--max-cycles N] [--trace] [--regs] [--json]\n"
                  "               [--no-forwarding] [--no-decode-cache]\n"
+                 "               [--save-at N] [--save FILE] [--dump-arch]\n"
+                 "       osm-run prog --lockstep ENGINE [--interval N]\n"
+                 "                                       retirement-lockstep vs iss; on\n"
+                 "                                       divergence, bisect via checkpoints\n"
+                 "       osm-run --restore FILE [--engine NAME] [options]\n"
+                 "                                       resume from a checkpoint (no program)\n"
                  "       osm-run --rand SEED [options]   run a generated random program\n"
                  "       osm-run --list-engines\n"
+                 "checkpoint flags: --save FILE writes FILE and FILE.json after the run;\n"
+                 "--save-at N saves at retirement N and then keeps running; --dump-arch\n"
+                 "prints a deterministic architectural-state dump after the run.\n"
                  "generator flags (with --rand, shared with osm-fuzz):\n%s",
                  workloads::randprog_flags_help().c_str());
     std::exit(2);
@@ -57,6 +68,26 @@ void dump_regs(const sim::engine& eng) {
         std::printf("%5s=%08X%s", std::string(isa::gpr_name(r)).c_str(), eng.gpr(r),
                     (r % 4 == 3) ? "\n" : "  ");
     }
+}
+
+/// Deterministic line-per-field architectural dump: scripts diff a straight
+/// run against a save/restore run (dropping pc=/cycles= lines for timing
+/// engines, whose pipeline refill legitimately changes both).
+void dump_arch(const sim::engine& eng) {
+    std::printf("halted=%d\n", eng.halted() ? 1 : 0);
+    std::printf("retired=%llu\n", static_cast<unsigned long long>(eng.retired()));
+    std::printf("cycles=%llu\n", static_cast<unsigned long long>(eng.cycles()));
+    std::printf("pc=%08X\n", eng.pc());
+    for (unsigned r = 0; r < isa::num_gprs; ++r) std::printf("gpr%02u=%08X\n", r, eng.gpr(r));
+    for (unsigned r = 0; r < isa::num_fprs; ++r) std::printf("fpr%02u=%08X\n", r, eng.fpr(r));
+    std::printf("console_bytes=%zu\n", eng.console().size());
+    std::printf("console=");
+    for (const char c : eng.console()) {
+        if (c == '\n') std::printf("\\n");
+        else if (std::isprint(static_cast<unsigned char>(c))) std::printf("%c", c);
+        else std::printf("\\x%02x", static_cast<unsigned char>(c));
+    }
+    std::printf("\n");
 }
 
 std::vector<std::string> split_names(const std::string& list) {
@@ -115,6 +146,13 @@ int main(int argc, char** argv) {
     bool want_trace = false;
     bool want_regs = false;
     bool want_json = false;
+    bool want_dump_arch = false;
+    bool have_save_at = false;
+    std::uint64_t save_at = 0;
+    std::string save_path;
+    std::string restore_path;
+    std::string lockstep_eng;
+    std::uint64_t interval = 256;
     sim::engine_config cfg;
     workloads::randprog_options rand_opt;
 
@@ -133,6 +171,12 @@ int main(int argc, char** argv) {
         else if (arg == "--trace") want_trace = true;
         else if (arg == "--json") want_json = true;
         else if (arg == "--regs") want_regs = true;
+        else if (arg == "--dump-arch") want_dump_arch = true;
+        else if (arg == "--save-at" && i + 1 < argc) { save_at = std::strtoull(argv[++i], nullptr, 0); have_save_at = true; }
+        else if (arg == "--save" && i + 1 < argc) save_path = argv[++i];
+        else if (arg == "--restore" && i + 1 < argc) restore_path = argv[++i];
+        else if (arg == "--lockstep" && i + 1 < argc) lockstep_eng = argv[++i];
+        else if (arg == "--interval" && i + 1 < argc) interval = std::strtoull(argv[++i], nullptr, 0);
         else if (arg == "--no-forwarding") cfg.forwarding = false;
         else if (arg == "--no-decode-cache") cfg.decode_cache = false;
         else if (arg == "--list-engines") { list_engines(); return 0; }
@@ -140,11 +184,18 @@ int main(int argc, char** argv) {
         else if (input.empty()) input = arg;
         else usage();
     }
-    if (input.empty() && !have_rand) usage();
+    if (input.empty() && !have_rand && restore_path.empty()) usage();
+    if (have_save_at && save_path.empty()) {
+        std::fprintf(stderr, "osm-run: --save-at requires --save FILE\n");
+        return 2;
+    }
 
     isa::program_image img;
+    const bool have_program = !input.empty() || have_rand;
     try {
-        if (have_rand) {
+        if (!have_program) {
+            // --restore only: the checkpoint is the whole machine state.
+        } else if (have_rand) {
             rand_opt.seed = rand_seed;
             img = workloads::make_random_program(rand_opt);
         } else if (input.size() > 4 && input.substr(input.size() - 4) == ".vri") {
@@ -173,6 +224,45 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (!lockstep_eng.empty()) {
+        if (!have_program) {
+            std::fprintf(stderr, "osm-run: --lockstep needs a program\n");
+            return 2;
+        }
+        sim::lockstep_options opt;
+        opt.config = cfg;
+        opt.interval = interval;
+        try {
+            const auto r = sim::lockstep_diff(lockstep_eng, img, opt);
+            if (!r.ran) {
+                std::printf("lockstep: %s skipped (%s)\n", lockstep_eng.c_str(),
+                            r.skip_reason.c_str());
+                return 0;
+            }
+            if (!r.diverged) {
+                std::printf("lockstep: %s agrees with %s through %llu retirement(s) "
+                            "(%llu compare(s))%s\n",
+                            lockstep_eng.c_str(), opt.reference.c_str(),
+                            static_cast<unsigned long long>(r.final_retired),
+                            static_cast<unsigned long long>(r.compares),
+                            r.hit_budget ? ", budget hit" : "");
+                return r.hit_budget ? 3 : 0;
+            }
+            std::printf("lockstep: %s\n", r.div.to_string().c_str());
+            if (r.located) {
+                std::printf("lockstep: first divergent retirement = %llu "
+                            "(%s bisection, %llu restore(s))\n",
+                            static_cast<unsigned long long>(r.first_divergent_retired),
+                            r.used_checkpoint_bisect ? "checkpoint" : "rerun",
+                            static_cast<unsigned long long>(r.restores));
+            }
+            return 4;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "osm-run: %s\n", e.what());
+            return 1;
+        }
+    }
+
     std::unique_ptr<sim::engine> sim;
     try {
         sim = sim::make_engine(engine, cfg);
@@ -194,8 +284,26 @@ int main(int argc, char** argv) {
         }
     }
 
-    sim->load(img);
-    sim->run(max_cycles);
+    try {
+        if (!restore_path.empty()) {
+            sim->restore_state(sim::load_checkpoint_file(restore_path));
+        } else {
+            sim->load(img);
+        }
+        if (have_save_at) {
+            sim->run_until_retired(save_at);
+            sim::save_checkpoint_file(sim->save_state(), save_path);
+            sim->run(max_cycles);
+        } else {
+            sim->run(max_cycles);
+            if (!save_path.empty()) {
+                sim::save_checkpoint_file(sim->save_state(), save_path);
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "osm-run: %s\n", e.what());
+        return 1;
+    }
 
     // With --json, stdout carries exactly one JSON document; the program's
     // console stream and the human summary move to stderr so scripts can
@@ -210,5 +318,6 @@ int main(int argc, char** argv) {
     if (tracer) std::fprintf(human, "%s", tracer->render(72).c_str());
     if (want_json) std::printf("%s", sim->stats_report().to_json().c_str());
     if (want_regs) dump_regs(*sim);
+    if (want_dump_arch) dump_arch(*sim);
     return sim->halted() ? 0 : 3;
 }
