@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate the committed throughput snapshot BENCH_1.json.
+#
+#   scripts/bench.sh [builddir]      (default: build)
+#
+# Runs osm-bench with its default protocol (mixed suite, scale 2, untimed
+# warmup per workload, steady-state Minst/s) and writes the stable-schema
+# "osm-bench-1" JSON document to BENCH_1.json at the repo root.  The
+# snapshot records, per engine, Minst/s and simulated cycles/sec plus the
+# decode- and block-cache hit ratios, and the ISS block-/decode-cache
+# ablation rows (block-cache target: >= 5x over the decode-cache baseline).
+#
+# The snapshot is machine-specific: regenerate it (on an otherwise idle
+# host, Release build) whenever benchmarking hardware changes or an
+# intentional perf change lands.  scripts/bench_gate.py — registered with
+# ctest as bench_regression_gate — re-measures against this file and fails
+# on a >10% throughput loss.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BENCH="$BUILD/tools/osm-bench"
+
+if [ ! -x "$BENCH" ]; then
+    echo "bench.sh: $BENCH not found; build first (cmake --build $BUILD --target osm-bench)" >&2
+    exit 1
+fi
+
+"$BENCH" > BENCH_1.json
+echo "bench.sh: wrote BENCH_1.json"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Throughput regression gate against the committed BENCH_1.json snapshot.
+
+Re-runs osm-bench with the same protocol that produced the snapshot
+(scripts/bench.sh) and fails if any per-engine Minst/s — or the ISS
+block-cache ablation speedup — dropped by more than the tolerance
+(default 20%, override with OSM_BENCH_TOLERANCE or --tolerance).
+Single-run engine throughput swings up to ~10-12% on a shared host, so
+the floor sits above observed noise while still catching the >1.3x
+class of regression the gate exists for.
+
+Registered with ctest as `bench_regression_gate` (RUN_SERIAL: wall-clock
+measurements must not share the machine with other tests).  The snapshot
+is machine-specific; after a hardware change or an intentional perf
+change, regenerate it with scripts/bench.sh and commit the result.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--snapshot", required=True, help="committed BENCH_1.json")
+    ap.add_argument("--bench", required=True, help="path to the osm-bench binary")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("OSM_BENCH_TOLERANCE", "0.20")),
+        help="allowed fractional throughput loss (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    with open(args.snapshot) as f:
+        snap = json.load(f)
+    if snap.get("schema") != "osm-bench-1":
+        print(f"bench_gate: unexpected snapshot schema {snap.get('schema')!r}")
+        return 1
+
+    out = subprocess.run(
+        [args.bench], stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, check=True
+    )
+    fresh = json.loads(out.stdout)
+
+    floor = 1.0 - args.tolerance
+    failures = []
+    print(f"{'metric':<34} {'snapshot':>12} {'fresh':>12} {'ratio':>8}")
+    for name, row in sorted(snap["engines"].items()):
+        want = row["mips"]
+        got = fresh["engines"].get(name, {}).get("mips")
+        if got is None:
+            failures.append(f"engine {name} missing from fresh run")
+            continue
+        ratio = got / want if want > 0 else 0.0
+        flag = "" if ratio >= floor else "  << REGRESSION"
+        print(f"{name + ' Minst/s':<34} {want:>12.2f} {got:>12.2f} {ratio:>7.2f}x{flag}")
+        if ratio < floor:
+            failures.append(f"{name}: {got:.2f} Minst/s < {floor:.2f} x {want:.2f}")
+
+    want = snap["ablation"]["iss_block_cache_speedup"]
+    got = fresh["ablation"]["iss_block_cache_speedup"]
+    ratio = got / want if want > 0 else 0.0
+    flag = "" if ratio >= floor else "  << REGRESSION"
+    print(f"{'iss block-cache speedup':<34} {want:>12.2f} {got:>12.2f} {ratio:>7.2f}x{flag}")
+    if ratio < floor:
+        failures.append(f"block-cache speedup: {got:.2f}x < {floor:.2f} x {want:.2f}x")
+
+    if failures:
+        print("\nbench_gate: FAIL (>{:.0f}% throughput loss vs {})".format(
+            args.tolerance * 100, args.snapshot))
+        for f in failures:
+            print("  " + f)
+        print("  (intentional change? regenerate the snapshot: scripts/bench.sh)")
+        return 1
+    print(f"\nbench_gate: OK (all metrics within {args.tolerance * 100:.0f}% of snapshot)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,16 @@ ctest --test-dir build-asan -L checkpoint --output-on-failure -j
 # program while ASan+UBSan watch the models themselves.
 ./build-asan/tools/osm-run --rand 20260805 --diff all --max-cycles 50000000
 
+# Block-cache differential smoke: the same all-engine agreement with the
+# translated-block fast path explicitly on and explicitly off, so the
+# sanitizers sweep both the threaded-dispatch loop (including superblock
+# side exits and the SMC store screen) and the interpretive path on an
+# identical program.
+./build-asan/tools/osm-run --rand 20260807 --diff all --block-cache \
+    --max-cycles 50000000
+./build-asan/tools/osm-run --rand 20260807 --diff all --no-block-cache \
+    --max-cycles 50000000
+
 # Sanitized fuzz smoke: a bounded quick-matrix campaign over all engines,
 # plus a replay of the committed regression corpus (exit 4 = divergence,
 # exit 1 = setup error — both fail the gate).
@@ -51,4 +61,4 @@ if ! diff <(grep -v -e '^pc=' -e '^cycles=' -e '^\[' "$ck/straight.txt") \
     exit 1
 fi
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint suite + all-engine diff + fuzz smoke + checkpoint round-trip)"
+echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint suite + all-engine diff incl. block-cache on/off + fuzz smoke + checkpoint round-trip)"

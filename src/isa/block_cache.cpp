@@ -1,0 +1,174 @@
+#include "isa/block_cache.hpp"
+
+#include <algorithm>
+
+namespace osm::isa {
+
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+// Superblock formation: *forward* conditional branches do not terminate
+// translation — the dispatch loop treats them as side exits (taken ->
+// leave the block, not taken -> fall through to the next op in the same
+// block), so if/then-dense code still forms long blocks.  Backward
+// conditional branches DO terminate: they close loops and are usually
+// taken, and extending past one would translate whatever follows the loop
+// — often in-program data tables, whose ordinary data stores would then
+// keep killing the block through the SMC watch.  Words past a not-taken
+// forward branch are decoded speculatively; that is safe because memory
+// reads are side-effect free (unmapped reads return 0) and a bogus tail op
+// executes only if control actually falls onto it — exactly when the
+// interpretive path would execute the same word.
+bool is_terminator(const predecoded_inst& pd) {
+    if (pd.jump() || pd.system() || pd.di.code == op::invalid) return true;
+    return pd.branch() && pd.di.imm < 0;
+}
+
+}  // namespace
+
+block_cache::block_cache(std::size_t entries)
+    : blocks_(round_pow2(entries == 0 ? 1 : entries)),
+      mask_(static_cast<std::uint32_t>(blocks_.size() - 1)) {}
+
+const basic_block& block_cache::build(std::uint32_t pc, mem::memory_if& m,
+                                      decode_cache* dcode) {
+    ++stats_.misses;
+    ++stats_.blocks_built;
+    basic_block& b = blocks_[(pc >> 2) & mask_];
+    if (b.valid) {
+        drop_block(b);
+        ++stats_.evictions;
+    }
+
+    b.entry_pc = pc;
+    b.ops.clear();
+    std::uint32_t p = pc;
+    for (unsigned i = 0; i < k_max_block_len; ++i) {
+        const std::uint32_t word = m.read32(p);
+        const predecoded_inst& pd =
+            dcode != nullptr ? dcode->lookup(p, word) : predecoded_inst::make(word);
+        block_op o;
+        o.pc = p;
+        o.imm = pd.di.imm;
+        o.rd = pd.di.rd;
+        o.rs1 = pd.di.rs1;
+        o.rs2 = pd.di.rs2;
+        o.kind = static_cast<std::uint8_t>(pd.di.code);
+        // Pure writes to x0 are architectural no-ops (set_gpr pins x0):
+        // prove them dead at build time so the dispatch handlers can write
+        // gpr[rd] directly.  Loads keep their memory access; jumps keep
+        // their redirect; FP destinations have no zero pin.
+        if (pd.writes_rd() && !pd.rd_fpr() && pd.di.rd == 0 && !pd.load() &&
+            !pd.jump()) {
+            o.kind = k_nop;
+        }
+        b.ops.push_back(o);
+        if (is_terminator(pd)) break;
+        p += 4;
+        if (p == 0) break;  // pc wraparound: cut the block
+    }
+    b.n = static_cast<std::uint16_t>(b.ops.size());
+    b.valid = true;
+
+    // Register the span with the SMC watch structures.
+    const std::uint32_t lo = b.entry_pc;
+    const std::uint32_t hi = b.entry_pc + 4u * b.n;  // exclusive
+    for (std::uint32_t pg = lo >> k_page_shift; pg <= (hi - 1) >> k_page_shift;
+         ++pg) {
+        ++code_pages_[pg];
+    }
+    if (watch_span_ == 0) {
+        watch_lo_ = lo;
+        watch_span_ = hi - lo;
+    } else {
+        const std::uint32_t old_hi = watch_lo_ + watch_span_;
+        const std::uint32_t new_lo = std::min(watch_lo_, lo);
+        const std::uint32_t new_hi = std::max(old_hi, hi);
+        watch_lo_ = new_lo;
+        watch_span_ = new_hi - new_lo;
+    }
+    return b;
+}
+
+void block_cache::drop_block(basic_block& b) {
+    const std::uint32_t lo = b.entry_pc;
+    const std::uint32_t hi = b.entry_pc + 4u * b.n;
+    for (std::uint32_t pg = lo >> k_page_shift; pg <= (hi - 1) >> k_page_shift;
+         ++pg) {
+        const auto it = code_pages_.find(pg);
+        if (it != code_pages_.end() && --it->second == 0) code_pages_.erase(it);
+    }
+    b.valid = false;
+    b.n = 0;
+    b.ops.clear();
+}
+
+void block_cache::recompute_watch() {
+    std::uint32_t lo = ~0u;
+    std::uint32_t hi = 0;
+    bool any = false;
+    for (const basic_block& b : blocks_) {
+        if (!b.valid) continue;
+        any = true;
+        lo = std::min(lo, b.entry_pc);
+        hi = std::max(hi, b.entry_pc + 4u * b.n);
+    }
+    if (!any) {
+        watch_lo_ = 0;
+        watch_span_ = 0;
+    } else {
+        watch_lo_ = lo;
+        watch_span_ = hi - lo;
+    }
+}
+
+bool block_cache::notify_store(std::uint32_t addr, std::uint32_t bytes) {
+    const std::uint32_t pg0 = addr >> k_page_shift;
+    const std::uint32_t pg1 = (addr + bytes - 1) >> k_page_shift;
+    bool page_hit = false;
+    for (std::uint32_t pg = pg0; pg <= pg1; ++pg) {
+        if (code_pages_.count(pg) != 0) {
+            page_hit = true;
+            break;
+        }
+    }
+    if (!page_hit) return false;  // watch-range false positive (data page)
+
+    // Scoped invalidation: kill every block overlapping a written page.
+    // SMC is rare, so the full-table scan is off the fast path.
+    std::uint64_t killed = 0;
+    for (basic_block& b : blocks_) {
+        if (!b.valid) continue;
+        const std::uint32_t bpg0 = b.entry_pc >> k_page_shift;
+        const std::uint32_t bpg1 = (b.entry_pc + 4u * b.n - 1) >> k_page_shift;
+        if (bpg1 < pg0 || bpg0 > pg1) continue;
+        drop_block(b);
+        ++killed;
+    }
+    if (killed == 0) return false;  // page held other blocks' spans only
+
+    stats_.invalidations += killed;
+    ++stats_.smc_stores;
+    ++gen_;
+    recompute_watch();
+    return true;
+}
+
+void block_cache::invalidate_all() {
+    for (basic_block& b : blocks_) {
+        b.valid = false;
+        b.n = 0;
+        b.ops.clear();
+    }
+    code_pages_.clear();
+    watch_lo_ = 0;
+    watch_span_ = 0;
+    ++gen_;
+}
+
+}  // namespace osm::isa

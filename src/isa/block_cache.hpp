@@ -1,0 +1,166 @@
+// Basic-block / superblock translation cache: the compiled-simulation fast
+// path layered over the decode cache (ROADMAP item 1).
+//
+// The decode cache removed the per-instruction decode cost but still pays a
+// full fetch -> tag-check -> out-of-line compute() round trip per
+// instruction.  Reshadi & Dutt ("Generic Pipelined Processor Modeling and
+// High Performance Cycle-Accurate Simulator Generation") observe that the
+// order-of-magnitude wins come from translating hot *regions*: this cache
+// stores whole basic blocks — arrays of pre-decoded operations ending in a
+// fused control-transfer terminator — keyed on entry pc, and the ISS
+// executes a block with a threaded-code dispatch loop that never re-enters
+// fetch/decode between instructions (see iss.cpp).
+//
+// Block formation: starting at the entry pc, fall-through decodes are
+// appended until an unconditional control transfer (jump/system/invalid),
+// a backward conditional branch (loop-closing, usually taken — extending
+// past one would pull trailing data tables into the code watch), or the
+// block-size cap.  Forward conditional branches do not end translation —
+// they become superblock side exits, executed in place: taken leaves the
+// block, not taken continues to the next op of the same block.  Formation
+// goes through the decode cache when it is
+// enabled, so the (pc, word) word tags — the property that makes the
+// decode cache SMC-safe by construction — also police rebuilds: a store
+// that changed a word forces an smc_redecode on the next build.
+//
+// Self-modifying-code invalidation: a block cannot re-check word tags per
+// instruction, so the cache keeps a watch range (the union of all code
+// spans with live blocks) plus a per-page live-block count.  Stores are
+// screened against the range with one branch; a store that lands on a page
+// holding code kills every block overlapping that page (per-page scoped
+// invalidation rather than invalidate_all()) and bumps a generation
+// counter, which the dispatch loop checks after stores so a block that
+// mutates its own code aborts mid-block and resumes interpretively.
+//
+// Like the decode cache the structure is a pure host-side optimization:
+// architecturally invisible, no simulated timing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/decode_cache.hpp"
+#include "mem/memory_if.hpp"
+
+namespace osm::isa {
+
+/// Software-cache counters (exported through stats::report by the models).
+struct block_cache_stats {
+    std::uint64_t hits = 0;          ///< block lookups served from the cache
+    std::uint64_t misses = 0;        ///< lookups that required a build
+    std::uint64_t blocks_built = 0;  ///< blocks formed (== misses)
+    std::uint64_t evictions = 0;     ///< builds that displaced another block
+    std::uint64_t invalidations = 0; ///< blocks killed by stores to code
+    std::uint64_t smc_stores = 0;    ///< store events that killed >= 1 block
+    std::uint64_t block_insts = 0;   ///< instructions retired inside blocks
+
+    double hit_ratio() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/// One pre-translated operation: the decoded fields the dispatch loop
+/// needs, flattened so a block is a contiguous array of 16-byte records.
+/// `kind` is the op enum value, or `k_nop` for writes to x0 that were
+/// proven dead at build time.
+struct block_op {
+    std::uint32_t pc = 0;
+    std::int32_t imm = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+};
+
+/// A translated superblock: `n` ops covering [entry_pc, entry_pc + 4n).
+/// The final op is the terminator (unconditional transfer / backward
+/// branch / system / invalid) unless the block was cut by the size cap, in
+/// which case execution falls through to entry_pc + 4n.  Forward
+/// conditional branches inside the block are side exits; ops past one
+/// execute only when it is not taken.
+struct basic_block {
+    std::uint32_t entry_pc = 0;
+    std::uint16_t n = 0;
+    bool valid = false;
+    std::vector<block_op> ops;
+};
+
+/// Direct-mapped, entry-pc-keyed cache of translated basic blocks.
+class block_cache {
+public:
+    static constexpr std::size_t k_default_entries = 2048;
+    static constexpr unsigned k_max_block_len = 32;
+    /// Pseudo-op kind for build-time-dead operations (pure writes to x0).
+    static constexpr std::uint8_t k_nop = static_cast<std::uint8_t>(op::count_);
+
+    /// `entries` is rounded up to a power of two.  `dcode` (optional) is
+    /// consulted during block formation so its (pc, word) tags keep
+    /// counting SMC re-decodes on rebuilds.
+    explicit block_cache(std::size_t entries = k_default_entries);
+
+    /// The block starting at `pc`, or nullptr on miss.  Counts hits only;
+    /// the miss is counted by the build() the caller issues next.
+    const basic_block* lookup(std::uint32_t pc) noexcept {
+        basic_block& b = blocks_[(pc >> 2) & mask_];
+        if (b.valid && b.entry_pc == pc) {
+            ++stats_.hits;
+            return &b;
+        }
+        return nullptr;
+    }
+
+    /// Translate the block starting at `pc` from `m` and insert it.  Reads
+    /// go through memory_if::read32, which never materializes absent pages
+    /// (checkpoint page sets stay undisturbed).  `dcode` non-null routes
+    /// the per-word decode through the decode cache.
+    const basic_block& build(std::uint32_t pc, mem::memory_if& m,
+                             decode_cache* dcode);
+
+    /// One-branch screen for the store path: may `addr` (up to 4 bytes
+    /// wide) overlap code covered by a live block?  False positives are
+    /// resolved by notify_store; false negatives cannot happen because the
+    /// watch range is a superset of every live block's span.
+    bool store_may_hit(std::uint32_t addr) const noexcept {
+        return (addr + 3u - watch_lo_) < (watch_span_ + 3u);
+    }
+
+    /// Precise SMC check + scoped invalidation: kills every block
+    /// overlapping the page(s) written at `addr`.  Returns true when at
+    /// least one block died (the dispatch loop then aborts the running
+    /// block — its own remaining ops may be stale).
+    bool notify_store(std::uint32_t addr, std::uint32_t bytes);
+
+    /// Drop every block (counters preserved; see reset_stats).
+    void invalidate_all();
+
+    void reset_stats() noexcept { stats_ = {}; }
+
+    /// Bumped by every invalidation (scoped or full); the dispatch loop
+    /// compares generations around stores to detect self-invalidation.
+    std::uint64_t generation() const noexcept { return gen_; }
+
+    std::size_t entries() const noexcept { return blocks_.size(); }
+    const block_cache_stats& stats() const noexcept { return stats_; }
+    block_cache_stats& mutable_stats() noexcept { return stats_; }
+
+private:
+    static constexpr std::uint32_t k_page_shift = 12;  // matches mem::main_memory
+
+    void drop_block(basic_block& b);
+    void recompute_watch();
+
+    std::vector<basic_block> blocks_;
+    std::uint32_t mask_;
+    // Watch range [watch_lo_, watch_lo_ + watch_span_) — superset union of
+    // live block spans; empty when span == 0.
+    std::uint32_t watch_lo_ = 0;
+    std::uint32_t watch_span_ = 0;
+    // Page base -> number of live blocks overlapping it.
+    std::unordered_map<std::uint32_t, std::uint32_t> code_pages_;
+    std::uint64_t gen_ = 0;
+    block_cache_stats stats_;
+};
+
+}  // namespace osm::isa

@@ -4,12 +4,19 @@
 // existing ISSs"; this class plays that role.  It also provides the shared
 // syscall host used by every engine so console output and halting behave
 // identically everywhere.
+//
+// Two host-side fast paths, both architecturally invisible:
+//   * decode cache — (pc, word)-tagged pre-decoded instructions (PR 2);
+//   * block cache  — translated basic blocks executed by a threaded-code
+//     dispatch loop that never re-enters fetch/decode between
+//     instructions (see block_cache.hpp and exec_block in iss.cpp).
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "isa/arch.hpp"
+#include "isa/block_cache.hpp"
 #include "isa/decode_cache.hpp"
 #include "isa/program.hpp"
 #include "isa/semantics.hpp"
@@ -35,11 +42,15 @@ private:
     std::string console_;
 };
 
-/// Interpreted functional simulator.
+/// Functional simulator: interpretive stepping plus a translated-block
+/// fast path.
 class iss {
 public:
-    explicit iss(mem::memory_if& m, bool use_decode_cache = true)
-        : mem_(m), decode_cache_on_(use_decode_cache) {}
+    explicit iss(mem::memory_if& m, bool use_decode_cache = true,
+                 bool use_block_cache = true)
+        : mem_(m),
+          decode_cache_on_(use_decode_cache),
+          block_cache_on_(use_block_cache) {}
 
     /// Load `img` into memory and point pc at its entry.
     void load(const program_image& img);
@@ -47,7 +58,9 @@ public:
     /// Adopt a previously captured architectural state: registers, pc and
     /// halt flag from `st`, retired counter `instret`, console stream
     /// `console`.  Memory is restored separately by the caller (the ISS
-    /// does not own its memory).  Decode-cache contents and counters reset.
+    /// does not own its memory).  Both caches are flushed: the restored
+    /// image may hold different program bytes at cached pcs, so stale
+    /// decodes or translated blocks must never survive a restore.
     void restore_arch(const arch_state& st, std::uint64_t instret,
                       const std::string& console);
 
@@ -59,13 +72,16 @@ public:
     /// Retired instruction count.
     std::uint64_t instret() const noexcept { return instret_; }
 
-    /// Execute one instruction.  Returns false when already halted.
-    /// An `invalid` opcode halts the machine (modeling an undefined-
-    /// instruction trap).
+    /// Execute one instruction interpretively.  Returns false when already
+    /// halted.  An `invalid` opcode halts the machine (modeling an
+    /// undefined-instruction trap).
     bool step();
 
     /// Run until halt or `max_steps`; returns instructions executed by
-    /// this call (not the lifetime total — see instret()).
+    /// this call (not the lifetime total — see instret()).  With the block
+    /// cache enabled, runs translated blocks through the threaded dispatch
+    /// loop and falls back to step() when the remaining budget is smaller
+    /// than the next block.
     std::uint64_t run(std::uint64_t max_steps = ~0ull);
 
     /// Toggle the decoded-instruction cache (architecturally invisible;
@@ -74,18 +90,33 @@ public:
     bool decode_cache_enabled() const noexcept { return decode_cache_on_; }
     const decode_cache_stats& decode_stats() const noexcept { return dcode_.stats(); }
 
-    /// Structured report (retired count + decode-cache counters).
+    /// Toggle the translated-block cache.  Toggling flushes the blocks:
+    /// while disabled the store path performs no SMC screening, so blocks
+    /// built earlier can go stale.
+    void set_block_cache(bool on) noexcept {
+        if (on != block_cache_on_) bcache_.invalidate_all();
+        block_cache_on_ = on;
+    }
+    bool block_cache_enabled() const noexcept { return block_cache_on_; }
+    const block_cache_stats& block_stats() const noexcept { return bcache_.stats(); }
+
+    /// Structured report (retired count + cache counters).
     stats::report make_report() const;
 
 private:
     bool step_with(const predecoded_inst& pd);
+    /// Execute `blk` to its terminator (or SMC abort) with the threaded
+    /// dispatch loop; returns instructions retired (adds them to instret_).
+    std::uint64_t exec_block(const basic_block& blk);
 
     mem::memory_if& mem_;
     arch_state state_;
     syscall_host host_;
     std::uint64_t instret_ = 0;
     decode_cache dcode_;
+    block_cache bcache_;
     bool decode_cache_on_ = true;
+    bool block_cache_on_ = true;
 };
 
 }  // namespace osm::isa

@@ -10,12 +10,64 @@
 // behaviour can never diverge between them — only timing can.
 #pragma once
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "isa/decoded_inst.hpp"
 #include "mem/memory_if.hpp"
 
 namespace osm::isa {
+
+/// Corner-case helpers shared by compute() and the block-cache dispatch
+/// loop in the ISS.  Keeping a single definition (here, inlinable) is what
+/// guarantees the translated fast path and the interpreter can never
+/// disagree on division, conversion or FP-bit semantics.
+namespace sem {
+
+inline float as_f(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+inline std::uint32_t as_u(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+inline std::uint32_t mul_hi_s(std::uint32_t a, std::uint32_t b) {
+    const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                           static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+}
+
+inline std::uint32_t mul_hi_u(std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+    return static_cast<std::uint32_t>(p >> 32);
+}
+
+// RISC-V-style division corner cases: no traps; x/0 = -1 (all ones),
+// x%0 = x, INT_MIN/-1 = INT_MIN with remainder 0.
+inline std::uint32_t div_signed(std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) return ~0u;
+    if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1) return a;
+    return static_cast<std::uint32_t>(sa / sb);
+}
+
+inline std::uint32_t rem_signed(std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) return a;
+    if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1) return 0;
+    return static_cast<std::uint32_t>(sa % sb);
+}
+
+/// float -> int32 with RISC-V fcvt.w.s saturation/NaN behaviour.
+inline std::uint32_t cvt_w_s(std::uint32_t fbits) {
+    const float f = as_f(fbits);
+    if (std::isnan(f)) return 0x7FFFFFFFu;
+    if (f >= 2147483648.0f) return 0x7FFFFFFFu;
+    if (f < -2147483648.0f) return 0x80000000u;
+    return static_cast<std::uint32_t>(static_cast<std::int32_t>(f));
+}
+
+}  // namespace sem
 
 /// Result of the combinational execute phase.
 struct exec_out {

@@ -36,6 +36,12 @@ struct engine_config {
     bool forwarding = true;        ///< bypass network (sarm/hw/smt)
     bool decode_cache = true;      ///< pre-decoded (pc, word)-tagged cache
     unsigned decode_cache_entries = 4096;
+    /// Translated-basic-block cache + threaded dispatch (ISS fast path).
+    bool block_cache = true;
+    /// Director blocked-OSM skip memo (OSM timing engines).  Off by
+    /// default: memo upkeep roughly cancels the skipped one-primitive
+    /// condition walks in the bundled models (see director.hpp).
+    bool director_batch = false;
 };
 
 /// Abstract execution engine: the adapter contract.

@@ -40,6 +40,7 @@ sarm::sarm_config to_sarm_config(const engine_config& cfg) {
     c.forwarding = cfg.forwarding;
     c.decode_cache = cfg.decode_cache;
     c.decode_cache_entries = cfg.decode_cache_entries;
+    c.director_batch = cfg.director_batch;
     return c;
 }
 
@@ -47,6 +48,7 @@ ppc750::p750_config to_p750_config(const engine_config& cfg) {
     ppc750::p750_config c;
     c.decode_cache = cfg.decode_cache;
     c.decode_cache_entries = cfg.decode_cache_entries;
+    c.director_batch = cfg.director_batch;
     return c;
 }
 
@@ -98,7 +100,8 @@ isa::program_image resume_stub(std::uint32_t pc) {
 /// Functional ISS: untimed golden model ("cycles" = retired instructions).
 class iss_engine final : public engine {
 public:
-    explicit iss_engine(const engine_config& cfg) : sim_(mem_, cfg.decode_cache) {}
+    explicit iss_engine(const engine_config& cfg)
+        : sim_(mem_, cfg.decode_cache, cfg.block_cache) {}
 
     std::string_view name() const override { return "iss"; }
     void load(const isa::program_image& img) override { sim_.load(img); }
@@ -363,6 +366,7 @@ private:
         c.forwarding = cfg.forwarding;
         c.decode_cache = cfg.decode_cache;
         c.decode_cache_entries = cfg.decode_cache_entries;
+        c.director_batch = cfg.director_batch;
         return c;
     }
 

@@ -34,6 +34,10 @@ smt_model::smt_model(const smt_config& cfg, mem::main_memory& memory)
       m_reset_("m_reset"),
       graph_("smt"),
       kern_(dir_) {
+    // The reset manager is deliberately left generation-untracked (its
+    // predicate reads o.past_end, whose write sites are not audited for
+    // touch()), so OSMs gated by it never skip — sound either way.
+    dir_.cfg().skip_blocked = cfg_.director_batch;
     build();
     for (unsigned i = 0; i < cfg_.num_osms; ++i) {
         ops_.push_back(std::make_unique<smt_op>(graph_, "op" + std::to_string(i)));
@@ -98,6 +102,7 @@ void smt_model::load(unsigned t, const isa::program_image& img) {
     loaded_[t] = true;
     done_[t] = false;
     dcode_.invalidate_all();
+    dcode_.reset_stats();
 }
 
 void smt_model::restore_arch(const isa::arch_state& st, const std::string& console) {
@@ -269,6 +274,11 @@ stats::report smt_model::make_report() const {
     r.put("decode_cache", "hits", dcode_.stats().hits);
     r.put("decode_cache", "misses", dcode_.stats().misses);
     r.put("decode_cache", "hit_ratio", dcode_.stats().hit_ratio());
+    r.put("director", "control_steps", dir_.stats().control_steps);
+    r.put("director", "transitions", dir_.stats().transitions);
+    r.put("director", "conditions_evaluated", dir_.stats().conditions_evaluated);
+    r.put("director", "primitives_evaluated", dir_.stats().primitives_evaluated);
+    r.put("director", "skipped_visits", dir_.stats().skipped_visits);
     return r;
 }
 

@@ -36,6 +36,7 @@ void inorder_queue_manager::do_allocate(core::ident_t, core::osm& requester) {
     assert(queue_.size() < capacity_);
     queue_.push_back(&requester);
     ++allocs_this_cycle_;
+    touch();
 }
 
 void inorder_queue_manager::do_release(core::ident_t, core::osm& requester) {
@@ -43,11 +44,15 @@ void inorder_queue_manager::do_release(core::ident_t, core::osm& requester) {
     (void)requester;
     queue_.erase(queue_.begin());
     ++releases_this_cycle_;
+    touch();
 }
 
 void inorder_queue_manager::discard(core::ident_t, core::osm& requester) {
     const auto it = std::find(queue_.begin(), queue_.end(), &requester);
-    if (it != queue_.end()) queue_.erase(it);
+    if (it != queue_.end()) {
+        queue_.erase(it);
+        touch();
+    }
 }
 
 const core::osm* inorder_queue_manager::owner_of(core::ident_t) const {
@@ -55,9 +60,13 @@ const core::osm* inorder_queue_manager::owner_of(core::ident_t) const {
 }
 
 void inorder_queue_manager::tick() {
+    // Only observable changes bump the generation: spent bandwidth coming
+    // back, or the allocation blackout expiring.  A 3 -> 2 blackout count
+    // keeps every query answer identical.
+    if (allocs_this_cycle_ != 0 || releases_this_cycle_ != 0) touch();
     allocs_this_cycle_ = 0;
     releases_this_cycle_ = 0;
-    if (block_alloc_ > 0) --block_alloc_;
+    if (block_alloc_ > 0 && --block_alloc_ == 0) touch();
 }
 
 int inorder_queue_manager::position_of(const core::osm& m) const {

@@ -1,0 +1,359 @@
+// Translated-basic-block cache: formation and termination rules, the
+// direct-mapped/eviction/stats contract, SMC-safe invalidation (including
+// a store that rewrites a later instruction of the *currently executing*
+// block), and checkpoint interactions — restore must flush translated
+// blocks so a checkpoint restored into a modified image re-decodes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/block_cache.hpp"
+#include "isa/encoding.hpp"
+#include "isa/iss.hpp"
+#include "isa/program.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/registry.hpp"
+
+namespace {
+
+using namespace osm;
+using isa::basic_block;
+using isa::block_cache;
+using isa::decoded_inst;
+using isa::op;
+
+std::uint32_t enc(op code, unsigned rd, unsigned rs1, unsigned rs2,
+                  std::int32_t imm = 0) {
+    return isa::encode(decoded_inst{code, static_cast<std::uint8_t>(rd),
+                                    static_cast<std::uint8_t>(rs1),
+                                    static_cast<std::uint8_t>(rs2), imm, 0});
+}
+
+// ---- formation / termination ----------------------------------------------
+
+TEST(BlockCache, ForwardBranchesExtendBackwardBranchesTerminate) {
+    mem::main_memory m;
+    const std::uint32_t base = 0x1000;
+    m.write32(base + 0, enc(op::addi, 5, 5, 0, 1));
+    m.write32(base + 4, enc(op::beq, 0, 5, 6, 8));     // forward: side exit
+    m.write32(base + 8, enc(op::add_r, 6, 5, 5));
+    m.write32(base + 12, enc(op::blt, 0, 6, 5, -16));  // backward: terminator
+    m.write32(base + 16, enc(op::addi, 7, 7, 0, 9));   // next block, not ours
+
+    block_cache bc(64);
+    EXPECT_EQ(bc.lookup(base), nullptr);
+    const basic_block& b = bc.build(base, m, nullptr);
+    EXPECT_EQ(b.entry_pc, base);
+    EXPECT_EQ(b.n, 4u);  // the forward branch stays inside the superblock
+    EXPECT_EQ(b.ops[0].pc, base);
+    EXPECT_EQ(b.ops[1].kind, static_cast<std::uint8_t>(op::beq));
+    EXPECT_EQ(b.ops[3].pc, base + 12);
+    EXPECT_EQ(b.ops[3].kind, static_cast<std::uint8_t>(op::blt));
+
+    const basic_block* hit = bc.lookup(base);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->n, 4u);
+    EXPECT_EQ(bc.stats().hits, 1u);
+    EXPECT_EQ(bc.stats().misses, 1u);
+    EXPECT_EQ(bc.stats().blocks_built, 1u);
+}
+
+TEST(BlockCache, JumpSystemAndInvalidAllTerminate) {
+    mem::main_memory m;
+    block_cache bc(64);
+    // Find a word that actually decodes to op::invalid (the all-ones word
+    // may alias a real encoding).
+    std::uint32_t bad = 0xFFFFFFFFu;
+    while (isa::decode(bad).code != op::invalid) --bad;
+    const struct {
+        std::uint32_t word;
+        op code;
+    } terms[] = {
+        {enc(op::jal, 1, 0, 0, 16), op::jal},
+        {enc(op::jalr, 0, 1, 0, 0), op::jalr},
+        {enc(op::halt, 0, 0, 0), op::halt},
+        {bad, op::invalid},
+    };
+    std::uint32_t pc = 0x2000;
+    for (const auto& t : terms) {
+        m.write32(pc, enc(op::addi, 5, 5, 0, 1));
+        m.write32(pc + 4, t.word);
+        const basic_block& b = bc.build(pc, m, nullptr);
+        EXPECT_EQ(b.n, 2u) << "terminator " << static_cast<int>(t.code);
+        EXPECT_EQ(b.ops[1].kind, static_cast<std::uint8_t>(t.code));
+        pc += 0x100;
+    }
+}
+
+TEST(BlockCache, StraightLineCodeIsCutAtTheCap) {
+    mem::main_memory m;
+    const std::uint32_t base = 0x3000;
+    for (unsigned i = 0; i < 2 * block_cache::k_max_block_len; ++i) {
+        m.write32(base + 4 * i, enc(op::addi, 5, 5, 0, 1));
+    }
+    block_cache bc(64);
+    const basic_block& b = bc.build(base, m, nullptr);
+    EXPECT_EQ(b.n, block_cache::k_max_block_len);
+    // No terminator: the last op is an ordinary fall-through instruction.
+    EXPECT_EQ(b.ops[b.n - 1].kind, static_cast<std::uint8_t>(op::addi));
+}
+
+TEST(BlockCache, PureX0WritesAreRemappedToNop) {
+    mem::main_memory m;
+    const std::uint32_t base = 0x4000;
+    m.write32(base + 0, enc(op::addi, 0, 0, 0, 0));   // canonical nop
+    m.write32(base + 4, enc(op::add_r, 0, 5, 6));     // dead ALU write
+    m.write32(base + 8, enc(op::lw, 0, 5, 0, 0));     // load: keeps access
+    m.write32(base + 12, enc(op::jal, 0, 0, 0, 8));   // jump: keeps redirect
+
+    block_cache bc(64);
+    const basic_block& b = bc.build(base, m, nullptr);
+    ASSERT_EQ(b.n, 4u);
+    EXPECT_EQ(b.ops[0].kind, block_cache::k_nop);
+    EXPECT_EQ(b.ops[1].kind, block_cache::k_nop);
+    EXPECT_EQ(b.ops[2].kind, static_cast<std::uint8_t>(op::lw));
+    EXPECT_EQ(b.ops[3].kind, static_cast<std::uint8_t>(op::jal));
+}
+
+// ---- cache mechanics / stats ----------------------------------------------
+
+TEST(BlockCache, DirectMappedConflictEvicts) {
+    mem::main_memory m;
+    // 4 entries: pcs 16 bytes apart share a line.
+    m.write32(0x1000, enc(op::halt, 0, 0, 0));
+    m.write32(0x1010, enc(op::halt, 0, 0, 0));
+    block_cache bc(4);
+    EXPECT_EQ(bc.entries(), 4u);
+    bc.build(0x1000, m, nullptr);
+    bc.build(0x1010, m, nullptr);
+    EXPECT_EQ(bc.stats().evictions, 1u);
+    EXPECT_EQ(bc.lookup(0x1000), nullptr);  // displaced
+    ASSERT_NE(bc.lookup(0x1010), nullptr);
+}
+
+TEST(BlockCache, InvalidateAllPreservesCountersResetStatsClearsThem) {
+    mem::main_memory m;
+    m.write32(0x1000, enc(op::halt, 0, 0, 0));
+    block_cache bc(16);
+    bc.build(0x1000, m, nullptr);
+    bc.lookup(0x1000);
+    EXPECT_EQ(bc.stats().hits, 1u);
+    EXPECT_EQ(bc.stats().misses, 1u);
+
+    // invalidate_all drops entries but must NOT conflate that with a stats
+    // reset — ablation reports depend on counters surviving flushes.
+    bc.invalidate_all();
+    EXPECT_EQ(bc.lookup(0x1000), nullptr);
+    EXPECT_EQ(bc.stats().hits, 1u);
+    EXPECT_EQ(bc.stats().misses, 1u);
+    EXPECT_EQ(bc.stats().blocks_built, 1u);
+
+    bc.reset_stats();
+    EXPECT_EQ(bc.stats().hits, 0u);
+    EXPECT_EQ(bc.stats().misses, 0u);
+    EXPECT_EQ(bc.stats().blocks_built, 0u);
+}
+
+TEST(BlockCache, NotifyStoreKillsOverlappingBlocksOnly) {
+    mem::main_memory m;
+    // Different 4K pages AND different direct-mapped slots (0x9000 would
+    // collide with 0x1000 in a 64-entry table; 0x9004 does not).
+    m.write32(0x1000, enc(op::halt, 0, 0, 0));
+    m.write32(0x9004, enc(op::halt, 0, 0, 0));
+    block_cache bc(64);
+    bc.build(0x1000, m, nullptr);
+    bc.build(0x9004, m, nullptr);
+
+    // A store far outside the watch range is screened out by one branch.
+    EXPECT_FALSE(bc.store_may_hit(0x00200000));
+    // A store inside the range but on a code-free page is a false positive
+    // the page map resolves (0x5000 lies between the two code pages).
+    EXPECT_TRUE(bc.store_may_hit(0x5000));
+    EXPECT_FALSE(bc.notify_store(0x5000, 4));
+    EXPECT_EQ(bc.stats().invalidations, 0u);
+
+    // A store onto the first code page kills that block and only it.
+    EXPECT_TRUE(bc.notify_store(0x1002, 1));
+    EXPECT_EQ(bc.lookup(0x1000), nullptr);
+    ASSERT_NE(bc.lookup(0x9004), nullptr);
+    EXPECT_EQ(bc.stats().invalidations, 1u);
+    EXPECT_EQ(bc.stats().smc_stores, 1u);
+    const std::uint64_t gen = bc.generation();
+    EXPECT_GT(gen, 0u);
+}
+
+// ---- ISS integration: SMC mid-block ----------------------------------------
+
+// A store that rewrites a *later instruction of its own block* must abort
+// the block after the store: the new word — not the translated stale one —
+// executes.  Mirrors the decode cache's SelfModifyingCodeRedecodes at the
+// block level.
+TEST(BlockCacheIss, SelfModifyingStoreMidBlockAborts) {
+    isa::program_builder b;
+    const std::uint32_t new_word = enc(op::addi, 8, 8, 0, 41);
+    b.li(7, new_word);
+    // After li(6, ...): sw (4 bytes) + addi x9 (4) puts the patchee at
+    // text_pos + 12 (li of a small text address is one instruction).
+    const std::uint32_t patchee = b.text_pos() + 12;
+    b.li(6, patchee);
+    b.emit_store(op::sw, 7, 6, 0);
+    b.emit_i(op::addi, 9, 9, 1);           // executes interpretively post-abort
+    const std::uint32_t at = b.emit_i(op::addi, 8, 8, 1);  // the patchee
+    b.halt_op();
+    const auto img = b.finish();
+    ASSERT_EQ(at, patchee);
+
+    mem::main_memory m;
+    isa::iss sim(m, true, true);
+    sim.load(img);
+    sim.run(1000);
+    EXPECT_TRUE(sim.state().halted);
+    EXPECT_EQ(sim.state().gpr[8], 41u);  // the rewritten word ran
+    EXPECT_EQ(sim.state().gpr[9], 1u);
+    EXPECT_GE(sim.block_stats().smc_stores, 1u);
+    EXPECT_GE(sim.block_stats().invalidations, 1u);
+
+    // Block-cache-off reference: bit-identical architectural outcome.
+    mem::main_memory m2;
+    isa::iss ref(m2, true, false);
+    ref.load(img);
+    ref.run(1000);
+    EXPECT_EQ(sim.state().gpr, ref.state().gpr);
+    EXPECT_EQ(sim.state().fpr, ref.state().fpr);
+    EXPECT_EQ(sim.instret(), ref.instret());
+}
+
+// A taken conditional branch inside a superblock leaves the block early; a
+// not-taken one falls through to the ops translated behind it.  Both paths
+// must match the block-cache-off interpreter bit for bit.
+TEST(BlockCacheIss, SuperblockSideExitsExecuteCorrectly) {
+    isa::program_builder b;
+    b.li(5, 3);  // x5 = trip count
+    const auto loop = b.here();
+    auto done = b.new_label();
+    b.emit_i(op::addi, 6, 6, 1);          // x6 += 1
+    b.emit_branch(op::beq, 6, 5, done);   // taken on the last trip only
+    b.emit_i(op::addi, 7, 7, 1);          // x7 += 1, skipped on the last trip
+    b.emit_branch(op::blt, 6, 5, loop);   // backward side exit
+    b.bind(done);
+    b.emit_i(op::addi, 8, 8, 1);
+    b.halt_op();
+    const auto img = b.finish();
+
+    mem::main_memory m;
+    isa::iss sim(m, true, true);
+    sim.load(img);
+    sim.run(1000);
+    ASSERT_TRUE(sim.state().halted);
+    EXPECT_EQ(sim.state().gpr[6], 3u);
+    EXPECT_EQ(sim.state().gpr[7], 2u);
+    EXPECT_EQ(sim.state().gpr[8], 1u);
+
+    mem::main_memory m2;
+    isa::iss ref(m2, true, false);
+    ref.load(img);
+    ref.run(1000);
+    EXPECT_EQ(sim.state().gpr, ref.state().gpr);
+    EXPECT_EQ(sim.state().pc, ref.state().pc);
+    EXPECT_EQ(sim.instret(), ref.instret());
+}
+
+// ---- checkpoint interactions -----------------------------------------------
+
+namespace ck_prog {
+
+/// li t0,5; loop: addi t1+=1; addi t2+=1 (patchee); blt t1,t0 -> loop; halt.
+/// Returns the image and the patchee's address.
+isa::program_image make(std::uint32_t& patchee_addr) {
+    isa::program_builder b;
+    b.li(5, 5);  // x5 = trip count
+    const auto loop = b.here();
+    b.emit_i(op::addi, 6, 6, 1);
+    patchee_addr = b.emit_i(op::addi, 7, 7, 1);
+    b.emit_branch(op::blt, 6, 5, loop);
+    b.halt_op();
+    return b.finish();
+}
+
+}  // namespace ck_prog
+
+// Save mid-loop with the block cache hot, restore, run to completion: the
+// restored run must match an uninterrupted one exactly.
+TEST(BlockCacheIss, CheckpointSaveRestoreRunEquality) {
+    std::uint32_t patchee = 0;
+    const auto img = ck_prog::make(patchee);
+
+    sim::engine_config cfg;
+    cfg.block_cache = true;
+    auto straight = sim::make_engine("iss", cfg);
+    straight->load(img);
+    straight->run(100000);
+    ASSERT_TRUE(straight->halted());
+
+    auto eng = sim::make_engine("iss", cfg);
+    eng->load(img);
+    eng->run_until_retired(7);  // setup + two full trips, pc back at loop
+    const sim::checkpoint ck = eng->save_state();
+    eng->run(100000);
+    ASSERT_TRUE(eng->halted());
+
+    auto resumed = sim::make_engine("iss", cfg);
+    resumed->restore_state(ck);
+    resumed->run(100000);
+    ASSERT_TRUE(resumed->halted());
+
+    for (unsigned r = 0; r < 32; ++r) {
+        EXPECT_EQ(resumed->gpr(r), straight->gpr(r)) << "x" << r;
+        EXPECT_EQ(resumed->gpr(r), eng->gpr(r)) << "x" << r;
+    }
+    EXPECT_EQ(resumed->retired(), straight->retired());
+    EXPECT_EQ(resumed->console(), straight->console());
+}
+
+// Restoring a checkpoint whose memory image holds *different program
+// bytes* at an already-translated (and already-decoded) pc must re-decode:
+// restore_arch flushes both the decode cache and the block cache, so the
+// stale translation can never run.  This is the re-emplacement audit test:
+// the same engine instance keeps its caches hot across restore_state().
+TEST(BlockCacheIss, RestoreIntoModifiedImageRedecodes) {
+    std::uint32_t patchee = 0;
+    const auto img = ck_prog::make(patchee);
+
+    sim::engine_config cfg;
+    cfg.block_cache = true;
+    auto eng = sim::make_engine("iss", cfg);
+    eng->load(img);
+    // Two of five trips done: the loop body's block is hot in the cache.
+    eng->run_until_retired(7);
+    EXPECT_EQ(eng->gpr(7), 2u);
+    sim::checkpoint ck = eng->save_state();
+
+    // Patch the loop-body instruction inside the checkpoint's memory image:
+    // x7 += 100 per remaining trip instead of += 1.
+    const std::uint32_t new_word = enc(op::addi, 7, 7, 0, 100);
+    bool patched = false;
+    for (auto& page : ck.pages) {
+        if (patchee < page.base || patchee + 4 > page.base + page.bytes.size())
+            continue;
+        const std::size_t off = patchee - page.base;
+        page.bytes[off + 0] = static_cast<std::uint8_t>(new_word);
+        page.bytes[off + 1] = static_cast<std::uint8_t>(new_word >> 8);
+        page.bytes[off + 2] = static_cast<std::uint8_t>(new_word >> 16);
+        page.bytes[off + 3] = static_cast<std::uint8_t>(new_word >> 24);
+        patched = true;
+    }
+    ASSERT_TRUE(patched) << "patchee page not in checkpoint image";
+
+    // Restore into the SAME engine: its caches still hold the old decode
+    // and the old translated block for the loop body.
+    eng->restore_state(ck);
+    eng->run(100000);
+    ASSERT_TRUE(eng->halted());
+    // 2 trips of +1 before the snapshot, 3 trips of +100 after it.  Any
+    // stale cached decode/translation would leave x7 at 5.
+    EXPECT_EQ(eng->gpr(7), 2u + 3u * 100u);
+    EXPECT_EQ(eng->gpr(6), 5u);
+}
+
+}  // namespace

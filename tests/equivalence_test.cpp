@@ -32,10 +32,8 @@ struct final_state {
     bool fp = true;  ///< engine executes the FP register file
 };
 
-final_state run_engine(const std::string& name, const isa::program_image& img,
-                       bool dcache = true) {
-    sim::engine_config cfg;
-    cfg.decode_cache = dcache;
+final_state run_engine_cfg(const std::string& name, const isa::program_image& img,
+                           const sim::engine_config& cfg) {
     auto sim = sim::make_engine(name, cfg);
     sim->load(img);
     sim->run(100'000'000);
@@ -50,6 +48,13 @@ final_state run_engine(const std::string& name, const isa::program_image& img,
     f.halted = sim->halted();
     f.fp = sim->executes_fp();
     return f;
+}
+
+final_state run_engine(const std::string& name, const isa::program_image& img,
+                       bool dcache = true) {
+    sim::engine_config cfg;
+    cfg.decode_cache = dcache;
+    return run_engine_cfg(name, img, cfg);
 }
 
 void expect_arch_equal(const final_state& a, const final_state& b,
@@ -137,6 +142,60 @@ TEST(DecodeCacheAblation, BitIdenticalOnAndOff) {
             const auto on = run_engine(name, img, true);
             const auto off = run_engine(name, img, false);
             expect_arch_equal(on, off, name + " decode-cache off", opt.seed);
+            EXPECT_EQ(on.cycles, off.cycles) << name << " seed " << opt.seed;
+        }
+    }
+}
+
+// The block cache is, like the decode cache, a pure host-side
+// optimization: every registered engine must produce *bit-identical*
+// results — architectural state, console, retired count AND cycle count —
+// with it on and off.  Only the ISS actually dispatches translated blocks
+// today, but the ablation sweeps the whole registry so an engine that
+// later adopts the block cache inherits the invariant for free.
+TEST(BlockCacheAblation, BitIdenticalOnAndOff) {
+    for (int i = 0; i < 6; ++i) {
+        workloads::randprog_options opt;
+        opt.seed = 6200u + static_cast<unsigned>(i);
+        opt.blocks = 10;
+        opt.block_len = 10;
+        opt.with_fp = (i % 2 == 0);
+        const auto img = workloads::make_random_program(opt);
+
+        for (const auto& name : sim::engine_registry::instance().names()) {
+            if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
+            sim::engine_config cfg;
+            cfg.block_cache = true;
+            const auto on = run_engine_cfg(name, img, cfg);
+            cfg.block_cache = false;
+            const auto off = run_engine_cfg(name, img, cfg);
+            expect_arch_equal(on, off, name + " block-cache off", opt.seed);
+            EXPECT_EQ(on.cycles, off.cycles) << name << " seed " << opt.seed;
+        }
+    }
+}
+
+// Director batching (the blocked-OSM skip memo) must be invisible in both
+// architectural state and cycle counts on every OSM-director engine: a
+// cycle divergence would mean a skipped visit could actually have fired,
+// i.e. a generation/touch() hole in some token manager.
+TEST(DirectorBatchAblation, BitIdenticalOnAndOff) {
+    for (int i = 0; i < 6; ++i) {
+        workloads::randprog_options opt;
+        opt.seed = 7300u + static_cast<unsigned>(i);
+        opt.blocks = 10;
+        opt.block_len = 10;
+        opt.with_fp = (i % 2 == 0);
+        const auto img = workloads::make_random_program(opt);
+
+        for (const auto& name : sim::engine_registry::instance().names()) {
+            if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
+            sim::engine_config cfg;
+            cfg.director_batch = true;
+            const auto on = run_engine_cfg(name, img, cfg);
+            cfg.director_batch = false;
+            const auto off = run_engine_cfg(name, img, cfg);
+            expect_arch_equal(on, off, name + " director-batch off", opt.seed);
             EXPECT_EQ(on.cycles, off.cycles) << name << " seed " << opt.seed;
         }
     }

@@ -1,0 +1,204 @@
+// osm-bench: machine-readable throughput snapshot over the mixed workload
+// suite.  Emits exactly one stable-schema JSON document ("osm-bench-1") on
+// stdout: per-engine steady-state Minst/s and cycles/sec plus decode- and
+// block-cache hit ratios, and the ISS block-/decode-cache ablation rows.
+//
+//   osm-bench [--scale N] [--reps N] [--engines a,b,...|all]
+//
+// scripts/bench.sh redirects this into BENCH_1.json (the committed
+// snapshot); scripts/bench_gate.py re-runs it under ctest and fails on a
+// >10% throughput loss against that snapshot.  Every run does one untimed
+// warmup pass per workload so the timed region is steady-state (the same
+// protocol as the §5 speed benches).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/diff_runner.hpp"
+#include "sim/registry.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace osm;
+
+namespace {
+
+struct measurement {
+    double secs = 0;
+    double insts = 0;
+    double cycles = 0;
+    double dcache_hits = 0;
+    double dcache_misses = 0;
+    double bcache_hits = 0;
+    double bcache_misses = 0;
+    bool ran = false;
+
+    void merge(const measurement& o) {
+        secs += o.secs;
+        insts += o.insts;
+        cycles += o.cycles;
+        dcache_hits += o.dcache_hits;
+        dcache_misses += o.dcache_misses;
+        bcache_hits += o.bcache_hits;
+        bcache_misses += o.bcache_misses;
+        ran = ran || o.ran;
+    }
+
+    double mips() const { return secs > 0 ? insts / secs / 1e6 : 0.0; }
+    double cyc_per_sec() const { return secs > 0 ? cycles / secs : 0.0; }
+    static double ratio(double h, double m) {
+        return (h + m) > 0 ? h / (h + m) : 0.0;
+    }
+    double dcache_ratio() const { return ratio(dcache_hits, dcache_misses); }
+    double bcache_ratio() const { return ratio(bcache_hits, bcache_misses); }
+};
+
+/// Pull a counter from a report section, tolerating engines that do not
+/// expose it (only the ISS has a block_cache section today).
+double counter(const stats::report& r, const std::string& sec,
+               const std::string& key) {
+    try {
+        return static_cast<double>(std::get<std::uint64_t>(r.at(sec, key)));
+    } catch (const std::out_of_range&) {
+        return 0.0;
+    }
+}
+
+/// Repetition counts matching the speed benches: the functional ISS needs
+/// more reps to rise above timer noise.
+unsigned reps_for(const std::string& name, unsigned mult) {
+    unsigned base = 1;
+    if (name == "iss") base = 4;
+    else if (name == "hw") base = 2;
+    return base * mult;
+}
+
+measurement measure_engine(const std::string& name, const sim::engine_config& cfg,
+                           unsigned scale, unsigned reps) {
+    measurement m;
+    const bool fp_ok = sim::make_engine(name, cfg)->executes_fp();
+    for (auto& w : workloads::mixed_suite(scale)) {
+        if (!fp_ok && sim::program_uses_fp(w.image)) continue;
+        {
+            // Untimed warmup: cold-start host costs stay out of the
+            // timed region.
+            auto warm = sim::make_engine(name, cfg);
+            warm->load(w.image);
+            warm->run(2'000'000'000ull);
+        }
+        for (unsigned r = 0; r < reps; ++r) {
+            auto eng = sim::make_engine(name, cfg);
+            eng->load(w.image);
+            const auto t0 = std::chrono::steady_clock::now();
+            eng->run(2'000'000'000ull);
+            m.secs += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+            m.insts += static_cast<double>(eng->retired());
+            m.cycles += static_cast<double>(eng->cycles());
+            const auto rep = eng->stats_report();
+            m.dcache_hits += counter(rep, "decode_cache", "hits");
+            m.dcache_misses += counter(rep, "decode_cache", "misses");
+            m.bcache_hits += counter(rep, "block_cache", "hits");
+            m.bcache_misses += counter(rep, "block_cache", "misses");
+            m.ran = true;
+        }
+    }
+    return m;
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        if (!name.empty()) out.push_back(name);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    unsigned scale = 2;
+    unsigned mult = 1;
+    std::string engine_spec = "all";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc) scale = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        else if (arg == "--reps" && i + 1 < argc) mult = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        else if (arg == "--engines" && i + 1 < argc) engine_spec = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: osm-bench [--scale N] [--reps N] [--engines a,b,...|all]\n");
+            return 2;
+        }
+    }
+    if (scale == 0 || mult == 0) {
+        std::fprintf(stderr, "osm-bench: --scale/--reps must be >= 1\n");
+        return 2;
+    }
+
+    std::vector<std::string> names;
+    if (engine_spec == "all") {
+        names = sim::engine_registry::instance().names();
+    } else {
+        names = split_names(engine_spec);
+    }
+
+    std::printf("{\n");
+    std::printf("  \"schema\": \"osm-bench-1\",\n");
+    std::printf("  \"suite\": \"mixed\",\n");
+    std::printf("  \"scale\": %u,\n", scale);
+    std::printf("  \"engines\": {\n");
+    bool first = true;
+    for (const auto& name : names) {
+        sim::engine_config cfg;  // defaults: caches on, batching on
+        const auto m = measure_engine(name, cfg, scale, reps_for(name, mult));
+        if (!m.ran) continue;
+        std::fprintf(stderr, "osm-bench: %-6s %10.2f Minst/s\n", name.c_str(),
+                     m.mips());
+        std::printf("%s    \"%s\": {\n", first ? "" : ",\n", name.c_str());
+        std::printf("      \"mips\": %.3f,\n", m.mips());
+        std::printf("      \"cycles_per_sec\": %.1f,\n", m.cyc_per_sec());
+        std::printf("      \"decode_cache_hit_ratio\": %.6f,\n", m.dcache_ratio());
+        std::printf("      \"block_cache_hit_ratio\": %.6f\n", m.bcache_ratio());
+        std::printf("    }");
+        first = false;
+    }
+    std::printf("\n  },\n");
+
+    // ISS ablations.  Block cache: off-column keeps the decode cache on, so
+    // the ratio is translated-block dispatch vs the decode-cache baseline
+    // (target >= 5x).  Decode cache: both caches off vs decode-only.  The
+    // on/off measurements are interleaved rep-by-rep so slow host-frequency
+    // drift hits both columns equally instead of biasing the ratio.
+    sim::engine_config on_cfg, off_cfg, dc_cfg;
+    off_cfg.block_cache = false;
+    dc_cfg.block_cache = false;
+    dc_cfg.decode_cache = false;
+    const unsigned reps = reps_for("iss", mult);
+    measurement bc_on, bc_off, dc_off;
+    for (unsigned r = 0; r < reps; ++r) {
+        bc_on.merge(measure_engine("iss", on_cfg, scale, 1));
+        bc_off.merge(measure_engine("iss", off_cfg, scale, 1));
+        dc_off.merge(measure_engine("iss", dc_cfg, scale, 1));
+    }
+    const double bc_speedup = bc_off.mips() > 0 ? bc_on.mips() / bc_off.mips() : 0;
+    const double dc_speedup = dc_off.mips() > 0 ? bc_off.mips() / dc_off.mips() : 0;
+    std::fprintf(stderr,
+                 "osm-bench: iss block-cache ablation %.2f / %.2f Minst/s = %.2fx\n",
+                 bc_on.mips(), bc_off.mips(), bc_speedup);
+    std::printf("  \"ablation\": {\n");
+    std::printf("    \"iss_block_cache_on_mips\": %.3f,\n", bc_on.mips());
+    std::printf("    \"iss_block_cache_off_mips\": %.3f,\n", bc_off.mips());
+    std::printf("    \"iss_block_cache_speedup\": %.3f,\n", bc_speedup);
+    std::printf("    \"iss_decode_cache_off_mips\": %.3f,\n", dc_off.mips());
+    std::printf("    \"iss_decode_cache_speedup\": %.3f\n", dc_speedup);
+    std::printf("  }\n");
+    std::printf("}\n");
+    return 0;
+}

@@ -41,6 +41,7 @@ void usage() {
                  "usage: osm-run prog.s|prog.vri [--engine NAME] [--diff a,b,...|all]\n"
                  "               [--max-cycles N] [--trace] [--regs] [--json]\n"
                  "               [--no-forwarding] [--no-decode-cache]\n"
+                 "               [--block-cache|--no-block-cache] [--director-batch|--no-director-batch]\n"
                  "               [--save-at N] [--save FILE] [--dump-arch]\n"
                  "       osm-run prog --lockstep ENGINE [--interval N]\n"
                  "                                       retirement-lockstep vs iss; on\n"
@@ -179,6 +180,10 @@ int main(int argc, char** argv) {
         else if (arg == "--interval" && i + 1 < argc) interval = std::strtoull(argv[++i], nullptr, 0);
         else if (arg == "--no-forwarding") cfg.forwarding = false;
         else if (arg == "--no-decode-cache") cfg.decode_cache = false;
+        else if (arg == "--block-cache") cfg.block_cache = true;
+        else if (arg == "--no-block-cache") cfg.block_cache = false;
+        else if (arg == "--director-batch") cfg.director_batch = true;
+        else if (arg == "--no-director-batch") cfg.director_batch = false;
         else if (arg == "--list-engines") { list_engines(); return 0; }
         else if (!arg.empty() && arg[0] == '-') usage();
         else if (input.empty()) input = arg;
