@@ -1,0 +1,15 @@
+# Print "HI" and a newline through the PPC32 sc console convention:
+# syscall code in r0 (1 = putchar), argument in r3.
+#
+#   osm-run --engine ppc32 examples/asm/ppc/hello.s
+_start:
+        li r3, 72                ; 'H'
+        li r0, 1
+        sc
+        li r3, 73                ; 'I'
+        li r0, 1
+        sc
+        li r0, 3                 ; newline
+        sc
+        li r0, 0                 ; exit
+        sc

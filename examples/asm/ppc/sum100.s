@@ -1,0 +1,19 @@
+# Sum 1..100 and print the result (5050) — the PPC32 twin of
+# examples/asm/sum100.s, using a counted CTR loop and the sc console
+# convention (code in r0, argument in r3).
+#
+#   osm-run --engine ppc32 examples/asm/ppc/sum100.s
+#   osm-run --engine ppc32-750 --json examples/asm/ppc/sum100.s
+_start:
+        li r3, 0                 ; accumulator
+        li r4, 100
+        mtctr r4
+loop:   mfctr r5                 ; counts 100 down to 1
+        add r3, r3, r5
+        bdnz loop
+        li r0, 2                 ; print r3 as decimal
+        sc
+        li r0, 3                 ; newline
+        sc
+        li r0, 0                 ; exit
+        sc

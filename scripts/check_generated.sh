@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Staleness gate for osm-decgen output: re-generate every committed ISA
+# spec into a scratch directory and diff against the checked-in sources
+# under src/isa/gen (and the generated markdown sections in docs/).
+# Fails when someone edited a generated file by hand or changed a spec
+# without regenerating.
+#
+# Usage: check_generated.sh <osm-decgen-binary> <repo-root>
+set -euo pipefail
+
+DECGEN=${1:?usage: check_generated.sh DECGEN REPO_ROOT}
+ROOT=${2:?usage: check_generated.sh DECGEN REPO_ROOT}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+for spec in "$ROOT"/src/isa/specs/*.spec; do
+    isa=$(basename "$spec" .spec)
+    "$DECGEN" "$spec" --out "$TMP" 2>/dev/null
+    for inc in "${isa}_ops.inc" "${isa}_tables.inc"; do
+        if ! diff -u "$ROOT/src/isa/gen/$inc" "$TMP/$inc"; then
+            echo "check_generated: STALE src/isa/gen/$inc (regenerate:" \
+                 "osm-decgen src/isa/specs/$isa.spec --out src/isa/gen)" >&2
+            fail=1
+        fi
+    done
+    # Generated markdown sections: re-splice a copy of any doc that
+    # carries this ISA's markers and diff it.
+    for doc in "$ROOT"/docs/*.md; do
+        if grep -q "BEGIN GENERATED (osm-decgen: $isa)" "$doc"; then
+            cp "$doc" "$TMP/doc.md"
+            "$DECGEN" "$spec" --md-splice "$TMP/doc.md" 2>/dev/null
+            if ! diff -u "$doc" "$TMP/doc.md"; then
+                echo "check_generated: STALE $(basename "$doc") (regenerate:" \
+                     "osm-decgen src/isa/specs/$isa.spec --md-splice $doc)" >&2
+                fail=1
+            fi
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_generated: OK (all generated sources match committed specs)"

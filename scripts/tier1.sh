@@ -38,6 +38,13 @@ ctest --test-dir build-asan -L checkpoint --output-on-failure -j
 ./build-asan/tools/osm-run --rand 20260807 --diff all --no-block-cache \
     --max-cycles 50000000
 
+# PPC32 second front-end smoke under the sanitizers: the spec-generated
+# decoder and assembler on a committed example, then a random-program
+# differential between the functional ISS and the ppc32-750 timing model.
+./build-asan/tools/osm-run examples/asm/ppc/sum100.s --engine ppc32
+./build-asan/tools/osm-run --rand 20260807 --diff ppc32,ppc32-750 \
+    --max-cycles 50000000
+
 # Sanitized fuzz smoke: a bounded quick-matrix campaign over all engines,
 # plus a replay of the committed regression corpus (exit 4 = divergence,
 # exit 1 = setup error — both fail the gate).
@@ -61,4 +68,4 @@ if ! diff <(grep -v -e '^pc=' -e '^cycles=' -e '^\[' "$ck/straight.txt") \
     exit 1
 fi
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint suite + all-engine diff incl. block-cache on/off + fuzz smoke + checkpoint round-trip)"
+echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint suite + all-engine diff incl. block-cache on/off + ppc32 smoke + fuzz smoke + checkpoint round-trip)"

@@ -129,7 +129,8 @@ stats::report campaign_result::summary() const {
 
 campaign_result run_campaign(const campaign_options& opt) {
     auto engines = opt.engines;
-    if (engines.empty()) engines = sim::engine_registry::instance().names();
+    // Campaign programs are VR32 randprogs; only VR32 engines can run them.
+    if (engines.empty()) engines = sim::engine_registry::instance().names_for_isa("vr32");
     // Resolve every engine up front: a typo must be a setup error, not 500
     // silent exceptions mid-sweep.
     for (const auto& n : engines) {

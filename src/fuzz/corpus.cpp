@@ -87,7 +87,8 @@ void write_file(const std::string& path, const std::string& text) {
 
 std::vector<std::string> split_engines(const std::string& list) {
     if (list.empty() || list == "all") {
-        return sim::engine_registry::instance().names();
+        // Corpus reproducers are VR32 assembly; "all" means all VR32 engines.
+        return sim::engine_registry::instance().names_for_isa("vr32");
     }
     std::vector<std::string> out;
     std::istringstream in(list);

@@ -6,6 +6,7 @@
 
 #include "isa/arch.hpp"
 #include "isa/encoding.hpp"
+#include "isa/vr32_tables.hpp"
 
 namespace osm::isa {
 
@@ -110,34 +111,17 @@ bool parse_int(std::string_view s, std::int64_t& out) {
     return true;
 }
 
-/// Integer mnemonics that map 1:1 to an op.
+/// Mnemonic -> op mapping, built from the generated ISA tables so the
+/// assembler's vocabulary can never drift from the spec.
 const std::map<std::string, op, std::less<>>& mnemonic_table() {
-    static const std::map<std::string, op, std::less<>> table = {
-        {"add", op::add_r},   {"sub", op::sub_r},   {"and", op::and_r},
-        {"or", op::or_r},     {"xor", op::xor_r},   {"nor", op::nor_r},
-        {"sll", op::sll_r},   {"srl", op::srl_r},   {"sra", op::sra_r},
-        {"slt", op::slt_r},   {"sltu", op::sltu_r}, {"mul", op::mul},
-        {"mulh", op::mulh},   {"mulhu", op::mulhu}, {"div", op::div_s},
-        {"divu", op::div_u},  {"rem", op::rem_s},   {"remu", op::rem_u},
-        {"addi", op::addi},   {"andi", op::andi},   {"ori", op::ori},
-        {"xori", op::xori},   {"slti", op::slti},   {"sltiu", op::sltiu},
-        {"slli", op::slli},   {"srli", op::srli},   {"srai", op::srai},
-        {"lui", op::lui},     {"auipc", op::auipc},
-        {"lb", op::lb},       {"lbu", op::lbu},     {"lh", op::lh},
-        {"lhu", op::lhu},     {"lw", op::lw},
-        {"sb", op::sb},       {"sh", op::sh},       {"sw", op::sw},
-        {"beq", op::beq},     {"bne", op::bne},     {"blt", op::blt},
-        {"bge", op::bge},     {"bltu", op::bltu},   {"bgeu", op::bgeu},
-        {"jal", op::jal},     {"jalr", op::jalr},
-        {"fadd", op::fadd},   {"fsub", op::fsub},   {"fmul", op::fmul},
-        {"fdiv", op::fdiv},   {"fmin", op::fmin},   {"fmax", op::fmax},
-        {"fabs", op::fabs_f}, {"fneg", op::fneg_f}, {"feq", op::feq},
-        {"flt", op::flt_f},   {"fle", op::fle},
-        {"fcvt.w.s", op::fcvt_w_s}, {"fcvt.s.w", op::fcvt_s_w},
-        {"fmv.x.w", op::fmv_x_w},   {"fmv.w.x", op::fmv_w_x},
-        {"flw", op::flw},     {"fsw", op::fsw},
-        {"syscall", op::syscall_op}, {"halt", op::halt},
-    };
+    static const std::map<std::string, op, std::less<>> table = [] {
+        std::map<std::string, op, std::less<>> t;
+        const tbl::isa_tables& tabs = vr32_tables();
+        for (unsigned i = 0; i < tabs.ninsts; ++i) {
+            t.emplace(tabs.insts[i].mnemonic, static_cast<op>(tabs.insts[i].id));
+        }
+        return t;
+    }();
     return table;
 }
 

@@ -1,235 +1,55 @@
+// Classification attributes folded from the generated VR32 tables.
+// The per-instruction attributes (class, operand register files, latency
+// class) are declared once in src/isa/specs/vr32.spec; this file packs
+// them into the flat constexpr array behind the inline predicates in
+// decoded_inst.hpp.  The generated .inc is included here (again, besides
+// vr32_tables.cpp) so the packing happens at compile time — the hot
+// predicates must not depend on static-initialization order.
 #include "isa/decoded_inst.hpp"
+
+#include "isa/vr32_tables.hpp"
 
 namespace osm::isa {
 
+namespace {
+#include "isa/gen/vr32_tables.inc"
+
+static_assert(detail::k_num_ops == std::size_t{k_vr32_tables.ninsts} + 1,
+              "op enum and generated tables disagree — regenerate src/isa/gen");
+
+constexpr std::array<detail::op_attrs, detail::k_num_ops> build_attrs() {
+    std::array<detail::op_attrs, detail::k_num_ops> a{};
+    a[0] = {0xFF, 0, 0};  // op::invalid
+    for (std::uint16_t i = 0; i < k_vr32_tables.ninsts; ++i) {
+        const tbl::inst_desc& d = k_vr32_tables.insts[i];
+        std::uint8_t f = 0;
+        if (d.rd_kind != tbl::k_none) f |= detail::f_writes_rd;
+        if (d.rd_kind == tbl::k_fpr) f |= detail::f_rd_fpr;
+        if (d.rs1_kind != tbl::k_none) f |= detail::f_uses_rs1;
+        if (d.rs1_kind == tbl::k_fpr) f |= detail::f_rs1_fpr;
+        if (d.rs2_kind != tbl::k_none) f |= detail::f_uses_rs2;
+        if (d.rs2_kind == tbl::k_fpr) f |= detail::f_rs2_fpr;
+        if (d.cls == tbl::c_fpc || d.cls == tbl::c_fpx ||
+            d.rd_kind == tbl::k_fpr || d.rs1_kind == tbl::k_fpr ||
+            d.rs2_kind == tbl::k_fpr) {
+            f |= detail::f_any_fp;
+        }
+        a[d.id] = {d.cls, f, d.lat};
+    }
+    return a;
+}
+
+}  // namespace
+
+namespace detail {
+constexpr std::array<op_attrs, k_num_ops> k_op_attrs = build_attrs();
+}  // namespace detail
+
 std::string_view op_name(op code) {
-    switch (code) {
-        case op::invalid: return "invalid";
-        case op::add_r: return "add";
-        case op::sub_r: return "sub";
-        case op::and_r: return "and";
-        case op::or_r: return "or";
-        case op::xor_r: return "xor";
-        case op::nor_r: return "nor";
-        case op::sll_r: return "sll";
-        case op::srl_r: return "srl";
-        case op::sra_r: return "sra";
-        case op::slt_r: return "slt";
-        case op::sltu_r: return "sltu";
-        case op::mul: return "mul";
-        case op::mulh: return "mulh";
-        case op::mulhu: return "mulhu";
-        case op::div_s: return "div";
-        case op::div_u: return "divu";
-        case op::rem_s: return "rem";
-        case op::rem_u: return "remu";
-        case op::addi: return "addi";
-        case op::andi: return "andi";
-        case op::ori: return "ori";
-        case op::xori: return "xori";
-        case op::slti: return "slti";
-        case op::sltiu: return "sltiu";
-        case op::slli: return "slli";
-        case op::srli: return "srli";
-        case op::srai: return "srai";
-        case op::lui: return "lui";
-        case op::auipc: return "auipc";
-        case op::lb: return "lb";
-        case op::lbu: return "lbu";
-        case op::lh: return "lh";
-        case op::lhu: return "lhu";
-        case op::lw: return "lw";
-        case op::sb: return "sb";
-        case op::sh: return "sh";
-        case op::sw: return "sw";
-        case op::beq: return "beq";
-        case op::bne: return "bne";
-        case op::blt: return "blt";
-        case op::bge: return "bge";
-        case op::bltu: return "bltu";
-        case op::bgeu: return "bgeu";
-        case op::jal: return "jal";
-        case op::jalr: return "jalr";
-        case op::fadd: return "fadd";
-        case op::fsub: return "fsub";
-        case op::fmul: return "fmul";
-        case op::fdiv: return "fdiv";
-        case op::fmin: return "fmin";
-        case op::fmax: return "fmax";
-        case op::fabs_f: return "fabs";
-        case op::fneg_f: return "fneg";
-        case op::feq: return "feq";
-        case op::flt_f: return "flt";
-        case op::fle: return "fle";
-        case op::fcvt_w_s: return "fcvt.w.s";
-        case op::fcvt_s_w: return "fcvt.s.w";
-        case op::fmv_x_w: return "fmv.x.w";
-        case op::fmv_w_x: return "fmv.w.x";
-        case op::flw: return "flw";
-        case op::fsw: return "fsw";
-        case op::syscall_op: return "syscall";
-        case op::halt: return "halt";
-        case op::count_: break;
-    }
-    return "?";
-}
-
-bool is_branch(op code) {
-    switch (code) {
-        case op::beq: case op::bne: case op::blt:
-        case op::bge: case op::bltu: case op::bgeu:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool is_jump(op code) { return code == op::jal || code == op::jalr; }
-
-bool is_load(op code) {
-    switch (code) {
-        case op::lb: case op::lbu: case op::lh: case op::lhu: case op::lw:
-        case op::flw:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool is_store(op code) {
-    switch (code) {
-        case op::sb: case op::sh: case op::sw: case op::fsw:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool is_mul_div(op code) {
-    switch (code) {
-        case op::mul: case op::mulh: case op::mulhu:
-        case op::div_s: case op::div_u: case op::rem_s: case op::rem_u:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool is_fp_compute(op code) {
-    switch (code) {
-        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
-        case op::fmin: case op::fmax: case op::fabs_f: case op::fneg_f:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool is_fp(op code) {
-    if (is_fp_compute(code)) return true;
-    switch (code) {
-        case op::feq: case op::flt_f: case op::fle:
-        case op::fcvt_w_s: case op::fcvt_s_w:
-        case op::fmv_x_w: case op::fmv_w_x:
-        case op::flw: case op::fsw:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool is_system(op code) { return code == op::syscall_op || code == op::halt; }
-
-bool writes_rd(op code) {
-    if (is_store(code) || is_branch(code) || is_system(code) ||
-        code == op::invalid) {
-        return false;
-    }
-    return true;
-}
-
-bool rd_is_fpr(op code) {
-    switch (code) {
-        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
-        case op::fmin: case op::fmax: case op::fabs_f: case op::fneg_f:
-        case op::fcvt_s_w: case op::fmv_w_x: case op::flw:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool uses_rs1(op code) {
-    switch (code) {
-        case op::lui: case op::auipc: case op::jal:
-        case op::syscall_op: case op::halt: case op::invalid:
-            return false;
-        default:
-            return true;
-    }
-}
-
-bool rs1_is_fpr(op code) {
-    switch (code) {
-        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
-        case op::fmin: case op::fmax: case op::fabs_f: case op::fneg_f:
-        case op::feq: case op::flt_f: case op::fle:
-        case op::fcvt_w_s: case op::fmv_x_w:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool uses_rs2(op code) {
-    switch (code) {
-        case op::add_r: case op::sub_r: case op::and_r: case op::or_r:
-        case op::xor_r: case op::nor_r: case op::sll_r: case op::srl_r:
-        case op::sra_r: case op::slt_r: case op::sltu_r:
-        case op::mul: case op::mulh: case op::mulhu:
-        case op::div_s: case op::div_u: case op::rem_s: case op::rem_u:
-        case op::sb: case op::sh: case op::sw: case op::fsw:
-        case op::beq: case op::bne: case op::blt: case op::bge:
-        case op::bltu: case op::bgeu:
-        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
-        case op::fmin: case op::fmax:
-        case op::feq: case op::flt_f: case op::fle:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool rs2_is_fpr(op code) {
-    switch (code) {
-        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
-        case op::fmin: case op::fmax:
-        case op::feq: case op::flt_f: case op::fle:
-        case op::fsw:
-            return true;
-        default:
-            return false;
-    }
-}
-
-unsigned extra_exec_cycles(op code) {
-    switch (code) {
-        case op::mul: case op::mulh: case op::mulhu:
-            return 2;  // 3-cycle multiplier
-        case op::div_s: case op::div_u: case op::rem_s: case op::rem_u:
-            return 11;  // 12-cycle iterative divider
-        case op::fadd: case op::fsub: case op::fmin: case op::fmax:
-        case op::fabs_f: case op::fneg_f:
-        case op::feq: case op::flt_f: case op::fle:
-        case op::fcvt_w_s: case op::fcvt_s_w:
-            return 2;  // 3-cycle FP pipeline
-        case op::fmul:
-            return 3;
-        case op::fdiv:
-            return 17;
-        default:
-            return 0;
-    }
+    if (code == op::invalid) return "invalid";
+    const tbl::inst_desc* d =
+        tbl::desc_for(vr32_tables(), static_cast<unsigned>(code));
+    return d != nullptr ? d->mnemonic : "?";
 }
 
 }  // namespace osm::isa

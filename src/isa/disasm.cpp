@@ -27,16 +27,21 @@ std::string disassemble(const decoded_inst& di, std::uint32_t pc) {
         std::snprintf(buf, sizeof buf, "syscall %d", di.imm);
         return buf;
     }
+    // Branch/jal targets print as the *absolute* address: the assembler
+    // reads a numeric branch operand as an absolute target, so this is
+    // what makes disassemble -> assemble round-trip word-identical.
+    // (The old form printed the raw displacement, which re-assembled to
+    // a different word whenever pc+4+disp != disp.)
     if (is_branch(c)) {
-        std::snprintf(buf, sizeof buf, "%s %s, %s, %d  ; -> 0x%X", name.c_str(),
+        std::snprintf(buf, sizeof buf, "%s %s, %s, 0x%X  ; disp %d", name.c_str(),
                       reg(di, false, di.rs1).c_str(), reg(di, false, di.rs2).c_str(),
-                      di.imm, pc + 4 + static_cast<std::uint32_t>(di.imm));
+                      pc + 4 + static_cast<std::uint32_t>(di.imm), di.imm);
         return buf;
     }
     if (c == op::jal) {
-        std::snprintf(buf, sizeof buf, "jal %s, %d  ; -> 0x%X",
-                      reg(di, false, di.rd).c_str(), di.imm,
-                      pc + 4 + static_cast<std::uint32_t>(di.imm));
+        std::snprintf(buf, sizeof buf, "jal %s, 0x%X  ; disp %d",
+                      reg(di, false, di.rd).c_str(),
+                      pc + 4 + static_cast<std::uint32_t>(di.imm), di.imm);
         return buf;
     }
     if (c == op::jalr) {

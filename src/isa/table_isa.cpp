@@ -1,0 +1,61 @@
+#include "isa/table_isa.hpp"
+
+#include "common/bits.hpp"
+
+namespace osm::isa::tbl {
+
+const inst_desc* lookup(const isa_tables& t, std::uint32_t word) noexcept {
+    const std::uint32_t primary = bits(word, t.primary_shift, t.primary_bits);
+    const bucket_desc& b = t.buckets[primary];
+    if (b.count == 0) return nullptr;
+    if (b.sub_bits != 0) {
+        const std::uint32_t v = bits(word, b.sub_shift, b.sub_bits);
+        const std::uint16_t idx = t.sub[b.sub_off + v];
+        if (idx == no_inst) return nullptr;
+        const inst_desc& d = t.insts[idx];
+        return (word & d.mask) == d.match ? &d : nullptr;
+    }
+    for (std::uint16_t i = 0; i < b.count; ++i) {
+        const inst_desc& d = t.insts[t.order[b.first + i]];
+        if ((word & d.mask) == d.match) return &d;
+    }
+    return nullptr;
+}
+
+std::uint32_t extract_field(const field_desc& f, std::uint32_t word) noexcept {
+    return bits(word, f.shift, f.width);
+}
+
+std::int32_t extract_imm(const imm_desc& im, std::uint32_t word) noexcept {
+    const std::uint32_t raw = bits(word, im.shift, im.width);
+    const std::int32_t v =
+        im.sign ? sign_extend(raw, im.width) : static_cast<std::int32_t>(raw);
+    return v * static_cast<std::int32_t>(im.scale);
+}
+
+std::uint32_t insert_field(std::uint32_t w, const field_desc& f,
+                           std::uint32_t value) noexcept {
+    return insert_bits(w, value, f.shift, f.width);
+}
+
+std::uint32_t insert_imm(std::uint32_t w, const imm_desc& im,
+                         std::int32_t imm) noexcept {
+    const auto scaled = static_cast<std::uint32_t>(
+        imm / static_cast<std::int32_t>(im.scale));
+    return insert_bits(w, scaled, im.shift, im.width);
+}
+
+bool imm_fits(const inst_desc& d, std::int64_t imm) noexcept {
+    if (!d.imm.present) return imm == 0;
+    const auto scale = static_cast<std::int64_t>(d.imm.scale);
+    if (imm % scale != 0) return false;
+    const std::int64_t v = imm / scale;
+    if (d.imm.sign) {
+        const std::int64_t half = std::int64_t{1} << (d.imm.width - 1);
+        return v >= -half && v < half;
+    }
+    const std::int64_t top = std::int64_t{1} << d.imm.width;
+    return v >= 0 && v < top;
+}
+
+}  // namespace osm::isa::tbl

@@ -1,0 +1,126 @@
+// Generic, ISA-agnostic decode/encode table runtime.
+//
+// An ISA is described once in a declarative bit-pattern spec
+// (`src/isa/specs/<isa>.spec`); `tools/osm-decgen` compiles it into the
+// constexpr data structures below (committed under `src/isa/gen/`).  Every
+// front-end layer — decoder, field extraction, encoder, immediate range
+// checks, the assembler's mnemonic table and the disassembler's operand
+// classification — is a thin shim over one `isa_tables` instance, so adding
+// an ISA means writing one spec file, not four hand-kept switch statements.
+//
+// Decode is a two-level lookup: the primary opcode field selects a bucket,
+// and a bucket either names a single candidate, a dense sub-table indexed
+// by a contiguous span of secondary opcode bits (e.g. VR32 funct, PPC32
+// XO), or a short linear list.  Every candidate is confirmed with a final
+// `(word & mask) == match` check, so the index structure is purely an
+// accelerator and can never change decode semantics.
+#pragma once
+
+#include <cstdint>
+
+namespace osm::isa::tbl {
+
+/// Operand-slot register-file kind (architectural use, not extraction:
+/// a field can be extracted by decode yet unused, e.g. VR32 fabs rs2).
+enum kind : std::uint8_t { k_none = 0, k_gpr = 1, k_fpr = 2 };
+
+/// Instruction class driving the shared predicates/disassembler layout.
+enum cls : std::uint8_t {
+    c_alu = 0,    ///< single-cycle integer ALU (reg or imm forms)
+    c_muldiv,     ///< long-latency integer multiply/divide
+    c_load,       ///< memory load (any register file)
+    c_store,      ///< memory store (any register file)
+    c_branch,     ///< conditional pc-relative branch
+    c_jump,       ///< unconditional jump / jump-and-link
+    c_fpc,        ///< FP computational (FPU-executed arithmetic)
+    c_fpx,        ///< FP compare / convert / cross-file move
+    c_sys,        ///< syscall / halt / system
+};
+
+/// One non-immediate operand field in the instruction word.
+/// `enc_only` fields are inserted on encode (and so participate in
+/// bit-identical re-encoding) but ignored by decode — they model
+/// reserved/ignored spans that the hand-written encoders populated.
+struct field_desc {
+    char letter;          ///< spec letter, lowercase canonical ('d','a','b',...)
+    std::uint8_t shift;   ///< low bit position
+    std::uint8_t width;   ///< field width in bits
+    bool enc_only;        ///< encode-side only (decode ignores)
+};
+
+/// Immediate field description (at most one per instruction).
+struct imm_desc {
+    bool present;         ///< instruction has an immediate field at all
+    bool in_decode;       ///< decode extracts it (false => encode-only)
+    bool sign;            ///< sign-extended (else zero-extended)
+    std::uint8_t shift;
+    std::uint8_t width;
+    std::uint8_t scale;   ///< encoded value is imm/scale (1 or 4)
+};
+
+/// One instruction: fixed-bit pattern plus operand/attribute metadata.
+struct inst_desc {
+    std::uint16_t id;          ///< ISA op-enum value (0 reserved for invalid)
+    const char* mnemonic;
+    std::uint32_t match;       ///< fixed bits ('x'/fields contribute 0)
+    std::uint32_t mask;        ///< 1 where the bit is fixed on decode
+    const field_desc* fields;  ///< non-imm fields, `nfields` long
+    std::uint8_t nfields;
+    imm_desc imm;
+    std::uint8_t cls;          ///< enum cls
+    std::uint8_t rd_kind;      ///< enum kind
+    std::uint8_t rs1_kind;
+    std::uint8_t rs2_kind;
+    std::uint8_t lat;          ///< extra execute cycles beyond the first
+};
+
+/// Decode accelerator bucket, selected by the primary opcode field.
+struct bucket_desc {
+    std::uint8_t sub_shift;    ///< low bit of the dense sub-index span
+    std::uint8_t sub_bits;     ///< span width; 0 => use the linear list
+    std::uint32_t sub_off;     ///< offset into isa_tables::sub
+    std::uint16_t first;       ///< offset into isa_tables::order (linear)
+    std::uint16_t count;       ///< linear-list length (0 => empty bucket)
+};
+
+inline constexpr std::uint16_t no_inst = 0xFFFF;
+
+/// A complete generated ISA description.
+struct isa_tables {
+    const char* isa_name;
+    const inst_desc* insts;       ///< in op-enum order; insts[i].id == i+1
+    std::uint16_t ninsts;
+    std::uint8_t primary_shift;   ///< primary opcode field position
+    std::uint8_t primary_bits;
+    const bucket_desc* buckets;   ///< 1 << primary_bits entries
+    const std::uint16_t* sub;     ///< dense sub-tables (no_inst = miss)
+    const std::uint16_t* order;   ///< linear candidate lists
+};
+
+/// Decode lookup: the matching instruction descriptor, or nullptr.
+const inst_desc* lookup(const isa_tables& t, std::uint32_t word) noexcept;
+
+/// Descriptor for an op-enum value (nullptr for invalid/out-of-range).
+inline const inst_desc* desc_for(const isa_tables& t, unsigned id) noexcept {
+    return (id >= 1 && id <= t.ninsts) ? &t.insts[id - 1] : nullptr;
+}
+
+/// Extract a non-immediate field value from an instruction word.
+std::uint32_t extract_field(const field_desc& f, std::uint32_t word) noexcept;
+
+/// Extract the (extended, scaled) immediate.  Precondition: imm.in_decode.
+std::int32_t extract_imm(const imm_desc& im, std::uint32_t word) noexcept;
+
+/// Insert a field value into a word under construction.
+std::uint32_t insert_field(std::uint32_t w, const field_desc& f,
+                           std::uint32_t value) noexcept;
+
+/// Insert the immediate (divides by scale, masks to width).
+std::uint32_t insert_imm(std::uint32_t w, const imm_desc& im,
+                         std::int32_t imm) noexcept;
+
+/// True when `imm` is representable in the instruction's immediate field
+/// (instructions without one require imm == 0).
+bool imm_fits(const inst_desc& d, std::int64_t imm) noexcept;
+
+}  // namespace osm::isa::tbl

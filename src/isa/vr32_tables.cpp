@@ -1,0 +1,12 @@
+#include "isa/vr32_tables.hpp"
+
+#include <cstdint>
+
+namespace osm::isa {
+namespace {
+#include "isa/gen/vr32_tables.inc"
+}  // namespace
+
+const tbl::isa_tables& vr32_tables() { return k_vr32_tables; }
+
+}  // namespace osm::isa

@@ -1,0 +1,49 @@
+// PPC32 architectural state for the second decode front-end.
+//
+// A user-mode integer PowerPC machine: 32 GPRs, LR/CTR, the condition
+// register (only cr0 is architecturally produced by the supported
+// subset), and the XER carry bit consumed by the carrying immediates.
+// Instruction words and data are big-endian in memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace osm::ppc32 {
+
+inline constexpr unsigned num_gprs = 32;
+
+/// cr0 bit positions within the 32-bit CR (PPC numbering: CR bit 0 is the
+/// most significant).  BI values 0..3 select lt/gt/eq/so of cr0.
+enum cr_bit : unsigned { cr_lt = 0, cr_gt = 1, cr_eq = 2, cr_so = 3 };
+
+struct ppc_state {
+    std::uint32_t pc = 0;
+    std::array<std::uint32_t, num_gprs> r{};
+    std::uint32_t lr = 0;
+    std::uint32_t ctr = 0;
+    std::uint32_t cr = 0;
+    bool ca = false;  ///< XER.CA (set by addic/subfic/sraw/srawi)
+    bool halted = false;
+
+    bool cr_test(unsigned bi) const { return ((cr >> (31u - bi)) & 1u) != 0; }
+
+    /// Replace cr0 with a signed/unsigned comparison result (so = 0: the
+    /// subset has no XER.SO producers).
+    void set_cr0(bool lt, bool gt, bool eq) {
+        cr = (cr & 0x0FFFFFFFu) | (lt ? 0x80000000u : 0u) |
+             (gt ? 0x40000000u : 0u) | (eq ? 0x20000000u : 0u);
+    }
+    void set_cr0_signed(std::int32_t a, std::int32_t b) {
+        set_cr0(a < b, a > b, a == b);
+    }
+    void set_cr0_unsigned(std::uint32_t a, std::uint32_t b) {
+        set_cr0(a < b, a > b, a == b);
+    }
+};
+
+/// "r0".."r31".
+std::string reg_name(unsigned index);
+
+}  // namespace osm::ppc32

@@ -1,0 +1,534 @@
+#include "ppc32/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "isa/table_isa.hpp"
+#include "ppc32/decode.hpp"
+
+namespace osm::ppc32 {
+
+namespace {
+
+namespace tbl = isa::tbl;
+using isa::asm_error;
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+}
+
+std::string lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+struct statement {
+    unsigned line = 0;
+    std::string label;
+    std::string mnem;
+    std::vector<std::string> args;
+};
+
+std::vector<statement> lex(std::string_view source) {
+    std::vector<statement> out;
+    unsigned line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        const std::size_t eol = source.find('\n', pos);
+        std::string_view line = source.substr(
+            pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+        pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+        ++line_no;
+
+        for (const char c : {';', '#'}) {
+            const std::size_t cpos = line.find(c);
+            if (cpos != std::string_view::npos) line = line.substr(0, cpos);
+        }
+        line = trim(line);
+        if (line.empty()) continue;
+
+        statement st;
+        st.line = line_no;
+
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            line.substr(0, colon).find_first_of(" \t,()") == std::string_view::npos) {
+            st.label = std::string(trim(line.substr(0, colon)));
+            line = trim(line.substr(colon + 1));
+        }
+
+        if (!line.empty()) {
+            const std::size_t sp = line.find_first_of(" \t");
+            st.mnem = lower(line.substr(0, sp));
+            if (sp != std::string_view::npos) {
+                std::string_view rest = trim(line.substr(sp));
+                std::size_t start = 0;
+                while (start <= rest.size()) {
+                    std::size_t comma = rest.find(',', start);
+                    if (comma == std::string_view::npos) comma = rest.size();
+                    const std::string_view piece = trim(rest.substr(start, comma - start));
+                    if (!piece.empty()) st.args.emplace_back(piece);
+                    start = comma + 1;
+                }
+            }
+        }
+        if (!st.label.empty() || !st.mnem.empty()) out.push_back(std::move(st));
+    }
+    return out;
+}
+
+bool parse_int(std::string_view s, std::int64_t& out) {
+    s = trim(s);
+    if (s.empty()) return false;
+    bool neg = false;
+    if (s.front() == '-') {
+        neg = true;
+        s.remove_prefix(1);
+    } else if (s.front() == '+') {
+        s.remove_prefix(1);
+    }
+    if (s.empty()) return false;
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s.remove_prefix(2);
+    }
+    std::int64_t v = 0;
+    for (const char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f') digit = 10 + c - 'a';
+        else if (base == 16 && c >= 'A' && c <= 'F') digit = 10 + c - 'A';
+        else return false;
+        v = v * base + digit;
+    }
+    out = neg ? -v : v;
+    return true;
+}
+
+/// r0..r31 only (the subset has no FP or alternate register names).
+int parse_reg(std::string_view s) {
+    if (s.size() < 2 || s.size() > 3 || (s[0] != 'r' && s[0] != 'R')) return -1;
+    int v = 0;
+    for (const char c : s.substr(1)) {
+        if (c < '0' || c > '9') return -1;
+        v = v * 10 + (c - '0');
+    }
+    return v < 32 ? v : -1;
+}
+
+/// Mnemonic -> op mapping from the generated tables, so the assembler's
+/// vocabulary can never drift from the spec.
+const std::map<std::string, pop, std::less<>>& mnemonic_table() {
+    static const std::map<std::string, pop, std::less<>> table = [] {
+        std::map<std::string, pop, std::less<>> t;
+        const tbl::isa_tables& tabs = tables();
+        for (unsigned i = 0; i < tabs.ninsts; ++i) {
+            t.emplace(tabs.insts[i].mnemonic, static_cast<pop>(tabs.insts[i].id));
+        }
+        return t;
+    }();
+    return table;
+}
+
+/// Which operand slots an instruction's fields populate.
+struct slot_set {
+    bool d = false, a = false, b = false;
+};
+
+slot_set slots_of(const tbl::inst_desc& d) {
+    slot_set s;
+    for (unsigned i = 0; i < d.nfields; ++i) {
+        if (d.fields[i].enc_only) continue;
+        switch (d.fields[i].letter) {
+            case 'd': s.d = true; break;
+            case 'a': s.a = true; break;
+            case 'b': s.b = true; break;
+            default: break;
+        }
+    }
+    return s;
+}
+
+struct section {
+    std::uint32_t base = 0;
+    std::vector<std::uint8_t> bytes;
+    std::size_t size = 0;
+};
+
+class assembler {
+public:
+    assembler(std::string_view source, std::uint32_t text_base, std::uint32_t data_base)
+        : statements_(lex(source)) {
+        text_.base = text_base;
+        data_.base = data_base;
+    }
+
+    isa::program_image run() {
+        pass(/*emit=*/false);
+        text_.size = 0;
+        data_.size = 0;
+        pass(/*emit=*/true);
+
+        isa::program_image img;
+        img.entry = symbols_.count("_start") ? symbols_.at("_start") : text_.base;
+        if (!text_.bytes.empty()) img.segments.push_back({text_.base, text_.bytes});
+        if (!data_.bytes.empty()) img.segments.push_back({data_.base, data_.bytes});
+        return img;
+    }
+
+private:
+    std::vector<statement> statements_;
+    section text_;
+    section data_;
+    std::map<std::string, std::uint32_t, std::less<>> symbols_;
+
+    std::uint32_t cursor(const section& s) const {
+        return s.base + static_cast<std::uint32_t>(s.size);
+    }
+
+    void append_byte(section& s, bool emit, std::uint8_t b) {
+        if (emit) s.bytes.push_back(b);
+        ++s.size;
+    }
+
+    /// Big-endian: PPC32 instruction and .word data order.
+    void append_word(section& s, bool emit, std::uint32_t w) {
+        for (int i = 3; i >= 0; --i) {
+            append_byte(s, emit, static_cast<std::uint8_t>(w >> (8 * i)));
+        }
+    }
+
+    [[noreturn]] static void fail(const statement& st, const std::string& msg) {
+        throw asm_error(st.line, msg);
+    }
+
+    std::int64_t value_of(const statement& st, std::string_view operand, bool emit) const {
+        std::int64_t v;
+        if (parse_int(operand, v)) return v;
+        const auto it = symbols_.find(operand);
+        if (it != symbols_.end()) return it->second;
+        if (emit) fail(st, "undefined symbol '" + std::string(operand) + "'");
+        return 0;  // pass 1: forward reference
+    }
+
+    static unsigned reg_of(const statement& st, std::string_view name) {
+        const int r = parse_reg(name);
+        if (r < 0) fail(st, "bad register '" + std::string(name) + "'");
+        return static_cast<unsigned>(r);
+    }
+
+    /// A small unsigned operand that is not a register (BO/BI/SH/MB/ME).
+    std::uint8_t uint_of(const statement& st, std::string_view s, unsigned limit,
+                         bool emit) const {
+        const std::int64_t v = value_of(st, s, emit);
+        if (v < 0 || v > limit) fail(st, "operand out of range");
+        return static_cast<std::uint8_t>(v);
+    }
+
+    void mem_operand(const statement& st, std::string_view s,
+                     std::int64_t& disp, unsigned& base, bool emit) const {
+        const std::size_t open = s.find('(');
+        const std::size_t close = s.rfind(')');
+        if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+            fail(st, "expected disp(base) operand");
+        }
+        const std::string_view d = trim(s.substr(0, open));
+        disp = d.empty() ? 0 : value_of(st, d, emit);
+        base = reg_of(st, trim(s.substr(open + 1, close - open - 1)));
+    }
+
+    void require_args(const statement& st, std::size_t n) const {
+        if (st.args.size() != n) {
+            fail(st, "expected " + std::to_string(n) + " operands, got " +
+                         std::to_string(st.args.size()));
+        }
+    }
+
+    void pass(bool emit) {
+        section* cur = &text_;
+        for (const statement& st : statements_) {
+            if (!st.label.empty() && !emit) {
+                if (symbols_.count(st.label)) fail(st, "duplicate label");
+                symbols_[st.label] = cursor(*cur);
+            }
+            if (st.mnem.empty()) continue;
+            if (st.mnem[0] == '.') {
+                directive(st, cur, emit);
+            } else {
+                instruction(st, *cur, emit);
+            }
+        }
+    }
+
+    void directive(const statement& st, section*& cur, bool emit) {
+        if (st.mnem == ".text" || st.mnem == ".data") {
+            section& target = (st.mnem == ".text") ? text_ : data_;
+            if (!st.args.empty()) {
+                std::int64_t v;
+                if (!parse_int(st.args[0], v)) fail(st, "bad section base");
+                if (target.size != 0 && static_cast<std::uint32_t>(v) != target.base) {
+                    fail(st, "cannot rebase non-empty section");
+                }
+                target.base = static_cast<std::uint32_t>(v);
+            }
+            cur = &target;
+        } else if (st.mnem == ".word") {
+            if (st.args.empty()) fail(st, ".word needs at least one value");
+            while (cursor(*cur) % 4 != 0) append_byte(*cur, emit, 0);
+            for (const std::string& a : st.args) {
+                append_word(*cur, emit,
+                            static_cast<std::uint32_t>(value_of(st, a, emit)));
+            }
+        } else if (st.mnem == ".byte") {
+            if (st.args.empty()) fail(st, ".byte needs at least one value");
+            for (const std::string& a : st.args) {
+                append_byte(*cur, emit,
+                            static_cast<std::uint8_t>(value_of(st, a, emit)));
+            }
+        } else if (st.mnem == ".space") {
+            require_args(st, 1);
+            std::int64_t n;
+            if (!parse_int(st.args[0], n) || n < 0) fail(st, "bad .space size");
+            for (std::int64_t i = 0; i < n; ++i) append_byte(*cur, emit, 0);
+        } else if (st.mnem == ".align") {
+            require_args(st, 1);
+            std::int64_t a;
+            if (!parse_int(st.args[0], a) || a <= 0) fail(st, "bad .align");
+            while (cursor(*cur) % static_cast<std::uint32_t>(a) != 0) {
+                append_byte(*cur, emit, 0);
+            }
+        } else {
+            fail(st, "unknown directive '" + st.mnem + "'");
+        }
+    }
+
+    void emit_inst(section& s, bool emit, const pinst& di, const statement& st) {
+        if (emit) {
+            const tbl::inst_desc* d = desc_of(di.code);
+            if (d == nullptr) fail(st, "internal: bad opcode");
+            if (!tbl::imm_fits(*d, di.imm)) fail(st, "immediate out of range");
+        }
+        append_word(s, emit, emit ? encode(di) : 0u);
+    }
+
+    /// PPC branch displacements are relative to the branch itself.
+    std::int32_t branch_disp(const statement& st, std::string_view target,
+                             std::uint32_t inst_addr, bool emit) const {
+        const std::int64_t abs_target = value_of(st, target, emit);
+        return static_cast<std::int32_t>(abs_target -
+                                         static_cast<std::int64_t>(inst_addr));
+    }
+
+    /// Accept 0..65535 as well as signed for 16-bit sext fields (lis/li
+    /// build upper halves from unsigned halfword values).
+    static std::int32_t wrap16(const statement& st, std::int64_t v) {
+        if (v < -32768 || v > 65535) fail(st, "16-bit immediate out of range");
+        return static_cast<std::int32_t>(v >= 32768 ? v - 65536 : v);
+    }
+
+    void emit_bc(section& s, bool emit, const statement& st, unsigned bo, unsigned bi,
+                 std::string_view target) {
+        pinst di;
+        di.code = pop::bc;
+        di.rd = static_cast<std::uint8_t>(bo);
+        di.ra = static_cast<std::uint8_t>(bi);
+        di.imm = branch_disp(st, target, cursor(s), emit);
+        emit_inst(s, emit, di, st);
+    }
+
+    bool pseudo(const statement& st, section& s, bool emit) {
+        if (st.mnem == "nop") {  // canonical PPC nop: ori r0, r0, 0
+            pinst di;
+            di.code = pop::ori;
+            emit_inst(s, emit, di, st);
+            return true;
+        }
+        if (st.mnem == "mr") {  // mr rD, rS == or rD, rS, rS
+            require_args(st, 2);
+            pinst di;
+            di.code = pop::or_x;
+            di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0]));
+            di.ra = di.rb = static_cast<std::uint8_t>(reg_of(st, st.args[1]));
+            emit_inst(s, emit, di, st);
+            return true;
+        }
+        if (st.mnem == "lis") {  // lis rD, v == addis rD, r0, v
+            require_args(st, 2);
+            pinst di;
+            di.code = pop::addis;
+            di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0]));
+            di.imm = wrap16(st, value_of(st, st.args[1], emit));
+            emit_inst(s, emit, di, st);
+            return true;
+        }
+        if (st.mnem == "li") {  // 1 or 2 instructions for any 32-bit value
+            require_args(st, 2);
+            const unsigned rd = reg_of(st, st.args[0]);
+            std::int64_t v64;
+            if (!parse_int(st.args[1], v64)) fail(st, "li needs a numeric constant");
+            const auto value = static_cast<std::uint32_t>(v64);
+            const auto sv = static_cast<std::int32_t>(value);
+            if (sv >= -32768 && sv <= 32767) {
+                pinst di;
+                di.code = pop::addi;
+                di.rd = static_cast<std::uint8_t>(rd);
+                di.imm = sv;
+                emit_inst(s, emit, di, st);
+            } else {
+                pinst hi;
+                hi.code = pop::addis;
+                hi.rd = static_cast<std::uint8_t>(rd);
+                hi.imm = wrap16(st, value >> 16);
+                emit_inst(s, emit, hi, st);
+                if ((value & 0xFFFFu) != 0) {
+                    pinst lo;
+                    lo.code = pop::ori;
+                    lo.rd = static_cast<std::uint8_t>(rd);
+                    lo.ra = static_cast<std::uint8_t>(rd);
+                    lo.imm = static_cast<std::int32_t>(value & 0xFFFFu);
+                    emit_inst(s, emit, lo, st);
+                }
+            }
+            return true;
+        }
+        if (st.mnem == "blr" || st.mnem == "bctr") {  // BO=20: branch always
+            pinst di;
+            di.code = st.mnem == "blr" ? pop::bclr : pop::bcctr;
+            di.rd = 20;
+            emit_inst(s, emit, di, st);
+            return true;
+        }
+        if (st.mnem == "bdnz") {  // BO=16: decrement CTR, branch if nonzero
+            require_args(st, 1);
+            emit_bc(s, emit, st, 16, 0, st.args[0]);
+            return true;
+        }
+        // Conditional branches on cr0: BO 12 = true, 4 = false;
+        // BI 0 = lt, 1 = gt, 2 = eq.
+        struct cond {
+            const char* name;
+            unsigned bo, bi;
+        };
+        static constexpr cond conds[] = {
+            {"beq", 12, 2}, {"bne", 4, 2}, {"blt", 12, 0},
+            {"bge", 4, 0},  {"bgt", 12, 1}, {"ble", 4, 1},
+        };
+        for (const cond& c : conds) {
+            if (st.mnem == c.name) {
+                require_args(st, 1);
+                emit_bc(s, emit, st, c.bo, c.bi, st.args[0]);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void instruction(const statement& st, section& s, bool emit) {
+        if (pseudo(st, s, emit)) return;
+
+        const auto& table = mnemonic_table();
+        const auto it = table.find(st.mnem);
+        if (it == table.end()) fail(st, "unknown mnemonic '" + st.mnem + "'");
+
+        pinst di;
+        di.code = it->second;
+        const tbl::inst_desc& d = *desc_of(di.code);
+
+        if (di.code == pop::rlwinm) {  // rlwinm rA, rS, SH, MB, ME
+            require_args(st, 5);
+            di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0]));
+            di.ra = static_cast<std::uint8_t>(reg_of(st, st.args[1]));
+            const unsigned sh = uint_of(st, st.args[2], 31, emit);
+            const unsigned mb = uint_of(st, st.args[3], 31, emit);
+            const unsigned me = uint_of(st, st.args[4], 31, emit);
+            di.imm = static_cast<std::int32_t>((sh << 10) | (mb << 5) | me);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+
+        switch (static_cast<tbl::cls>(d.cls)) {
+            case tbl::c_load: {  // rD, d(rA)
+                require_args(st, 2);
+                di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0]));
+                std::int64_t disp;
+                unsigned base;
+                mem_operand(st, st.args[1], disp, base, emit);
+                di.ra = static_cast<std::uint8_t>(base);
+                di.imm = static_cast<std::int32_t>(disp);
+                emit_inst(s, emit, di, st);
+                return;
+            }
+            case tbl::c_store: {  // rS, d(rA)
+                require_args(st, 2);
+                di.rb = static_cast<std::uint8_t>(reg_of(st, st.args[0]));
+                std::int64_t disp;
+                unsigned base;
+                mem_operand(st, st.args[1], disp, base, emit);
+                di.ra = static_cast<std::uint8_t>(base);
+                di.imm = static_cast<std::int32_t>(disp);
+                emit_inst(s, emit, di, st);
+                return;
+            }
+            case tbl::c_branch:  // bc BO, BI, target / bclr BO, BI / bcctr BO, BI
+                if (d.imm.present) {
+                    require_args(st, 3);
+                    emit_bc(s, emit, st, uint_of(st, st.args[0], 31, emit),
+                            uint_of(st, st.args[1], 31, emit), st.args[2]);
+                } else {
+                    require_args(st, 2);
+                    di.rd = uint_of(st, st.args[0], 31, emit);
+                    di.ra = uint_of(st, st.args[1], 31, emit);
+                    emit_inst(s, emit, di, st);
+                }
+                return;
+            case tbl::c_jump:  // b / bl target
+                require_args(st, 1);
+                di.imm = branch_disp(st, st.args[0], cursor(s), emit);
+                emit_inst(s, emit, di, st);
+                return;
+            case tbl::c_sys:  // sc
+                require_args(st, 0);
+                emit_inst(s, emit, di, st);
+                return;
+            default:
+                break;
+        }
+
+        // Everything else: register operands in slot order d, a, b, then
+        // the immediate.  With PPC's destination-first syntax this yields
+        // `addi rD, rA, simm`, `and rA, rS, rB`, `cmpw rA, rB`,
+        // `srawi rA, rS, sh`, `mflr rD`, ...
+        const slot_set slots = slots_of(d);
+        const std::size_t nargs = static_cast<std::size_t>(slots.d) + slots.a +
+                                  slots.b + (d.imm.present ? 1 : 0);
+        require_args(st, nargs);
+        std::size_t arg = 0;
+        if (slots.d) di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[arg++]));
+        if (slots.a) di.ra = static_cast<std::uint8_t>(reg_of(st, st.args[arg++]));
+        if (slots.b) di.rb = static_cast<std::uint8_t>(reg_of(st, st.args[arg++]));
+        if (d.imm.present) {
+            std::int64_t v = value_of(st, st.args[arg], emit);
+            // Sign-extended 16-bit fields also accept unsigned halfwords
+            // (addis pairs with ori to build 32-bit constants).
+            if (d.imm.sign && d.imm.width == 16 && v >= 32768 && v <= 65535) {
+                v -= 65536;
+            }
+            di.imm = static_cast<std::int32_t>(v);
+        }
+        emit_inst(s, emit, di, st);
+    }
+};
+
+}  // namespace
+
+isa::program_image assemble(std::string_view source, std::uint32_t text_base,
+                            std::uint32_t data_base) {
+    return assembler(source, text_base, data_base).run();
+}
+
+}  // namespace osm::ppc32

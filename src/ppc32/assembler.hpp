@@ -1,0 +1,39 @@
+// Two-pass text assembler for the PPC32 subset.
+//
+// Syntax (one statement per line, ';' or '#' starts a comment), using the
+// standard PowerPC operand orders:
+//
+//   label:                      bind a label
+//   addi  rD, rA, simm          D-form arithmetic
+//   ori   rA, rS, uimm          D-form logical (destination first)
+//   lwz   rD, d(rA)             loads
+//   stw   rS, d(rA)             stores
+//   cmpwi rA, simm / cmpw rA, rB
+//   bc    BO, BI, target        conditional branch (target: label/address)
+//   b / bl target               unconditional branch / branch-and-link
+//   bclr  BO, BI                branch to LR (blr = bclr 20, 0)
+//   rlwinm rA, rS, SH, MB, ME
+//   mflr/mtlr/mfctr/mtctr rD
+//   sc                          syscall: code in r0, argument in r3
+//
+// Simplified mnemonics: nop, li, lis, mr, blr, bctr, bdnz, beq, bne,
+// blt, ble, bgt, bge (conditions test cr0).
+//
+// Directives: .text [addr], .data [addr], .word v[, ...] (big-endian),
+// .byte v[, ...], .space n, .align n.
+#pragma once
+
+#include <string_view>
+
+#include "isa/assembler.hpp"  // isa::asm_error
+#include "isa/program.hpp"
+
+namespace osm::ppc32 {
+
+/// Assemble PPC32 `source` into a loadable image (instruction words and
+/// .word data are stored big-endian).  Throws isa::asm_error on errors.
+isa::program_image assemble(std::string_view source,
+                            std::uint32_t text_base = 0x1000,
+                            std::uint32_t data_base = 0x00100000);
+
+}  // namespace osm::ppc32

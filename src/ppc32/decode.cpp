@@ -1,0 +1,62 @@
+#include "ppc32/decode.hpp"
+
+#include "ppc32/arch.hpp"
+
+namespace osm::ppc32 {
+
+namespace {
+#include "isa/gen/ppc32_tables.inc"
+}  // namespace
+
+const isa::tbl::isa_tables& tables() { return k_ppc32_tables; }
+
+std::string reg_name(unsigned index) { return "r" + std::to_string(index); }
+
+pinst decode(std::uint32_t word) {
+    namespace tbl = isa::tbl;
+    pinst di;
+    di.raw = word;
+    const tbl::inst_desc* d = tbl::lookup(k_ppc32_tables, word);
+    if (d == nullptr) return di;
+    di.code = static_cast<pop>(d->id);
+    for (unsigned i = 0; i < d->nfields; ++i) {
+        const tbl::field_desc& f = d->fields[i];
+        if (f.enc_only) continue;
+        const std::uint8_t v = static_cast<std::uint8_t>(tbl::extract_field(f, word));
+        switch (f.letter) {
+            case 'd': di.rd = v; break;
+            case 'a': di.ra = v; break;
+            case 'b': di.rb = v; break;
+            default: break;
+        }
+    }
+    if (d->imm.present && d->imm.in_decode) di.imm = tbl::extract_imm(d->imm, word);
+    return di;
+}
+
+std::uint32_t encode(const pinst& di) {
+    namespace tbl = isa::tbl;
+    const tbl::inst_desc* d = desc_of(di.code);
+    if (d == nullptr) return 0;
+    std::uint32_t w = d->match;
+    for (unsigned i = 0; i < d->nfields; ++i) {
+        const tbl::field_desc& f = d->fields[i];
+        std::uint32_t v = 0;
+        switch (f.letter) {
+            case 'd': v = di.rd; break;
+            case 'a': v = di.ra; break;
+            case 'b': v = di.rb; break;
+            default: break;
+        }
+        w = tbl::insert_field(w, f, v);
+    }
+    if (d->imm.present) w = tbl::insert_imm(w, d->imm, di.imm);
+    return w;
+}
+
+const char* op_name(pop code) {
+    const isa::tbl::inst_desc* d = desc_of(code);
+    return d != nullptr ? d->mnemonic : "invalid";
+}
+
+}  // namespace osm::ppc32

@@ -1,0 +1,87 @@
+#include "ppc32/disasm.hpp"
+
+#include <cstdio>
+
+#include "isa/table_isa.hpp"
+#include "ppc32/arch.hpp"
+
+namespace osm::ppc32 {
+
+namespace tbl = isa::tbl;
+
+std::string disassemble(const pinst& di, std::uint32_t pc) {
+    char buf[96];
+    if (di.code == pop::invalid) {
+        std::snprintf(buf, sizeof buf, ".word 0x%08X", di.raw);
+        return buf;
+    }
+    const tbl::inst_desc& d = *desc_of(di.code);
+    const std::string name(d.mnemonic);
+
+    if (di.code == pop::rlwinm) {
+        const auto uimm = static_cast<std::uint32_t>(di.imm);
+        std::snprintf(buf, sizeof buf, "rlwinm r%u, r%u, %u, %u, %u", di.rd, di.ra,
+                      (uimm >> 10) & 31u, (uimm >> 5) & 31u, uimm & 31u);
+        return buf;
+    }
+
+    switch (static_cast<tbl::cls>(d.cls)) {
+        case tbl::c_load:
+            std::snprintf(buf, sizeof buf, "%s r%u, %d(r%u)", name.c_str(), di.rd,
+                          di.imm, di.ra);
+            return buf;
+        case tbl::c_store:
+            std::snprintf(buf, sizeof buf, "%s r%u, %d(r%u)", name.c_str(), di.rb,
+                          di.imm, di.ra);
+            return buf;
+        case tbl::c_branch:
+            // BO/BI occupy the d/a slots; targets print absolute (PPC
+            // displacements anchor at the branch itself, not pc+4).
+            if (d.imm.present) {
+                std::snprintf(buf, sizeof buf, "%s %u, %u, 0x%X  ; disp %d",
+                              name.c_str(), di.rd, di.ra,
+                              pc + static_cast<std::uint32_t>(di.imm), di.imm);
+            } else {
+                std::snprintf(buf, sizeof buf, "%s %u, %u", name.c_str(), di.rd, di.ra);
+            }
+            return buf;
+        case tbl::c_jump:
+            std::snprintf(buf, sizeof buf, "%s 0x%X  ; disp %d", name.c_str(),
+                          pc + static_cast<std::uint32_t>(di.imm), di.imm);
+            return buf;
+        case tbl::c_sys:
+            return name;
+        default:
+            break;
+    }
+
+    // Generic: registers in slot order d, a, b, then the immediate —
+    // matching the assembler's operand order exactly.
+    bool has_d = false, has_a = false, has_b = false;
+    for (unsigned i = 0; i < d.nfields; ++i) {
+        if (d.fields[i].enc_only) continue;
+        switch (d.fields[i].letter) {
+            case 'd': has_d = true; break;
+            case 'a': has_a = true; break;
+            case 'b': has_b = true; break;
+            default: break;
+        }
+    }
+    std::string out = name;
+    const char* sep = " ";
+    const auto put_reg = [&](unsigned r) {
+        out += sep;
+        out += reg_name(r);
+        sep = ", ";
+    };
+    if (has_d) put_reg(di.rd);
+    if (has_a) put_reg(di.ra);
+    if (has_b) put_reg(di.rb);
+    if (d.imm.present) {
+        std::snprintf(buf, sizeof buf, "%s%d", sep, di.imm);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace osm::ppc32

@@ -1,0 +1,23 @@
+// PPC32 disassembler.
+//
+// Output uses the same operand orders the assembler accepts, and branch
+// targets print as absolute addresses, so disassemble -> assemble is
+// word-identical (the round-trip property the fuzz corpus checks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ppc32/decode.hpp"
+
+namespace osm::ppc32 {
+
+/// Render `di` (fetched from address `pc`, which anchors branch targets).
+std::string disassemble(const pinst& di, std::uint32_t pc);
+
+/// Decode and render a raw big-endian instruction word.
+inline std::string disassemble_word(std::uint32_t word, std::uint32_t pc) {
+    return disassemble(decode(word), pc);
+}
+
+}  // namespace osm::ppc32

@@ -1,0 +1,261 @@
+#include "ppc32/exec.hpp"
+
+#include <bit>
+
+namespace osm::ppc32 {
+
+std::uint32_t read32be(mem::memory_if& m, std::uint32_t addr) {
+    return (static_cast<std::uint32_t>(m.read8(addr)) << 24) |
+           (static_cast<std::uint32_t>(m.read8(addr + 1)) << 16) |
+           (static_cast<std::uint32_t>(m.read8(addr + 2)) << 8) |
+           static_cast<std::uint32_t>(m.read8(addr + 3));
+}
+
+std::uint16_t read16be(mem::memory_if& m, std::uint32_t addr) {
+    return static_cast<std::uint16_t>((m.read8(addr) << 8) | m.read8(addr + 1));
+}
+
+void write32be(mem::memory_if& m, std::uint32_t addr, std::uint32_t v) {
+    m.write8(addr, static_cast<std::uint8_t>(v >> 24));
+    m.write8(addr + 1, static_cast<std::uint8_t>(v >> 16));
+    m.write8(addr + 2, static_cast<std::uint8_t>(v >> 8));
+    m.write8(addr + 3, static_cast<std::uint8_t>(v));
+}
+
+void write16be(mem::memory_if& m, std::uint32_t addr, std::uint16_t v) {
+    m.write8(addr, static_cast<std::uint8_t>(v >> 8));
+    m.write8(addr + 1, static_cast<std::uint8_t>(v));
+}
+
+namespace {
+
+/// PPC MASK(MB,ME): ones from big-endian bit MB through ME, wrapping when
+/// MB > ME.
+std::uint32_t rlw_mask(unsigned mb, unsigned me) {
+    const std::uint32_t from_mb = ~0u >> mb;          // BE bits mb..31
+    const std::uint32_t to_me = ~0u << (31u - me);    // BE bits 0..me
+    return mb <= me ? (from_mb & to_me) : (from_mb | to_me);
+}
+
+/// Generic bc/bclr/bcctr condition: decrements CTR when BO[2]=0, then
+/// requires ctr_ok && cond_ok (PowerPC BO semantics, bits valued 16..1).
+bool bc_taken(ppc_state& st, unsigned bo, unsigned bi) {
+    if ((bo & 4u) == 0) st.ctr -= 1;
+    const bool ctr_ok = (bo & 4u) != 0 || ((st.ctr != 0) != ((bo & 2u) != 0));
+    const bool cond_ok = (bo & 16u) != 0 || (st.cr_test(bi) == ((bo & 8u) != 0));
+    return ctr_ok && cond_ok;
+}
+
+void do_syscall(ppc_state& st, std::string& console) {
+    switch (st.r[0]) {
+        case sys_exit: st.halted = true; break;
+        case sys_putchar: console.push_back(static_cast<char>(st.r[3] & 0xFFu)); break;
+        case sys_putuint: console += std::to_string(st.r[3]); break;
+        case sys_putnl: console.push_back('\n'); break;
+        default: break;  // unknown syscalls are ignored, as in the VR32 host
+    }
+}
+
+}  // namespace
+
+step_info step(ppc_state& st, mem::memory_if& m, std::string& console) {
+    step_info info;
+    if (st.halted) return info;
+    const std::uint32_t word = read32be(m, st.pc);
+    pinst di = decode(word);
+    info.di = di;
+    if (di.code == pop::invalid) {
+        st.halted = true;  // undefined-instruction trap
+        return info;
+    }
+
+    std::uint32_t next = st.pc + 4;
+    auto& r = st.r;
+    const std::uint32_t a = r[di.ra];
+    const std::uint32_t b = r[di.rb];
+    const std::int32_t simm = di.imm;
+    const std::uint32_t uimm = static_cast<std::uint32_t>(di.imm);
+    // D-form addi/addis and load/store addressing read (RA|0): RA=0 means
+    // the literal zero, not r0.
+    const std::uint32_t a_or0 = di.ra == 0 ? 0u : a;
+
+    switch (di.code) {
+        case pop::addi: r[di.rd] = a_or0 + static_cast<std::uint32_t>(simm); break;
+        case pop::addis: r[di.rd] = a_or0 + (static_cast<std::uint32_t>(simm) << 16); break;
+        case pop::addic: {
+            const std::uint64_t sum =
+                static_cast<std::uint64_t>(a) + static_cast<std::uint32_t>(simm);
+            r[di.rd] = static_cast<std::uint32_t>(sum);
+            st.ca = (sum >> 32) != 0;
+            break;
+        }
+        case pop::subfic: {
+            const std::uint64_t sum = static_cast<std::uint64_t>(~a) +
+                                      static_cast<std::uint32_t>(simm) + 1u;
+            r[di.rd] = static_cast<std::uint32_t>(sum);
+            st.ca = (sum >> 32) != 0;
+            break;
+        }
+        case pop::mulli:
+            r[di.rd] = a * static_cast<std::uint32_t>(simm);
+            break;
+
+        case pop::ori: r[di.rd] = a | uimm; break;
+        case pop::oris: r[di.rd] = a | (uimm << 16); break;
+        case pop::xori: r[di.rd] = a ^ uimm; break;
+        case pop::xoris: r[di.rd] = a ^ (uimm << 16); break;
+        case pop::andi_rc:
+            r[di.rd] = a & uimm;
+            st.set_cr0_signed(static_cast<std::int32_t>(r[di.rd]), 0);
+            break;
+        case pop::andis_rc:
+            r[di.rd] = a & (uimm << 16);
+            st.set_cr0_signed(static_cast<std::int32_t>(r[di.rd]), 0);
+            break;
+
+        case pop::cmpwi: st.set_cr0_signed(static_cast<std::int32_t>(a), simm); break;
+        case pop::cmplwi: st.set_cr0_unsigned(a, uimm); break;
+        case pop::cmpw:
+            st.set_cr0_signed(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b));
+            break;
+        case pop::cmplw: st.set_cr0_unsigned(a, b); break;
+
+        case pop::lwz: r[di.rd] = read32be(m, a_or0 + static_cast<std::uint32_t>(simm)); break;
+        case pop::lbz: r[di.rd] = m.read8(a_or0 + static_cast<std::uint32_t>(simm)); break;
+        case pop::lhz: r[di.rd] = read16be(m, a_or0 + static_cast<std::uint32_t>(simm)); break;
+        case pop::lha:
+            r[di.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int16_t>(read16be(m, a_or0 + static_cast<std::uint32_t>(simm)))));
+            break;
+        case pop::stw: write32be(m, a_or0 + static_cast<std::uint32_t>(simm), r[di.rb]); break;
+        case pop::stb:
+            m.write8(a_or0 + static_cast<std::uint32_t>(simm),
+                     static_cast<std::uint8_t>(r[di.rb]));
+            break;
+        case pop::sth:
+            write16be(m, a_or0 + static_cast<std::uint32_t>(simm),
+                      static_cast<std::uint16_t>(r[di.rb]));
+            break;
+
+        case pop::bc:
+            if (bc_taken(st, di.rd, di.ra)) {
+                next = st.pc + static_cast<std::uint32_t>(simm);
+                info.branch_taken = true;
+            }
+            break;
+        case pop::b:
+            next = st.pc + static_cast<std::uint32_t>(simm);
+            info.branch_taken = true;
+            break;
+        case pop::bl:
+            st.lr = st.pc + 4;
+            next = st.pc + static_cast<std::uint32_t>(simm);
+            info.branch_taken = true;
+            break;
+        case pop::bclr: {
+            const std::uint32_t target = st.lr & ~3u;  // read before any CTR update
+            if (bc_taken(st, di.rd, di.ra)) {
+                next = target;
+                info.branch_taken = true;
+            }
+            break;
+        }
+        case pop::bcctr:
+            // BO[2]=0 (decrement) is architecturally invalid for bcctr; the
+            // generic rule still applies here so behaviour is deterministic.
+            if (bc_taken(st, di.rd, di.ra)) {
+                next = st.ctr & ~3u;
+                info.branch_taken = true;
+            }
+            break;
+
+        case pop::sc: do_syscall(st, console); break;
+
+        case pop::rlwinm: {
+            const unsigned sh = (uimm >> 10) & 31u;
+            const unsigned mb = (uimm >> 5) & 31u;
+            const unsigned me = uimm & 31u;
+            r[di.rd] = std::rotl(a, static_cast<int>(sh)) & rlw_mask(mb, me);
+            break;
+        }
+
+        case pop::add: r[di.rd] = a + b; break;
+        case pop::subf: r[di.rd] = b - a; break;
+        case pop::neg: r[di.rd] = 0u - a; break;
+        case pop::mullw: r[di.rd] = a * b; break;
+        case pop::mulhw:
+            r[di.rd] = static_cast<std::uint32_t>(
+                (static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                 static_cast<std::int32_t>(b)) >> 32);
+            break;
+        case pop::mulhwu:
+            r[di.rd] = static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(a) * b) >> 32);
+            break;
+        case pop::divw:
+            // Division by zero and INT_MIN/-1 are boundedly-undefined in
+            // the architecture; this model defines both as 0.
+            if (b == 0 || (a == 0x80000000u && b == 0xFFFFFFFFu)) r[di.rd] = 0;
+            else r[di.rd] = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(a) / static_cast<std::int32_t>(b));
+            break;
+        case pop::divwu: r[di.rd] = b == 0 ? 0u : a / b; break;
+        case pop::and_x: r[di.rd] = a & b; break;
+        case pop::or_x: r[di.rd] = a | b; break;
+        case pop::xor_x: r[di.rd] = a ^ b; break;
+        case pop::nand: r[di.rd] = ~(a & b); break;
+        case pop::nor: r[di.rd] = ~(a | b); break;
+        case pop::slw: {
+            const unsigned n = b & 0x3Fu;
+            r[di.rd] = n > 31 ? 0u : a << n;
+            break;
+        }
+        case pop::srw: {
+            const unsigned n = b & 0x3Fu;
+            r[di.rd] = n > 31 ? 0u : a >> n;
+            break;
+        }
+        case pop::sraw: {
+            const unsigned n = b & 0x3Fu;
+            const std::int32_t s = static_cast<std::int32_t>(a);
+            if (n > 31) {
+                r[di.rd] = s < 0 ? 0xFFFFFFFFu : 0u;
+                st.ca = s < 0;
+            } else {
+                r[di.rd] = static_cast<std::uint32_t>(s >> n);
+                st.ca = s < 0 && n > 0 && (a & ((1u << n) - 1u)) != 0;
+            }
+            break;
+        }
+        case pop::srawi: {
+            const unsigned n = uimm & 31u;
+            const std::int32_t s = static_cast<std::int32_t>(a);
+            r[di.rd] = static_cast<std::uint32_t>(s >> n);
+            st.ca = s < 0 && n > 0 && (a & ((1u << n) - 1u)) != 0;
+            break;
+        }
+        case pop::cntlzw: r[di.rd] = static_cast<std::uint32_t>(std::countl_zero(a)); break;
+        case pop::extsb:
+            r[di.rd] = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int8_t>(a)));
+            break;
+        case pop::extsh:
+            r[di.rd] = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int16_t>(a)));
+            break;
+
+        case pop::mflr: r[di.rd] = st.lr; break;
+        case pop::mfctr: r[di.rd] = st.ctr; break;
+        case pop::mtlr: st.lr = r[di.rd]; break;
+        case pop::mtctr: st.ctr = r[di.rd]; break;
+
+        case pop::invalid:
+        case pop::count_:
+            break;
+    }
+
+    st.pc = next;  // an sc-exit advances past the sc, like the VR32 host
+    return info;
+}
+
+}  // namespace osm::ppc32

@@ -1,0 +1,44 @@
+// Shared PPC32 execution semantics.
+//
+// One instruction-step function used by both the functional ISS and the
+// ppc32-750 timing model, so the two engines are architecturally
+// identical by construction and their differential runs exercise the
+// harness plumbing rather than duplicated semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/memory_if.hpp"
+#include "ppc32/arch.hpp"
+#include "ppc32/decode.hpp"
+
+namespace osm::ppc32 {
+
+/// Syscall convention (via `sc`): code in r0, argument in r3.  The codes
+/// mirror isa::syscall_code so console behaviour matches the VR32 host:
+/// 0 = exit, 1 = putchar(r3), 2 = putuint(r3), 3 = newline.
+inline constexpr std::uint32_t sys_exit = 0;
+inline constexpr std::uint32_t sys_putchar = 1;
+inline constexpr std::uint32_t sys_putuint = 2;
+inline constexpr std::uint32_t sys_putnl = 3;
+
+/// What step() did, for the timing model.
+struct step_info {
+    pinst di;
+    bool branch_taken = false;  ///< a branch/jump redirected the pc
+};
+
+/// Fetch (big-endian), decode and execute one instruction at `st.pc`.
+/// An invalid opcode halts the machine (undefined-instruction trap).
+/// No-op when `st.halted` is already set.
+step_info step(ppc_state& st, mem::memory_if& m, std::string& console);
+
+// Big-endian memory accessors (memory_if is byte-addressed; VR32 models
+// use its little-endian 16/32-bit entry points, PPC32 composes bytes).
+std::uint32_t read32be(mem::memory_if& m, std::uint32_t addr);
+std::uint16_t read16be(mem::memory_if& m, std::uint32_t addr);
+void write32be(mem::memory_if& m, std::uint32_t addr, std::uint32_t v);
+void write16be(mem::memory_if& m, std::uint32_t addr, std::uint16_t v);
+
+}  // namespace osm::ppc32

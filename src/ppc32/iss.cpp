@@ -1,0 +1,129 @@
+#include "ppc32/iss.hpp"
+
+namespace osm::ppc32 {
+
+void ppc_iss::load(const isa::program_image& img) {
+    img.load_into(mem_);
+    state_ = ppc_state{};
+    state_.pc = img.entry;
+    console_.clear();
+    instret_ = 0;
+}
+
+std::uint64_t ppc_iss::run(std::uint64_t max_steps) {
+    std::uint64_t done = 0;
+    while (!state_.halted && done < max_steps) {
+        step(state_, mem_, console_);
+        ++done;
+    }
+    instret_ += done;
+    return done;
+}
+
+stats::report ppc_iss::make_report() const {
+    stats::report rep;
+    rep.put("ppc32", "retired", instret_);
+    return rep;
+}
+
+void ppc_750::load(const isa::program_image& img) {
+    img.load_into(mem_);
+    state_ = ppc_state{};
+    state_.pc = img.entry;
+    console_.clear();
+    instret_ = 0;
+    cycle_ = 0;
+    cursor_ = 0;
+    dual_issues_ = 0;
+    issued_this_cycle_ = 0;
+    for (auto& r : gpr_ready_) r = 0;
+    lr_ready_ = ctr_ready_ = cr_ready_ = 0;
+}
+
+std::uint64_t ppc_750::run(std::uint64_t max_cycles) {
+    const std::uint64_t start = cycle_;
+    while (!state_.halted && cycle_ - start < max_cycles) {
+        // Peek-decode for the scoreboard; step() re-decodes and executes.
+        const pinst di = decode(read32be(mem_, state_.pc));
+        const isa::tbl::inst_desc* d = desc_of(di.code);
+
+        // Earliest issue: all operands ready.
+        std::uint64_t t = cursor_;
+        const auto need = [&t](std::uint64_t ready) { if (ready > t) t = ready; };
+        if (d != nullptr) {
+            // (RA|0) forms read the literal zero, not r0.
+            const bool ra_literal0 =
+                di.ra == 0 &&
+                (di.code == pop::addi || di.code == pop::addis ||
+                 d->cls == isa::tbl::c_load || d->cls == isa::tbl::c_store);
+            if (d->rs1_kind != isa::tbl::k_none && !ra_literal0) need(gpr_ready_[di.ra]);
+            if (d->rs2_kind != isa::tbl::k_none) need(gpr_ready_[di.rb]);
+        }
+        switch (di.code) {
+            case pop::mtlr:
+            case pop::mtctr: need(gpr_ready_[di.rd]); break;
+            case pop::mflr: need(lr_ready_); break;
+            case pop::mfctr: need(ctr_ready_); break;
+            case pop::bc:
+            case pop::bclr:
+            case pop::bcctr:
+                if ((di.rd & 16u) == 0) need(cr_ready_);   // BO tests a CR bit
+                if ((di.rd & 4u) == 0) need(ctr_ready_);   // BO decrements CTR
+                if (di.code == pop::bclr) need(lr_ready_);
+                if (di.code == pop::bcctr) need(ctr_ready_);
+                break;
+            default: break;
+        }
+
+        // Dual issue: at most two instructions share an issue cycle.
+        if (t == cursor_ && issued_this_cycle_ >= 2) ++t;
+        if (t != cursor_) {
+            cursor_ = t;
+            issued_this_cycle_ = 0;
+        }
+        ++issued_this_cycle_;
+        if (issued_this_cycle_ == 2) ++dual_issues_;
+
+        const step_info info = step(state_, mem_, console_);
+        ++instret_;
+
+        // Writeback readiness (lat = extra execute cycles from the tables).
+        const std::uint64_t done_at = t + 1 + (d != nullptr ? d->lat : 0);
+        if (d != nullptr && d->rd_kind != isa::tbl::k_none) gpr_ready_[di.rd] = done_at;
+        switch (di.code) {
+            case pop::cmpwi:
+            case pop::cmplwi:
+            case pop::cmpw:
+            case pop::cmplw:
+            case pop::andi_rc:
+            case pop::andis_rc: cr_ready_ = done_at; break;
+            case pop::mtlr: lr_ready_ = done_at; break;
+            case pop::mtctr: ctr_ready_ = done_at; break;
+            case pop::bl: lr_ready_ = done_at; break;
+            case pop::bc:
+            case pop::bclr:
+            case pop::bcctr:
+                if ((di.rd & 4u) == 0) ctr_ready_ = done_at;
+                break;
+            default: break;
+        }
+
+        if (info.branch_taken) {
+            // Redirect bubble: the front end restarts at the target.
+            cursor_ = t + 2;
+            issued_this_cycle_ = 0;
+        }
+        if (t + 1 > cycle_) cycle_ = t + 1;
+    }
+    return cycle_ - start;
+}
+
+stats::report ppc_750::make_report() const {
+    stats::report rep;
+    rep.put("ppc32", "retired", instret_);
+    rep.put("ppc32", "cycles", cycle_);
+    rep.put("ppc32", "dual_issues", dual_issues_);
+    return rep;
+}
+
+}  // namespace osm::ppc32

@@ -1,0 +1,76 @@
+// PPC32 functional ISS and ppc32-750 timing model.
+//
+// Both drive the shared ppc32::step() semantics, so they retire one
+// identical architectural trajectory; the timing model adds a dual-issue
+// cycle account in the style of the VR32 p750 engine (issue-width 2,
+// scoreboarded operand latencies from the generated tables, taken-branch
+// redirect bubble).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hpp"
+#include "mem/memory_if.hpp"
+#include "ppc32/arch.hpp"
+#include "ppc32/exec.hpp"
+#include "stats/stats.hpp"
+
+namespace osm::ppc32 {
+
+/// Functional golden model ("cycles" = retired instructions).
+class ppc_iss {
+public:
+    explicit ppc_iss(mem::memory_if& m) : mem_(m) {}
+
+    void load(const isa::program_image& img);
+    /// Run until halt or `max_steps`; returns instructions executed now.
+    std::uint64_t run(std::uint64_t max_steps = ~0ull);
+
+    ppc_state& state() noexcept { return state_; }
+    const ppc_state& state() const noexcept { return state_; }
+    const std::string& console() const noexcept { return console_; }
+    std::uint64_t instret() const noexcept { return instret_; }
+
+    stats::report make_report() const;
+
+private:
+    mem::memory_if& mem_;
+    ppc_state state_;
+    std::string console_;
+    std::uint64_t instret_ = 0;
+};
+
+/// Dual-issue in-order cycle model over the same semantics.
+class ppc_750 {
+public:
+    explicit ppc_750(mem::memory_if& m) : mem_(m) {}
+
+    void load(const isa::program_image& img);
+    /// Run until halt or the cycle budget; returns cycles consumed now.
+    std::uint64_t run(std::uint64_t max_cycles);
+
+    ppc_state& state() noexcept { return state_; }
+    const ppc_state& state() const noexcept { return state_; }
+    const std::string& console() const noexcept { return console_; }
+    std::uint64_t instret() const noexcept { return instret_; }
+    std::uint64_t cycles() const noexcept { return cycle_; }
+    std::uint64_t dual_issues() const noexcept { return dual_issues_; }
+
+    stats::report make_report() const;
+
+private:
+    mem::memory_if& mem_;
+    ppc_state state_;
+    std::string console_;
+    std::uint64_t instret_ = 0;
+    std::uint64_t cycle_ = 0;   // elapsed cycles (last issue cycle + 1)
+    std::uint64_t cursor_ = 0;  // issue cycle of the next instruction
+    std::uint64_t dual_issues_ = 0;
+    std::uint64_t issued_this_cycle_ = 0;
+    // Scoreboard: first cycle each resource's new value is available.
+    std::uint64_t gpr_ready_[num_gprs] = {};
+    std::uint64_t lr_ready_ = 0, ctr_ready_ = 0, cr_ready_ = 0;
+};
+
+}  // namespace osm::ppc32

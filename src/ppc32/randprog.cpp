@@ -1,0 +1,233 @@
+#include "ppc32/randprog.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "ppc32/assembler.hpp"
+
+namespace osm::ppc32 {
+
+namespace {
+
+/// splitmix64: tiny, deterministic, seed-friendly.
+class rng64 {
+public:
+    explicit rng64(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint32_t below(std::uint32_t n) {
+        return static_cast<std::uint32_t>(next() % n);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+constexpr unsigned k_base_reg = 31;  // data sandbox pointer, never clobbered
+constexpr std::uint32_t k_data_base = 0x00100000;
+constexpr std::uint32_t k_data_size = 256;
+
+class generator {
+public:
+    explicit generator(const randprog_options& opt) : opt_(opt), rng_(opt.seed) {}
+
+    std::string run() {
+        line("# random PPC32 program, seed %llu",
+             static_cast<unsigned long long>(opt_.seed));
+        line(".data 0x%X", k_data_base);
+        line(".space %u", k_data_size);
+        line(".text 0x1000");
+        line("_start:");
+        // Sandbox pointer plus a randomly seeded working set.
+        line("lis r%u, 0x%X", k_base_reg, k_data_base >> 16);
+        for (unsigned r = 2; r <= 30; ++r) {
+            line("li r%u, 0x%X", r, static_cast<std::uint32_t>(rng_.next()));
+        }
+
+        for (unsigned b = 0; b < opt_.blocks; ++b) {
+            if (opt_.with_loops && rng_.below(4) == 0) {
+                loop_block();
+            } else {
+                straight_block(opt_.block_len);
+            }
+        }
+
+        checksum_and_exit();
+        return std::move(out_);
+    }
+
+private:
+    randprog_options opt_;
+    rng64 rng_;
+    std::string out_;
+    unsigned label_ = 0;
+
+    void line(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+        char buf[128];
+        va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(buf, sizeof buf, fmt, ap);
+        va_end(ap);
+        out_ += buf;
+        out_ += '\n';
+    }
+
+    unsigned reg() { return 2 + rng_.below(29); }  // r2..r30
+
+    std::int32_t simm16() {
+        return static_cast<std::int32_t>(static_cast<std::int16_t>(rng_.next()));
+    }
+
+    void rand_inst() {
+        // Weighted pick across the integer subset; memory and mul/div
+        // arms fall through to ALU when disabled.
+        const unsigned pick = rng_.below(16);
+        const unsigned d = reg(), a = reg(), b = reg();
+        switch (pick) {
+            case 0: line("addi r%u, r%u, %d", d, a, simm16()); return;
+            case 1: line("addis r%u, r%u, %d", d, a, simm16()); return;
+            case 2: line("ori r%u, r%u, 0x%X", d, a, rng_.below(0x10000)); return;
+            case 3: line("xori r%u, r%u, 0x%X", d, a, rng_.below(0x10000)); return;
+            case 4: {
+                static const char* ops3[] = {"add",  "subf", "and", "or",
+                                             "xor",  "nand", "nor", "slw",
+                                             "srw",  "sraw"};
+                line("%s r%u, r%u, r%u", ops3[rng_.below(10)], d, a, b);
+                return;
+            }
+            case 5: {
+                static const char* ops2[] = {"neg", "cntlzw", "extsb", "extsh"};
+                line("%s r%u, r%u", ops2[rng_.below(4)], d, a);
+                return;
+            }
+            case 6: line("srawi r%u, r%u, %u", d, a, rng_.below(32)); return;
+            case 7: {
+                const unsigned sh = rng_.below(32), mb = rng_.below(32),
+                               me = rng_.below(32);
+                line("rlwinm r%u, r%u, %u, %u, %u", d, a, sh, mb, me);
+                return;
+            }
+            case 8: line("addic r%u, r%u, %d", d, a, simm16()); return;
+            case 9: line("subfic r%u, r%u, %d", d, a, simm16()); return;
+            case 10:
+                if (opt_.with_mul_div) {
+                    static const char* md[] = {"mullw", "mulhw", "mulhwu",
+                                               "divw", "divwu"};
+                    line("%s r%u, r%u, r%u", md[rng_.below(5)], d, a, b);
+                    return;
+                }
+                break;
+            case 11:
+                if (opt_.with_mul_div) {
+                    line("mulli r%u, r%u, %d", d, a, simm16());
+                    return;
+                }
+                break;
+            case 12:
+            case 13:
+                if (opt_.with_memory) {
+                    // Sandboxed: (r31) + aligned offset inside the region.
+                    static const struct {
+                        const char* st;
+                        const char* ld;
+                        unsigned align;
+                    } mem[] = {{"stw", "lwz", 4}, {"sth", "lhz", 2}, {"stb", "lbz", 1}};
+                    const auto& mop = mem[rng_.below(3)];
+                    const unsigned off =
+                        rng_.below(k_data_size / mop.align) * mop.align;
+                    if (pick == 12) {
+                        line("%s r%u, %u(r%u)", mop.st, a, off, k_base_reg);
+                    } else {
+                        line("%s r%u, %u(r%u)", mop.ld, d, off, k_base_reg);
+                    }
+                    return;
+                }
+                break;
+            case 14:
+                if (opt_.with_memory) {
+                    line("lha r%u, %u(r%u)", d, rng_.below(k_data_size / 2) * 2,
+                         k_base_reg);
+                    return;
+                }
+                break;
+            default:
+                break;
+        }
+        line("add r%u, r%u, r%u", d, a, b);
+    }
+
+    void straight_block(unsigned len) {
+        for (unsigned i = 0; i < len; ++i) {
+            if (opt_.with_branches && rng_.below(6) == 0) {
+                forward_branch();
+            } else {
+                rand_inst();
+            }
+        }
+    }
+
+    /// cmp + conditional forward skip over a couple of instructions —
+    /// forward-only, so it cannot affect termination.
+    void forward_branch() {
+        const unsigned l = label_++;
+        static const char* bcond[] = {"beq", "bne", "blt", "bge", "bgt", "ble"};
+        if (rng_.below(2) == 0) {
+            line("cmpwi r%u, %d", reg(), simm16());
+        } else {
+            line("cmpw r%u, r%u", reg(), reg());
+        }
+        line("%s L%u", bcond[rng_.below(6)], l);
+        const unsigned skip = 1 + rng_.below(3);
+        for (unsigned i = 0; i < skip; ++i) rand_inst();
+        line("L%u:", l);
+    }
+
+    /// Counted CTR loop: trip count is fixed, body is branch-free.
+    void loop_block() {
+        const unsigned l = label_++;
+        const unsigned cnt = reg();
+        line("li r%u, %u", cnt, 1 + rng_.below(opt_.loop_count));
+        line("mtctr r%u", cnt);
+        line("L%u:", l);
+        for (unsigned i = 0; i < opt_.block_len; ++i) rand_inst();
+        line("bdnz L%u", l);
+    }
+
+    void checksum_and_exit() {
+        // Fold every register (including LR/CTR via mflr/mfctr) into r3,
+        // print it, and exit.
+        line("# checksum");
+        line("mflr r3");
+        line("mfctr r4");
+        line("add r3, r3, r4");
+        for (unsigned r = 0; r <= 31; ++r) {
+            if (r == 3) continue;
+            line("add r3, r3, r%u", r);
+        }
+        line("li r0, 2");  // putuint(r3)
+        line("sc");
+        line("li r0, 3");  // newline
+        line("sc");
+        line("li r0, 0");  // exit
+        line("sc");
+    }
+};
+
+}  // namespace
+
+std::string make_random_source(const randprog_options& opt) {
+    return generator(opt).run();
+}
+
+isa::program_image make_random_program(const randprog_options& opt) {
+    return assemble(make_random_source(opt));
+}
+
+}  // namespace osm::ppc32

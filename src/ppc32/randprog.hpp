@@ -1,0 +1,36 @@
+// Random PPC32 program generator for differential tests.
+//
+// Same contract as workloads::make_random_program for VR32: generated
+// programs are guaranteed to terminate (counted CTR loops, bounded
+// forward branches, stores sandboxed to a private data region) and end by
+// printing a checksum of the whole register file through `sc`, so any two
+// correct PPC32 engines must produce identical final architectural state
+// and console output.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace osm::ppc32 {
+
+struct randprog_options {
+    std::uint64_t seed = 1;
+    unsigned blocks = 10;        ///< straight-line / loop blocks
+    unsigned block_len = 8;      ///< instructions per block body
+    bool with_mul_div = true;
+    bool with_memory = true;
+    bool with_loops = true;      ///< counted CTR loops (mtctr/bdnz)
+    bool with_branches = true;   ///< cr0 compares + short forward branches
+    unsigned loop_count = 3;     ///< trip count of counted loops
+
+    bool operator==(const randprog_options&) const = default;
+};
+
+/// Generate a terminating random PPC32 program.
+isa::program_image make_random_program(const randprog_options& opt);
+
+/// The program text the image was assembled from (for reproducers).
+std::string make_random_source(const randprog_options& opt);
+
+}  // namespace osm::ppc32

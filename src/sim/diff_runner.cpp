@@ -66,10 +66,11 @@ diff_result diff_engines(const std::vector<std::string>& names,
         if (!reg.contains(n)) reg.create(n, opt.config);  // throws unknown_engine
     }
 
-    const bool fp_program = program_uses_fp(img);
     diff_result result;
 
     auto ref = reg.create(names.front(), opt.config);
+    // program_uses_fp decodes VR32 words; it is meaningless for other ISAs.
+    const bool fp_program = ref->isa() == "vr32" && program_uses_fp(img);
     ref->load(img);
     ref->run(opt.max_cycles);
     result.runs.push_back({std::string(ref->name()), true, "", ref->halted(),
@@ -77,6 +78,14 @@ diff_result diff_engines(const std::vector<std::string>& names,
 
     for (std::size_t i = 1; i < names.size(); ++i) {
         auto eng = reg.create(names[i], opt.config);
+        if (eng->isa() != ref->isa()) {
+            result.runs.push_back({names[i], false,
+                                   "isa mismatch: " + std::string(eng->isa()) +
+                                       " engine vs " + std::string(ref->isa()) +
+                                       " reference",
+                                   false, 0, 0});
+            continue;
+        }
         if (fp_program && !eng->executes_fp()) {
             result.runs.push_back({names[i], false, "no FP support, program uses FP",
                                    false, 0, 0});
@@ -175,7 +184,12 @@ lockstep_result lockstep_diff(const std::string& candidate, const isa::program_i
     auto cand = reg.create(candidate, opt.config);
 
     lockstep_result result;
-    const bool fp_program = program_uses_fp(img);
+    if (cand->isa() != ref->isa()) {
+        result.skip_reason = "isa mismatch: " + std::string(cand->isa()) +
+                             " engine vs " + std::string(ref->isa()) + " reference";
+        return result;
+    }
+    const bool fp_program = ref->isa() == "vr32" && program_uses_fp(img);
     if (fp_program && !cand->executes_fp()) {
         result.skip_reason = "no FP support, program uses FP";
         return result;

@@ -82,6 +82,10 @@ public:
     }
 
     // ---- capabilities ----
+    /// Guest instruction set this engine executes.  Engines with different
+    /// ISAs run different programs, so the differential harnesses only
+    /// compare engines whose isa() strings match.
+    virtual std::string_view isa() const { return "vr32"; }
     /// False for purely functional engines whose "cycles" are just retired
     /// instructions (the ISS); their timing must not be compared.
     virtual bool models_timing() const { return true; }

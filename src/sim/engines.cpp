@@ -1,5 +1,8 @@
-// Adapters binding the seven built-in execution engines to the unified
-// sim::engine contract, plus their registry registration.
+// Adapters binding the built-in execution engines to the unified
+// sim::engine contract, plus their registry registration.  Seven VR32
+// engines, plus the two PPC32 front-end engines generated from
+// src/isa/specs/ppc32.spec (isa() == "ppc32": the harnesses only diff
+// them against each other).
 //
 // Each adapter owns its model *and* the main memory behind it, so an
 // engine instance is a self-contained machine: tools and tests never
@@ -28,6 +31,7 @@
 #include "isa/iss.hpp"
 #include "mem/main_memory.hpp"
 #include "ppc750/ppc750.hpp"
+#include "ppc32/iss.hpp"
 #include "sarm/sarm.hpp"
 #include "sim/registry.hpp"
 #include "smt/smt.hpp"
@@ -489,12 +493,67 @@ private:
     std::uint64_t base_retired_ = 0;
 };
 
+/// PPC32 functional golden model (spec-generated decoder, big-endian).
+class ppc32_engine final : public engine {
+public:
+    explicit ppc32_engine(const engine_config&) : sim_(mem_) {}
+
+    std::string_view name() const override { return "ppc32"; }
+    std::string_view isa() const override { return "ppc32"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.state().halted; }
+    std::uint32_t gpr(unsigned r) const override { return sim_.state().r[r]; }
+    std::uint32_t fpr(unsigned) const override { return 0; }
+    std::uint32_t pc() const override { return sim_.state().pc; }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.instret(); }
+    std::uint64_t retired() const override { return sim_.instret(); }
+    bool models_timing() const override { return false; }
+    bool executes_fp() const override { return false; }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    ppc32::ppc_iss sim_;
+};
+
+/// PPC32 dual-issue in-order timing model over the same semantics.
+class ppc32_750_engine final : public engine {
+public:
+    explicit ppc32_750_engine(const engine_config&) : sim_(mem_) {}
+
+    std::string_view name() const override { return "ppc32-750"; }
+    std::string_view isa() const override { return "ppc32"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.state().halted; }
+    std::uint32_t gpr(unsigned r) const override { return sim_.state().r[r]; }
+    std::uint32_t fpr(unsigned) const override { return 0; }
+    std::uint32_t pc() const override { return sim_.state().pc; }
+    const std::string& console() const override { return sim_.console(); }
+    std::uint64_t cycles() const override { return sim_.cycles(); }
+    std::uint64_t retired() const override { return sim_.instret(); }
+    bool executes_fp() const override { return false; }
+
+protected:
+    stats::report make_report() const override { return sim_.make_report(); }
+
+private:
+    mem::main_memory mem_;
+    ppc32::ppc_750 sim_;
+};
+
 template <typename Engine>
-engine_registry::entry make_entry(std::string name, std::string description) {
+engine_registry::entry make_entry(std::string name, std::string description,
+                                  std::string isa = "vr32") {
     return {std::move(name), std::move(description),
             [](const engine_config& cfg) -> std::unique_ptr<engine> {
                 return std::make_unique<Engine>(cfg);
-            }};
+            },
+            std::move(isa)};
 }
 
 }  // namespace
@@ -507,6 +566,10 @@ void register_builtin_engines(engine_registry& r) {
     r.add(make_entry<smt_engine>("smt", "SMT pipeline run single-threaded (paper 6, integer only)"));
     r.add(make_entry<p750_engine>("p750", "OSM PowerPC-750-like out-of-order superscalar (paper 5.2)"));
     r.add(make_entry<port_engine>("port", "port/wire discrete-event superscalar (SystemC surrogate)"));
+    r.add(make_entry<ppc32_engine>(
+        "ppc32", "PPC32 functional ISS (spec-generated decoder, big-endian)", "ppc32"));
+    r.add(make_entry<ppc32_750_engine>(
+        "ppc32-750", "PPC32 dual-issue in-order timing model (750-style)", "ppc32"));
 }
 
 }  // namespace osm::sim

@@ -4,7 +4,7 @@
 
 namespace osm::sim {
 
-// Defined in engines.cpp; installs the seven built-in adapters.
+// Defined in engines.cpp; installs the built-in adapters.
 void register_builtin_engines(engine_registry& r);
 
 engine_registry& engine_registry::instance() {
@@ -50,6 +50,14 @@ std::vector<std::string> engine_registry::names() const {
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto& e : entries_) out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string> engine_registry::names_for_isa(std::string_view isa) const {
+    std::vector<std::string> out;
+    for (const auto& e : entries_) {
+        if (e.isa == isa) out.push_back(e.name);
+    }
     return out;
 }
 

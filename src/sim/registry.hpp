@@ -1,7 +1,7 @@
 // Name-keyed engine registry.
 //
-// The seven built-in engines self-register on first use; external code can
-// add more (docs/engines.md walks through adding an eighth).  Tools and
+// The built-in engines self-register on first use; external code can
+// add more (docs/engines.md walks through adding one).  Tools and
 // tests resolve engines by name, so an unknown `--engine` value fails with
 // the registered list instead of silently falling through.
 #pragma once
@@ -31,6 +31,7 @@ public:
         std::string name;         ///< registry key, also engine::name()
         std::string description;  ///< one-line summary for --list-engines
         factory make;
+        std::string isa = "vr32";  ///< guest ISA, matches engine::isa()
     };
 
     /// Process-wide registry, populated with the built-in engines on first
@@ -49,6 +50,9 @@ public:
 
     /// Registered names in registration order (built-ins first).
     std::vector<std::string> names() const;
+    /// Names restricted to one guest ISA (what "--diff all" and the fuzz
+    /// harnesses expand to for a given program's ISA).
+    std::vector<std::string> names_for_isa(std::string_view isa) const;
     const std::vector<entry>& entries() const noexcept { return entries_; }
 
 private:

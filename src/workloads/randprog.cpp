@@ -124,8 +124,16 @@ void emit_random_block(program_builder& b, xrandom& rng,
                 static constexpr op fops[] = {op::fadd, op::fsub, op::fmul,
                                               op::fmin, op::fmax, op::fabs_f,
                                               op::fneg_f};
-                b.emit_r(fops[sel], rand_fpr(rng), rand_fpr(rng),
-                         rand_fpr(rng));
+                const op c = fops[sel];
+                const unsigned rd = rand_fpr(rng);
+                const unsigned rs1 = rand_fpr(rng);
+                // fabs/fneg ignore rs2; emit the canonical zero field the
+                // assembler produces, so the image disassembles and
+                // reassembles word-identically.
+                const unsigned rs2 = (c == op::fabs_f || c == op::fneg_f)
+                                         ? 0u
+                                         : rand_fpr(rng);
+                b.emit_r(c, rd, rs1, rs2);
             } else if (sel < 10) {
                 // FP compares write a GPR, so FP dataflow reaches the
                 // integer checksum even on engines that only diff GPRs.

@@ -358,7 +358,7 @@ TEST(CheckpointGolden, CommittedCheckpointsAreByteStable) {
 
 TEST(Lockstep, CleanProgramAgreesOnEveryEngine) {
     const auto img = assemble_example("sum100.s");
-    for (const auto& name : sim::engine_registry::instance().names()) {
+    for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
         if (name == "iss") continue;
         sim::lockstep_options opt;
         opt.interval = 64;

@@ -1,0 +1,27 @@
+# PPC32 reproducer: XER.CA producers (addic/subfic/srawi) and the
+# boundedly-undefined divide edges, folded into one printed checksum.
+# Kept under tests/corpus/ppc32 — the VR32 corpus replay scan is
+# non-recursive, so these are replayed only by ppc32_fuzz_test.
+_start:
+        li r3, -1
+        addic r4, r3, 1          ; 0xFFFFFFFF + 1 wraps to 0, CA=1
+        subfic r5, r3, 0         ; 0 - (-1) = 1, CA=0
+        srawi r6, r3, 4          ; -1 arithmetic shift, CA=1
+        lis r7, 0x8000
+        li r8, -1
+        divw r9, r7, r8          ; INT_MIN / -1: defined as 0
+        divw r10, r7, r0         ; divide by zero: defined as 0
+        divwu r11, r8, r7        ; 0xFFFFFFFF / 0x80000000 = 1
+        mulhwu r12, r8, r8       ; high((2^32-1)^2) = 0xFFFFFFFE
+        add r3, r4, r5
+        add r3, r3, r6
+        add r3, r3, r9
+        add r3, r3, r10
+        add r3, r3, r11
+        add r3, r3, r12
+        li r0, 2
+        sc
+        li r0, 3
+        sc
+        li r0, 0
+        sc

@@ -1,0 +1,26 @@
+# PPC32 reproducer: a counted CTR loop whose body calls a subroutine
+# (bl/mflr-free leaf, blr return) and round-trips the counter through
+# big-endian memory.  Prints 5+4+3+2+1 = 15.
+        .data
+        .space 16
+        .text 0x1000
+_start:
+        lis r31, 0x0010          ; data sandbox base
+        li r3, 0
+        li r4, 5
+        mtctr r4
+outer:  mfctr r10
+        stw r10, 0(r31)
+        bl accum
+        bdnz outer
+        li r0, 2
+        sc
+        li r0, 3
+        sc
+        li r0, 0
+        sc
+accum:  lwz r5, 0(r31)
+        add r3, r3, r5
+        sth r5, 8(r31)
+        lha r6, 8(r31)
+        blr

@@ -1,0 +1,34 @@
+# PPC32 reproducer: rlwinm rotate-and-mask extracts plus the OPCD-31
+# logical/count/extend ops, checksum printed through sc.
+_start:
+        lis r3, 0x1234
+        ori r3, r3, 0x5678
+        rlwinm r4, r3, 8, 24, 31     ; rotl 8, low-byte mask
+        rlwinm r5, r3, 16, 16, 31    ; halfword swap, low-half mask
+        rlwinm r6, r3, 0, 0, 15      ; high-half extract
+        xor r7, r4, r5
+        nand r8, r6, r3
+        nor r9, r7, r8
+        cntlzw r10, r9
+        extsb r11, r3
+        extsh r12, r3
+        slw r13, r3, r10
+        srw r14, r3, r10
+        sraw r15, r11, r10
+        add r3, r4, r5
+        add r3, r3, r6
+        add r3, r3, r7
+        add r3, r3, r8
+        add r3, r3, r9
+        add r3, r3, r10
+        add r3, r3, r11
+        add r3, r3, r12
+        add r3, r3, r13
+        add r3, r3, r14
+        add r3, r3, r15
+        li r0, 2
+        sc
+        li r0, 3
+        sc
+        li r0, 0
+        sc

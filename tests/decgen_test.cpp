@@ -1,0 +1,551 @@
+// Bit-identity of the generated VR32 decoder against the retired
+// hand-written one.
+//
+// When the VR32 front-end moved onto the osm-decgen tables
+// (src/isa/specs/vr32.spec -> src/isa/gen/), the acceptance bar was that
+// the generated decode/encode/immediate-range/predicate behaviour is
+// *bit-identical* to the hand-written switch code it replaced.  This file
+// keeps a frozen copy of that hand-written implementation as the
+// reference and sweeps the comparison:
+//   - decode: every primary opcode x full secondary/funct space x
+//     randomized operand fields, plus millions of LCG-random words;
+//   - encode + immediate_fits: every op over boundary and random operands;
+//   - classification predicates and latency classes: every op value.
+// A spec edit that changes any observable VR32 behaviour fails here even
+// if it is self-consistent (assembler and disassembler would drift
+// together and a pure round-trip test would miss it).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "isa/decoded_inst.hpp"
+#include "isa/encoding.hpp"
+#include "isa/vr32_tables.hpp"
+
+namespace {
+
+using namespace osm;
+using isa::decoded_inst;
+using isa::op;
+
+// ---------------------------------------------------------------------------
+// Frozen hand-written VR32 reference (pre-decgen src/isa/encoding.cpp and
+// decoded_inst.cpp).  Do not modernize: its behaviour IS the contract.
+namespace ref {
+
+enum popc : std::uint32_t {
+    p_r_alu = 0x00,
+    p_addi = 0x01, p_andi = 0x02, p_ori = 0x03, p_xori = 0x04,
+    p_slti = 0x05, p_sltiu = 0x06, p_slli = 0x07, p_srli = 0x08,
+    p_srai = 0x09, p_lui = 0x0A, p_auipc = 0x0B,
+    p_lb = 0x10, p_lbu = 0x11, p_lh = 0x12, p_lhu = 0x13, p_lw = 0x14,
+    p_sb = 0x15, p_sh = 0x16, p_sw = 0x17,
+    p_beq = 0x18, p_bne = 0x19, p_blt = 0x1A, p_bge = 0x1B,
+    p_bltu = 0x1C, p_bgeu = 0x1D,
+    p_jal = 0x1E, p_jalr = 0x1F,
+    p_f_alu = 0x20, p_flw = 0x21, p_fsw = 0x22,
+    p_syscall = 0x3E, p_halt = 0x3F,
+};
+
+enum r_funct : std::uint32_t {
+    f_add = 0, f_sub = 1, f_and = 2, f_or = 3, f_xor = 4, f_nor = 5,
+    f_sll = 6, f_srl = 7, f_sra = 8, f_slt = 9, f_sltu = 10,
+    f_mul = 11, f_mulh = 12, f_mulhu = 13,
+    f_div = 14, f_divu = 15, f_rem = 16, f_remu = 17,
+    r_funct_count = 18,
+};
+
+enum fp_funct : std::uint32_t {
+    ff_add = 0, ff_sub = 1, ff_mul = 2, ff_div = 3, ff_min = 4, ff_max = 5,
+    ff_abs = 6, ff_neg = 7, ff_eq = 8, ff_lt = 9, ff_le = 10,
+    ff_cvt_w_s = 11, ff_cvt_s_w = 12, ff_mv_x_w = 13, ff_mv_w_x = 14,
+    fp_funct_count = 15,
+};
+
+constexpr op k_r_ops[r_funct_count] = {
+    op::add_r, op::sub_r, op::and_r, op::or_r, op::xor_r, op::nor_r,
+    op::sll_r, op::srl_r, op::sra_r, op::slt_r, op::sltu_r,
+    op::mul, op::mulh, op::mulhu, op::div_s, op::div_u, op::rem_s, op::rem_u};
+
+constexpr op k_fp_ops[fp_funct_count] = {
+    op::fadd, op::fsub, op::fmul, op::fdiv, op::fmin, op::fmax,
+    op::fabs_f, op::fneg_f, op::feq, op::flt_f, op::fle,
+    op::fcvt_w_s, op::fcvt_s_w, op::fmv_x_w, op::fmv_w_x};
+
+struct op_info {
+    std::uint32_t primary;
+    std::uint32_t funct;
+    enum class fmt { r, i, s, b, j, sys, none } format;
+};
+
+op_info info_for(op code) {
+    using fmt = op_info::fmt;
+    switch (code) {
+        case op::add_r: return {p_r_alu, f_add, fmt::r};
+        case op::sub_r: return {p_r_alu, f_sub, fmt::r};
+        case op::and_r: return {p_r_alu, f_and, fmt::r};
+        case op::or_r: return {p_r_alu, f_or, fmt::r};
+        case op::xor_r: return {p_r_alu, f_xor, fmt::r};
+        case op::nor_r: return {p_r_alu, f_nor, fmt::r};
+        case op::sll_r: return {p_r_alu, f_sll, fmt::r};
+        case op::srl_r: return {p_r_alu, f_srl, fmt::r};
+        case op::sra_r: return {p_r_alu, f_sra, fmt::r};
+        case op::slt_r: return {p_r_alu, f_slt, fmt::r};
+        case op::sltu_r: return {p_r_alu, f_sltu, fmt::r};
+        case op::mul: return {p_r_alu, f_mul, fmt::r};
+        case op::mulh: return {p_r_alu, f_mulh, fmt::r};
+        case op::mulhu: return {p_r_alu, f_mulhu, fmt::r};
+        case op::div_s: return {p_r_alu, f_div, fmt::r};
+        case op::div_u: return {p_r_alu, f_divu, fmt::r};
+        case op::rem_s: return {p_r_alu, f_rem, fmt::r};
+        case op::rem_u: return {p_r_alu, f_remu, fmt::r};
+        case op::addi: return {p_addi, 0, fmt::i};
+        case op::andi: return {p_andi, 0, fmt::i};
+        case op::ori: return {p_ori, 0, fmt::i};
+        case op::xori: return {p_xori, 0, fmt::i};
+        case op::slti: return {p_slti, 0, fmt::i};
+        case op::sltiu: return {p_sltiu, 0, fmt::i};
+        case op::slli: return {p_slli, 0, fmt::i};
+        case op::srli: return {p_srli, 0, fmt::i};
+        case op::srai: return {p_srai, 0, fmt::i};
+        case op::lui: return {p_lui, 0, fmt::i};
+        case op::auipc: return {p_auipc, 0, fmt::i};
+        case op::lb: return {p_lb, 0, fmt::i};
+        case op::lbu: return {p_lbu, 0, fmt::i};
+        case op::lh: return {p_lh, 0, fmt::i};
+        case op::lhu: return {p_lhu, 0, fmt::i};
+        case op::lw: return {p_lw, 0, fmt::i};
+        case op::flw: return {p_flw, 0, fmt::i};
+        case op::sb: return {p_sb, 0, fmt::s};
+        case op::sh: return {p_sh, 0, fmt::s};
+        case op::sw: return {p_sw, 0, fmt::s};
+        case op::fsw: return {p_fsw, 0, fmt::s};
+        case op::beq: return {p_beq, 0, fmt::b};
+        case op::bne: return {p_bne, 0, fmt::b};
+        case op::blt: return {p_blt, 0, fmt::b};
+        case op::bge: return {p_bge, 0, fmt::b};
+        case op::bltu: return {p_bltu, 0, fmt::b};
+        case op::bgeu: return {p_bgeu, 0, fmt::b};
+        case op::jal: return {p_jal, 0, fmt::j};
+        case op::jalr: return {p_jalr, 0, fmt::i};
+        case op::fadd: return {p_f_alu, ff_add, fmt::r};
+        case op::fsub: return {p_f_alu, ff_sub, fmt::r};
+        case op::fmul: return {p_f_alu, ff_mul, fmt::r};
+        case op::fdiv: return {p_f_alu, ff_div, fmt::r};
+        case op::fmin: return {p_f_alu, ff_min, fmt::r};
+        case op::fmax: return {p_f_alu, ff_max, fmt::r};
+        case op::fabs_f: return {p_f_alu, ff_abs, fmt::r};
+        case op::fneg_f: return {p_f_alu, ff_neg, fmt::r};
+        case op::feq: return {p_f_alu, ff_eq, fmt::r};
+        case op::flt_f: return {p_f_alu, ff_lt, fmt::r};
+        case op::fle: return {p_f_alu, ff_le, fmt::r};
+        case op::fcvt_w_s: return {p_f_alu, ff_cvt_w_s, fmt::r};
+        case op::fcvt_s_w: return {p_f_alu, ff_cvt_s_w, fmt::r};
+        case op::fmv_x_w: return {p_f_alu, ff_mv_x_w, fmt::r};
+        case op::fmv_w_x: return {p_f_alu, ff_mv_w_x, fmt::r};
+        case op::syscall_op: return {p_syscall, 0, fmt::sys};
+        case op::halt: return {p_halt, 0, fmt::sys};
+        default: return {0, 0, fmt::none};
+    }
+}
+
+bool immediate_fits(op code, std::int64_t imm) {
+    const op_info info = info_for(code);
+    using fmt = op_info::fmt;
+    switch (info.format) {
+        case fmt::i:
+            if (code == op::lui || code == op::auipc) {
+                return imm >= 0 && imm <= 0xFFFF;
+            }
+            if (code == op::andi || code == op::ori || code == op::xori) {
+                return imm >= 0 && imm <= 0xFFFF;
+            }
+            return imm >= -32768 && imm <= 32767;
+        case fmt::s:
+            return imm >= -32768 && imm <= 32767;
+        case fmt::b:
+            return imm % 4 == 0 && imm / 4 >= -32768 && imm / 4 <= 32767;
+        case fmt::j:
+            return imm % 4 == 0 && imm / 4 >= -(1 << 20) && imm / 4 < (1 << 20);
+        case fmt::sys:
+            return imm >= 0 && imm <= 0xFFFF;
+        case fmt::r:
+            return imm == 0;
+        case fmt::none:
+            return false;
+    }
+    return false;
+}
+
+std::uint32_t encode(const decoded_inst& di) {
+    const op_info info = info_for(di.code);
+    using fmt = op_info::fmt;
+    std::uint32_t w = info.primary << 26;
+    switch (info.format) {
+        case fmt::r:
+            w = insert_bits(w, di.rd, 21, 5);
+            w = insert_bits(w, di.rs1, 16, 5);
+            w = insert_bits(w, di.rs2, 11, 5);
+            w = insert_bits(w, info.funct, 0, 11);
+            break;
+        case fmt::i:
+            w = insert_bits(w, di.rd, 21, 5);
+            w = insert_bits(w, di.rs1, 16, 5);
+            w = insert_bits(w, static_cast<std::uint32_t>(di.imm), 0, 16);
+            break;
+        case fmt::s:
+            w = insert_bits(w, di.rs2, 21, 5);
+            w = insert_bits(w, di.rs1, 16, 5);
+            w = insert_bits(w, static_cast<std::uint32_t>(di.imm), 0, 16);
+            break;
+        case fmt::b:
+            w = insert_bits(w, di.rs1, 21, 5);
+            w = insert_bits(w, di.rs2, 16, 5);
+            w = insert_bits(w, static_cast<std::uint32_t>(di.imm / 4), 0, 16);
+            break;
+        case fmt::j:
+            w = insert_bits(w, di.rd, 21, 5);
+            w = insert_bits(w, static_cast<std::uint32_t>(di.imm / 4), 0, 21);
+            break;
+        case fmt::sys:
+            w = insert_bits(w, static_cast<std::uint32_t>(di.imm), 0, 16);
+            break;
+        case fmt::none:
+            break;
+    }
+    return w;
+}
+
+decoded_inst decode(std::uint32_t word) {
+    decoded_inst di;
+    di.raw = word;
+    const std::uint32_t primary = bits(word, 26, 6);
+
+    const auto r_fields = [&] {
+        di.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+        di.rs1 = static_cast<std::uint8_t>(bits(word, 16, 5));
+        di.rs2 = static_cast<std::uint8_t>(bits(word, 11, 5));
+    };
+    const auto i_fields = [&] {
+        di.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+        di.rs1 = static_cast<std::uint8_t>(bits(word, 16, 5));
+        di.imm = sign_extend(word, 16);
+    };
+    const auto s_fields = [&] {
+        di.rs2 = static_cast<std::uint8_t>(bits(word, 21, 5));
+        di.rs1 = static_cast<std::uint8_t>(bits(word, 16, 5));
+        di.imm = sign_extend(word, 16);
+    };
+    const auto b_fields = [&] {
+        di.rs1 = static_cast<std::uint8_t>(bits(word, 21, 5));
+        di.rs2 = static_cast<std::uint8_t>(bits(word, 16, 5));
+        di.imm = sign_extend(word, 16) * 4;
+    };
+
+    switch (primary) {
+        case p_r_alu: {
+            const std::uint32_t funct = bits(word, 0, 11);
+            if (funct >= r_funct_count) return di;
+            di.code = k_r_ops[funct];
+            r_fields();
+            return di;
+        }
+        case p_f_alu: {
+            const std::uint32_t funct = bits(word, 0, 11);
+            if (funct >= fp_funct_count) return di;
+            di.code = k_fp_ops[funct];
+            r_fields();
+            return di;
+        }
+        case p_addi: di.code = op::addi; i_fields(); return di;
+        case p_andi:
+            di.code = op::andi;
+            i_fields();
+            di.imm = static_cast<std::int32_t>(bits(word, 0, 16));
+            return di;
+        case p_ori:
+            di.code = op::ori;
+            i_fields();
+            di.imm = static_cast<std::int32_t>(bits(word, 0, 16));
+            return di;
+        case p_xori:
+            di.code = op::xori;
+            i_fields();
+            di.imm = static_cast<std::int32_t>(bits(word, 0, 16));
+            return di;
+        case p_slti: di.code = op::slti; i_fields(); return di;
+        case p_sltiu: di.code = op::sltiu; i_fields(); return di;
+        case p_slli: di.code = op::slli; i_fields(); return di;
+        case p_srli: di.code = op::srli; i_fields(); return di;
+        case p_srai: di.code = op::srai; i_fields(); return di;
+        case p_lui:
+            di.code = op::lui;
+            di.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+            di.imm = static_cast<std::int32_t>(bits(word, 0, 16));
+            return di;
+        case p_auipc:
+            di.code = op::auipc;
+            di.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+            di.imm = static_cast<std::int32_t>(bits(word, 0, 16));
+            return di;
+        case p_lb: di.code = op::lb; i_fields(); return di;
+        case p_lbu: di.code = op::lbu; i_fields(); return di;
+        case p_lh: di.code = op::lh; i_fields(); return di;
+        case p_lhu: di.code = op::lhu; i_fields(); return di;
+        case p_lw: di.code = op::lw; i_fields(); return di;
+        case p_flw: di.code = op::flw; i_fields(); return di;
+        case p_sb: di.code = op::sb; s_fields(); return di;
+        case p_sh: di.code = op::sh; s_fields(); return di;
+        case p_sw: di.code = op::sw; s_fields(); return di;
+        case p_fsw: di.code = op::fsw; s_fields(); return di;
+        case p_beq: di.code = op::beq; b_fields(); return di;
+        case p_bne: di.code = op::bne; b_fields(); return di;
+        case p_blt: di.code = op::blt; b_fields(); return di;
+        case p_bge: di.code = op::bge; b_fields(); return di;
+        case p_bltu: di.code = op::bltu; b_fields(); return di;
+        case p_bgeu: di.code = op::bgeu; b_fields(); return di;
+        case p_jal:
+            di.code = op::jal;
+            di.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+            di.imm = sign_extend(word, 21) * 4;
+            return di;
+        case p_jalr: di.code = op::jalr; i_fields(); return di;
+        case p_syscall:
+            di.code = op::syscall_op;
+            di.imm = static_cast<std::int32_t>(bits(word, 0, 16));
+            return di;
+        case p_halt:
+            di.code = op::halt;
+            return di;
+        default:
+            return di;
+    }
+}
+
+bool is_branch(op code) {
+    switch (code) {
+        case op::beq: case op::bne: case op::blt:
+        case op::bge: case op::bltu: case op::bgeu: return true;
+        default: return false;
+    }
+}
+bool is_jump(op code) { return code == op::jal || code == op::jalr; }
+bool is_load(op code) {
+    switch (code) {
+        case op::lb: case op::lbu: case op::lh: case op::lhu: case op::lw:
+        case op::flw: return true;
+        default: return false;
+    }
+}
+bool is_store(op code) {
+    switch (code) {
+        case op::sb: case op::sh: case op::sw: case op::fsw: return true;
+        default: return false;
+    }
+}
+bool is_mul_div(op code) {
+    switch (code) {
+        case op::mul: case op::mulh: case op::mulhu:
+        case op::div_s: case op::div_u: case op::rem_s: case op::rem_u:
+            return true;
+        default: return false;
+    }
+}
+bool is_fp_compute(op code) {
+    switch (code) {
+        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
+        case op::fmin: case op::fmax: case op::fabs_f: case op::fneg_f:
+            return true;
+        default: return false;
+    }
+}
+bool is_fp(op code) {
+    if (ref::is_fp_compute(code)) return true;
+    switch (code) {
+        case op::feq: case op::flt_f: case op::fle:
+        case op::fcvt_w_s: case op::fcvt_s_w:
+        case op::fmv_x_w: case op::fmv_w_x:
+        case op::flw: case op::fsw: return true;
+        default: return false;
+    }
+}
+bool is_system(op code) { return code == op::syscall_op || code == op::halt; }
+bool writes_rd(op code) {
+    if (ref::is_store(code) || ref::is_branch(code) || ref::is_system(code) ||
+        code == op::invalid) {
+        return false;
+    }
+    return true;
+}
+bool rd_is_fpr(op code) {
+    switch (code) {
+        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
+        case op::fmin: case op::fmax: case op::fabs_f: case op::fneg_f:
+        case op::fcvt_s_w: case op::fmv_w_x: case op::flw: return true;
+        default: return false;
+    }
+}
+bool uses_rs1(op code) {
+    switch (code) {
+        case op::lui: case op::auipc: case op::jal:
+        case op::syscall_op: case op::halt: case op::invalid: return false;
+        default: return true;
+    }
+}
+bool rs1_is_fpr(op code) {
+    switch (code) {
+        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
+        case op::fmin: case op::fmax: case op::fabs_f: case op::fneg_f:
+        case op::feq: case op::flt_f: case op::fle:
+        case op::fcvt_w_s: case op::fmv_x_w: return true;
+        default: return false;
+    }
+}
+bool uses_rs2(op code) {
+    switch (code) {
+        case op::add_r: case op::sub_r: case op::and_r: case op::or_r:
+        case op::xor_r: case op::nor_r: case op::sll_r: case op::srl_r:
+        case op::sra_r: case op::slt_r: case op::sltu_r:
+        case op::mul: case op::mulh: case op::mulhu:
+        case op::div_s: case op::div_u: case op::rem_s: case op::rem_u:
+        case op::sb: case op::sh: case op::sw: case op::fsw:
+        case op::beq: case op::bne: case op::blt: case op::bge:
+        case op::bltu: case op::bgeu:
+        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
+        case op::fmin: case op::fmax:
+        case op::feq: case op::flt_f: case op::fle: return true;
+        default: return false;
+    }
+}
+bool rs2_is_fpr(op code) {
+    switch (code) {
+        case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
+        case op::fmin: case op::fmax:
+        case op::feq: case op::flt_f: case op::fle:
+        case op::fsw: return true;
+        default: return false;
+    }
+}
+unsigned extra_exec_cycles(op code) {
+    switch (code) {
+        case op::mul: case op::mulh: case op::mulhu: return 2;
+        case op::div_s: case op::div_u: case op::rem_s: case op::rem_u:
+            return 11;
+        case op::fadd: case op::fsub: case op::fmin: case op::fmax:
+        case op::fabs_f: case op::fneg_f:
+        case op::feq: case op::flt_f: case op::fle:
+        case op::fcvt_w_s: case op::fcvt_s_w: return 2;
+        case op::fmul: return 3;
+        case op::fdiv: return 17;
+        default: return 0;
+    }
+}
+
+}  // namespace ref
+// ---------------------------------------------------------------------------
+
+std::uint32_t lcg(std::uint64_t& s) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(s >> 32);
+}
+
+void expect_same_decode(std::uint32_t word) {
+    const decoded_inst got = isa::decode(word);
+    const decoded_inst want = ref::decode(word);
+    ASSERT_EQ(got, want) << "word 0x" << std::hex << word << " decoded as "
+                         << isa::op_name(got.code) << " vs reference "
+                         << isa::op_name(want.code);
+}
+
+TEST(DecgenVR32, DecodeExhaustiveOverOpcodeSpace) {
+    // Every primary opcode x the full 11-bit secondary (funct) space x a
+    // randomized sample of the operand-field bits [25:11].
+    std::uint64_t seed = 0x5eed0001;
+    for (std::uint32_t primary = 0; primary < 64; ++primary) {
+        for (std::uint32_t funct = 0; funct < 2048; ++funct) {
+            const std::uint32_t base = (primary << 26) | funct;
+            expect_same_decode(base);
+            expect_same_decode(base | 0x03FFF800u);  // all operand bits set
+            for (int r = 0; r < 6; ++r) {
+                expect_same_decode(base | (lcg(seed) & 0x03FFF800u));
+            }
+        }
+    }
+}
+
+TEST(DecgenVR32, DecodeRandomWords) {
+    std::uint64_t seed = 0xdecdecde;
+    for (int i = 0; i < 2'000'000; ++i) expect_same_decode(lcg(seed));
+    expect_same_decode(0u);
+    expect_same_decode(~0u);
+}
+
+TEST(DecgenVR32, EncodeAndRangeCheckMatchReference) {
+    // Boundary + random immediates per op; where the reference accepts the
+    // operand combination, the generated encoder must produce the same word.
+    const std::int64_t imm_samples[] = {
+        0, 1, -1, 2, -2, 3, 4, -4, 8, 100, -100, 255, 256, 0x7FF, 0x800,
+        32767, -32768, 32768, -32769, 65535, 65536, -65536,
+        131068, -131072, 131072,
+        0xFFFF, 0x10000, (1 << 20) * 4 - 4, -(1 << 20) * 4, (1 << 20) * 4,
+        0x7FFFFFFF, -0x7FFFFFFF};
+    std::uint64_t seed = 0xc0de;
+    for (unsigned oi = 1; oi < static_cast<unsigned>(op::count_); ++oi) {
+        const op code = static_cast<op>(oi);
+        for (const std::int64_t imm : imm_samples) {
+            ASSERT_EQ(isa::immediate_fits(code, imm),
+                      ref::immediate_fits(code, imm))
+                << isa::op_name(code) << " imm=" << imm;
+            if (!ref::immediate_fits(code, imm)) continue;
+            for (int r = 0; r < 8; ++r) {
+                decoded_inst di;
+                di.code = code;
+                di.rd = static_cast<std::uint8_t>(lcg(seed) % 32);
+                di.rs1 = static_cast<std::uint8_t>(lcg(seed) % 32);
+                di.rs2 = static_cast<std::uint8_t>(lcg(seed) % 32);
+                di.imm = static_cast<std::int32_t>(imm);
+                ASSERT_EQ(isa::encode(di), ref::encode(di))
+                    << isa::op_name(code) << " imm=" << imm;
+            }
+        }
+    }
+    // invalid never fits.
+    EXPECT_FALSE(isa::immediate_fits(op::invalid, 0));
+}
+
+TEST(DecgenVR32, PredicatesMatchReference) {
+    // Every real op plus invalid; count_ is a sentinel, not an op value.
+    for (unsigned oi = 0; oi < static_cast<unsigned>(op::count_); ++oi) {
+        const op code = static_cast<op>(oi);
+        EXPECT_EQ(isa::is_branch(code), ref::is_branch(code)) << oi;
+        EXPECT_EQ(isa::is_jump(code), ref::is_jump(code)) << oi;
+        EXPECT_EQ(isa::is_load(code), ref::is_load(code)) << oi;
+        EXPECT_EQ(isa::is_store(code), ref::is_store(code)) << oi;
+        EXPECT_EQ(isa::is_mul_div(code), ref::is_mul_div(code)) << oi;
+        EXPECT_EQ(isa::is_fp(code), ref::is_fp(code)) << oi;
+        EXPECT_EQ(isa::is_fp_compute(code), ref::is_fp_compute(code)) << oi;
+        EXPECT_EQ(isa::is_system(code), ref::is_system(code)) << oi;
+        EXPECT_EQ(isa::writes_rd(code), ref::writes_rd(code)) << oi;
+        EXPECT_EQ(isa::rd_is_fpr(code), ref::rd_is_fpr(code)) << oi;
+        EXPECT_EQ(isa::uses_rs1(code), ref::uses_rs1(code)) << oi;
+        EXPECT_EQ(isa::rs1_is_fpr(code), ref::rs1_is_fpr(code)) << oi;
+        EXPECT_EQ(isa::uses_rs2(code), ref::uses_rs2(code)) << oi;
+        EXPECT_EQ(isa::rs2_is_fpr(code), ref::rs2_is_fpr(code)) << oi;
+        EXPECT_EQ(isa::extra_exec_cycles(code), ref::extra_exec_cycles(code)) << oi;
+    }
+}
+
+TEST(DecgenVR32, TableShapeIsSound) {
+    const auto& t = isa::vr32_tables();
+    EXPECT_STREQ(t.isa_name, "vr32");
+    ASSERT_EQ(t.ninsts, static_cast<unsigned>(op::count_) - 1);
+    for (unsigned i = 0; i < t.ninsts; ++i) {
+        EXPECT_EQ(t.insts[i].id, i + 1);
+        // Every instruction's canonical encoding decodes back to itself.
+        EXPECT_EQ(isa::tbl::lookup(t, t.insts[i].match), &t.insts[i])
+            << t.insts[i].mnemonic;
+    }
+}
+
+}  // namespace

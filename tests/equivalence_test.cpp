@@ -84,11 +84,12 @@ TEST_P(RandomEquivalence, AllEnginesAgree) {
     const auto ref = run_engine("iss", img);
     ASSERT_TRUE(ref.halted) << "seed " << opt.seed;
 
-    // Every registered engine — including any added after this test was
-    // written — is cross-checked against the ISS.  Integer-only engines
-    // (executes_fp() == false) sit out FP programs.
+    // Every registered VR32 engine — including any added after this test
+    // was written — is cross-checked against the ISS.  Integer-only
+    // engines (executes_fp() == false) sit out FP programs.  (Other-ISA
+    // engines run other programs: see ppc32_fuzz_test.)
     std::map<std::string, final_state> results;
-    for (const auto& name : sim::engine_registry::instance().names()) {
+    for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
         if (name == "iss") continue;
         if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
         const auto f = run_engine(name, img);
@@ -137,7 +138,7 @@ TEST(DecodeCacheAblation, BitIdenticalOnAndOff) {
         opt.with_fp = (i % 2 == 0);
         const auto img = workloads::make_random_program(opt);
 
-        for (const auto& name : sim::engine_registry::instance().names()) {
+        for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
             if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
             const auto on = run_engine(name, img, true);
             const auto off = run_engine(name, img, false);
@@ -162,7 +163,7 @@ TEST(BlockCacheAblation, BitIdenticalOnAndOff) {
         opt.with_fp = (i % 2 == 0);
         const auto img = workloads::make_random_program(opt);
 
-        for (const auto& name : sim::engine_registry::instance().names()) {
+        for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
             if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
             sim::engine_config cfg;
             cfg.block_cache = true;
@@ -188,7 +189,7 @@ TEST(DirectorBatchAblation, BitIdenticalOnAndOff) {
         opt.with_fp = (i % 2 == 0);
         const auto img = workloads::make_random_program(opt);
 
-        for (const auto& name : sim::engine_registry::instance().names()) {
+        for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
             if (opt.with_fp && !sim::make_engine(name)->executes_fp()) continue;
             sim::engine_config cfg;
             cfg.director_batch = true;

@@ -1,0 +1,178 @@
+// Round-trip property: assemble -> disassemble -> reassemble is
+// word-identical.
+//
+// The assembler and disassembler are both generated-table shims, so a
+// table (or spec) change that breaks either direction shows up as a
+// byte diff here.  The property is checked over every committed
+// examples/asm program, every fuzz regression-corpus reproducer, and a
+// seeded randprog sweep across the feature matrix (memory, branches,
+// mul/div, FP, hazard templates).
+//
+// Note the property is about *encode-canonical* images: programs whose
+// words came out of the assembler/encoder.  Arbitrary words with junk
+// in encode-only/ignored spans intentionally re-encode canonically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/program.hpp"
+#include "workloads/randprog.hpp"
+
+namespace {
+
+using namespace osm;
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    EXPECT_TRUE(f.is_open()) << p;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+std::string hex(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%X", v);
+    return buf;
+}
+
+std::uint32_t word_at(const isa::program_image::segment& seg, std::size_t off) {
+    return static_cast<std::uint32_t>(seg.bytes[off]) |
+           static_cast<std::uint32_t>(seg.bytes[off + 1]) << 8 |
+           static_cast<std::uint32_t>(seg.bytes[off + 2]) << 16 |
+           static_cast<std::uint32_t>(seg.bytes[off + 3]) << 24;
+}
+
+const isa::program_image::segment* text_segment(const isa::program_image& img) {
+    for (const auto& seg : img.segments) {
+        if (img.entry >= seg.base && img.entry < seg.base + seg.bytes.size()) {
+            return &seg;
+        }
+    }
+    return img.segments.empty() ? nullptr : &img.segments.front();
+}
+
+/// Rebuild assembly source purely from the disassembler: one
+/// `disassemble()` line per text word (absolute branch/jal targets make
+/// this position-faithful), plus raw data dumps for the other segments.
+std::string disassembly_of(const isa::program_image& img) {
+    std::string out;
+    const isa::program_image::segment* text = text_segment(img);
+    if (text != nullptr) {
+        out += ".text " + hex(text->base) + "\n";
+        const std::size_t words = text->bytes.size() / 4;
+        for (std::size_t i = 0; i < words; ++i) {
+            const std::uint32_t pc =
+                text->base + static_cast<std::uint32_t>(i * 4);
+            if (pc == img.entry && img.entry != text->base) out += "_start:\n";
+            const auto di = isa::decode(word_at(*text, i * 4));
+            if (di.code == isa::op::invalid) {
+                out += "    .word " + hex(di.raw) + "\n";
+            } else {
+                out += "    " + isa::disassemble(di, pc) + "\n";
+            }
+        }
+        for (std::size_t i = words * 4; i < text->bytes.size(); ++i) {
+            out += "    .byte " + hex(text->bytes[i]) + "\n";
+        }
+    }
+    for (const auto& seg : img.segments) {
+        if (&seg == text) continue;
+        out += ".data " + hex(seg.base) + "\n";
+        std::size_t i = 0;
+        for (; i + 4 <= seg.bytes.size(); i += 4) {
+            out += "    .word " + hex(word_at(seg, i)) + "\n";
+        }
+        for (; i < seg.bytes.size(); ++i) {
+            out += "    .byte " + hex(seg.bytes[i]) + "\n";
+        }
+    }
+    return out;
+}
+
+void expect_round_trip(const isa::program_image& img, const std::string& what) {
+    const std::string dis = disassembly_of(img);
+    isa::program_image again;
+    try {
+        again = isa::assemble(dis);
+    } catch (const isa::asm_error& e) {
+        FAIL() << what << ": reassembly failed at line " << e.line() << ": "
+               << e.what() << "\n--- disassembly ---\n" << dis;
+    }
+    ASSERT_EQ(again.segments.size(), img.segments.size()) << what;
+    EXPECT_EQ(again.entry, img.entry) << what;
+    for (std::size_t s = 0; s < img.segments.size(); ++s) {
+        // Segment order may differ (text first in the rebuilt source);
+        // match by base address.
+        const auto& want = img.segments[s];
+        const isa::program_image::segment* got = nullptr;
+        for (const auto& seg : again.segments) {
+            if (seg.base == want.base) got = &seg;
+        }
+        ASSERT_NE(got, nullptr) << what << ": segment at " << hex(want.base);
+        ASSERT_EQ(got->bytes.size(), want.bytes.size())
+            << what << ": segment at " << hex(want.base);
+        for (std::size_t i = 0; i < want.bytes.size(); ++i) {
+            ASSERT_EQ(got->bytes[i], want.bytes[i])
+                << what << ": byte " << i << " of segment at " << hex(want.base)
+                << "\n--- disassembly ---\n" << dis;
+        }
+    }
+}
+
+void round_trip_dir(const char* dir) {
+    std::vector<fs::path> sources;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".s") sources.push_back(entry.path());
+    }
+    std::sort(sources.begin(), sources.end());
+    ASSERT_FALSE(sources.empty()) << dir;
+    for (const fs::path& p : sources) {
+        SCOPED_TRACE(p.string());
+        expect_round_trip(isa::assemble(read_file(p)), p.filename().string());
+    }
+}
+
+TEST(RoundTrip, ExamplePrograms) { round_trip_dir(OSM_EXAMPLES_DIR); }
+
+TEST(RoundTrip, FuzzRegressionCorpus) { round_trip_dir(OSM_CORPUS_DIR); }
+
+TEST(RoundTrip, RandprogFeatureMatrix) {
+    workloads::randprog_options base;
+    base.blocks = 8;
+    base.block_len = 8;
+    struct row {
+        const char* name;
+        void (*tweak)(workloads::randprog_options&);
+    };
+    const row rows[] = {
+        {"plain", [](workloads::randprog_options&) {}},
+        {"fp", [](workloads::randprog_options& o) { o.with_fp = true; }},
+        {"nomem", [](workloads::randprog_options& o) { o.with_memory = false; }},
+        {"nobranch", [](workloads::randprog_options& o) { o.with_branches = false; }},
+        {"loaduse", [](workloads::randprog_options& o) { o.hazard_load_use = true; }},
+        {"brdense", [](workloads::randprog_options& o) { o.hazard_branch_dense = true; }},
+    };
+    for (const row& r : rows) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            workloads::randprog_options opt = base;
+            opt.seed = seed;
+            r.tweak(opt);
+            SCOPED_TRACE(std::string(r.name) + " seed " + std::to_string(seed));
+            expect_round_trip(workloads::make_random_program(opt),
+                              std::string("randprog:") + r.name);
+        }
+    }
+}
+
+}  // namespace

@@ -45,7 +45,8 @@ isa::program_image sum_image() { return isa::assemble(k_sum_src); }
 TEST(Registry, ListsAllBuiltinEngines) {
     const auto names = sim::engine_registry::instance().names();
     const std::set<std::string> have(names.begin(), names.end());
-    for (const char* n : {"iss", "sarm", "hw", "adl", "smt", "p750", "port"}) {
+    for (const char* n : {"iss", "sarm", "hw", "adl", "smt", "p750", "port",
+                          "ppc32", "ppc32-750"}) {
         EXPECT_TRUE(have.count(n)) << "missing engine " << n;
     }
     // Every entry carries a description for --list-engines.
@@ -77,7 +78,7 @@ TEST(Registry, CreatedEngineReportsItsName) {
 
 TEST(EngineAdapters, RunSmallProgramOnEveryEngine) {
     const auto img = sum_image();
-    for (const auto& name : sim::engine_registry::instance().names()) {
+    for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
         auto e = sim::make_engine(name);
         e->load(img);
         e->run(1'000'000);
@@ -94,7 +95,7 @@ TEST(EngineAdapters, RunSmallProgramOnEveryEngine) {
 
 TEST(EngineAdapters, StatsReportCarriesUniformSchema) {
     const auto img = sum_image();
-    for (const auto& name : sim::engine_registry::instance().names()) {
+    for (const auto& name : sim::engine_registry::instance().names_for_isa("vr32")) {
         auto e = sim::make_engine(name);
         e->load(img);
         e->run(1'000'000);
@@ -135,7 +136,7 @@ TEST(DiffRunner, DetectsFpPrograms) {
 
 TEST(DiffRunner, AllEnginesAgreeOnIntegerProgram) {
     const auto res =
-        sim::diff_engines(sim::engine_registry::instance().names(), sum_image());
+        sim::diff_engines(sim::engine_registry::instance().names_for_isa("vr32"), sum_image());
     EXPECT_TRUE(res.ok());
     for (const auto& r : res.runs) {
         EXPECT_TRUE(r.ran) << r.engine;
@@ -144,7 +145,7 @@ TEST(DiffRunner, AllEnginesAgreeOnIntegerProgram) {
 }
 
 TEST(DiffRunner, IntegerOnlyEnginesSitOutFpPrograms) {
-    const auto res = sim::diff_engines(sim::engine_registry::instance().names(),
+    const auto res = sim::diff_engines(sim::engine_registry::instance().names_for_isa("vr32"),
                                        isa::assemble(k_fp_src));
     EXPECT_TRUE(res.ok());
     bool saw_skip = false;
@@ -165,7 +166,7 @@ TEST(DiffRunner, RandomProgramsDiffClean) {
         opt.block_len = 8;
         const auto img = workloads::make_random_program(opt);
         const auto res =
-            sim::diff_engines(sim::engine_registry::instance().names(), img);
+            sim::diff_engines(sim::engine_registry::instance().names_for_isa("vr32"), img);
         EXPECT_TRUE(res.ok()) << "seed " << seed
                               << (res.ok() ? ""
                                            : ": " + res.divergences[0].to_string());

@@ -1,0 +1,571 @@
+// osm-decgen: compile a declarative ISA bit-pattern spec
+// (src/isa/specs/<isa>.spec) into the constexpr decode/encode tables
+// consumed by src/isa/table_isa.hpp.
+//
+// Outputs (committed under src/isa/gen/, verified by the CI staleness
+// gate `generated_sources_fresh`):
+//   <isa>_ops.inc     enum entries, one per instruction, in spec order
+//   <isa>_tables.inc  inst_desc/bucket/sub-index data + isa_tables
+//
+// With --md-splice FILE the encoding table section of a markdown doc is
+// regenerated in place between the markers
+//   <!-- BEGIN GENERATED (osm-decgen: <isa>) -->
+//   <!-- END GENERATED (osm-decgen: <isa>) -->
+//
+// The generator is deliberately deterministic: identical spec input
+// yields byte-identical output (no timestamps, spec-order iteration).
+//
+// Usage: osm-decgen SPEC [--out DIR] [--md-splice FILE]
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct field {
+    char letter;  // canonical lowercase
+    int shift = 0;
+    int width = 0;
+    bool enc_only = false;
+};
+
+struct imm_field {
+    bool present = false;
+    bool in_decode = false;
+    bool sign = false;
+    int shift = 0;
+    int width = 0;
+    int scale = 1;
+};
+
+struct inst {
+    std::string id;
+    std::string mnemonic;
+    std::string pattern;
+    std::uint32_t match = 0;
+    std::uint32_t mask = 0;
+    std::vector<field> fields;
+    imm_field imm;
+    std::string cls = "alu";
+    int rd = 0, rs1 = 0, rs2 = 0;  // 0=none 1=gpr 2=fpr
+    int lat = 0;
+    int line = 0;
+};
+
+struct spec {
+    std::string isa;
+    int pshift = -1;
+    int pbits = 0;
+    std::vector<inst> insts;
+};
+
+[[noreturn]] void die(const std::string& msg) {
+    std::fprintf(stderr, "osm-decgen: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+[[noreturn]] void die_at(const std::string& file, int line, const std::string& msg) {
+    die(file + ":" + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i >= line.size()) break;
+        if (line[i] == '"') {
+            const std::size_t close = line.find('"', i + 1);
+            if (close == std::string::npos) return {};  // caller reports
+            out.push_back(line.substr(i, close - i + 1));
+            i = close + 1;
+        } else {
+            std::size_t j = i;
+            while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+            out.push_back(line.substr(i, j - i));
+            i = j;
+        }
+    }
+    return out;
+}
+
+bool valid_identifier(const std::string& s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') return false;
+    for (const char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+    }
+    return true;
+}
+
+const std::set<std::string>& known_classes() {
+    static const std::set<std::string> k = {
+        "alu", "muldiv", "load", "store", "branch", "jump", "fpc", "fpx", "sys"};
+    return k;
+}
+
+void parse_pattern(const std::string& file, inst& in) {
+    if (in.pattern.size() != 32) {
+        die_at(file, in.line, "pattern must be exactly 32 chars, got " +
+                                  std::to_string(in.pattern.size()));
+    }
+    // Collect contiguous runs per letter (case-sensitive for enc_only).
+    struct run {
+        char c;
+        int hi_index;  // leftmost index in the string
+        int len;
+    };
+    std::vector<run> runs;
+    for (std::size_t i = 0; i < 32;) {
+        std::size_t j = i;
+        while (j < 32 && in.pattern[j] == in.pattern[i]) ++j;
+        runs.push_back({in.pattern[i], static_cast<int>(i), static_cast<int>(j - i)});
+        i = j;
+    }
+    std::set<char> seen;
+    for (const run& r : runs) {
+        const int shift = 31 - (r.hi_index + r.len - 1);
+        if (r.c == '0' || r.c == '1') {
+            for (int b = shift; b < shift + r.len; ++b) {
+                in.mask |= 1u << b;
+                if (r.c == '1') in.match |= 1u << b;
+            }
+            continue;
+        }
+        if (r.c == 'x') continue;
+        if (!std::isalpha(static_cast<unsigned char>(r.c))) {
+            die_at(file, in.line, std::string("bad pattern char '") + r.c + "'");
+        }
+        const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(r.c)));
+        if (seen.count(r.c) || seen.count(lower) ||
+            seen.count(static_cast<char>(std::toupper(static_cast<unsigned char>(r.c))))) {
+            die_at(file, in.line,
+                   std::string("field '") + r.c + "' is not contiguous / appears twice");
+        }
+        seen.insert(r.c);
+        const bool enc_only = std::isupper(static_cast<unsigned char>(r.c)) != 0;
+        if (lower == 'i') {
+            in.imm.present = true;
+            in.imm.in_decode = !enc_only;
+            in.imm.shift = shift;
+            in.imm.width = r.len;
+        } else {
+            in.fields.push_back({lower, shift, r.len, enc_only});
+        }
+    }
+}
+
+spec parse_spec(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) die("cannot open " + path);
+    spec sp;
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(f, raw)) {
+        ++line_no;
+        const std::size_t hash = raw.find('#');
+        std::string line = hash == std::string::npos ? raw : raw.substr(0, hash);
+        const auto toks = tokens_of(line);
+        if (toks.empty()) continue;
+        if (toks[0] == "isa") {
+            if (toks.size() != 2) die_at(path, line_no, "isa needs one name");
+            sp.isa = toks[1];
+        } else if (toks[0] == "primary") {
+            if (toks.size() != 3) die_at(path, line_no, "primary needs shift and width");
+            sp.pshift = std::stoi(toks[1]);
+            sp.pbits = std::stoi(toks[2]);
+            if (sp.pshift < 0 || sp.pbits <= 0 || sp.pshift + sp.pbits > 32) {
+                die_at(path, line_no, "primary field out of range");
+            }
+        } else if (toks[0] == "inst") {
+            if (toks.size() < 4) die_at(path, line_no, "inst needs id, mnemonic, pattern");
+            inst in;
+            in.line = line_no;
+            in.id = toks[1];
+            if (!valid_identifier(in.id)) die_at(path, line_no, "bad id '" + in.id + "'");
+            if (toks[2].size() < 2 || toks[2].front() != '"' || toks[2].back() != '"') {
+                die_at(path, line_no, "mnemonic must be quoted");
+            }
+            in.mnemonic = toks[2].substr(1, toks[2].size() - 2);
+            if (in.mnemonic.empty()) die_at(path, line_no, "empty mnemonic");
+            in.pattern = toks[3];
+            parse_pattern(path, in);
+            bool imm_attr_seen = false;
+            for (std::size_t i = 4; i < toks.size(); ++i) {
+                const std::string& t = toks[i];
+                const std::size_t eq = t.find('=');
+                if (eq == std::string::npos) die_at(path, line_no, "bad attribute '" + t + "'");
+                const std::string key = t.substr(0, eq);
+                const std::string val = t.substr(eq + 1);
+                if (key == "cls") {
+                    if (!known_classes().count(val)) {
+                        die_at(path, line_no, "unknown class '" + val + "'");
+                    }
+                    in.cls = val;
+                } else if (key == "rd" || key == "rs1" || key == "rs2") {
+                    int kind;
+                    if (val == "g") kind = 1;
+                    else if (val == "f") kind = 2;
+                    else die_at(path, line_no, key + " must be g or f");
+                    (key == "rd" ? in.rd : key == "rs1" ? in.rs1 : in.rs2) = kind;
+                } else if (key == "imm") {
+                    if (val == "sext") in.imm.sign = true;
+                    else if (val == "zext") in.imm.sign = false;
+                    else die_at(path, line_no, "imm must be sext or zext");
+                    imm_attr_seen = true;
+                } else if (key == "scale") {
+                    in.imm.scale = std::stoi(val);
+                    if (in.imm.scale <= 0) die_at(path, line_no, "bad scale");
+                } else if (key == "lat") {
+                    in.lat = std::stoi(val);
+                    if (in.lat < 0 || in.lat > 255) die_at(path, line_no, "bad lat");
+                } else {
+                    die_at(path, line_no, "unknown attribute '" + key + "'");
+                }
+            }
+            if (in.imm.present && !imm_attr_seen) {
+                die_at(path, line_no, "pattern has an immediate field: add imm=sext|zext");
+            }
+            if (!in.imm.present && imm_attr_seen) {
+                die_at(path, line_no, "imm attribute without an immediate field");
+            }
+            sp.insts.push_back(std::move(in));
+        } else {
+            die_at(path, line_no, "unknown directive '" + toks[0] + "'");
+        }
+    }
+    if (sp.isa.empty()) die(path + ": missing `isa` directive");
+    if (!valid_identifier(sp.isa)) die(path + ": bad isa name");
+    if (sp.pshift < 0) die(path + ": missing `primary` directive");
+    if (sp.insts.empty()) die(path + ": no instructions");
+    if (sp.insts.size() > 0xFFFE) die(path + ": too many instructions");
+    return sp;
+}
+
+void validate(const std::string& path, const spec& sp) {
+    const std::uint32_t pmask = ((sp.pbits >= 32 ? 0u : (1u << sp.pbits)) - 1u)
+                                << sp.pshift;
+    std::set<std::string> ids, mnems;
+    for (const inst& in : sp.insts) {
+        if (!ids.insert(in.id).second) die_at(path, in.line, "duplicate id '" + in.id + "'");
+        if (!mnems.insert(in.mnemonic).second) {
+            die_at(path, in.line, "duplicate mnemonic '" + in.mnemonic + "'");
+        }
+        if ((in.mask & pmask) != pmask) {
+            die_at(path, in.line, "primary opcode field is not fully fixed");
+        }
+    }
+    // Pairwise overlap check: two patterns are ambiguous iff some word
+    // matches both, i.e. their matches agree on all commonly-fixed bits.
+    for (std::size_t i = 0; i < sp.insts.size(); ++i) {
+        for (std::size_t j = i + 1; j < sp.insts.size(); ++j) {
+            const std::uint32_t m = sp.insts[i].mask & sp.insts[j].mask;
+            if ((sp.insts[i].match & m) == (sp.insts[j].match & m)) {
+                die_at(path, sp.insts[j].line,
+                       "pattern overlaps '" + sp.insts[i].id + "' (line " +
+                           std::to_string(sp.insts[i].line) + ")");
+            }
+        }
+    }
+}
+
+struct bucket {
+    int sub_shift = 0;
+    int sub_bits = 0;
+    std::size_t sub_off = 0;
+    std::size_t first = 0;
+    std::vector<std::size_t> members;  // inst indices, spec order
+};
+
+struct decode_plan {
+    std::vector<bucket> buckets;          // 1 << pbits
+    std::vector<std::uint16_t> sub;       // dense sub-tables
+    std::vector<std::uint16_t> order;     // linear lists
+};
+
+decode_plan plan_decode(const spec& sp) {
+    decode_plan plan;
+    plan.buckets.resize(std::size_t{1} << sp.pbits);
+    for (std::size_t i = 0; i < sp.insts.size(); ++i) {
+        const std::uint32_t primary = (sp.insts[i].match >> sp.pshift) &
+                                      ((1u << sp.pbits) - 1u);
+        plan.buckets[primary].members.push_back(i);
+    }
+    for (bucket& b : plan.buckets) {
+        if (b.members.empty()) continue;
+        // Bits fixed in every member (outside the primary field) whose
+        // values differ somewhere: candidates for a dense sub-index.
+        std::uint32_t fixed_all = ~0u;
+        for (const std::size_t m : b.members) fixed_all &= sp.insts[m].mask;
+        std::uint32_t differ = 0;
+        const std::uint32_t ref = sp.insts[b.members[0]].match;
+        for (const std::size_t m : b.members) {
+            differ |= (sp.insts[m].match ^ ref) & fixed_all;
+        }
+        bool dense = false;
+        if (b.members.size() > 1 && differ != 0) {
+            int lo = 0, hi = 31;
+            while (!((differ >> lo) & 1u)) ++lo;
+            while (!((differ >> hi) & 1u)) --hi;
+            const int width = hi - lo + 1;
+            // The whole contiguous span must be fixed in every member,
+            // and span values must be collision-free.
+            std::uint32_t span_mask =
+                (width >= 32 ? ~0u : ((1u << width) - 1u)) << lo;
+            if (width <= 12 && (fixed_all & span_mask) == span_mask) {
+                std::set<std::uint32_t> values;
+                bool ok = true;
+                for (const std::size_t m : b.members) {
+                    const std::uint32_t v = (sp.insts[m].match >> lo) &
+                                            ((1u << width) - 1u);
+                    if (!values.insert(v).second) { ok = false; break; }
+                }
+                if (ok) {
+                    dense = true;
+                    b.sub_shift = lo;
+                    b.sub_bits = width;
+                    b.sub_off = plan.sub.size();
+                    plan.sub.resize(plan.sub.size() + (std::size_t{1} << width),
+                                    0xFFFF);
+                    for (const std::size_t m : b.members) {
+                        const std::uint32_t v = (sp.insts[m].match >> lo) &
+                                                ((1u << width) - 1u);
+                        plan.sub[b.sub_off + v] = static_cast<std::uint16_t>(m);
+                    }
+                }
+            }
+        }
+        if (!dense) {
+            b.first = plan.order.size();
+            for (const std::size_t m : b.members) {
+                plan.order.push_back(static_cast<std::uint16_t>(m));
+            }
+        }
+    }
+    return plan;
+}
+
+std::string hex32(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08Xu", v);
+    return buf;
+}
+
+const char* cls_name(const std::string& c) {
+    if (c == "alu") return "c_alu";
+    if (c == "muldiv") return "c_muldiv";
+    if (c == "load") return "c_load";
+    if (c == "store") return "c_store";
+    if (c == "branch") return "c_branch";
+    if (c == "jump") return "c_jump";
+    if (c == "fpc") return "c_fpc";
+    if (c == "fpx") return "c_fpx";
+    return "c_sys";
+}
+
+const char* kind_name(int k) {
+    return k == 1 ? "k_gpr" : k == 2 ? "k_fpr" : "k_none";
+}
+
+std::string header(const spec& sp) {
+    return "// Generated by osm-decgen from src/isa/specs/" + sp.isa +
+           ".spec — DO NOT EDIT.\n"
+           "// Regenerate: osm-decgen src/isa/specs/" + sp.isa +
+           ".spec --out src/isa/gen\n"
+           "// clang-format off\n";
+}
+
+std::string emit_ops(const spec& sp) {
+    std::string out = header(sp);
+    out += "// One enum entry per instruction, in spec order (ids start at 1;\n"
+           "// 0 is reserved for the invalid op).\n";
+    for (const inst& in : sp.insts) out += in.id + ",\n";
+    return out;
+}
+
+std::string emit_tables(const spec& sp, const decode_plan& plan) {
+    std::ostringstream o;
+    o << header(sp);
+    o << "namespace osm_tbl = ::osm::isa::tbl;\n\n";
+
+    // Flattened non-imm field array; per-inst offsets.
+    std::vector<std::size_t> field_off(sp.insts.size());
+    o << "static constexpr osm_tbl::field_desc k_" << sp.isa << "_field_data[] = {\n";
+    std::size_t off = 0;
+    bool any_field = false;
+    for (std::size_t i = 0; i < sp.insts.size(); ++i) {
+        field_off[i] = off;
+        for (const field& f : sp.insts[i].fields) {
+            o << "    {'" << f.letter << "', " << f.shift << ", " << f.width << ", "
+              << (f.enc_only ? "true" : "false") << "},  // " << sp.insts[i].id << "\n";
+            ++off;
+            any_field = true;
+        }
+    }
+    if (!any_field) o << "    {'?', 0, 0, false},  // placeholder: no fields\n";
+    o << "};\n\n";
+
+    o << "static constexpr osm_tbl::inst_desc k_" << sp.isa << "_inst_data[] = {\n";
+    for (std::size_t i = 0; i < sp.insts.size(); ++i) {
+        const inst& in = sp.insts[i];
+        const imm_field& im = in.imm;
+        o << "    {" << (i + 1) << ", \"" << in.mnemonic << "\", " << hex32(in.match)
+          << ", " << hex32(in.mask) << ",\n     k_" << sp.isa << "_field_data + "
+          << field_off[i] << ", " << in.fields.size() << ",\n     {"
+          << (im.present ? "true" : "false") << ", " << (im.in_decode ? "true" : "false")
+          << ", " << (im.sign ? "true" : "false") << ", " << im.shift << ", " << im.width
+          << ", " << im.scale << "},\n     osm_tbl::" << cls_name(in.cls)
+          << ", osm_tbl::" << kind_name(in.rd) << ", osm_tbl::" << kind_name(in.rs1)
+          << ", osm_tbl::" << kind_name(in.rs2) << ", " << in.lat << "},  // " << in.id
+          << "\n";
+    }
+    o << "};\n\n";
+
+    o << "static constexpr osm_tbl::bucket_desc k_" << sp.isa << "_bucket_data[] = {\n";
+    for (std::size_t p = 0; p < plan.buckets.size(); ++p) {
+        const bucket& b = plan.buckets[p];
+        o << "    {" << b.sub_shift << ", " << b.sub_bits << ", " << b.sub_off << ", "
+          << (b.sub_bits != 0 ? 0 : b.first) << ", " << b.members.size() << "},  // primary "
+          << p << "\n";
+    }
+    o << "};\n\n";
+
+    o << "static constexpr std::uint16_t k_" << sp.isa << "_sub_data[] = {\n";
+    if (plan.sub.empty()) {
+        o << "    osm_tbl::no_inst,  // placeholder: no dense sub-tables\n";
+    } else {
+        for (std::size_t i = 0; i < plan.sub.size(); ++i) {
+            if (i % 8 == 0) o << "    ";
+            if (plan.sub[i] == 0xFFFF) o << "osm_tbl::no_inst,";
+            else o << plan.sub[i] << ",";
+            o << (i % 8 == 7 || i + 1 == plan.sub.size() ? "\n" : " ");
+        }
+    }
+    o << "};\n\n";
+
+    o << "static constexpr std::uint16_t k_" << sp.isa << "_order_data[] = {\n    ";
+    if (plan.order.empty()) {
+        o << "osm_tbl::no_inst,  // placeholder: no linear lists\n";
+    } else {
+        for (std::size_t i = 0; i < plan.order.size(); ++i) {
+            o << plan.order[i] << (i + 1 == plan.order.size() ? ",\n" : ", ");
+        }
+    }
+    o << "};\n\n";
+
+    o << "static constexpr osm_tbl::isa_tables k_" << sp.isa << "_tables = {\n"
+      << "    \"" << sp.isa << "\", k_" << sp.isa << "_inst_data, " << sp.insts.size()
+      << ", " << sp.pshift << ", " << sp.pbits << ",\n    k_" << sp.isa
+      << "_bucket_data, k_" << sp.isa << "_sub_data, k_" << sp.isa << "_order_data};\n";
+    return o.str();
+}
+
+std::string operand_summary(const inst& in) {
+    std::string out;
+    const auto add = [&](const char* slot, int kind) {
+        if (kind == 0) return;
+        if (!out.empty()) out += ", ";
+        out += slot;
+        out += kind == 2 ? ":fpr" : ":gpr";
+    };
+    add("rd", in.rd);
+    add("rs1", in.rs1);
+    add("rs2", in.rs2);
+    return out.empty() ? "—" : out;
+}
+
+std::string emit_markdown(const spec& sp) {
+    std::ostringstream o;
+    o << "Regenerated by `osm-decgen` from `src/isa/specs/" << sp.isa
+      << ".spec` — edit the spec, not this table.\n\n"
+      << "Pattern bits: bit 31 leftmost; `0`/`1` fixed opcode bits, letters are\n"
+      << "operand fields (`d`=rd `a`=rs1 `b`=rs2 `i`=imm; uppercase = inserted on\n"
+      << "encode but ignored by decode), `x` = ignored on decode, 0 on encode.\n\n";
+    o << "| # | mnemonic | pattern (bit 31 … 0) | class | operands | imm | lat |\n";
+    o << "|---|----------|----------------------|-------|----------|-----|-----|\n";
+    for (std::size_t i = 0; i < sp.insts.size(); ++i) {
+        const inst& in = sp.insts[i];
+        std::string immdesc = "—";
+        if (in.imm.present) {
+            immdesc = (in.imm.sign ? "s" : "u") + std::to_string(in.imm.width);
+            if (in.imm.scale != 1) immdesc += "×" + std::to_string(in.imm.scale);
+            if (!in.imm.in_decode) immdesc += " (enc-only)";
+        }
+        o << "| " << (i + 1) << " | `" << in.mnemonic << "` | `" << in.pattern
+          << "` | " << in.cls << " | " << operand_summary(in) << " | " << immdesc
+          << " | " << in.lat << " |\n";
+    }
+    return o.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) die("cannot write " + path);
+    f << content;
+}
+
+void splice_markdown(const std::string& path, const spec& sp) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) die("cannot open " + path + " for --md-splice");
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string text = ss.str();
+    const std::string begin_marker =
+        "<!-- BEGIN GENERATED (osm-decgen: " + sp.isa + ") -->";
+    const std::string end_marker =
+        "<!-- END GENERATED (osm-decgen: " + sp.isa + ") -->";
+    const std::size_t b = text.find(begin_marker);
+    const std::size_t e = text.find(end_marker);
+    if (b == std::string::npos || e == std::string::npos || e < b) {
+        die(path + ": missing '" + begin_marker + "' / '" + end_marker + "' markers");
+    }
+    const std::string out = text.substr(0, b + begin_marker.size()) + "\n" +
+                            emit_markdown(sp) + text.substr(e);
+    write_file(path, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string spec_path, out_dir, md_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out") {
+            if (++i >= argc) die("--out needs a directory");
+            out_dir = argv[i];
+        } else if (arg == "--md-splice") {
+            if (++i >= argc) die("--md-splice needs a file");
+            md_path = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: osm-decgen SPEC [--out DIR] [--md-splice FILE]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            die("unknown option " + arg);
+        } else if (spec_path.empty()) {
+            spec_path = arg;
+        } else {
+            die("multiple spec files given");
+        }
+    }
+    if (spec_path.empty()) die("usage: osm-decgen SPEC [--out DIR] [--md-splice FILE]");
+
+    const spec sp = parse_spec(spec_path);
+    validate(spec_path, sp);
+    const decode_plan plan = plan_decode(sp);
+
+    if (!out_dir.empty()) {
+        write_file(out_dir + "/" + sp.isa + "_ops.inc", emit_ops(sp));
+        write_file(out_dir + "/" + sp.isa + "_tables.inc", emit_tables(sp, plan));
+        std::fprintf(stderr, "osm-decgen: %s: %zu instructions -> %s/%s_{ops,tables}.inc\n",
+                     sp.isa.c_str(), sp.insts.size(), out_dir.c_str(), sp.isa.c_str());
+    }
+    if (!md_path.empty()) splice_markdown(md_path, sp);
+    return 0;
+}

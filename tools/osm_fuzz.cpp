@@ -209,8 +209,9 @@ int run_minimize_cmd(const cli& c) {
     }
 
     fuzz::minimize_options mo;
-    mo.engines = c.engines.empty() ? sim::engine_registry::instance().names()
-                                   : c.engines;
+    mo.engines = c.engines.empty()
+                     ? sim::engine_registry::instance().names_for_isa("vr32")
+                     : c.engines;
     mo.config = c.config;
     mo.max_cycles = c.max_cycles;
     mo.checkpoint_revalidate = c.checkpoint;

@@ -1,13 +1,18 @@
-// osm-run: execute a VR32 program (assembly, VRI image, or a generated
-// random program) on any registered execution engine, or differentially
-// across several engines at once.
+// osm-run: execute a program (assembly, VRI image, or a generated random
+// program) on any registered execution engine, or differentially across
+// several engines at once.
 //
 //   osm-run prog.s|prog.vri [--engine NAME] [--max-cycles N] [--trace]
 //           [--regs] [--json] [--no-forwarding] [--no-decode-cache]
 //   osm-run prog --diff iss,sarm,p750     first engine is the reference
-//   osm-run prog --diff all               every registered engine vs iss
+//   osm-run prog --diff all               every VR32 engine vs iss
 //   osm-run --rand SEED [...]             random terminating program input
 //   osm-run --list-engines
+//
+// The selected engine's guest ISA picks the assembler and random-program
+// generator: `--engine ppc32` (or `--diff ppc32,ppc32-750`) assembles the
+// input as PPC32.  `--diff all` expands to the VR32 engines only; mixed-ISA
+// engine lists are reported as skipped by the differential runner.
 //
 // Engines come from the sim::engine_registry: unknown names are rejected
 // with the registered list, and a newly registered engine is immediately
@@ -25,6 +30,9 @@
 #include "isa/arch.hpp"
 #include "isa/assembler.hpp"
 #include "isa/image_io.hpp"
+#include "ppc32/arch.hpp"
+#include "ppc32/assembler.hpp"
+#include "ppc32/randprog.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/diff_runner.hpp"
 #include "sim/registry.hpp"
@@ -60,13 +68,17 @@ void usage() {
 
 void list_engines() {
     for (const auto& e : sim::engine_registry::instance().entries()) {
-        std::printf("%-6s %s\n", e.name.c_str(), e.description.c_str());
+        std::printf("%-10s %-6s %s\n", e.name.c_str(), e.isa.c_str(),
+                    e.description.c_str());
     }
 }
 
 void dump_regs(const sim::engine& eng) {
+    const bool ppc = eng.isa() == "ppc32";
     for (unsigned r = 0; r < isa::num_gprs; ++r) {
-        std::printf("%5s=%08X%s", std::string(isa::gpr_name(r)).c_str(), eng.gpr(r),
+        const std::string name =
+            ppc ? ppc32::reg_name(r) : std::string(isa::gpr_name(r));
+        std::printf("%5s=%08X%s", name.c_str(), eng.gpr(r),
                     (r % 4 == 3) ? "\n" : "  ");
     }
 }
@@ -105,7 +117,9 @@ int run_diff(const std::string& spec, const isa::program_image& img,
              const sim::diff_options& opt) {
     std::vector<std::string> names;
     if (spec == "all") {
-        names = sim::engine_registry::instance().names();
+        // "all" means all VR32 engines; diff PPC32 engines with an explicit
+        // list (--diff ppc32,ppc32-750).
+        names = sim::engine_registry::instance().names_for_isa("vr32");
     } else {
         names = split_names(spec);
     }
@@ -195,6 +209,25 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    // The target ISA (from the engine or the first --diff engine) picks the
+    // assembler and random-program generator.  Lockstep and --diff all run
+    // against the VR32 iss reference.
+    std::string target_isa = "vr32";
+    {
+        std::string first;
+        if (!diff_spec.empty() && diff_spec != "all") {
+            const auto names = split_names(diff_spec);
+            if (!names.empty()) first = names.front();
+        } else if (diff_spec.empty() && lockstep_eng.empty()) {
+            first = engine;
+        }
+        if (!first.empty()) {
+            if (const auto* e = sim::engine_registry::instance().find(first)) {
+                target_isa = e->isa;
+            }
+        }
+    }
+
     isa::program_image img;
     const bool have_program = !input.empty() || have_rand;
     try {
@@ -202,7 +235,19 @@ int main(int argc, char** argv) {
             // --restore only: the checkpoint is the whole machine state.
         } else if (have_rand) {
             rand_opt.seed = rand_seed;
-            img = workloads::make_random_program(rand_opt);
+            if (target_isa == "ppc32") {
+                ppc32::randprog_options po;
+                po.seed = rand_opt.seed;
+                po.blocks = rand_opt.blocks;
+                po.block_len = rand_opt.block_len;
+                po.with_mul_div = rand_opt.with_mul_div;
+                po.with_memory = rand_opt.with_memory;
+                po.with_branches = rand_opt.with_branches;
+                po.loop_count = rand_opt.loop_count;
+                img = ppc32::make_random_program(po);
+            } else {
+                img = workloads::make_random_program(rand_opt);
+            }
         } else if (input.size() > 4 && input.substr(input.size() - 4) == ".vri") {
             img = isa::load_image(input);
         } else {
@@ -210,7 +255,8 @@ int main(int argc, char** argv) {
             if (!in) throw std::runtime_error("cannot open " + input);
             std::ostringstream src;
             src << in.rdbuf();
-            img = isa::assemble(src.str());
+            img = target_isa == "ppc32" ? ppc32::assemble(src.str())
+                                        : isa::assemble(src.str());
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "osm-run: %s\n", e.what());
