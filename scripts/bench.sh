@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerate the committed throughput snapshot BENCH_1.json.
+# Regenerate the committed throughput snapshots BENCH_1.json + BENCH_2.json.
 #
 #   scripts/bench.sh [builddir]      (default: build)
 #
@@ -9,6 +9,12 @@
 # snapshot records, per engine, Minst/s and simulated cycles/sec plus the
 # decode- and block-cache hit ratios, and the ISS block-/decode-cache
 # ablation rows (block-cache target: >= 5x over the decode-cache baseline).
+#
+# A second pass runs `osm-bench --serve` (sharded fuzz-campaign throughput:
+# serial vs. a 4-worker pool vs. cold/warm on-disk result cache) into
+# BENCH_2.json ("osm-bench-serve-1" schema).  Note the jobs-N column only
+# scales with real cores; on a single-core host the honest speedup story
+# is the cache-warm replay.
 #
 # The snapshot is machine-specific: regenerate it (on an otherwise idle
 # host, Release build) whenever benchmarking hardware changes or an
@@ -28,3 +34,6 @@ fi
 
 "$BENCH" > BENCH_1.json
 echo "bench.sh: wrote BENCH_1.json"
+
+"$BENCH" --serve > BENCH_2.json
+echo "bench.sh: wrote BENCH_2.json"

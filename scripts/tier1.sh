@@ -15,7 +15,7 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 cmake -B build-asan -S . -DOSM_SANITIZE=ON
-cmake --build build-asan -j --target de_test common_test checkpoint_test osm-run osm-fuzz
+cmake --build build-asan -j --target de_test common_test checkpoint_test serve_test osm-run osm-fuzz
 ./build-asan/tests/de_test
 ./build-asan/tests/common_test
 
@@ -23,6 +23,11 @@ cmake --build build-asan -j --target de_test common_test checkpoint_test osm-run
 # byte-stability, lockstep bisection (ctest -L checkpoint discovers the
 # already-built checkpoint_test binary only).
 ctest --test-dir build-asan -L checkpoint --output-on-failure -j
+
+# Serve suite under the sanitizers: sharded-merge byte-identity, the
+# content-addressed result cache, watchdog preemption with checkpoint
+# migration, and the speculative parallel minimizer.
+ctest --test-dir build-asan -L serve --output-on-failure -j
 
 # Differential smoke: every engine in the registry must agree on a random
 # program while ASan+UBSan watch the models themselves.
@@ -51,6 +56,44 @@ ctest --test-dir build-asan -L checkpoint --output-on-failure -j
 ./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
     --max-cycles 20000000 --replay tests/corpus
 
+# Sanitized sharded-campaign smoke: the same campaign on 2 workers through
+# the serve pool must produce a byte-identical JSON summary, and a second
+# run against the freshly filled on-disk result cache must replay it
+# byte-identically again without re-executing the engines.
+sv=$(mktemp -d)
+./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
+    --max-cycles 20000000 --replay tests/corpus --json \
+    2>/dev/null >"$sv/serial.json"
+./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
+    --max-cycles 20000000 --replay tests/corpus --json --jobs 2 \
+    2>/dev/null >"$sv/jobs2.json"
+./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
+    --max-cycles 20000000 --replay tests/corpus --json \
+    --cache-dir "$sv/cache" 2>/dev/null >/dev/null
+./build-asan/tools/osm-fuzz campaign --seeds 1:16 --matrix quick \
+    --max-cycles 20000000 --replay tests/corpus --json \
+    --cache-dir "$sv/cache" 2>/dev/null >"$sv/warm.json"
+if ! cmp -s "$sv/serial.json" "$sv/jobs2.json"; then
+    echo "tier1: FAIL sharded campaign summary differs from serial" >&2
+    exit 1
+fi
+if ! cmp -s "$sv/serial.json" "$sv/warm.json"; then
+    echo "tier1: FAIL cache-warm campaign summary differs from serial" >&2
+    exit 1
+fi
+rm -rf "$sv"
+
+# ThreadSanitizer smoke: the worker pool, job queue and result cache are
+# the code where data races would live, so build the serve test and a
+# bounded 4-worker campaign under TSan (mutually exclusive with ASan, so
+# it gets its own build tree; serve_test itself covers the concurrent
+# registry and cache traffic).
+cmake -B build-tsan -S . -DOSM_TSAN=ON
+cmake --build build-tsan -j --target serve_test osm-fuzz
+ctest --test-dir build-tsan -L serve --output-on-failure
+./build-tsan/tools/osm-fuzz campaign --seeds 1:12 --matrix quick \
+    --max-cycles 20000000 --jobs 4 --watchdog-ms 2000
+
 # Sanitized checkpoint round-trip smoke on a timing engine: a run that
 # saves mid-flight and a run restored from that checkpoint must reach the
 # same architectural end state as an uninterrupted run.  pc=/cycles= lines
@@ -68,4 +111,4 @@ if ! diff <(grep -v -e '^pc=' -e '^cycles=' -e '^\[' "$ck/straight.txt") \
     exit 1
 fi
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint suite + all-engine diff incl. block-cache on/off + ppc32 smoke + fuzz smoke + checkpoint round-trip)"
+echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint/serve suites + all-engine diff incl. block-cache on/off + ppc32 smoke + fuzz smoke + sharded/cache-warm byte-identity + TSan serve smoke + checkpoint round-trip)"

@@ -1,0 +1,44 @@
+#include "common/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace osm::common {
+
+void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
+    // Unique within the process (counter) and across processes (pid), and in
+    // the same directory as the target so the rename cannot cross a
+    // filesystem boundary.
+    static std::atomic<unsigned> seq{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                            std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f) throw std::runtime_error("cannot open " + tmp + " for writing");
+        f.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+        f.flush();
+        if (!f) {
+            f.close();
+            std::remove(tmp.c_str());
+            throw std::runtime_error("short write to " + tmp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename " + tmp + " to " + path + ": " +
+                                 ec.message());
+    }
+}
+
+void atomic_write_file(const std::string& path, const std::string& text) {
+    atomic_write_file(path, text.data(), text.size());
+}
+
+}  // namespace osm::common

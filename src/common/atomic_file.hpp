@@ -1,0 +1,21 @@
+// Atomic (write-temp-then-rename) file replacement.
+//
+// Campaign summaries, corpus reproducers, checkpoints and serve-cache
+// entries are all consumed byte-exactly by later runs, so a writer killed
+// mid-write (preempted worker, ctrl-C'd campaign) must never leave a torn
+// file behind.  POSIX rename(2) within one directory is atomic: readers see
+// either the old complete file or the new complete file, never a prefix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace osm::common {
+
+/// Replace `path` with `size` bytes from `data` atomically: the bytes are
+/// written to a unique sibling temp file which is then renamed over `path`.
+/// Throws std::runtime_error (with the temp file removed) on any failure.
+void atomic_write_file(const std::string& path, const void* data, std::size_t size);
+void atomic_write_file(const std::string& path, const std::string& text);
+
+}  // namespace osm::common

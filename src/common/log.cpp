@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace osm {
 
 namespace {
-log_level g_level = log_level::warn;
+// Relaxed atomic: the level is a read-mostly tuning knob; serve workers
+// read it concurrently and torn reads of a plain enum would be UB.
+std::atomic<log_level> g_level{log_level::warn};
 
 const char* level_name(log_level level) noexcept {
     switch (level) {
@@ -20,12 +23,14 @@ const char* level_name(log_level level) noexcept {
 }
 }  // namespace
 
-void set_log_level(log_level level) noexcept { g_level = level; }
+void set_log_level(log_level level) noexcept {
+    g_level.store(level, std::memory_order_relaxed);
+}
 
-log_level get_log_level() noexcept { return g_level; }
+log_level get_log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 bool log_enabled(log_level level) noexcept {
-    return static_cast<int>(level) <= static_cast<int>(g_level);
+    return static_cast<int>(level) <= static_cast<int>(g_level.load(std::memory_order_relaxed));
 }
 
 void log_msg(log_level level, const char* tag, const char* fmt, ...) {

@@ -10,8 +10,9 @@ namespace osm {
 
 enum class log_level { none = 0, error = 1, warn = 2, info = 3, debug = 4, trace = 5 };
 
-/// Global log verbosity; defaults to `warn`.  Not thread-safe by design:
-/// the simulators are single-threaded (the DE kernel owns all state).
+/// Global log verbosity; defaults to `warn`.  The level itself is an atomic
+/// so serve workers may read it concurrently, but message emission is plain
+/// stderr printf — interleaving across threads is tolerated, not prevented.
 void set_log_level(log_level level) noexcept;
 log_level get_log_level() noexcept;
 

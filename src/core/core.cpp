@@ -1,6 +1,7 @@
 // Implementation of the OSM core: graph construction, instance state,
 // token managers, and the director's scheduling algorithm.
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <map>
 
@@ -12,7 +13,9 @@
 namespace osm::core {
 
 namespace {
-std::uint64_t g_next_uid = 1;
+// Relaxed atomic: serve workers construct engines (and therefore OSMs)
+// concurrently; uids only need to be unique, not globally ordered.
+std::atomic<std::uint64_t> g_next_uid{1};
 /// Idle OSMs rank after any in-flight one; see osm::age().
 constexpr std::uint64_t k_idle_age_base = 1ull << 40;
 }  // namespace
@@ -119,7 +122,7 @@ void osm_graph::finalize() {
 osm::osm(const osm_graph& graph, std::string name)
     : graph_(&graph),
       name_(std::move(name)),
-      uid_(g_next_uid++),
+      uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)),
       state_(graph.initial()),
       idents_(static_cast<std::size_t>(graph.ident_slots()), 0),
       enables_(static_cast<std::size_t>(graph.num_edges()), 1),

@@ -1,6 +1,7 @@
 #include "fuzz/campaign.hpp"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "sim/registry.hpp"
 #include "workloads/randprog_cli.hpp"
@@ -73,17 +74,6 @@ void count_features(const workloads::randprog_options& o,
     if (o.hazard_branch_dense) ++fc["hazard_branch_dense"];
 }
 
-void absorb_runs(const sim::diff_result& d, campaign_result& res) {
-    for (const auto& r : d.runs) {
-        if (r.ran) {
-            ++res.engine_runs;
-            res.instructions += r.retired;
-        } else {
-            ++res.skipped_runs;
-        }
-    }
-}
-
 std::string zero_pad(std::uint64_t v, int width) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%0*llu", width,
@@ -103,6 +93,7 @@ stats::report campaign_result::summary() const {
     stats::report rep;
     rep.put("campaign", "programs", programs);
     rep.put("campaign", "corpus_replayed", corpus_replayed);
+    rep.put("campaign", "corpus_skipped", corpus_skipped);
     rep.put("campaign", "engine_runs", engine_runs);
     rep.put("campaign", "skipped_runs", skipped_runs);
     rep.put("campaign", "instructions", instructions);
@@ -112,6 +103,9 @@ stats::report campaign_result::summary() const {
     }
     for (const auto& [name, count] : feature_programs) {
         rep.put("coverage.features", name, count);
+    }
+    for (const auto& [name, reason] : corpus_skips) {
+        rep.put("corpus.skipped", name, reason);
     }
     unsigned i = 0;
     for (const auto& f : findings) {
@@ -127,86 +121,154 @@ stats::report campaign_result::summary() const {
     return rep;
 }
 
-campaign_result run_campaign(const campaign_options& opt) {
+std::vector<std::string> campaign_engines(const campaign_options& opt) {
     auto engines = opt.engines;
     // Campaign programs are VR32 randprogs; only VR32 engines can run them.
     if (engines.empty()) engines = sim::engine_registry::instance().names_for_isa("vr32");
-    // Resolve every engine up front: a typo must be a setup error, not 500
-    // silent exceptions mid-sweep.
     for (const auto& n : engines) {
         (void)sim::engine_registry::instance().create(n, opt.config);
     }
+    return engines;
+}
 
-    campaign_result res;
+seed_outcome run_seed_unit(const campaign_options& opt,
+                           const std::vector<std::string>& engines,
+                           std::uint64_t seed, sim::end_state_cache* cache) {
     const auto& matrix = feature_matrix(opt.quick);
+    const auto& mrow = matrix[(seed - opt.seed_lo) % matrix.size()];
 
+    seed_outcome u;
+    u.seed = seed;
+    u.row = mrow.name;
+    u.reference = engines.front();
+    workloads::randprog_options po = mrow.options;
+    po.seed = seed;
+    u.options = po;
+
+    const auto img = workloads::make_random_program(po);
+    sim::diff_options dopt;
+    dopt.config = opt.config;
+    dopt.max_cycles = opt.max_cycles;
+    dopt.cache = cache;
+    const auto d = sim::diff_engines(engines, img, dopt);
+    for (const auto& r : d.runs) {
+        if (r.ran) {
+            ++u.engine_runs;
+            u.instructions += r.retired;
+        } else {
+            ++u.skipped_runs;
+        }
+    }
+    if (d.ok()) return u;
+
+    u.divergent = true;
+    campaign_finding& f = u.finding;
+    f.seed = seed;
+    f.row = mrow.name;
+    f.options = po;
+    f.first = d.divergences.front();
+    f.original_words = f.minimized_words = img.text_words();
+    u.artifact_image = img;
+
+    if (opt.minimize) {
+        minimize_options mo;
+        mo.engines = {engines.front(), f.first.engine};
+        mo.config = opt.config;
+        mo.max_cycles = opt.max_cycles;
+        mo.cache = cache;
+        const auto m = minimize_divergence(img, mo);
+        if (m.was_divergent) {
+            f.first = m.first;
+            f.minimized_words = m.minimized_words;
+            u.artifact_image = m.image;
+        }
+    }
+    return u;
+}
+
+corpus_outcome run_corpus_unit(const campaign_options& opt, const std::string& path,
+                               sim::end_state_cache* cache) {
+    corpus_outcome c;
+    c.name = std::filesystem::path(path).stem().string();
+    try {
+        auto rr = replay_artifact(path, {}, opt.config, cache);
+        if (!rr.meta.name.empty()) c.name = rr.meta.name;
+        for (const auto& r : rr.diff.runs) {
+            if (r.ran) {
+                ++c.engine_runs;
+                c.instructions += r.retired;
+            } else {
+                ++c.skipped_runs;
+            }
+        }
+        c.divergences = std::move(rr.diff.divergences);
+    } catch (const std::exception& e) {
+        // Unreadable/unparsable artifact: a corrupt corpus entry must not
+        // abort the campaign; record it and keep sweeping.
+        c.skipped = true;
+        c.skip_reason = e.what();
+    }
+    return c;
+}
+
+void fold_corpus_outcome(corpus_outcome&& c, campaign_result& res) {
+    if (c.skipped) {
+        ++res.corpus_skipped;
+        res.corpus_skips.emplace_back(std::move(c.name), std::move(c.skip_reason));
+        return;
+    }
+    ++res.corpus_replayed;
+    res.engine_runs += c.engine_runs;
+    res.skipped_runs += c.skipped_runs;
+    res.instructions += c.instructions;
+    for (auto& d : c.divergences) {
+        campaign_finding f;
+        f.row = "corpus:" + c.name;
+        f.first = std::move(d);
+        res.findings.push_back(std::move(f));
+    }
+}
+
+void fold_seed_outcome(seed_outcome&& u, const campaign_options& opt,
+                       campaign_result& res) {
+    ++res.programs;
+    ++res.row_programs[u.row];
+    count_features(u.options, res.feature_programs);
+    res.engine_runs += u.engine_runs;
+    res.skipped_runs += u.skipped_runs;
+    res.instructions += u.instructions;
+    if (!u.divergent) return;
+
+    campaign_finding f = std::move(u.finding);
+    if (!opt.save_dir.empty()) {
+        reproducer_meta meta;
+        meta.name = "fuzz_" + zero_pad(f.seed, 6) + "_" + f.row;
+        meta.kind = "fuzz";
+        meta.engines = u.reference + "," + f.first.engine;
+        meta.seed = f.seed;
+        meta.rand_options = workloads::randprog_flags(f.options);
+        meta.max_cycles = opt.max_cycles;
+        meta.note = "campaign-found divergence (minimized from " +
+                    std::to_string(f.original_words) + " to " +
+                    std::to_string(f.minimized_words) + " words)";
+        meta.divergence = f.first.to_string();
+        f.artifact = save_reproducer(opt.save_dir, meta, u.artifact_image);
+    }
+    res.findings.push_back(std::move(f));
+}
+
+campaign_result run_campaign(const campaign_options& opt) {
+    const auto engines = campaign_engines(opt);
+    campaign_result res;
     // Replay the committed corpus first: regressions there are the
     // highest-signal findings a campaign can produce.
     if (!opt.replay_dir.empty()) {
         for (const auto& path : list_corpus(opt.replay_dir)) {
-            auto rr = replay_artifact(path, {}, opt.config);
-            ++res.corpus_replayed;
-            absorb_runs(rr.diff, res);
-            for (const auto& d : rr.diff.divergences) {
-                campaign_finding f;
-                f.row = "corpus:" + rr.meta.name;
-                f.first = d;
-                res.findings.push_back(std::move(f));
-            }
+            fold_corpus_outcome(run_corpus_unit(opt, path), res);
         }
     }
-
-    sim::diff_options dopt;
-    dopt.config = opt.config;
-    dopt.max_cycles = opt.max_cycles;
-
     for (std::uint64_t seed = opt.seed_lo; seed <= opt.seed_hi; ++seed) {
-        const auto& mrow = matrix[(seed - opt.seed_lo) % matrix.size()];
-        workloads::randprog_options po = mrow.options;
-        po.seed = seed;
-        const auto img = workloads::make_random_program(po);
-        const auto d = sim::diff_engines(engines, img, dopt);
-        ++res.programs;
-        ++res.row_programs[mrow.name];
-        count_features(po, res.feature_programs);
-        absorb_runs(d, res);
-        if (d.ok()) continue;
-
-        campaign_finding f;
-        f.seed = seed;
-        f.row = mrow.name;
-        f.options = po;
-        f.first = d.divergences.front();
-        f.original_words = f.minimized_words = img.text_words();
-
-        isa::program_image artifact_img = img;
-        if (opt.minimize) {
-            minimize_options mo;
-            mo.engines = {engines.front(), f.first.engine};
-            mo.config = opt.config;
-            mo.max_cycles = opt.max_cycles;
-            const auto m = minimize_divergence(img, mo);
-            if (m.was_divergent) {
-                f.first = m.first;
-                f.minimized_words = m.minimized_words;
-                artifact_img = m.image;
-            }
-        }
-        if (!opt.save_dir.empty()) {
-            reproducer_meta meta;
-            meta.name = "fuzz_" + zero_pad(seed, 6) + "_" + mrow.name;
-            meta.kind = "fuzz";
-            meta.engines = engines.front() + "," + f.first.engine;
-            meta.seed = seed;
-            meta.rand_options = workloads::randprog_flags(po);
-            meta.max_cycles = opt.max_cycles;
-            meta.note = "campaign-found divergence (minimized from " +
-                        std::to_string(f.original_words) + " to " +
-                        std::to_string(f.minimized_words) + " words)";
-            meta.divergence = f.first.to_string();
-            f.artifact = save_reproducer(opt.save_dir, meta, artifact_img);
-        }
-        res.findings.push_back(std::move(f));
+        fold_seed_outcome(run_seed_unit(opt, engines, seed), opt, res);
     }
     return res;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fuzz/corpus.hpp"
@@ -60,11 +61,14 @@ struct campaign_finding {
 struct campaign_result {
     std::uint64_t programs = 0;            ///< generated programs executed
     std::uint64_t corpus_replayed = 0;     ///< corpus artifacts replayed
+    std::uint64_t corpus_skipped = 0;      ///< unusable corpus artifacts
     std::uint64_t engine_runs = 0;         ///< engine executions (ran)
     std::uint64_t skipped_runs = 0;        ///< engine executions skipped
     std::uint64_t instructions = 0;        ///< retired, summed over all runs
     std::map<std::string, std::uint64_t> row_programs;      ///< per-row counts
     std::map<std::string, std::uint64_t> feature_programs;  ///< per-feature counts
+    /// (artifact name, reason) for every skipped corpus entry, in replay order.
+    std::vector<std::pair<std::string, std::string>> corpus_skips;
     std::vector<campaign_finding> findings;
 
     bool ok() const { return findings.empty(); }
@@ -74,9 +78,68 @@ struct campaign_result {
     stats::report summary() const;
 };
 
-/// Run a campaign.  Throws sim::unknown_engine for a bad engine name and
-/// std::runtime_error for an unusable replay_dir artifact; divergences are
-/// reported in the result, not thrown.
+// ---- per-unit decomposition ------------------------------------------------
+//
+// A campaign is a fold, in deterministic order, over independent work
+// units: one unit per corpus artifact, then one per seed.  run_campaign
+// below executes units and folds inline; the serve worker pool executes the
+// same units on worker threads and applies the same folds in the same
+// order, which is what makes a sharded campaign summary byte-identical to
+// the serial one by construction.
+
+/// The engine list a campaign runs (resolves empty to all VR32 engines) —
+/// every name is validated up front, so a typo is a setup error, not 500
+/// silent exceptions mid-sweep.  Throws sim::unknown_engine.
+std::vector<std::string> campaign_engines(const campaign_options& opt);
+
+/// Result of one per-seed unit: generate the row's program, diff it on all
+/// engines, and (when divergent and enabled) minimize.  Pure compute — no
+/// filesystem access — so units may run concurrently and in any order.
+struct seed_outcome {
+    std::uint64_t seed = 0;
+    std::string row;
+    std::string reference;                 ///< engines.front()
+    workloads::randprog_options options;
+    std::uint64_t engine_runs = 0;
+    std::uint64_t skipped_runs = 0;
+    std::uint64_t instructions = 0;
+    bool divergent = false;
+    campaign_finding finding;              ///< valid when divergent (artifact unset)
+    isa::program_image artifact_image;     ///< program to persist when divergent
+};
+
+seed_outcome run_seed_unit(const campaign_options& opt,
+                           const std::vector<std::string>& engines,
+                           std::uint64_t seed,
+                           sim::end_state_cache* cache = nullptr);
+
+/// Result of replaying one corpus artifact.  An unreadable or unparsable
+/// artifact is reported as skipped-with-reason, never thrown: one corrupt
+/// entry must not abort a campaign.
+struct corpus_outcome {
+    std::string name;                      ///< metadata name or file stem
+    bool skipped = false;
+    std::string skip_reason;
+    std::uint64_t engine_runs = 0;
+    std::uint64_t skipped_runs = 0;
+    std::uint64_t instructions = 0;
+    std::vector<sim::divergence> divergences;
+};
+
+corpus_outcome run_corpus_unit(const campaign_options& opt, const std::string& path,
+                               sim::end_state_cache* cache = nullptr);
+
+/// Fold one unit outcome into the accumulating result.  Folds must be
+/// applied in campaign order (corpus artifacts sorted by path, then seeds
+/// ascending); fold_seed_outcome also persists the reproducer artifact when
+/// opt.save_dir is set, so all corpus writes happen on the folding thread.
+void fold_corpus_outcome(corpus_outcome&& c, campaign_result& res);
+void fold_seed_outcome(seed_outcome&& u, const campaign_options& opt,
+                       campaign_result& res);
+
+/// Run a campaign serially.  Throws sim::unknown_engine for a bad engine
+/// name; divergences and unusable replay artifacts are reported in the
+/// result, not thrown.
 campaign_result run_campaign(const campaign_options& opt);
 
 }  // namespace osm::fuzz

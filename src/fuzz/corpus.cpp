@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
 #include "isa/arch.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disasm.hpp"
@@ -80,9 +81,9 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, const std::string& text) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("cannot write " + path);
-    out << text;
+    // Corpus artifacts are replayed byte-exactly by later campaigns, so a
+    // writer killed mid-save must never leave a torn .s/.json behind.
+    common::atomic_write_file(path, text);
 }
 
 std::vector<std::string> split_engines(const std::string& list) {
@@ -254,7 +255,8 @@ std::string save_reproducer(const std::string& dir, const reproducer_meta& meta,
 
 replay_result replay_artifact(const std::string& asm_path,
                               const std::vector<std::string>& engines_override,
-                              const sim::engine_config& cfg) {
+                              const sim::engine_config& cfg,
+                              sim::end_state_cache* cache) {
     replay_result r;
     r.path = asm_path;
     std::string meta_path = asm_path;
@@ -273,6 +275,7 @@ replay_result replay_artifact(const std::string& asm_path,
     sim::diff_options opt;
     opt.config = cfg;
     opt.max_cycles = r.meta.max_cycles;
+    opt.cache = cache;
     r.diff = sim::diff_engines(engines, img, opt);
     return r;
 }

@@ -56,9 +56,11 @@ struct replay_result {
 
 /// Replay one .s artifact (its .json sidecar is optional: defaults apply).
 /// `engines_override`, when non-empty, wins over the metadata engine list.
+/// `cache`, when set, memoizes terminal engine states (see diff_options).
 replay_result replay_artifact(const std::string& asm_path,
                               const std::vector<std::string>& engines_override = {},
-                              const sim::engine_config& cfg = {});
+                              const sim::engine_config& cfg = {},
+                              sim::end_state_cache* cache = nullptr);
 
 /// All .s artifacts under `dir`, sorted by filename for determinism.
 std::vector<std::string> list_corpus(const std::string& dir);

@@ -1,7 +1,9 @@
 #include "fuzz/minimize.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "isa/encoding.hpp"
 
@@ -133,6 +135,7 @@ minimize_result minimize_divergence(const isa::program_image& img,
     sim::diff_options dopt;
     dopt.config = opt.config;
     dopt.max_cycles = opt.max_cycles;
+    dopt.cache = opt.cache;
 
     // Establish the divergence to preserve.
     auto initial = sim::diff_engines(opt.engines, img, dopt);
@@ -164,45 +167,100 @@ minimize_result minimize_divergence(const isa::program_image& img,
     lopt.max_retired = opt.max_cycles;
     lopt.locate = false;
 
-    // The candidate still fails iff the *same* engine diverges again.
-    const auto still_fails = [&](const std::vector<winst>& list) {
-        if (res.probes >= opt.max_probes) return false;
-        ++res.probes;
+    // A candidate still fails iff the *same* engine diverges again.
+    // run_probe is pure (no shared-state writes), so a speculative batch of
+    // candidates can be evaluated on worker threads.
+    struct probe_outcome {
+        bool fails = false;
+        sim::divergence div;
+    };
+    const auto run_probe = [&](const std::vector<winst>& list) {
+        probe_outcome po;
         try {
             const auto candidate = rebuild(img, *text, list);
             if (opt.checkpoint_revalidate) {
                 const auto r = sim::lockstep_diff(pinned, candidate, lopt);
                 if (r.ran && r.diverged) {
-                    res.first = r.div;
-                    return true;
+                    po.fails = true;
+                    po.div = r.div;
                 }
-                return false;
+                return po;
             }
             const auto d = sim::diff_engines(opt.engines, candidate, dopt);
             for (const auto& div : d.divergences) {
                 if (div.engine == pinned) {
-                    res.first = div;
-                    return true;
+                    po.fails = true;
+                    po.div = div;
+                    break;
                 }
             }
         } catch (const std::exception&) {
             // Unencodable or otherwise broken candidate: not a reproducer.
         }
-        return false;
+        return po;
+    };
+
+    const unsigned jobs = std::max(1u, opt.jobs);
+    const auto probe_batch = [&](const std::vector<std::vector<winst>>& cands) {
+        std::vector<probe_outcome> out(cands.size());
+        if (jobs == 1 || cands.size() == 1) {
+            for (std::size_t k = 0; k < cands.size(); ++k) out[k] = run_probe(cands[k]);
+            return out;
+        }
+        std::atomic<std::size_t> next{0};
+        const auto work = [&] {
+            for (;;) {
+                const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+                if (k >= cands.size()) return;
+                out[k] = run_probe(cands[k]);
+            }
+        };
+        std::vector<std::thread> pool;
+        for (unsigned t = 1; t < jobs && t < cands.size(); ++t) pool.emplace_back(work);
+        work();
+        for (auto& t : pool) t.join();
+        return out;
+    };
+
+    // Walk a batch of speculative outcomes in scan order, charging probes
+    // exactly as the serial scan would (positions past the probe budget are
+    // "did not reproduce", uncharged).  Returns the index of the first
+    // reproducing candidate, or npos.
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    const auto commit_first = [&](const std::vector<probe_outcome>& outs) {
+        for (std::size_t k = 0; k < outs.size(); ++k) {
+            if (res.probes >= opt.max_probes) return npos;
+            ++res.probes;
+            if (outs[k].fails) {
+                res.first = outs[k].div;
+                return k;
+            }
+        }
+        return npos;
     };
 
     // Phase 1+3: drop contiguous chunks, halving the chunk size (ddmin).
+    // With jobs > 1 the next `jobs` removal positions are probed together;
+    // committing the first reproducer (and discarding the rest) replays the
+    // serial decision sequence exactly.
     const auto removal_pass = [&] {
         std::size_t chunk = std::max<std::size_t>(1, cur.size() / 2);
         while (!cur.empty()) {
             std::size_t start = 0;
             while (start < cur.size() && res.probes < opt.max_probes) {
-                const std::size_t count = std::min(chunk, cur.size() - start);
-                auto candidate = remove_range(cur, start, count);
-                if (still_fails(candidate)) {
-                    cur = std::move(candidate);  // keep scanning at `start`
+                std::vector<std::size_t> pos;
+                std::vector<std::vector<winst>> cands;
+                for (std::size_t p = start; p < cur.size() && pos.size() < jobs;
+                     p += chunk) {
+                    pos.push_back(p);
+                    cands.push_back(remove_range(cur, p, std::min(chunk, cur.size() - p)));
+                }
+                const std::size_t k = commit_first(probe_batch(cands));
+                if (k != npos) {
+                    cur = std::move(cands[k]);
+                    start = pos[k];  // keep scanning at the committed position
                 } else {
-                    start += chunk;
+                    start = pos.back() + chunk;
                 }
             }
             if (chunk == 1) break;
@@ -211,13 +269,30 @@ minimize_result minimize_divergence(const isa::program_image& img,
     };
     removal_pass();
 
-    // Phase 2: nop out single surviving instructions.
-    for (std::size_t i = 0; i < cur.size() && res.probes < opt.max_probes; ++i) {
-        if (is_nop(cur[i].di)) continue;
-        auto candidate = cur;
-        candidate[i] = winst{};  // decoded_inst{} defaults to invalid; set nop
-        candidate[i].di.code = isa::op::addi;
-        if (still_fails(candidate)) cur = std::move(candidate);
+    // Phase 2: nop out single surviving instructions (same speculative
+    // batching over the next `jobs` non-nop positions).
+    {
+        std::size_t i = 0;
+        while (i < cur.size() && res.probes < opt.max_probes) {
+            std::vector<std::size_t> pos;
+            std::vector<std::vector<winst>> cands;
+            for (std::size_t p = i; p < cur.size() && pos.size() < jobs; ++p) {
+                if (is_nop(cur[p].di)) continue;
+                pos.push_back(p);
+                auto candidate = cur;
+                candidate[p] = winst{};  // decoded_inst{} defaults to invalid; set nop
+                candidate[p].di.code = isa::op::addi;
+                cands.push_back(std::move(candidate));
+            }
+            if (pos.empty()) break;  // only nops remain past `i`
+            const std::size_t k = commit_first(probe_batch(cands));
+            if (k != npos) {
+                cur = std::move(cands[k]);
+                i = pos[k] + 1;
+            } else {
+                i = pos.back() + 1;
+            }
+        }
     }
 
     // Phase 3: strip the nops phase 2 committed.

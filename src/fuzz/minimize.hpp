@@ -37,6 +37,18 @@ struct minimize_options {
     bool checkpoint_revalidate = false;
     /// Retirements between lockstep compare points.
     std::uint64_t checkpoint_interval = 256;
+    /// Concurrent candidate evaluations.  Parallelism is speculative: the
+    /// next `jobs` scan positions are probed together assuming none
+    /// reproduces, and the first reproducing candidate (in scan order) is
+    /// committed while later speculative results are discarded.  The
+    /// decision sequence — and therefore the minimized program — is
+    /// identical to jobs == 1; only wall-clock time differs.  Probe
+    /// accounting also matches serial: discarded speculative evaluations
+    /// are not charged against max_probes.
+    unsigned jobs = 1;
+    /// Optional terminal-state memo shared with the campaign (see
+    /// sim::diff_options::cache); must be thread-safe when jobs > 1.
+    sim::end_state_cache* cache = nullptr;
 };
 
 struct minimize_result {

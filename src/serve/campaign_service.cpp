@@ -1,0 +1,247 @@
+#include "serve/campaign_service.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+
+#include "serve/engine_runner.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/shard_plan.hpp"
+#include "sim/registry.hpp"
+#include "workloads/randprog.hpp"
+
+namespace osm::serve {
+
+namespace {
+
+std::string zero_pad(std::uint64_t v, int width) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%0*llu", width,
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+const char* kind_name(job_kind k) {
+    switch (k) {
+        case job_kind::seed: return "seed";
+        case job_kind::corpus: return "corpus";
+        case job_kind::lockstep: return "lockstep";
+    }
+    return "?";
+}
+
+}  // namespace
+
+stats::report serve_result::serve_report() const {
+    stats::report rep;
+    rep.put("serve", "jobs_total", total_jobs);
+    rep.put("serve", "workers", static_cast<std::uint64_t>(workers.size()));
+    rep.put("serve", "timeouts", static_cast<std::uint64_t>(timeouts.size()));
+    rep.put("cache", "lookups", cache.lookups);
+    rep.put("cache", "hits", cache.hits);
+    rep.put("cache", "disk_hits", cache.disk_hits);
+    rep.put("cache", "misses", cache.misses);
+    rep.put("cache", "stores", cache.stores);
+    rep.put("cache", "evictions", cache.evictions);
+    rep.put("cache", "collisions", cache.collisions);
+    rep.put("cache", "rejected", cache.rejected);
+    rep.put("runner", "engine_runs", runner.runs);
+    rep.put("runner", "cache_hits", runner.cache_hits);
+    rep.put("runner", "slices", runner.slices);
+    rep.put("runner", "checkpoints", runner.checkpoints);
+    rep.put("runner", "restores", runner.restores);
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        const std::string key = "worker." + zero_pad(i, 2);
+        rep.put(key, "jobs", workers[i].jobs);
+        rep.put(key, "steals", workers[i].steals);
+        rep.put(key, "resumes", workers[i].resumes);
+        rep.put(key, "preempts", workers[i].preempts);
+        rep.put(key, "wall_ms", workers[i].wall_ms);
+        rep.put(key, "cpu_ms", workers[i].cpu_ms);
+    }
+    for (std::size_t i = 0; i < timeouts.size(); ++i) {
+        const std::string key = "timeout." + zero_pad(i, 3);
+        rep.put(key, "job", timeouts[i].id);
+        rep.put(key, "kind", std::string(kind_name(timeouts[i].kind)));
+        rep.put(key, "seed", timeouts[i].seed);
+        rep.put(key, "detail", timeouts[i].detail);
+    }
+    return rep;
+}
+
+serve_result run_campaign_service(const serve_options& opt) {
+    const auto engines = fuzz::campaign_engines(opt.campaign);
+    std::vector<std::string> corpus;
+    if (!opt.campaign.replay_dir.empty()) {
+        corpus = fuzz::list_corpus(opt.campaign.replay_dir);
+    }
+    const unsigned jobs = std::max(1u, opt.jobs);
+    auto plan = plan_campaign(corpus, opt.campaign.seed_lo, opt.campaign.seed_hi, jobs);
+
+    job_queue queue(jobs);
+    for (unsigned s = 0; s < plan.shards.size(); ++s) {
+        for (auto& j : plan.shards[s]) queue.push_initial(s, std::move(j));
+    }
+
+    result_cache cache({opt.cache_capacity, opt.cache_dir, opt.campaign.config});
+
+    // Completed outcomes, indexed by job id (= fold position).  Workers
+    // write disjoint slots, so no lock is needed beyond the pool's own
+    // queue synchronization.
+    struct slot {
+        std::optional<fuzz::seed_outcome> seed;
+        std::optional<fuzz::corpus_outcome> corpus;
+    };
+    std::vector<slot> slots(plan.total_jobs);
+
+    std::mutex runner_mu;
+    runner_stats runner_total;
+
+    worker_pool::options po;
+    po.workers = jobs;
+    po.watchdog_ms = opt.watchdog_ms;
+    po.max_resumes = opt.max_resumes;
+
+    worker_pool pool(po, queue, [&](job& j, unsigned, const std::atomic<bool>& preempt) {
+        sliced_executor::options xo;
+        xo.config = opt.campaign.config;
+        xo.slice_cycles = opt.slice_cycles;
+        xo.wedge_strikes = opt.wedge_strikes;
+        sliced_executor exec(xo, &cache, &j, &preempt);
+        try {
+            if (j.kind == job_kind::seed) {
+                slots[j.id].seed = fuzz::run_seed_unit(opt.campaign, engines, j.seed, &exec);
+            } else {
+                slots[j.id].corpus = fuzz::run_corpus_unit(opt.campaign, j.path, &exec);
+            }
+        } catch (...) {
+            // Preempted or wedged: still account the partial execution.
+            std::lock_guard<std::mutex> lock(runner_mu);
+            const auto& rs = exec.stats();
+            runner_total.runs += rs.runs;
+            runner_total.cache_hits += rs.cache_hits;
+            runner_total.slices += rs.slices;
+            runner_total.checkpoints += rs.checkpoints;
+            runner_total.restores += rs.restores;
+            throw;
+        }
+        std::lock_guard<std::mutex> lock(runner_mu);
+        const auto& rs = exec.stats();
+        runner_total.runs += rs.runs;
+        runner_total.cache_hits += rs.cache_hits;
+        runner_total.slices += rs.slices;
+        runner_total.checkpoints += rs.checkpoints;
+        runner_total.restores += rs.restores;
+    });
+    pool.run();
+
+    // ---- merge: fold completed outcomes in job-id order ----------------
+    // Identical units, identical fold order => the summary is the serial
+    // campaign's summary, whatever the worker count or steal pattern.
+    serve_result out;
+    for (auto& s : slots) {
+        if (s.corpus) {
+            fuzz::fold_corpus_outcome(std::move(*s.corpus), out.campaign);
+        } else if (s.seed) {
+            fuzz::fold_seed_outcome(std::move(*s.seed), opt.campaign, out.campaign);
+        }
+        // Empty slot: the job timed out; it is reported in `timeouts`
+        // below and deliberately kept out of the campaign summary.
+    }
+    out.timeouts = pool.timeouts();
+    out.workers = pool.stats();
+    out.cache = cache.stats();
+    out.runner = runner_total;
+    out.total_jobs = plan.total_jobs;
+    return out;
+}
+
+// ---- lockstep sweep --------------------------------------------------------
+
+stats::report lockstep_sweep_result::summary() const {
+    stats::report rep;
+    rep.put("lockstep", "probes", probes);
+    rep.put("lockstep", "diverged", diverged);
+    rep.put("lockstep", "compares", compares);
+    rep.put("lockstep", "restores", restores);
+    for (std::size_t i = 0; i < divergences.size(); ++i) {
+        rep.put("divergence." + zero_pad(i, 3), "report", divergences[i]);
+    }
+    return rep;
+}
+
+lockstep_sweep_result run_lockstep_sweep(const lockstep_sweep_options& opt) {
+    auto engines = opt.engines;
+    if (engines.empty()) {
+        for (const auto& n : sim::engine_registry::instance().names_for_isa("vr32")) {
+            if (n != opt.reference) engines.push_back(n);
+        }
+    }
+    for (const auto& n : engines) {
+        (void)sim::engine_registry::instance().create(n, opt.config);
+    }
+
+    const unsigned jobs = std::max(1u, opt.jobs);
+    auto plan = plan_lockstep(opt.seed_lo, opt.seed_hi, engines, jobs);
+    job_queue queue(jobs);
+    for (unsigned s = 0; s < plan.shards.size(); ++s) {
+        for (auto& j : plan.shards[s]) queue.push_initial(s, std::move(j));
+    }
+
+    struct probe_slot {
+        bool ran = false;
+        bool diverged = false;
+        std::string line;
+        std::uint64_t compares = 0;
+        std::uint64_t restores = 0;
+    };
+    std::vector<probe_slot> slots(plan.total_jobs);
+    const auto& matrix = fuzz::feature_matrix(opt.quick);
+
+    worker_pool::options po;
+    po.workers = jobs;
+    worker_pool pool(po, queue, [&](job& j, unsigned, const std::atomic<bool>&) {
+        const auto& mrow = matrix[(j.seed - opt.seed_lo) % matrix.size()];
+        workloads::randprog_options prog = mrow.options;
+        prog.seed = j.seed;
+        const auto img = workloads::make_random_program(prog);
+
+        sim::lockstep_options lo;
+        lo.reference = opt.reference;
+        lo.config = opt.config;
+        lo.interval = opt.interval;
+        lo.max_retired = opt.max_retired;
+        const auto r = sim::lockstep_diff(j.engine, img, lo);
+
+        probe_slot& s = slots[j.id];
+        s.ran = r.ran;
+        s.compares = r.compares;
+        s.restores = r.restores;
+        if (r.ran && r.diverged) {
+            s.diverged = true;
+            s.line = "seed=" + std::to_string(j.seed) + " row=" + mrow.name +
+                     " engine=" + j.engine + ": " + r.div.to_string();
+            if (r.located) {
+                s.line += " (first divergent retirement " +
+                          std::to_string(r.first_divergent_retired) + ")";
+            }
+        }
+    });
+    pool.run();
+
+    lockstep_sweep_result out;
+    for (const auto& s : slots) {
+        if (!s.ran) continue;
+        ++out.probes;
+        out.compares += s.compares;
+        out.restores += s.restores;
+        if (s.diverged) {
+            ++out.diverged;
+            out.divergences.push_back(s.line);
+        }
+    }
+    out.workers = pool.stats();
+    return out;
+}
+
+}  // namespace osm::serve

@@ -1,0 +1,92 @@
+// Sharded campaign / lockstep service.
+//
+// Runs a fuzz campaign (or a lockstep divergence sweep) as a job graph on
+// a worker pool instead of a serial loop.  Each job executes the *same*
+// per-unit function the serial campaign uses (fuzz::run_seed_unit /
+// run_corpus_unit), with engine runs flowing through the sliced executor
+// (preemption + checkpoint migration) and the shared content-addressed
+// result cache.  Completed outcomes land in a slot table indexed by job
+// id; after the pool drains, the merge step folds the slots in id order
+// with the same fold functions the serial loop uses.  Identical units +
+// identical fold order = byte-identical campaign summary for any worker
+// count, by construction.
+//
+// Everything scheduling-dependent — worker counters, cache hit rates,
+// steals, resumes, timeouts, wall/cpu time — is reported separately via
+// serve_report(), which is explicitly NOT byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "serve/engine_runner.hpp"
+#include "serve/job.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/worker_pool.hpp"
+#include "sim/diff_runner.hpp"
+#include "stats/stats.hpp"
+
+namespace osm::serve {
+
+struct serve_options {
+    fuzz::campaign_options campaign{};
+    unsigned jobs = 1;                    ///< worker threads (= shards)
+    std::size_t cache_capacity = 4096;    ///< in-memory result-cache entries
+    std::string cache_dir;                ///< on-disk result cache ("" = off)
+    std::uint64_t watchdog_ms = 0;        ///< per-job deadline (0 = off)
+    std::uint64_t slice_cycles = 250'000; ///< preemption granularity
+    unsigned wedge_strikes = 3;
+    unsigned max_resumes = 8;
+};
+
+struct serve_result {
+    fuzz::campaign_result campaign;       ///< byte-identical to run_campaign
+    std::vector<job_timeout> timeouts;    ///< jobs the service gave up on
+    std::vector<worker_stats> workers;
+    cache_stats cache;
+    runner_stats runner;                  ///< summed over workers
+    std::uint64_t total_jobs = 0;
+
+    /// Scheduling-dependent report (workers, cache, timeouts).  Unlike
+    /// campaign.summary(), this is not byte-stable across runs.
+    stats::report serve_report() const;
+};
+
+/// Run opt.campaign on opt.jobs workers.  Timed-out jobs are recorded in
+/// `timeouts` and folded as empty outcomes (they cannot occur with the
+/// built-in engines; see engine_runner.hpp on wedge detection).
+serve_result run_campaign_service(const serve_options& opt);
+
+// ---- lockstep sweep --------------------------------------------------------
+
+struct lockstep_sweep_options {
+    std::uint64_t seed_lo = 1;
+    std::uint64_t seed_hi = 8;
+    std::string reference = "iss";
+    std::vector<std::string> engines;     ///< empty = all other VR32 engines
+    sim::engine_config config{};
+    std::uint64_t interval = 256;
+    std::uint64_t max_retired = 100'000'000ull;
+    bool quick = true;                    ///< quick feature matrix rows
+    unsigned jobs = 1;
+};
+
+struct lockstep_sweep_result {
+    std::uint64_t probes = 0;             ///< (seed, engine) pairs run
+    std::uint64_t diverged = 0;
+    std::uint64_t compares = 0;
+    std::uint64_t restores = 0;
+    std::vector<std::string> divergences; ///< deterministic order, one line each
+    std::vector<worker_stats> workers;
+
+    /// Deterministic summary of the sweep (no worker stats).
+    stats::report summary() const;
+};
+
+/// Shard (seed × engine) lockstep probes across a pool.  Probe results are
+/// merged in job-id order, so the summary is independent of worker count.
+lockstep_sweep_result run_lockstep_sweep(const lockstep_sweep_options& opt);
+
+}  // namespace osm::serve

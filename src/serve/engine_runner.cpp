@@ -1,0 +1,87 @@
+#include "serve/engine_runner.hpp"
+
+#include <algorithm>
+
+#include "sim/checkpoint.hpp"
+#include "sim/registry.hpp"
+
+namespace osm::serve {
+
+sliced_executor::sliced_executor(options opt, result_cache* cache, job* j,
+                                 const std::atomic<bool>* preempt)
+    : opt_(opt), cache_(cache), job_(j), preempt_(preempt) {}
+
+std::optional<sim::end_state> sliced_executor::lookup(const std::string& engine,
+                                                      const isa::program_image& img,
+                                                      std::uint64_t max_cycles) {
+    if (cache_ != nullptr) {
+        if (auto hit = cache_->lookup(engine, img, max_cycles)) {
+            ++stats_.cache_hits;
+            return hit;
+        }
+    }
+
+    auto eng = sim::engine_registry::instance().create(engine, opt_.config);
+    eng->load(img);
+    std::uint64_t spent = 0;
+
+    // A preempted run left its checkpoint in the job; continue from it
+    // instead of re-running the prefix.  The key ties the snapshot to this
+    // exact (engine, program, config, budget) tuple.
+    const std::string key =
+        result_cache::cache_key(engine, img, opt_.config, max_cycles);
+    if (job_ != nullptr && job_->resume_key == key && !job_->resume_checkpoint.empty()) {
+        eng->restore_state(sim::deserialize(job_->resume_checkpoint));
+        spent = job_->resume_spent;
+        job_->resume_key.clear();
+        job_->resume_checkpoint.clear();
+        job_->resume_spent = 0;
+        ++stats_.restores;
+    }
+
+    ++stats_.runs;
+    unsigned strikes = 0;
+    while (!eng->halted() && spent < max_cycles) {
+        const std::uint64_t before = eng->retired();
+        const std::uint64_t budget = std::min(opt_.slice_cycles, max_cycles - spent);
+        const std::uint64_t stepped = eng->run(budget);
+        spent += std::max<std::uint64_t>(stepped, 1);  // a stuck run must still consume budget
+        ++stats_.slices;
+        if (eng->halted() || spent >= max_cycles) break;
+
+        // Deterministic wedge detection: progress is measured in retired
+        // instructions per full slice, independent of wall-clock time.
+        if (eng->retired() == before) {
+            if (++strikes >= opt_.wedge_strikes) {
+                throw job_wedged{engine, eng->retired()};
+            }
+        } else {
+            strikes = 0;
+        }
+
+        if (preempt_ != nullptr && preempt_->load(std::memory_order_acquire)) {
+            if (job_ != nullptr && eng->supports_checkpoint()) {
+                // Quiesced boundary: snapshot so another worker resumes
+                // here.  Engines without checkpoint support simply restart
+                // from zero on the resuming worker.
+                job_->resume_key = key;
+                job_->resume_checkpoint = sim::serialize(eng->save_state());
+                job_->resume_spent = spent;
+                ++stats_.checkpoints;
+            }
+            throw job_preempted{};
+        }
+    }
+
+    sim::end_state st = sim::capture_end_state(*eng);
+    if (cache_ != nullptr) cache_->store(engine, img, max_cycles, st);
+    return st;
+}
+
+void sliced_executor::store(const std::string&, const isa::program_image&,
+                            std::uint64_t, const sim::end_state&) {
+    // lookup() always returns a state, so diff_engines never reaches its
+    // own store() call; nothing to do.
+}
+
+}  // namespace osm::serve

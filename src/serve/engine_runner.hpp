@@ -1,0 +1,81 @@
+// Sliced, preemptible engine execution for serve workers.
+//
+// The sliced_executor plugs into sim::diff_options::cache, so every engine
+// run inside a job (campaign diff, minimizer probe, corpus replay) flows
+// through it.  A run is executed in bounded slices instead of one
+// `run(max_cycles)` call; at each slice boundary — a quiesced point where
+// the architectural state is well-defined — the executor:
+//
+//   1. checks the worker's preempt flag: if set and the engine supports
+//      checkpointing, the run is snapshotted (sim::checkpoint) into the
+//      job's resume state and job_preempted unwinds to the worker loop,
+//      which re-enqueues the job for another worker to resume;
+//   2. counts zero-progress slices: an engine that retires nothing and
+//      does not halt for `wedge_strikes` consecutive slices is declared
+//      wedged (job_wedged), which the service turns into a structured
+//      job_timeout result.  The strike rule is deterministic — it depends
+//      only on slice geometry, never on wall-clock time.
+//
+// Slicing itself cannot change results: run(a) followed by run(b) is
+// run(a+b) for every engine, and the executor consumes exactly the same
+// total budget as the serial path.  Completed runs are memoized in the
+// shared result_cache, which is also what makes a checkpoint-resumed run
+// converge with the serial one: the terminal state is identical, and
+// nothing else enters the campaign summary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/result_cache.hpp"
+#include "sim/diff_runner.hpp"
+#include "sim/engine.hpp"
+
+namespace osm::serve {
+
+struct runner_stats {
+    std::uint64_t runs = 0;          ///< engine executions (cache misses)
+    std::uint64_t cache_hits = 0;
+    std::uint64_t slices = 0;
+    std::uint64_t checkpoints = 0;   ///< preemption snapshots taken
+    std::uint64_t restores = 0;      ///< runs resumed from a job checkpoint
+};
+
+class sliced_executor final : public sim::end_state_cache {
+  public:
+    struct options {
+        sim::engine_config config{};
+        std::uint64_t slice_cycles = 250'000;  ///< preemption granularity
+        unsigned wedge_strikes = 3;
+    };
+
+    /// `cache` may be null (no memoization).  `preempt` may be null (the
+    /// run is then not preemptible).  `j` receives resume state on
+    /// preemption and provides it on resume; may be null only when
+    /// `preempt` is also null.
+    sliced_executor(options opt, result_cache* cache, job* j,
+                    const std::atomic<bool>* preempt);
+
+    // sim::end_state_cache: lookup() never "misses" — on a cache miss it
+    // runs the engine itself (sliced) and returns the terminal state, so
+    // diff_engines never takes its own load/run path.
+    std::optional<sim::end_state> lookup(const std::string& engine,
+                                         const isa::program_image& img,
+                                         std::uint64_t max_cycles) override;
+    void store(const std::string& engine, const isa::program_image& img,
+               std::uint64_t max_cycles, const sim::end_state& st) override;
+
+    const runner_stats& stats() const { return stats_; }
+
+  private:
+    options opt_;
+    result_cache* cache_;
+    job* job_;
+    const std::atomic<bool>* preempt_;
+    runner_stats stats_;
+};
+
+}  // namespace osm::serve

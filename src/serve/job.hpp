@@ -1,0 +1,69 @@
+// Job model for the sharded simulation service.
+//
+// A campaign (or lockstep sweep) is decomposed into independent jobs — one
+// per corpus artifact, per seed, or per (seed, engine) lockstep probe.
+// Jobs carry their own resume state: a worker that preempts a long engine
+// run checkpoints it at a quiesced slice boundary (sim::checkpoint) into
+// the job and re-enqueues it, so any other worker can pick the job up and
+// continue where the first left off.  Job ids are assigned in campaign
+// fold order; the merge step consumes completed jobs by id, which is what
+// makes the sharded summary byte-identical to the serial one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osm::serve {
+
+enum class job_kind {
+    seed,      ///< one fuzz campaign seed (generate + diff + minimize)
+    corpus,    ///< replay one corpus artifact
+    lockstep,  ///< one (seed, engine) lockstep probe
+};
+
+struct job {
+    std::uint64_t id = 0;          ///< fold position (0-based, campaign order)
+    job_kind kind = job_kind::seed;
+    std::uint64_t seed = 0;        ///< seed / lockstep jobs
+    std::string path;              ///< corpus jobs: artifact path
+    std::string engine;            ///< lockstep jobs: candidate engine
+    unsigned origin_shard = 0;     ///< shard the plan dealt this job to
+
+    // ---- resume state (filled by a preempting worker) ----
+    /// Cache key (result_cache::cache_key) of the engine run that was
+    /// preempted; empty = no saved run.
+    std::string resume_key;
+    /// Serialized sim::checkpoint of that run at the preemption boundary.
+    std::vector<std::uint8_t> resume_checkpoint;
+    /// Cycle budget already consumed by the preempted run.
+    std::uint64_t resume_spent = 0;
+    /// Times this job has been preempted and re-enqueued.
+    unsigned resumes = 0;
+};
+
+/// Thrown (and caught) inside the worker loop to unwind a preempted job
+/// out of the engine run.  Deliberately NOT derived from std::exception:
+/// library code (the minimizer, replay) legitimately catches
+/// std::exception around engine runs, and a preemption must pass through
+/// those handlers untouched.
+struct job_preempted {};
+
+/// Ditto, for a job whose engine stopped making progress: `wedge_strikes`
+/// consecutive slices retired nothing without halting.
+struct job_wedged {
+    std::string engine;      ///< the engine that wedged
+    std::uint64_t retired;   ///< progress when the strikes ran out
+};
+
+/// Structured record of a job the service gave up on (wedged engine or
+/// resume budget exhausted).  The reason strings are deterministic — no
+/// wall-clock times — so reports containing them stay reproducible.
+struct job_timeout {
+    std::uint64_t id = 0;
+    job_kind kind = job_kind::seed;
+    std::uint64_t seed = 0;
+    std::string detail;      ///< e.g. "engine hw wedged at retired=12"
+};
+
+}  // namespace osm::serve

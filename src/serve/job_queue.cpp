@@ -1,0 +1,76 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+namespace osm::serve {
+
+job_queue::job_queue(unsigned shards) : queues_(std::max(1u, shards)) {}
+
+void job_queue::push_initial(unsigned shard, job j) {
+    queues_[shard % queues_.size()].push_back(std::move(j));
+    ++open_jobs_;
+}
+
+void job_queue::push_resume(unsigned not_shard, job j) {
+    std::lock_guard<std::mutex> lock(mu_);
+    unsigned target = 0;
+    if (queues_.size() > 1) {
+        // Any shard but the preempting worker's own; pick the shortest so
+        // the resumed job is reached soon.
+        std::size_t best = static_cast<std::size_t>(-1);
+        for (unsigned s = 0; s < queues_.size(); ++s) {
+            if (s == not_shard % queues_.size()) continue;
+            if (queues_[s].size() < best) {
+                best = queues_[s].size();
+                target = s;
+            }
+        }
+    }
+    // The job was already counted open when popped; re-enqueueing hands
+    // that count back to the queue, so no open_jobs_ change here.
+    queues_[target].push_front(std::move(j));
+    cv_.notify_all();
+}
+
+std::optional<job> job_queue::pop(unsigned shard) {
+    const unsigned own = shard % queues_.size();
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (!queues_[own].empty()) {
+            job j = std::move(queues_[own].front());
+            queues_[own].pop_front();
+            return j;
+        }
+        // Steal from the back of the longest other shard.
+        unsigned victim = own;
+        std::size_t longest = 0;
+        for (unsigned s = 0; s < queues_.size(); ++s) {
+            if (s == own) continue;
+            if (queues_[s].size() > longest) {
+                longest = queues_[s].size();
+                victim = s;
+            }
+        }
+        if (victim != own) {
+            job j = std::move(queues_[victim].back());
+            queues_[victim].pop_back();
+            ++steals_;
+            return j;
+        }
+        if (open_jobs_ == 0) return std::nullopt;
+        // Queues are empty but jobs are executing; one may be re-enqueued.
+        cv_.wait(lock);
+    }
+}
+
+void job_queue::finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--open_jobs_ == 0) cv_.notify_all();
+}
+
+std::uint64_t job_queue::steals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+}
+
+}  // namespace osm::serve

@@ -1,0 +1,58 @@
+// Sharded work queue with stealing.
+//
+// Each worker owns one shard (a deque of jobs) and pops from its front;
+// when the shard runs dry the worker steals from the *back* of the
+// busiest other shard, so stolen work is the work its owner would have
+// reached last.  Preempted jobs are re-enqueued with an exclusion shard
+// (the worker that preempted them), which forces migration: the resumed
+// job continues from its checkpoint on a different worker.
+//
+// Completion tracking counts jobs, not queue entries: a job popped for
+// execution is still "open" until finish() or a re-enqueue, so pop()
+// blocks (rather than returning empty) while any job might still be
+// re-enqueued.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace osm::serve {
+
+class job_queue {
+  public:
+    explicit job_queue(unsigned shards);
+
+    /// Seed the queue before workers start (not thread-safe).
+    void push_initial(unsigned shard, job j);
+
+    /// Re-enqueue a preempted job, preferring any shard but `not_shard`
+    /// (single-shard queues have nowhere else to go).  Thread-safe.
+    void push_resume(unsigned not_shard, job j);
+
+    /// Next job for `shard`: own front, else steal from the back of the
+    /// longest other shard.  Blocks while the queue is empty but jobs are
+    /// still in flight (they may be re-enqueued); returns nullopt once
+    /// every job has finished.
+    std::optional<job> pop(unsigned shard);
+
+    /// Mark one previously popped job as finished for good.
+    void finish();
+
+    unsigned shards() const { return static_cast<unsigned>(queues_.size()); }
+    std::uint64_t steals() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::deque<job>> queues_;
+    std::uint64_t open_jobs_ = 0;  ///< queued + executing
+    std::uint64_t steals_ = 0;
+};
+
+}  // namespace osm::serve

@@ -1,0 +1,99 @@
+// Content-addressed cache of terminal engine states.
+//
+// The differential verdict for one engine run is a pure function of the
+// terminal architectural state (sim::end_state), and that state is itself
+// a pure function of (program bytes, engine, engine config, cycle budget).
+// Memoizing end states under a key derived from exactly those inputs is
+// therefore sound: a warm replay of a campaign produces byte-identical
+// summaries while skipping every engine re-execution.
+//
+// Keys are fnv1a-64 hashes of a canonical key string; the full string is
+// stored alongside each entry and compared on lookup, so a 64-bit hash
+// collision degrades to a miss, never a wrong answer.  Entries can spill
+// to an on-disk directory (one file per entry, checksum-trailed, written
+// atomically); a truncated or bit-flipped file fails validation and is
+// treated as a miss, forcing recomputation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/diff_runner.hpp"
+#include "sim/engine.hpp"
+
+namespace osm::serve {
+
+struct cache_stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;         ///< in-memory hits
+    std::uint64_t disk_hits = 0;    ///< loaded from the cache dir
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;    ///< in-memory LRU evictions
+    std::uint64_t collisions = 0;   ///< hash matched, key string did not
+    std::uint64_t rejected = 0;     ///< corrupt disk entries discarded
+};
+
+class result_cache final : public sim::end_state_cache {
+  public:
+    struct options {
+        std::size_t capacity = 4096;  ///< in-memory entries (LRU beyond)
+        std::string dir;              ///< on-disk spill dir ("" = memory only)
+        sim::engine_config config{};
+    };
+
+    explicit result_cache(options opt);
+
+    /// Canonical key string: engine, program entry + per-segment content
+    /// hash, config fingerprint, cycle budget.  Everything that determines
+    /// the terminal state, nothing that does not.
+    static std::string cache_key(const std::string& engine,
+                                 const isa::program_image& img,
+                                 const sim::engine_config& cfg,
+                                 std::uint64_t max_cycles);
+
+    static std::uint64_t key_hash(const std::string& key);
+
+    // sim::end_state_cache (thread-safe; one instance is shared by all
+    // workers of a pool)
+    std::optional<sim::end_state> lookup(const std::string& engine,
+                                         const isa::program_image& img,
+                                         std::uint64_t max_cycles) override;
+    void store(const std::string& engine, const isa::program_image& img,
+               std::uint64_t max_cycles, const sim::end_state& st) override;
+
+    cache_stats stats() const;
+    std::size_t size() const;
+
+    // ---- entry (de)serialization, exposed for tests --------------------
+    static std::vector<std::uint8_t> serialize_entry(const std::string& key,
+                                                     const sim::end_state& st);
+    /// Returns nullopt (never throws) for truncated / corrupt / key-
+    /// mismatched bytes.
+    static std::optional<sim::end_state> parse_entry(const std::string& key,
+                                                     const std::vector<std::uint8_t>& bytes);
+    /// Path of the disk file an entry for `key` would use.
+    std::string entry_path(const std::string& key) const;
+
+  private:
+    std::optional<sim::end_state> lookup_key(const std::string& key);
+    void store_key(const std::string& key, const sim::end_state& st);
+
+    options opt_;
+    mutable std::mutex mu_;
+    struct entry {
+        std::string key;
+        sim::end_state state;
+        std::list<std::uint64_t>::iterator lru;  ///< position in lru_
+    };
+    std::unordered_map<std::uint64_t, entry> map_;
+    std::list<std::uint64_t> lru_;  ///< front = most recent
+    cache_stats stats_;
+};
+
+}  // namespace osm::serve

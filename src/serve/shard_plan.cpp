@@ -1,0 +1,59 @@
+#include "serve/shard_plan.hpp"
+
+#include <algorithm>
+
+namespace osm::serve {
+
+namespace {
+
+shard_plan deal(std::vector<job> jobs, unsigned shards) {
+    shard_plan plan;
+    plan.shards.resize(std::max(1u, shards));
+    plan.total_jobs = jobs.size();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].id = i;
+        jobs[i].origin_shard = static_cast<unsigned>(i % plan.shards.size());
+        plan.shards[jobs[i].origin_shard].push_back(std::move(jobs[i]));
+    }
+    return plan;
+}
+
+}  // namespace
+
+shard_plan plan_campaign(const std::vector<std::string>& corpus_paths,
+                         std::uint64_t seed_lo, std::uint64_t seed_hi,
+                         unsigned shards) {
+    std::vector<job> jobs;
+    for (const auto& path : corpus_paths) {
+        job j;
+        j.kind = job_kind::corpus;
+        j.path = path;
+        jobs.push_back(std::move(j));
+    }
+    for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+        job j;
+        j.kind = job_kind::seed;
+        j.seed = seed;
+        jobs.push_back(std::move(j));
+        if (seed == seed_hi) break;  // guard seed_hi == UINT64_MAX wrap
+    }
+    return deal(std::move(jobs), shards);
+}
+
+shard_plan plan_lockstep(std::uint64_t seed_lo, std::uint64_t seed_hi,
+                         const std::vector<std::string>& engines, unsigned shards) {
+    std::vector<job> jobs;
+    for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+        for (const auto& e : engines) {
+            job j;
+            j.kind = job_kind::lockstep;
+            j.seed = seed;
+            j.engine = e;
+            jobs.push_back(std::move(j));
+        }
+        if (seed == seed_hi) break;
+    }
+    return deal(std::move(jobs), shards);
+}
+
+}  // namespace osm::serve

@@ -1,0 +1,38 @@
+// Static partitioning of campaign work across worker shards.
+//
+// Jobs are numbered in campaign fold order (corpus artifacts sorted by
+// path, then seeds ascending) and dealt round-robin across shards, so
+// every shard holds a representative slice of the feature matrix and the
+// shards drain at similar rates.  The id order — not the shard layout —
+// is what the merge step folds by, so any partitioning (and any amount of
+// stealing at run time) yields the same campaign summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace osm::serve {
+
+struct shard_plan {
+    std::vector<std::vector<job>> shards;  ///< shards[s] = initial jobs of shard s
+    std::uint64_t total_jobs = 0;
+
+    /// Jobs initially assigned to shard `s` (for stats / tests).
+    std::size_t shard_size(unsigned s) const { return shards.at(s).size(); }
+};
+
+/// Plan a campaign: one corpus job per artifact path (in the given,
+/// already-sorted order), then one seed job per seed in [seed_lo, seed_hi].
+shard_plan plan_campaign(const std::vector<std::string>& corpus_paths,
+                         std::uint64_t seed_lo, std::uint64_t seed_hi,
+                         unsigned shards);
+
+/// Plan a lockstep sweep: one job per (seed, candidate engine) pair,
+/// seeds outermost so job id order matches the report's fold order.
+shard_plan plan_lockstep(std::uint64_t seed_lo, std::uint64_t seed_hi,
+                         const std::vector<std::string>& engines, unsigned shards);
+
+}  // namespace osm::serve

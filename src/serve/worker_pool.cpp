@@ -1,0 +1,122 @@
+#include "serve/worker_pool.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <time.h>
+
+namespace osm::serve {
+
+namespace {
+
+std::int64_t steady_ms() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double thread_cpu_ms() {
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+    return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+}  // namespace
+
+worker_pool::worker_pool(options opt, job_queue& queue, run_fn run)
+    : opt_(opt), queue_(queue), run_(std::move(run)) {
+    opt_.workers = std::max(1u, opt_.workers);
+    stats_.resize(opt_.workers);
+    watched_.reserve(opt_.workers);
+    for (unsigned i = 0; i < opt_.workers; ++i) {
+        watched_.push_back(std::make_unique<watched>());
+    }
+}
+
+void worker_pool::record_timeout(const job& j, std::string detail) {
+    std::lock_guard<std::mutex> lock(timeout_mu_);
+    timeouts_.push_back({j.id, j.kind, j.seed, std::move(detail)});
+}
+
+void worker_pool::worker_main(unsigned shard) {
+    worker_stats& st = stats_[shard];
+    watched& w = *watched_[shard];
+    const std::int64_t wall_start = steady_ms();
+    const double cpu_start = thread_cpu_ms();
+
+    for (;;) {
+        auto j = queue_.pop(shard);
+        if (!j) break;
+        if (j->origin_shard != shard) ++st.steals;
+        if (j->resumes > 0) ++st.resumes;
+        w.preempt.store(false, std::memory_order_release);
+        w.job_start_ms.store(steady_ms(), std::memory_order_release);
+        try {
+            run_(*j, shard, w.preempt);
+            ++st.jobs;
+            queue_.finish();
+        } catch (const job_preempted&) {
+            ++st.preempts;
+            ++j->resumes;
+            if (j->resumes > opt_.max_resumes) {
+                // The reason string is deterministic; the *occurrence* of a
+                // resume-budget timeout depends on watchdog timing, which
+                // is why timeouts live in the serve report, never in the
+                // byte-compared campaign summary.
+                record_timeout(*j, "resume budget exhausted after " +
+                                       std::to_string(j->resumes) + " preemptions");
+                ++st.jobs;
+                queue_.finish();
+            } else {
+                queue_.push_resume(shard, std::move(*j));
+            }
+        } catch (const job_wedged& wj) {
+            record_timeout(*j, "engine " + wj.engine + " wedged at retired=" +
+                                   std::to_string(wj.retired));
+            ++st.jobs;
+            queue_.finish();
+        } catch (const std::exception& e) {
+            record_timeout(*j, std::string("job failed: ") + e.what());
+            ++st.jobs;
+            queue_.finish();
+        }
+        w.job_start_ms.store(0, std::memory_order_release);
+    }
+
+    st.wall_ms = static_cast<double>(steady_ms() - wall_start);
+    st.cpu_ms = thread_cpu_ms() - cpu_start;
+}
+
+void worker_pool::watchdog_main() {
+    // Poll at a fraction of the deadline so an overrun is noticed within
+    // ~25% of watchdog_ms.
+    const auto poll = std::chrono::milliseconds(std::max<std::uint64_t>(1, opt_.watchdog_ms / 4));
+    while (!done_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        const std::int64_t now = steady_ms();
+        for (auto& w : watched_) {
+            const std::int64_t start = w->job_start_ms.load(std::memory_order_acquire);
+            if (start != 0 && now - start > static_cast<std::int64_t>(opt_.watchdog_ms)) {
+                w->preempt.store(true, std::memory_order_release);
+            }
+        }
+    }
+}
+
+void worker_pool::run() {
+    std::thread dog;
+    if (opt_.watchdog_ms > 0) dog = std::thread([this] { watchdog_main(); });
+
+    std::vector<std::thread> workers;
+    workers.reserve(opt_.workers);
+    for (unsigned s = 1; s < opt_.workers; ++s) {
+        workers.emplace_back([this, s] { worker_main(s); });
+    }
+    worker_main(0);
+    for (auto& t : workers) t.join();
+
+    done_.store(true, std::memory_order_release);
+    if (dog.joinable()) dog.join();
+}
+
+}  // namespace osm::serve

@@ -1,0 +1,85 @@
+// Worker pool with watchdog preemption.
+//
+// N worker threads drain a job_queue (own shard first, then stealing).
+// The service supplies the run function; workers handle the control flow
+// around it: preempted jobs are re-enqueued for another worker (with a
+// bounded resume budget), wedged jobs and unexpected errors become
+// structured job_timeout records, and per-worker counters (jobs, steals,
+// resumes, wall/cpu time) are kept for the serve report.
+//
+// An optional watchdog thread turns wall-clock stalls into cooperative
+// preemptions: any worker whose current job has been running longer than
+// `watchdog_ms` gets its preempt flag set, which the sliced_executor
+// observes at the next slice boundary.  The watchdog never kills a
+// thread — a hung engine is caught by the executor's deterministic
+// zero-progress strikes, and a merely slow job migrates with its
+// checkpoint instead of losing its work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+
+namespace osm::serve {
+
+struct worker_stats {
+    std::uint64_t jobs = 0;        ///< jobs completed (including timeouts)
+    std::uint64_t steals = 0;      ///< popped jobs dealt to another shard
+    std::uint64_t resumes = 0;     ///< popped jobs carrying a resume count
+    std::uint64_t preempts = 0;    ///< jobs this worker gave up on preempt
+    double wall_ms = 0;
+    double cpu_ms = 0;
+};
+
+class worker_pool {
+  public:
+    /// Execute one job to completion.  May throw job_preempted (after
+    /// storing resume state in the job) or job_wedged; anything derived
+    /// from std::exception is recorded as a failed job.
+    using run_fn = std::function<void(job&, unsigned shard,
+                                      const std::atomic<bool>& preempt)>;
+
+    struct options {
+        unsigned workers = 1;
+        std::uint64_t watchdog_ms = 0;  ///< 0 = no watchdog
+        unsigned max_resumes = 8;       ///< preemptions before giving up
+    };
+
+    worker_pool(options opt, job_queue& queue, run_fn run);
+
+    /// Run every job to completion (blocking).  Reentrant per instance: no.
+    void run();
+
+    const std::vector<worker_stats>& stats() const { return stats_; }
+    const std::vector<job_timeout>& timeouts() const { return timeouts_; }
+
+  private:
+    void worker_main(unsigned shard);
+    void watchdog_main();
+    void record_timeout(const job& j, std::string detail);
+
+    options opt_;
+    job_queue& queue_;
+    run_fn run_;
+    std::vector<worker_stats> stats_;
+    std::vector<job_timeout> timeouts_;
+    std::mutex timeout_mu_;
+
+    // Watchdog view of each worker: preempt flag + steady-clock start of
+    // the active job in ms (0 = idle).
+    struct watched {
+        std::atomic<bool> preempt{false};
+        std::atomic<std::int64_t> job_start_ms{0};
+    };
+    std::vector<std::unique_ptr<watched>> watched_;
+    std::atomic<bool> done_{false};
+};
+
+}  // namespace osm::serve

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
+
 namespace osm::sim {
 namespace {
 
@@ -221,19 +223,13 @@ std::string sidecar_json(const checkpoint& ck) {
 
 void save_checkpoint_file(const checkpoint& ck, const std::string& path) {
     const std::vector<std::uint8_t> bin = serialize(ck);
-    {
-        std::ofstream f(path, std::ios::binary | std::ios::trunc);
-        if (!f) throw checkpoint_error("cannot open " + path + " for writing");
-        f.write(reinterpret_cast<const char*>(bin.data()),
-                static_cast<std::streamsize>(bin.size()));
-        if (!f) throw checkpoint_error("short write to " + path);
-    }
-    {
-        const std::string js = sidecar_json(ck);
-        std::ofstream f(path + ".json", std::ios::binary | std::ios::trunc);
-        if (!f) throw checkpoint_error("cannot open " + path + ".json for writing");
-        f.write(js.data(), static_cast<std::streamsize>(js.size()));
-        if (!f) throw checkpoint_error("short write to " + path + ".json");
+    // Atomic replacement: a checkpoint is a resume point, so a writer killed
+    // mid-save must leave the previous complete snapshot, not a torn one.
+    try {
+        common::atomic_write_file(path, bin.data(), bin.size());
+        common::atomic_write_file(path + ".json", sidecar_json(ck));
+    } catch (const std::runtime_error& e) {
+        throw checkpoint_error(e.what());
     }
 }
 

@@ -34,6 +34,53 @@ std::string printable(const std::string& s) {
 
 }  // namespace
 
+end_state capture_end_state(const engine& e) {
+    end_state s;
+    s.halted = e.halted();
+    s.cycles = e.cycles();
+    s.retired = e.retired();
+    for (unsigned r = 0; r < isa::num_gprs; ++r) s.gpr[r] = e.gpr(r);
+    for (unsigned r = 0; r < isa::num_fprs; ++r) s.fpr[r] = e.fpr(r);
+    s.console = e.console();
+    return s;
+}
+
+std::optional<divergence> compare_end_states(const std::string& reference,
+                                             const std::string& engine,
+                                             const end_state& ref,
+                                             const end_state& cand,
+                                             bool compare_fp) {
+    const auto make = [&](std::string kind, unsigned index, std::string expected,
+                          std::string actual) {
+        return divergence{reference, engine, std::move(kind), index,
+                          std::move(expected), std::move(actual)};
+    };
+    if (cand.halted != ref.halted) {
+        return make("halted", 0, std::to_string(ref.halted),
+                    std::to_string(cand.halted));
+    }
+    for (unsigned r = 0; r < isa::num_gprs; ++r) {
+        if (cand.gpr[r] != ref.gpr[r]) {
+            return make("gpr", r, hex32(ref.gpr[r]), hex32(cand.gpr[r]));
+        }
+    }
+    if (compare_fp) {
+        for (unsigned r = 0; r < isa::num_fprs; ++r) {
+            if (cand.fpr[r] != ref.fpr[r]) {
+                return make("fpr", r, hex32(ref.fpr[r]), hex32(cand.fpr[r]));
+            }
+        }
+    }
+    if (cand.console != ref.console) {
+        return make("console", 0, printable(ref.console), printable(cand.console));
+    }
+    if (cand.retired != ref.retired) {
+        return make("retired", 0, std::to_string(ref.retired),
+                    std::to_string(cand.retired));
+    }
+    return std::nullopt;
+}
+
 std::string divergence::to_string() const {
     std::string s = "engine " + engine + " diverges from " + reference + ": " + kind;
     if (kind == "gpr" || kind == "fpr") s += "[" + std::to_string(index) + "]";
@@ -68,13 +115,27 @@ diff_result diff_engines(const std::vector<std::string>& names,
 
     diff_result result;
 
+    // Engines are still instantiated on a cache hit (the skip decisions
+    // need isa()/executes_fp()), but the load+run — the expensive part —
+    // is replaced by the memoized terminal state.
+    const auto terminal_state = [&](engine& e, const std::string& name) {
+        if (opt.cache != nullptr) {
+            if (auto hit = opt.cache->lookup(name, img, opt.max_cycles)) return *hit;
+        }
+        e.load(img);
+        e.run(opt.max_cycles);
+        end_state st = capture_end_state(e);
+        if (opt.cache != nullptr) opt.cache->store(name, img, opt.max_cycles, st);
+        return st;
+    };
+
     auto ref = reg.create(names.front(), opt.config);
     // program_uses_fp decodes VR32 words; it is meaningless for other ISAs.
     const bool fp_program = ref->isa() == "vr32" && program_uses_fp(img);
-    ref->load(img);
-    ref->run(opt.max_cycles);
-    result.runs.push_back({std::string(ref->name()), true, "", ref->halted(),
-                           ref->cycles(), ref->retired()});
+    const bool ref_fp = ref->executes_fp();
+    const end_state ref_state = terminal_state(*ref, names.front());
+    result.runs.push_back({std::string(ref->name()), true, "", ref_state.halted,
+                           ref_state.cycles, ref_state.retired});
 
     for (std::size_t i = 1; i < names.size(); ++i) {
         auto eng = reg.create(names[i], opt.config);
@@ -91,48 +152,13 @@ diff_result diff_engines(const std::vector<std::string>& names,
                                    false, 0, 0});
             continue;
         }
-        eng->load(img);
-        eng->run(opt.max_cycles);
-        result.runs.push_back({names[i], true, "", eng->halted(), eng->cycles(),
-                               eng->retired()});
+        const end_state cand_state = terminal_state(*eng, names[i]);
+        result.runs.push_back({names[i], true, "", cand_state.halted,
+                               cand_state.cycles, cand_state.retired});
 
-        auto diverged = [&](std::string kind, unsigned index, std::string expected,
-                            std::string actual) {
-            result.divergences.push_back({std::string(ref->name()), names[i],
-                                          std::move(kind), index, std::move(expected),
-                                          std::move(actual)});
-        };
-
-        // First divergence only: the earliest mismatch is the actionable one.
-        if (eng->halted() != ref->halted()) {
-            diverged("halted", 0, std::to_string(ref->halted()),
-                     std::to_string(eng->halted()));
-            continue;
-        }
-        bool mismatch = false;
-        for (unsigned r = 0; r < isa::num_gprs && !mismatch; ++r) {
-            if (eng->gpr(r) != ref->gpr(r)) {
-                diverged("gpr", r, hex32(ref->gpr(r)), hex32(eng->gpr(r)));
-                mismatch = true;
-            }
-        }
-        if (mismatch) continue;
-        if (ref->executes_fp() && eng->executes_fp()) {
-            for (unsigned r = 0; r < isa::num_fprs && !mismatch; ++r) {
-                if (eng->fpr(r) != ref->fpr(r)) {
-                    diverged("fpr", r, hex32(ref->fpr(r)), hex32(eng->fpr(r)));
-                    mismatch = true;
-                }
-            }
-            if (mismatch) continue;
-        }
-        if (eng->console() != ref->console()) {
-            diverged("console", 0, printable(ref->console()), printable(eng->console()));
-            continue;
-        }
-        if (eng->retired() != ref->retired()) {
-            diverged("retired", 0, std::to_string(ref->retired()),
-                     std::to_string(eng->retired()));
+        if (auto d = compare_end_states(std::string(ref->name()), names[i], ref_state,
+                                        cand_state, ref_fp && eng->executes_fp())) {
+            result.divergences.push_back(std::move(*d));
         }
     }
     return result;
@@ -144,35 +170,9 @@ namespace {
 /// compare: timing legitimately differs, and pipelined fetch pcs run ahead).
 std::optional<divergence> compare_state(const engine& ref, const engine& cand,
                                         bool compare_fp) {
-    const auto make = [&](std::string kind, unsigned index, std::string expected,
-                          std::string actual) {
-        return divergence{std::string(ref.name()), std::string(cand.name()),
-                          std::move(kind), index, std::move(expected), std::move(actual)};
-    };
-    if (cand.halted() != ref.halted()) {
-        return make("halted", 0, std::to_string(ref.halted()),
-                    std::to_string(cand.halted()));
-    }
-    for (unsigned r = 0; r < isa::num_gprs; ++r) {
-        if (cand.gpr(r) != ref.gpr(r)) {
-            return make("gpr", r, hex32(ref.gpr(r)), hex32(cand.gpr(r)));
-        }
-    }
-    if (compare_fp) {
-        for (unsigned r = 0; r < isa::num_fprs; ++r) {
-            if (cand.fpr(r) != ref.fpr(r)) {
-                return make("fpr", r, hex32(ref.fpr(r)), hex32(cand.fpr(r)));
-            }
-        }
-    }
-    if (cand.console() != ref.console()) {
-        return make("console", 0, printable(ref.console()), printable(cand.console()));
-    }
-    if (cand.retired() != ref.retired()) {
-        return make("retired", 0, std::to_string(ref.retired()),
-                    std::to_string(cand.retired()));
-    }
-    return std::nullopt;
+    return compare_end_states(std::string(ref.name()), std::string(cand.name()),
+                              capture_end_state(ref), capture_end_state(cand),
+                              compare_fp);
 }
 
 }  // namespace

@@ -8,18 +8,45 @@
 // moment it registers.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "isa/arch.hpp"
 #include "isa/program.hpp"
 #include "sim/engine.hpp"
 
 namespace osm::sim {
 
+struct end_state;
+
+/// Memoization hook for terminal engine states.  When diff_options::cache
+/// is set, diff_engines consults it before running each engine and stores
+/// the captured state after a miss.  Implementations must be safe to call
+/// from concurrent diff_engines invocations (the serve worker pool shares
+/// one cache across workers).
+class end_state_cache {
+  public:
+    virtual ~end_state_cache() = default;
+    /// `max_cycles` is the run budget of the prospective execution — part
+    /// of the cache key, since it can determine the terminal state.
+    virtual std::optional<end_state> lookup(const std::string& engine,
+                                            const isa::program_image& img,
+                                            std::uint64_t max_cycles) = 0;
+    virtual void store(const std::string& engine, const isa::program_image& img,
+                       std::uint64_t max_cycles, const end_state& st) = 0;
+};
+
 struct diff_options {
     engine_config config{};
     std::uint64_t max_cycles = 2'000'000'000ull;
+    /// Optional terminal-state memo (not owned).  Sound because the diff
+    /// verdict is a pure function of the end states being cached; the cache
+    /// implementation is responsible for keying on everything else that
+    /// determines them (program bytes, engine config, cycle budget).
+    end_state_cache* cache = nullptr;
 };
 
 /// Per-engine execution summary (also covers engines that were skipped,
@@ -51,6 +78,34 @@ struct diff_result {
     std::vector<divergence> divergences;
     bool ok() const { return divergences.empty(); }
 };
+
+/// Terminal architectural state of one engine run: everything the
+/// differential comparison looks at.  Captured by capture_end_state() and
+/// compared by compare_end_states(); the serve layer also serializes this
+/// as the value of its content-addressed result cache, which is sound
+/// precisely because the diff verdict is a pure function of it.
+struct end_state {
+    bool halted = false;
+    std::uint64_t cycles = 0;  ///< informational only; never compared
+    std::uint64_t retired = 0;
+    std::array<std::uint32_t, isa::num_gprs> gpr{};
+    std::array<std::uint32_t, isa::num_fprs> fpr{};
+    std::string console;
+};
+
+/// Read the comparable architectural state out of a (finished) engine.
+end_state capture_end_state(const engine& e);
+
+/// The one differential comparison, in canonical order: halt flag, GPRs,
+/// FPRs (when `compare_fp`), console, retired count.  Returns the first
+/// mismatch only (the earliest is the actionable one), or nullopt when the
+/// states agree.  Both diff_engines and the lockstep runner use exactly
+/// this function, so a cached end state diffs identically to a live run.
+std::optional<divergence> compare_end_states(const std::string& reference,
+                                             const std::string& engine,
+                                             const end_state& ref,
+                                             const end_state& cand,
+                                             bool compare_fp);
 
 /// True when the text segment (the one containing `img.entry`) holds any
 /// FP-register opcode; used to skip engines with executes_fp() == false.

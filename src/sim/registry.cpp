@@ -20,6 +20,7 @@ engine_registry& engine_registry::instance() {
 }
 
 void engine_registry::add(entry e) {
+    const std::lock_guard<std::mutex> lock(mu_);
     for (auto& existing : entries_) {
         if (existing.name == e.name) {
             existing = std::move(e);
@@ -30,6 +31,7 @@ void engine_registry::add(entry e) {
 }
 
 const engine_registry::entry* engine_registry::find(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     for (const auto& e : entries_) {
         if (e.name == name) return &e;
     }
@@ -38,15 +40,29 @@ const engine_registry::entry* engine_registry::find(const std::string& name) con
 
 std::unique_ptr<engine> engine_registry::create(const std::string& name,
                                                 const engine_config& cfg) const {
-    if (const entry* e = find(name)) return e->make(cfg);
+    // Copy the factory under the lock, construct outside it: engine
+    // construction can be arbitrarily heavy (pipeline models allocate), and
+    // serve workers create engines concurrently.
+    factory make;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& e : entries_) {
+            if (e.name == name) {
+                make = e.make;
+                break;
+            }
+        }
+    }
+    if (make) return make(cfg);
     std::ostringstream msg;
     msg << "unknown engine '" << name << "' (registered:";
-    for (const auto& e : entries_) msg << ' ' << e.name;
+    for (const auto& n : names()) msg << ' ' << n;
     msg << ')';
     throw unknown_engine(msg.str());
 }
 
 std::vector<std::string> engine_registry::names() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto& e : entries_) out.push_back(e.name);
@@ -54,6 +70,7 @@ std::vector<std::string> engine_registry::names() const {
 }
 
 std::vector<std::string> engine_registry::names_for_isa(std::string_view isa) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::string> out;
     for (const auto& e : entries_) {
         if (e.isa == isa) out.push_back(e.name);

@@ -6,8 +6,10 @@
 // the registered list instead of silently falling through.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,12 +41,21 @@ public:
     static engine_registry& instance();
 
     /// Register (or replace, keyed by name) an engine factory.
+    ///
+    /// Thread-safety: lookups (create/find/names/...) may run concurrently
+    /// from any number of worker threads — the serve layer's workers create
+    /// engines freely.  add() is serialized against them, but *replacing* an
+    /// entry mutates it in place, so registration of new engines must
+    /// happen-before any worker pool that resolves them starts (all tools and
+    /// tests register during single-threaded setup).
     void add(entry e);
 
     /// Instantiate `name`; throws unknown_engine listing what is registered.
     std::unique_ptr<engine> create(const std::string& name,
                                    const engine_config& cfg = {}) const;
 
+    /// Entries live for the process lifetime (deque storage: add() never
+    /// invalidates previously returned pointers).
     const entry* find(const std::string& name) const;
     bool contains(const std::string& name) const { return find(name) != nullptr; }
 
@@ -53,10 +64,11 @@ public:
     /// Names restricted to one guest ISA (what "--diff all" and the fuzz
     /// harnesses expand to for a given program's ISA).
     std::vector<std::string> names_for_isa(std::string_view isa) const;
-    const std::vector<entry>& entries() const noexcept { return entries_; }
+    const std::deque<entry>& entries() const noexcept { return entries_; }
 
 private:
-    std::vector<entry> entries_;
+    mutable std::mutex mu_;
+    std::deque<entry> entries_;
 };
 
 /// Convenience: engine_registry::instance().create(name, cfg).

@@ -1,0 +1,570 @@
+// Tests for the sharded campaign service (src/serve): byte-identical
+// merges across worker counts, the content-addressed result cache
+// (cold/warm identity, eviction, corruption and key-collision rejection),
+// watchdog preemption with checkpoint migration, deterministic wedge
+// timeouts, the speculative parallel minimizer, and thread-safety smokes.
+//
+// Engine-registry-mutating tests (the slow/wedged/broken wrappers) follow
+// the fuzz_test.cpp convention: ctest runs each discovered test in its own
+// process, so per-test registration never leaks across tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimize.hpp"
+#include "serve/campaign_service.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/shard_plan.hpp"
+#include "sim/registry.hpp"
+#include "workloads/randprog.hpp"
+
+namespace {
+
+using namespace osm;
+
+std::filesystem::path scratch_dir(const std::string& tag) {
+    return std::filesystem::temp_directory_path() /
+           (tag + "_" + std::to_string(::getpid()));
+}
+
+fuzz::campaign_options quick_campaign(std::uint64_t seeds) {
+    fuzz::campaign_options opt;
+    opt.seed_lo = 1;
+    opt.seed_hi = seeds;
+    opt.quick = true;
+    opt.minimize = false;
+    opt.max_cycles = 10'000'000;
+    return opt;
+}
+
+serve::serve_options serve_opts(const fuzz::campaign_options& c, unsigned jobs) {
+    serve::serve_options so;
+    so.campaign = c;
+    so.jobs = jobs;
+    return so;
+}
+
+// ---- merge determinism -----------------------------------------------------
+
+TEST(ServeMerge, CampaignSummaryIsByteIdenticalAcrossWorkerCounts) {
+    const auto opt = quick_campaign(200);
+    const auto serial = fuzz::run_campaign(opt).summary().to_json();
+    ASSERT_FALSE(serial.empty());
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        const auto sr = serve::run_campaign_service(serve_opts(opt, jobs));
+        EXPECT_TRUE(sr.timeouts.empty()) << "jobs=" << jobs;
+        EXPECT_EQ(sr.campaign.summary().to_json(), serial) << "jobs=" << jobs;
+        EXPECT_EQ(sr.total_jobs, 200u);
+    }
+}
+
+TEST(ServeMerge, ReplayDirCorpusFoldsIdenticallyToSerial) {
+    const auto dir = scratch_dir("osm_serve_corpus_merge");
+    std::filesystem::remove_all(dir);
+    for (std::uint64_t seed : {5u, 6u}) {
+        workloads::randprog_options po;
+        po.seed = seed;
+        fuzz::reproducer_meta meta;
+        meta.name = "merge_seed_" + std::to_string(seed);
+        meta.max_cycles = 10'000'000;
+        fuzz::save_reproducer(dir.string(), meta,
+                              workloads::make_random_program(po));
+    }
+    auto opt = quick_campaign(12);
+    opt.replay_dir = dir.string();
+    const auto serial = fuzz::run_campaign(opt);
+    EXPECT_EQ(serial.corpus_replayed, 2u);
+    const auto sr = serve::run_campaign_service(serve_opts(opt, 3));
+    EXPECT_EQ(sr.campaign.summary().to_json(), serial.summary().to_json());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeMerge, LockstepSweepIsIdenticalAcrossWorkerCounts) {
+    serve::lockstep_sweep_options lo;
+    lo.seed_lo = 1;
+    lo.seed_hi = 4;
+    lo.engines = {"sarm"};
+    lo.max_retired = 200'000;
+    const auto one = serve::run_lockstep_sweep(lo);
+    lo.jobs = 3;
+    const auto three = serve::run_lockstep_sweep(lo);
+    EXPECT_EQ(one.probes, 4u);
+    EXPECT_EQ(one.summary().to_json(), three.summary().to_json());
+}
+
+// ---- result cache ----------------------------------------------------------
+
+TEST(ResultCache, WarmLookupsReturnTheStoredState) {
+    serve::result_cache cache({256, "", {}});
+    const auto opt = quick_campaign(6);
+    const auto engines = fuzz::campaign_engines(opt);
+    std::vector<std::string> cold, warm;
+    for (std::uint64_t s = 1; s <= 6; ++s) {
+        fuzz::campaign_result r;
+        fuzz::fold_seed_outcome(fuzz::run_seed_unit(opt, engines, s, &cache),
+                                opt, r);
+        cold.push_back(r.summary().to_json());
+    }
+    EXPECT_GT(cache.stats().stores, 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    for (std::uint64_t s = 1; s <= 6; ++s) {
+        fuzz::campaign_result r;
+        fuzz::fold_seed_outcome(fuzz::run_seed_unit(opt, engines, s, &cache),
+                                opt, r);
+        warm.push_back(r.summary().to_json());
+    }
+    EXPECT_EQ(cold, warm);
+    EXPECT_GT(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().hits + cache.stats().misses, cache.stats().lookups);
+}
+
+TEST(ResultCache, DiskWarmReplayIsByteIdenticalAndSkipsExecution) {
+    const auto dir = scratch_dir("osm_serve_disk_cache");
+    std::filesystem::remove_all(dir);
+    auto so = serve_opts(quick_campaign(16), 2);
+    so.cache_dir = dir.string();
+    const auto cold = serve::run_campaign_service(so);
+    EXPECT_GT(cold.cache.stores, 0u);
+    EXPECT_EQ(cold.cache.disk_hits, 0u);
+
+    const auto warm = serve::run_campaign_service(so);
+    EXPECT_EQ(warm.campaign.summary().to_json(),
+              cold.campaign.summary().to_json());
+    EXPECT_GT(warm.cache.disk_hits, 0u);
+    EXPECT_EQ(warm.runner.runs, 0u)
+        << "a fully warm cache must not execute any engine";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, KeyCoversEverythingThatDeterminesTheEndState) {
+    workloads::randprog_options po;
+    po.seed = 3;
+    const auto img = workloads::make_random_program(po);
+    sim::engine_config cfg;
+    const auto base = serve::result_cache::cache_key("iss", img, cfg, 1000);
+    EXPECT_NE(base, serve::result_cache::cache_key("sarm", img, cfg, 1000));
+    EXPECT_NE(base, serve::result_cache::cache_key("iss", img, cfg, 2000));
+    sim::engine_config nf = cfg;
+    nf.forwarding = false;
+    EXPECT_NE(base, serve::result_cache::cache_key("iss", img, nf, 1000));
+    po.seed = 4;
+    const auto other = workloads::make_random_program(po);
+    EXPECT_NE(base, serve::result_cache::cache_key("iss", other, cfg, 1000));
+    // Same inputs, fresh image object: the key depends on content only.
+    po.seed = 3;
+    EXPECT_EQ(base, serve::result_cache::cache_key(
+                        "iss", workloads::make_random_program(po), cfg, 1000));
+}
+
+TEST(ResultCache, EntryRoundTripsAndRejectsCorruption) {
+    sim::end_state st;
+    st.halted = true;
+    st.retired = 12345;
+    st.gpr[10] = 0xdeadbeef;
+    st.fpr[2] = 0x3f800000;
+    st.console = "checksum 42\n";
+    const std::string key = "engine=iss;test-key";
+    const auto bytes = serve::result_cache::serialize_entry(key, st);
+
+    const auto back = serve::result_cache::parse_entry(key, bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->halted, st.halted);
+    EXPECT_EQ(back->retired, st.retired);
+    EXPECT_EQ(back->gpr, st.gpr);
+    EXPECT_EQ(back->fpr, st.fpr);
+    EXPECT_EQ(back->console, st.console);
+
+    // A key mismatch (hash collision on disk) degrades to a miss.
+    EXPECT_FALSE(serve::result_cache::parse_entry("engine=iss;other-key", bytes));
+    // Truncation at every prefix length must be rejected, never crash.
+    for (std::size_t len : {std::size_t{0}, std::size_t{4}, bytes.size() / 2,
+                            bytes.size() - 1}) {
+        std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+        EXPECT_FALSE(serve::result_cache::parse_entry(key, cut)) << len;
+    }
+    // Any single bit flip breaks the checksum (or the key/magic check).
+    for (std::size_t pos : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+        auto bad = bytes;
+        bad[pos] ^= 0x01;
+        EXPECT_FALSE(serve::result_cache::parse_entry(key, bad)) << pos;
+    }
+}
+
+TEST(ResultCache, CorruptDiskEntryIsRejectedAndRecomputed) {
+    const auto dir = scratch_dir("osm_serve_corrupt_entry");
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    workloads::randprog_options po;
+    po.seed = 7;
+    const auto img = workloads::make_random_program(po);
+    serve::result_cache cache({16, dir.string(), {}});
+    const auto key = serve::result_cache::cache_key("iss", img, {}, 10'000'000);
+
+    // A file that carries a *different* key at this path models a 64-bit
+    // hash collision; garbage models corruption.  Both must read as a miss.
+    sim::end_state bogus;
+    bogus.gpr[1] = 99;
+    const auto wrong = serve::result_cache::serialize_entry("engine=other;x", bogus);
+    {
+        std::ofstream out(cache.entry_path(key), std::ios::binary);
+        out.write(reinterpret_cast<const char*>(wrong.data()),
+                  static_cast<std::streamsize>(wrong.size()));
+    }
+    EXPECT_FALSE(cache.lookup("iss", img, 10'000'000));
+    EXPECT_GE(cache.stats().rejected, 1u);
+
+    {
+        std::ofstream out(cache.entry_path(key), std::ios::binary);
+        out << "not a cache entry";
+    }
+    serve::result_cache fresh({16, dir.string(), {}});
+    EXPECT_FALSE(fresh.lookup("iss", img, 10'000'000));
+    EXPECT_GE(fresh.stats().rejected, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, LruEvictionKeepsCapacityBounded) {
+    serve::result_cache cache({2, "", {}});
+    sim::end_state st;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        workloads::randprog_options po;
+        po.seed = seed;
+        st.retired = seed;
+        cache.store("iss", workloads::make_random_program(po), 1000, st);
+    }
+    EXPECT_LE(cache.size(), 2u);
+    EXPECT_GE(cache.stats().evictions, 3u);
+    // Most-recent entry survives; the oldest was evicted.
+    workloads::randprog_options po;
+    po.seed = 5;
+    EXPECT_TRUE(cache.lookup("iss", workloads::make_random_program(po), 1000));
+    po.seed = 1;
+    EXPECT_FALSE(cache.lookup("iss", workloads::make_random_program(po), 1000));
+}
+
+// ---- job queue / shard plan ------------------------------------------------
+
+TEST(JobQueue, StealsFromTheLongestShardWhenOwnShardIsDry) {
+    serve::job_queue q(2);
+    for (std::uint64_t id = 0; id < 3; ++id) {
+        serve::job j;
+        j.id = id;
+        j.origin_shard = 0;
+        q.push_initial(0, std::move(j));
+    }
+    // Shard 1 owns nothing: its pop must steal from the *back* of shard 0.
+    auto stolen = q.pop(1);
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(stolen->id, 2u);
+    EXPECT_EQ(q.steals(), 1u);
+    q.finish();
+    EXPECT_EQ(q.pop(0)->id, 0u);
+    q.finish();
+    EXPECT_EQ(q.pop(0)->id, 1u);
+    q.finish();
+    // All jobs finished: pop unblocks with nullopt on every shard.
+    EXPECT_FALSE(q.pop(0).has_value());
+    EXPECT_FALSE(q.pop(1).has_value());
+}
+
+TEST(ShardPlan, DealsSeedsAndCorpusRoundRobinWithStableIds) {
+    const auto plan = serve::plan_campaign({"b.s", "a.s"}, 1, 5, 2);
+    EXPECT_EQ(plan.total_jobs, 7u);  // 2 corpus + 5 seeds
+    ASSERT_EQ(plan.shards.size(), 2u);
+    // Ids are the fold order: corpus artifacts first (as given, already
+    // sorted by the caller), then seeds ascending.
+    std::vector<std::uint64_t> ids;
+    for (const auto& shard : plan.shards)
+        for (const auto& j : shard) ids.push_back(j.id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+    EXPECT_EQ(plan.shards[0].front().kind, serve::job_kind::corpus);
+}
+
+// ---- thread-safety smokes --------------------------------------------------
+
+TEST(ThreadSafety, RegistryCreateIsSafeFromConcurrentWorkers) {
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> made{0};
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&made] {
+            for (unsigned i = 0; i < 25; ++i) {
+                const auto names =
+                    sim::engine_registry::instance().names_for_isa("vr32");
+                for (const auto& n : names) {
+                    auto e = sim::engine_registry::instance().create(n, {});
+                    made += e != nullptr ? 1 : 0;
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_GT(made.load(), 0u);
+}
+
+TEST(ThreadSafety, SharedResultCacheUnderConcurrentMixedTraffic) {
+    serve::result_cache cache({8, "", {}});
+    std::vector<isa::program_image> imgs;
+    for (std::uint64_t s = 1; s <= 4; ++s) {
+        workloads::randprog_options po;
+        po.seed = s;
+        imgs.push_back(workloads::make_random_program(po));
+    }
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 4; ++t) {
+        threads.emplace_back([&cache, &imgs, t] {
+            sim::end_state st;
+            st.retired = t;
+            for (unsigned i = 0; i < 200; ++i) {
+                const auto& img = imgs[(t + i) % imgs.size()];
+                if (i % 2 == 0) cache.store("iss", img, 1000, st);
+                else (void)cache.lookup("iss", img, 1000);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_LE(cache.size(), 8u);
+    const auto st = cache.stats();
+    EXPECT_EQ(st.lookups, 400u);
+    EXPECT_EQ(st.stores, 400u);
+}
+
+// ---- engine wrappers for preemption / wedge tests (registry-mutating;
+// ---- keep below all tests that enumerate registered engines) --------------
+
+/// ISS wrapper that sleeps on every run() call: wall-clock slow but
+/// architecturally identical to the ISS, so campaigns stay clean while the
+/// watchdog gets something worth preempting.  Checkpointing delegates to
+/// the inner ISS, which is what lets a preempted run migrate.
+class slow_engine final : public sim::engine {
+public:
+    explicit slow_engine(const sim::engine_config& cfg)
+        : inner_(sim::make_engine("iss", cfg)) {}
+    std::string_view name() const override { return "slowpoke"; }
+    void load(const isa::program_image& img) override { inner_->load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        return inner_->run(max_cycles);
+    }
+    bool halted() const override { return inner_->halted(); }
+    std::uint32_t gpr(unsigned r) const override { return inner_->gpr(r); }
+    std::uint32_t fpr(unsigned r) const override { return inner_->fpr(r); }
+    std::uint32_t pc() const override { return inner_->pc(); }
+    const std::string& console() const override { return inner_->console(); }
+    std::uint64_t cycles() const override { return inner_->cycles(); }
+    std::uint64_t retired() const override { return inner_->retired(); }
+    bool models_timing() const override { return false; }
+    sim::checkpoint_level checkpoint_support() const override {
+        return inner_->checkpoint_support();
+    }
+    sim::checkpoint save_state() const override { return inner_->save_state(); }
+    void restore_state(const sim::checkpoint& ck) override {
+        inner_->restore_state(ck);
+    }
+
+private:
+    std::unique_ptr<sim::engine> inner_;
+};
+
+/// An engine that consumes its cycle budget without retiring anything and
+/// never halts: the deterministic zero-progress strike rule must turn it
+/// into a structured timeout, not a hang.
+class wedged_engine final : public sim::engine {
+public:
+    explicit wedged_engine(const sim::engine_config&) {}
+    std::string_view name() const override { return "wedge"; }
+    void load(const isa::program_image&) override {}
+    std::uint64_t run(std::uint64_t max_cycles) override { return max_cycles; }
+    bool halted() const override { return false; }
+    std::uint32_t gpr(unsigned) const override { return 0; }
+    std::uint32_t fpr(unsigned) const override { return 0; }
+    std::uint32_t pc() const override { return 0; }
+    const std::string& console() const override { return console_; }
+    std::uint64_t cycles() const override { return 0; }
+    std::uint64_t retired() const override { return 0; }
+    bool models_timing() const override { return false; }
+
+private:
+    std::string console_;
+};
+
+void register_slow_engine() {
+    sim::engine_registry::instance().add(
+        {"slowpoke", "wall-clock-slow ISS wrapper (test only)",
+         [](const sim::engine_config& cfg) {
+             return std::make_unique<slow_engine>(cfg);
+         }});
+}
+
+void register_wedged_engine() {
+    sim::engine_registry::instance().add(
+        {"wedge", "never-retiring engine (test only)",
+         [](const sim::engine_config& cfg) {
+             return std::make_unique<wedged_engine>(cfg);
+         }});
+}
+
+TEST(Preemption, WatchdogMigratesSlowJobsViaCheckpointWithIdenticalSummary) {
+    register_slow_engine();
+    auto opt = quick_campaign(4);
+    opt.engines = {"iss", "slowpoke"};
+    const auto serial = fuzz::run_campaign(opt);
+    ASSERT_TRUE(serial.ok());
+
+    auto so = serve_opts(opt, 2);
+    so.watchdog_ms = 10;
+    so.slice_cycles = 16;       // quick-matrix programs retire only a few
+                                // hundred instructions; tiny slices give the
+                                // watchdog real preemption points
+    so.max_resumes = 100'000;   // the job must finish, however often it moves
+    const auto sr = serve::run_campaign_service(so);
+
+    EXPECT_TRUE(sr.timeouts.empty());
+    EXPECT_EQ(sr.campaign.summary().to_json(), serial.summary().to_json());
+    EXPECT_GT(sr.runner.checkpoints, 0u) << "watchdog never preempted anything";
+    EXPECT_GT(sr.runner.restores, 0u) << "no preempted job resumed from its checkpoint";
+    std::uint64_t resumes = 0, preempts = 0;
+    for (const auto& w : sr.workers) {
+        resumes += w.resumes;
+        preempts += w.preempts;
+    }
+    EXPECT_GT(preempts, 0u);
+    EXPECT_GT(resumes, 0u);
+}
+
+TEST(Preemption, WedgedEngineBecomesAStructuredTimeout) {
+    register_wedged_engine();
+    auto opt = quick_campaign(2);
+    opt.engines = {"iss", "wedge"};
+    auto so = serve_opts(opt, 1);
+    so.wedge_strikes = 3;
+    const auto sr = serve::run_campaign_service(so);
+
+    ASSERT_EQ(sr.timeouts.size(), 2u);
+    for (const auto& t : sr.timeouts) {
+        EXPECT_EQ(t.kind, serve::job_kind::seed);
+        EXPECT_NE(t.detail.find("wedged"), std::string::npos) << t.detail;
+    }
+    // Timed-out jobs stay out of the merged campaign summary.
+    EXPECT_EQ(sr.campaign.programs, 0u);
+    // The wedge fired on strike count, not on exhausting the cycle budget.
+    EXPECT_LT(sr.runner.slices, 16u);
+}
+
+// ---- parallel minimizer ----------------------------------------------------
+
+/// fuzz_test.cpp's broken engine, reused to give the minimizer a real
+/// divergence: x10 reads corrupt once the program has printed anything.
+class broken_after_print_engine final : public sim::engine {
+public:
+    explicit broken_after_print_engine(const sim::engine_config& cfg)
+        : inner_(sim::make_engine("iss", cfg)) {}
+    std::string_view name() const override { return "brk_print"; }
+    void load(const isa::program_image& img) override { inner_->load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override {
+        return inner_->run(max_cycles);
+    }
+    bool halted() const override { return inner_->halted(); }
+    std::uint32_t gpr(unsigned r) const override {
+        const bool armed = !inner_->console().empty();
+        return inner_->gpr(r) ^ ((armed && r == 10) ? 0xdead0000u : 0u);
+    }
+    std::uint32_t fpr(unsigned r) const override { return inner_->fpr(r); }
+    std::uint32_t pc() const override { return inner_->pc(); }
+    const std::string& console() const override { return inner_->console(); }
+    std::uint64_t cycles() const override { return inner_->cycles(); }
+    std::uint64_t retired() const override { return inner_->retired(); }
+    bool models_timing() const override { return false; }
+
+private:
+    std::unique_ptr<sim::engine> inner_;
+};
+
+TEST(ParallelMinimize, SpeculativeBatchingMatchesSerialExactly) {
+    sim::engine_registry::instance().add(
+        {"brk_print", "ISS wrapper corrupting x10 after console output (test only)",
+         [](const sim::engine_config& cfg) {
+             return std::make_unique<broken_after_print_engine>(cfg);
+         }});
+    workloads::randprog_options po;
+    po.seed = 33;
+    const auto img = workloads::make_random_program(po);
+
+    fuzz::minimize_options mo;
+    mo.engines = {"iss", "brk_print"};
+    mo.max_cycles = 2'000'000;
+    const auto serial = fuzz::minimize_divergence(img, mo);
+    ASSERT_TRUE(serial.was_divergent);
+
+    for (unsigned jobs : {2u, 4u}) {
+        fuzz::minimize_options pm = mo;
+        pm.jobs = jobs;
+        const auto par = fuzz::minimize_divergence(img, pm);
+        ASSERT_TRUE(par.was_divergent) << "jobs=" << jobs;
+        EXPECT_EQ(par.minimized_words, serial.minimized_words) << "jobs=" << jobs;
+        EXPECT_EQ(par.probes, serial.probes)
+            << "speculative probe accounting must replay the serial charge order";
+        EXPECT_EQ(par.first.to_string(), serial.first.to_string());
+        ASSERT_EQ(par.image.segments.size(), serial.image.segments.size());
+        for (std::size_t s = 0; s < serial.image.segments.size(); ++s) {
+            EXPECT_EQ(par.image.segments[s].bytes, serial.image.segments[s].bytes)
+                << "jobs=" << jobs << " segment " << s;
+        }
+    }
+}
+
+// ---- corpus robustness -----------------------------------------------------
+
+TEST(CorpusRobustness, UnusableArtifactIsSkippedWithAReasonNotFatal) {
+    const auto dir = scratch_dir("osm_serve_bad_corpus");
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream bad(dir / "broken.s");
+        bad << "this is not an instruction\n";
+    }
+    workloads::randprog_options po;
+    po.seed = 9;
+    fuzz::reproducer_meta meta;
+    meta.name = "good_artifact";
+    // Replay honours the artifact's own engine list; pin it (and the
+    // campaign's) because earlier tests in this binary register broken
+    // wrapper engines that an "all" list would pick up when the whole
+    // suite runs in one process.
+    meta.engines = "iss,sarm,hw";
+    meta.max_cycles = 10'000'000;
+    fuzz::save_reproducer(dir.string(), meta, workloads::make_random_program(po));
+
+    auto opt = quick_campaign(2);
+    opt.engines = {"iss", "sarm", "hw"};
+    opt.replay_dir = dir.string();
+    const auto serial = fuzz::run_campaign(opt);
+    EXPECT_TRUE(serial.ok());
+    EXPECT_EQ(serial.corpus_replayed, 1u);
+    EXPECT_EQ(serial.corpus_skipped, 1u);
+    ASSERT_EQ(serial.corpus_skips.size(), 1u);
+    EXPECT_EQ(serial.corpus_skips[0].first, "broken");
+    EXPECT_FALSE(serial.corpus_skips[0].second.empty())
+        << "a skip must say why";
+    // The skip is part of the deterministic summary, and the sharded
+    // service reproduces it byte-for-byte.
+    const auto json = serial.summary().to_json();
+    EXPECT_NE(json.find("corpus.skipped"), std::string::npos);
+    const auto sr = serve::run_campaign_service(serve_opts(opt, 2));
+    EXPECT_EQ(sr.campaign.summary().to_json(), json);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -4,21 +4,34 @@
 // block-cache hit ratios, and the ISS block-/decode-cache ablation rows.
 //
 //   osm-bench [--scale N] [--reps N] [--engines a,b,...|all]
+//   osm-bench --serve [--seeds LO:HI] [--jobs N]
 //
 // scripts/bench.sh redirects this into BENCH_1.json (the committed
 // snapshot); scripts/bench_gate.py re-runs it under ctest and fails on a
 // >10% throughput loss against that snapshot.  Every run does one untimed
 // warmup pass per workload so the timed region is steady-state (the same
 // protocol as the §5 speed benches).
+//
+// --serve switches to the sharded-campaign benchmark instead: the same
+// quick-matrix fuzz campaign is timed serially (jobs=1), on a --jobs worker
+// pool, and twice against an on-disk result cache (cold fill, then warm
+// replay).  It emits a separate "osm-bench-serve-1" document, which
+// scripts/bench.sh commits as BENCH_2.json.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "fuzz/campaign.hpp"
 #include "ppc32/randprog.hpp"
+#include "serve/campaign_service.hpp"
 #include "sim/diff_runner.hpp"
 #include "sim/registry.hpp"
 #include "workloads/workloads.hpp"
@@ -166,22 +179,120 @@ std::vector<std::string> split_names(const std::string& list) {
     return out;
 }
 
+double time_of(const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// The sharded-campaign benchmark: one quick-matrix campaign, measured
+/// serial / pooled / cache-cold / cache-warm.  The interesting column on a
+/// single-core host is the warm-cache replay (pure memoization); the
+/// jobs-N column only scales with real cores.
+int run_serve_bench(std::uint64_t seed_lo, std::uint64_t seed_hi, unsigned jobs) {
+    fuzz::campaign_options copt;
+    copt.seed_lo = seed_lo;
+    copt.seed_hi = seed_hi;
+    copt.quick = true;
+    copt.minimize = false;
+    const double seeds = static_cast<double>(seed_hi - seed_lo + 1);
+
+    // Untimed warmup so host cold-start costs stay out of every column.
+    (void)fuzz::run_campaign(copt);
+
+    const double serial_s = time_of([&] { (void)fuzz::run_campaign(copt); });
+
+    serve::serve_options so;
+    so.campaign = copt;
+    so.jobs = jobs;
+    const double pool_s = time_of([&] { (void)serve::run_campaign_service(so); });
+
+    const auto cache_dir =
+        std::filesystem::temp_directory_path() /
+        ("osm-bench-serve-" + std::to_string(static_cast<unsigned long>(::getpid())));
+    serve::serve_options sc = so;
+    sc.cache_dir = cache_dir.string();
+    double cold_s = 0, warm_s = 0;
+    std::uint64_t warm_hits = 0, warm_lookups = 0;
+    try {
+        cold_s = time_of([&] { (void)serve::run_campaign_service(sc); });
+        serve::serve_result warm_res;
+        warm_s = time_of([&] { warm_res = serve::run_campaign_service(sc); });
+        warm_hits = warm_res.cache.hits + warm_res.cache.disk_hits;
+        warm_lookups = warm_res.cache.lookups;
+    } catch (...) {
+        std::error_code ec;
+        std::filesystem::remove_all(cache_dir, ec);
+        throw;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+
+    const auto rate = [&](double s) { return s > 0 ? seeds / s : 0.0; };
+    std::fprintf(stderr,
+                 "osm-bench: serve %6.2f seeds/s serial, %6.2f at jobs=%u, "
+                 "%6.2f cache-warm (%.2fx)\n",
+                 rate(serial_s), rate(pool_s), jobs, rate(warm_s),
+                 warm_s > 0 ? cold_s / warm_s : 0.0);
+    std::printf("{\n");
+    std::printf("  \"schema\": \"osm-bench-serve-1\",\n");
+    std::printf("  \"suite\": \"fuzz-quick\",\n");
+    std::printf("  \"seeds\": %.0f,\n", seeds);
+    std::printf("  \"jobs\": %u,\n", jobs);
+    std::printf("  \"serial_seeds_per_sec\": %.3f,\n", rate(serial_s));
+    std::printf("  \"jobs_seeds_per_sec\": %.3f,\n", rate(pool_s));
+    std::printf("  \"jobs_speedup\": %.3f,\n", pool_s > 0 ? serial_s / pool_s : 0.0);
+    std::printf("  \"cache_cold_seeds_per_sec\": %.3f,\n", rate(cold_s));
+    std::printf("  \"cache_warm_seeds_per_sec\": %.3f,\n", rate(warm_s));
+    std::printf("  \"cache_warm_speedup\": %.3f,\n", warm_s > 0 ? cold_s / warm_s : 0.0);
+    std::printf("  \"cache_warm_hit_ratio\": %.6f\n",
+                warm_lookups > 0 ? static_cast<double>(warm_hits) /
+                                       static_cast<double>(warm_lookups)
+                                 : 0.0);
+    std::printf("}\n");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     unsigned scale = 2;
     unsigned mult = 1;
     std::string engine_spec = "all";
+    bool serve = false;
+    std::uint64_t serve_lo = 1, serve_hi = 48;
+    unsigned serve_jobs = 4;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--scale" && i + 1 < argc) scale = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
         else if (arg == "--reps" && i + 1 < argc) mult = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
         else if (arg == "--engines" && i + 1 < argc) engine_spec = argv[++i];
-        else {
+        else if (arg == "--serve") serve = true;
+        else if (arg == "--seeds" && i + 1 < argc) {
+            const std::string range = argv[++i];
+            const auto colon = range.find(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr, "osm-bench: --seeds wants LO:HI\n");
+                return 2;
+            }
+            serve_lo = std::strtoull(range.substr(0, colon).c_str(), nullptr, 0);
+            serve_hi = std::strtoull(range.substr(colon + 1).c_str(), nullptr, 0);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            serve_jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        } else {
             std::fprintf(stderr,
-                         "usage: osm-bench [--scale N] [--reps N] [--engines a,b,...|all]\n");
+                         "usage: osm-bench [--scale N] [--reps N] [--engines a,b,...|all]\n"
+                         "       osm-bench --serve [--seeds LO:HI] [--jobs N]\n");
             return 2;
         }
+    }
+    if (serve) {
+        if (serve_jobs == 0 || serve_hi < serve_lo) {
+            std::fprintf(stderr, "osm-bench: bad --serve parameters\n");
+            return 2;
+        }
+        return run_serve_bench(serve_lo, serve_hi, serve_jobs);
     }
     if (scale == 0 || mult == 0) {
         std::fprintf(stderr, "osm-bench: --scale/--reps must be >= 1\n");

@@ -3,8 +3,9 @@
 //   osm-fuzz campaign [--seeds LO:HI] [--engines a,b,...|all] [--matrix quick|full]
 //            [--max-cycles N] [--no-minimize] [--save DIR] [--replay DIR] [--json]
 //            [--no-forwarding] [--no-decode-cache]
+//            [--jobs N] [--cache-dir DIR] [--watchdog-ms N]
 //   osm-fuzz minimize --rand SEED [--rand-* flags] --engines a,b [--save DIR]
-//            [--name NAME] [--max-cycles N] [--json]
+//            [--name NAME] [--max-cycles N] [--jobs N] [--json]
 //   osm-fuzz minimize prog.s --engines a,b [--save DIR] [--name NAME] [--json]
 //   osm-fuzz replay prog.s|DIR [--engines a,b,...] [--json]
 //
@@ -30,6 +31,7 @@
 #include "fuzz/corpus.hpp"
 #include "fuzz/minimize.hpp"
 #include "isa/assembler.hpp"
+#include "serve/campaign_service.hpp"
 #include "sim/registry.hpp"
 #include "workloads/randprog.hpp"
 #include "workloads/randprog_cli.hpp"
@@ -49,8 +51,12 @@ void usage() {
                  "                [--matrix quick|full] [--max-cycles N] [--no-minimize]\n"
                  "                [--save DIR] [--replay DIR] [--json]\n"
                  "                [--no-forwarding] [--no-decode-cache]\n"
+                 "                [--jobs N] [--cache-dir DIR] [--watchdog-ms N]\n"
+                 "                jobs > 1 or a cache dir shards the campaign over the\n"
+                 "                serve worker pool; the JSON summary stays byte-identical\n"
                  "       osm-fuzz minimize (--rand SEED [--rand-* flags] | prog.s)\n"
-                 "                [--engines a,b] [--save DIR] [--name NAME] [--json]\n"
+                 "                [--engines a,b] [--save DIR] [--name NAME] [--jobs N]\n"
+                 "                [--json]\n"
                  "                [--checkpoint [--interval N]]  lockstep re-validation:\n"
                  "                reject failing candidates at the first mismatching\n"
                  "                boundary and bisect the first divergent retirement\n"
@@ -86,6 +92,9 @@ struct cli {
     std::string name;
     bool checkpoint = false;
     std::uint64_t interval = 256;
+    unsigned jobs = 1;
+    std::string cache_dir;
+    std::uint64_t watchdog_ms = 0;
     workloads::randprog_options rand_opt;
     sim::engine_config config;
 };
@@ -137,6 +146,13 @@ cli parse_args(int argc, char** argv) {
             c.checkpoint = true;
         } else if (arg == "--interval" && i + 1 < argc) {
             c.interval = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            c.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+            if (c.jobs == 0) usage();
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            c.cache_dir = argv[++i];
+        } else if (arg == "--watchdog-ms" && i + 1 < argc) {
+            c.watchdog_ms = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--no-minimize") {
             c.minimize = false;
         } else if (arg == "--json") {
@@ -167,7 +183,31 @@ int run_campaign_cmd(const cli& c) {
     opt.minimize = c.minimize;
     opt.save_dir = c.save_dir;
     opt.replay_dir = c.replay_dir;
-    const auto res = fuzz::run_campaign(opt);
+
+    // Any serve flag routes the campaign through the sharded service; its
+    // merged summary is byte-identical to the serial loop, so --json output
+    // does not depend on which path ran.
+    const bool use_serve = c.jobs > 1 || !c.cache_dir.empty() || c.watchdog_ms > 0;
+    fuzz::campaign_result res;
+    if (use_serve) {
+        serve::serve_options so;
+        so.campaign = opt;
+        so.jobs = c.jobs;
+        so.cache_dir = c.cache_dir;
+        so.watchdog_ms = c.watchdog_ms;
+        auto sr = serve::run_campaign_service(so);
+        std::fprintf(stderr, "%s", sr.serve_report().to_json().c_str());
+        if (!sr.timeouts.empty()) {
+            for (const auto& t : sr.timeouts) {
+                std::fprintf(stderr, "osm-fuzz: job %llu timed out: %s\n",
+                             static_cast<unsigned long long>(t.id),
+                             t.detail.c_str());
+            }
+        }
+        res = std::move(sr.campaign);
+    } else {
+        res = fuzz::run_campaign(opt);
+    }
 
     FILE* human = c.json ? stderr : stdout;
     std::fprintf(human,
@@ -216,6 +256,7 @@ int run_minimize_cmd(const cli& c) {
     mo.max_cycles = c.max_cycles;
     mo.checkpoint_revalidate = c.checkpoint;
     mo.checkpoint_interval = c.interval;
+    mo.jobs = c.jobs;
     const auto res = fuzz::minimize_divergence(img, mo);
 
     FILE* human = c.json ? stderr : stdout;

@@ -1,0 +1,249 @@
+// osm-serve: sharded campaign / lockstep service front-end.
+//
+//   osm-serve campaign [--seeds LO:HI] [--engines a,b,...|all] [--matrix quick|full]
+//             [--max-cycles N] [--no-minimize] [--save DIR] [--replay DIR]
+//             [--jobs N] [--cache-dir DIR] [--cache-capacity N]
+//             [--watchdog-ms N] [--slice-cycles N] [--max-resumes N] [--json]
+//             [--no-forwarding] [--no-decode-cache]
+//   osm-serve lockstep [--seeds LO:HI] [--reference NAME] [--engines a,b,...|all]
+//             [--interval N] [--max-retired N] [--matrix quick|full]
+//             [--jobs N] [--json]
+//
+// `campaign` runs the differential fuzz campaign on a worker pool: seeds and
+// corpus replays are sharded across --jobs workers with work stealing, engine
+// runs flow through the content-addressed result cache (--cache-dir persists
+// it across invocations), and long jobs are preempted at quiesced slice
+// boundaries and resumed from checkpoints on another worker.  The merged
+// campaign summary on stdout (--json) is byte-identical to a serial
+// `osm-fuzz campaign` run whatever the worker count; everything
+// scheduling-dependent (worker/cache/timeout stats) goes to stderr.
+//
+// `lockstep` shards (seed x engine) lockstep divergence probes across the
+// pool; divergence lines merge in deterministic (seed, engine) order.
+//
+// Exit codes: 0 = clean, 1 = setup error, 2 = usage, 4 = divergence found.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/campaign_service.hpp"
+#include "sim/registry.hpp"
+
+using namespace osm;
+
+namespace {
+
+constexpr int exit_ok = 0;
+constexpr int exit_setup = 1;
+constexpr int exit_usage = 2;
+constexpr int exit_divergence = 4;
+
+void usage() {
+    std::fprintf(
+        stderr,
+        "usage: osm-serve campaign [--seeds LO:HI] [--engines LIST|all]\n"
+        "                 [--matrix quick|full] [--max-cycles N] [--no-minimize]\n"
+        "                 [--save DIR] [--replay DIR] [--jobs N]\n"
+        "                 [--cache-dir DIR] [--cache-capacity N]\n"
+        "                 [--watchdog-ms N] [--slice-cycles N] [--max-resumes N]\n"
+        "                 [--json] [--no-forwarding] [--no-decode-cache]\n"
+        "       osm-serve lockstep [--seeds LO:HI] [--reference NAME]\n"
+        "                 [--engines LIST|all] [--interval N] [--max-retired N]\n"
+        "                 [--matrix quick|full] [--jobs N] [--json]\n");
+    std::exit(exit_usage);
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        if (!name.empty()) out.push_back(name);
+    }
+    return out;
+}
+
+struct cli {
+    std::string command;
+    std::uint64_t seed_lo = 1, seed_hi = 100;
+    std::vector<std::string> engines;
+    std::string reference = "iss";
+    std::uint64_t max_cycles = 50'000'000;
+    std::uint64_t interval = 256;
+    std::uint64_t max_retired = 100'000'000ull;
+    bool quick = false;
+    bool minimize = true;
+    bool json = false;
+    std::string save_dir;
+    std::string replay_dir;
+    unsigned jobs = 1;
+    std::string cache_dir;
+    std::size_t cache_capacity = 4096;
+    std::uint64_t watchdog_ms = 0;
+    std::uint64_t slice_cycles = 250'000;
+    unsigned max_resumes = 8;
+    sim::engine_config config;
+};
+
+cli parse_args(int argc, char** argv) {
+    cli c;
+    int i = 1;
+    if (i < argc) {
+        std::string cmd = argv[i];
+        if (!cmd.empty() && cmd.rfind("--", 0) == 0) cmd = cmd.substr(2);
+        if (cmd == "campaign" || cmd == "lockstep") {
+            c.command = cmd;
+            ++i;
+        }
+    }
+    if (c.command.empty()) usage();
+    // lockstep probes feature-matrix rows directly; quick rows keep the
+    // default sweep fast.
+    if (c.command == "lockstep") c.quick = true;
+
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seeds" && i + 1 < argc) {
+            const std::string range = argv[++i];
+            const auto colon = range.find(':');
+            if (colon == std::string::npos) usage();
+            c.seed_lo = std::strtoull(range.substr(0, colon).c_str(), nullptr, 0);
+            c.seed_hi = std::strtoull(range.substr(colon + 1).c_str(), nullptr, 0);
+            if (c.seed_hi < c.seed_lo) usage();
+        } else if (arg == "--engines" && i + 1 < argc) {
+            const std::string list = argv[++i];
+            c.engines = (list == "all") ? std::vector<std::string>{} : split_names(list);
+        } else if (arg == "--reference" && i + 1 < argc) {
+            c.reference = argv[++i];
+        } else if (arg == "--matrix" && i + 1 < argc) {
+            const std::string m = argv[++i];
+            if (m == "quick") c.quick = true;
+            else if (m == "full") c.quick = false;
+            else usage();
+        } else if (arg == "--max-cycles" && i + 1 < argc) {
+            c.max_cycles = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--interval" && i + 1 < argc) {
+            c.interval = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--max-retired" && i + 1 < argc) {
+            c.max_retired = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--save" && i + 1 < argc) {
+            c.save_dir = argv[++i];
+        } else if (arg == "--replay" && i + 1 < argc) {
+            c.replay_dir = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            c.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+            if (c.jobs == 0) usage();
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            c.cache_dir = argv[++i];
+        } else if (arg == "--cache-capacity" && i + 1 < argc) {
+            c.cache_capacity = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--watchdog-ms" && i + 1 < argc) {
+            c.watchdog_ms = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--slice-cycles" && i + 1 < argc) {
+            c.slice_cycles = std::strtoull(argv[++i], nullptr, 0);
+            if (c.slice_cycles == 0) usage();
+        } else if (arg == "--max-resumes" && i + 1 < argc) {
+            c.max_resumes = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--no-minimize") {
+            c.minimize = false;
+        } else if (arg == "--json") {
+            c.json = true;
+        } else if (arg == "--no-forwarding") {
+            c.config.forwarding = false;
+        } else if (arg == "--no-decode-cache") {
+            c.config.decode_cache = false;
+        } else {
+            usage();
+        }
+    }
+    return c;
+}
+
+int run_campaign_cmd(const cli& c) {
+    serve::serve_options so;
+    so.campaign.seed_lo = c.seed_lo;
+    so.campaign.seed_hi = c.seed_hi;
+    so.campaign.engines = c.engines;
+    so.campaign.config = c.config;
+    so.campaign.max_cycles = c.max_cycles;
+    so.campaign.quick = c.quick;
+    so.campaign.minimize = c.minimize;
+    so.campaign.save_dir = c.save_dir;
+    so.campaign.replay_dir = c.replay_dir;
+    so.jobs = c.jobs;
+    so.cache_capacity = c.cache_capacity;
+    so.cache_dir = c.cache_dir;
+    so.watchdog_ms = c.watchdog_ms;
+    so.slice_cycles = c.slice_cycles;
+    so.max_resumes = c.max_resumes;
+
+    const auto sr = serve::run_campaign_service(so);
+    const auto& res = sr.campaign;
+
+    std::fprintf(stderr,
+                 "serve: %llu jobs on %u worker(s), %llu programs, "
+                 "%llu engine runs, %zu divergence(s), %zu timeout(s)\n",
+                 static_cast<unsigned long long>(sr.total_jobs), c.jobs,
+                 static_cast<unsigned long long>(res.programs),
+                 static_cast<unsigned long long>(res.engine_runs),
+                 res.findings.size(), sr.timeouts.size());
+    std::fprintf(stderr, "serve: cache %llu/%llu hit(s) (%llu disk), %llu store(s)\n",
+                 static_cast<unsigned long long>(sr.cache.hits),
+                 static_cast<unsigned long long>(sr.cache.lookups),
+                 static_cast<unsigned long long>(sr.cache.disk_hits),
+                 static_cast<unsigned long long>(sr.cache.stores));
+    for (const auto& f : res.findings) {
+        std::fprintf(stderr, "  seed %llu row %s: %s\n",
+                     static_cast<unsigned long long>(f.seed), f.row.c_str(),
+                     f.first.to_string().c_str());
+    }
+    for (const auto& t : sr.timeouts) {
+        std::fprintf(stderr, "  job %llu timed out: %s\n",
+                     static_cast<unsigned long long>(t.id), t.detail.c_str());
+    }
+    std::fprintf(stderr, "%s", sr.serve_report().to_json().c_str());
+    if (c.json) std::printf("%s", res.summary().to_json().c_str());
+    return res.ok() && sr.timeouts.empty() ? exit_ok : exit_divergence;
+}
+
+int run_lockstep_cmd(const cli& c) {
+    serve::lockstep_sweep_options lo;
+    lo.seed_lo = c.seed_lo;
+    lo.seed_hi = c.seed_hi;
+    lo.reference = c.reference;
+    lo.engines = c.engines;
+    lo.config = c.config;
+    lo.interval = c.interval;
+    lo.max_retired = c.max_retired;
+    lo.quick = c.quick;
+    lo.jobs = c.jobs;
+
+    const auto res = serve::run_lockstep_sweep(lo);
+    std::fprintf(stderr,
+                 "lockstep: %llu probe(s) on %u worker(s), %llu compare(s), "
+                 "%llu diverged\n",
+                 static_cast<unsigned long long>(res.probes), c.jobs,
+                 static_cast<unsigned long long>(res.compares),
+                 static_cast<unsigned long long>(res.diverged));
+    for (const auto& line : res.divergences) {
+        std::fprintf(stderr, "  %s\n", line.c_str());
+    }
+    if (c.json) std::printf("%s", res.summary().to_json().c_str());
+    return res.diverged == 0 ? exit_ok : exit_divergence;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const cli c = parse_args(argc, argv);
+        if (c.command == "campaign") return run_campaign_cmd(c);
+        return run_lockstep_cmd(c);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "osm-serve: %s\n", e.what());
+        return exit_setup;
+    }
+}
