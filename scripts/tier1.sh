@@ -15,7 +15,7 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 cmake -B build-asan -S . -DOSM_SANITIZE=ON
-cmake --build build-asan -j --target de_test common_test checkpoint_test serve_test osm-run osm-fuzz
+cmake --build build-asan -j --target de_test common_test checkpoint_test serve_test litmus_test osm-run osm-fuzz
 ./build-asan/tests/de_test
 ./build-asan/tests/common_test
 
@@ -23,6 +23,11 @@ cmake --build build-asan -j --target de_test common_test checkpoint_test serve_t
 # byte-stability, lockstep bisection (ctest -L checkpoint discovers the
 # already-built checkpoint_test binary only).
 ctest --test-dir build-asan -L checkpoint --output-on-failure -j
+
+# Litmus suite under the sanitizers: the multi-hart ISS against the
+# exhaustive SC/TSO outcome enumerator (corpus pins, SB 0/0 reachability,
+# determinism) with ASan+UBSan watching the shared-memory subsystem.
+ctest --test-dir build-asan -L litmus --output-on-failure -j
 
 # Serve suite under the sanitizers: sharded-merge byte-identity, the
 # content-addressed result cache, watchdog preemption with checkpoint
@@ -89,10 +94,20 @@ rm -rf "$sv"
 # it gets its own build tree; serve_test itself covers the concurrent
 # registry and cache traffic).
 cmake -B build-tsan -S . -DOSM_TSAN=ON
-cmake --build build-tsan -j --target serve_test osm-fuzz
+cmake --build build-tsan -j --target serve_test litmus_test osm-fuzz
 ctest --test-dir build-tsan -L serve --output-on-failure
 ./build-tsan/tools/osm-fuzz campaign --seeds 1:12 --matrix quick \
     --max-cycles 20000000 --jobs 4 --watchdog-ms 2000
+
+# Litmus suite and a bounded multi-hart fuzz smoke under TSan: the
+# multi-hart ISS is deterministic single-threaded code, but it runs inside
+# the sharded campaign workers, so sweep the mh matrix rows (full matrix,
+# seeds chosen to land on them) across 4 workers and the litmus
+# differential harness with the race detector on.
+ctest --test-dir build-tsan -L litmus --output-on-failure
+./build-tsan/tools/osm-fuzz campaign --seeds 1:16 --matrix full \
+    --max-cycles 20000000 --jobs 4
+./build-tsan/tools/osm-fuzz litmus --seeds 1:4 --schedules 50
 
 # Sanitized checkpoint round-trip smoke on a timing engine: a run that
 # saves mid-flight and a run restored from that checkpoint must reach the
@@ -111,4 +126,4 @@ if ! diff <(grep -v -e '^pc=' -e '^cycles=' -e '^\[' "$ck/straight.txt") \
     exit 1
 fi
 
-echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint/serve suites + all-engine diff incl. block-cache on/off + ppc32 smoke + fuzz smoke + sharded/cache-warm byte-identity + TSan serve smoke + checkpoint round-trip)"
+echo "tier1: OK (ctest suite + sanitized de_test/common_test/checkpoint/serve/litmus suites + all-engine diff incl. block-cache on/off + ppc32 smoke + fuzz smoke + sharded/cache-warm byte-identity + TSan serve/litmus/multi-hart smoke + checkpoint round-trip)"

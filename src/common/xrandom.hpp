@@ -32,6 +32,12 @@ public:
     /// Uniform double in [0, 1).
     double next_double() noexcept;
 
+    /// Raw generator state, for checkpointing a deterministic schedule
+    /// mid-stream (the multi-hart scheduler saves/restores this so a
+    /// restored run replays the exact schedule of an uninterrupted one).
+    std::uint64_t state() const noexcept { return state_; }
+    void set_state(std::uint64_t s) noexcept { state_ = s == 0 ? 1 : s; }
+
 private:
     std::uint64_t state_;
 };

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "isa/mh_iss.hpp"
+#include "mem/main_memory.hpp"
 #include "sim/registry.hpp"
 #include "workloads/randprog_cli.hpp"
 
@@ -61,6 +63,22 @@ std::vector<matrix_row> build_matrix(bool quick) {
         o.hazard_load_use = o.hazard_branch_dense = true;
         o.with_fp = true;
     }));
+    // Multi-hart rows: these generate shared-memory programs and run on the
+    // multi-hart ISS under both consistency models instead of the engine
+    // diff (see run_mh_seed_unit).
+    m.push_back(row("mh_contention", [](workloads::randprog_options& o) {
+        o.harts = 2;
+        o.shared_contention = true;
+    }));
+    m.push_back(row("mh_fence_dense", [](workloads::randprog_options& o) {
+        o.harts = 2;
+        o.shared_contention = true;
+        o.fence_dense = true;
+    }));
+    m.push_back(row("mh_lrsc", [](workloads::randprog_options& o) {
+        o.harts = 4;
+        o.lrsc_loops = true;
+    }));
     return m;
 }
 
@@ -72,6 +90,105 @@ void count_features(const workloads::randprog_options& o,
     if (o.with_fp) ++fc["fp"];
     if (o.hazard_load_use) ++fc["hazard_load_use"];
     if (o.hazard_branch_dense) ++fc["hazard_branch_dense"];
+    if (o.harts > 1) ++fc["multi_hart"];
+    if (o.shared_contention) ++fc["shared_contention"];
+    if (o.fence_dense) ++fc["fence_dense"];
+    if (o.lrsc_loops) ++fc["lrsc_loops"];
+}
+
+/// Everything one multi-hart execution produces that a replay must
+/// reproduce bit-for-bit: final per-hart architectural state (flattened),
+/// console stream, retirement count, and the shared counter word.
+struct mh_run_state {
+    std::vector<std::uint32_t> digest;  ///< per hart: pc, halted, gpr[], fpr[]
+    std::string console;
+    std::uint64_t retired = 0;
+    std::uint32_t counter = 0;
+    bool halted = false;
+};
+
+mh_run_state run_mh_once(const isa::program_image& img, unsigned harts,
+                         mem::memory_model model, std::uint64_t sched_seed,
+                         std::uint64_t max_insts) {
+    mem::main_memory m;
+    isa::mh_iss sim(m, harts, model, sched_seed);
+    sim.load(img);
+    sim.run(max_insts);
+
+    mh_run_state s;
+    s.halted = sim.all_halted();
+    s.retired = sim.total_retired();
+    s.console = sim.host().console();
+    s.counter = sim.shared().backing().read32(workloads::randprog_shared_base);
+    for (unsigned h = 0; h < sim.harts(); ++h) {
+        const isa::arch_state& st = sim.state(h);
+        s.digest.push_back(st.pc);
+        s.digest.push_back(st.halted ? 1u : 0u);
+        for (const std::uint32_t r : st.gpr) s.digest.push_back(r);
+        for (const std::uint32_t r : st.fpr) s.digest.push_back(r);
+    }
+    return s;
+}
+
+/// Multi-hart seed unit: instead of the cross-engine diff (timing engines
+/// are single-hart), the generated program runs on the multi-hart ISS
+/// under both memory models across several schedule seeds, checking the
+/// schedule-independent invariants the generator guarantees — every hart
+/// halts, the shared counter holds exactly harts * blocks, and replaying
+/// the same (model, schedule seed) reproduces the run bit-for-bit.
+seed_outcome run_mh_seed_unit(const campaign_options& opt, const matrix_row& mrow,
+                              std::uint64_t seed) {
+    seed_outcome u;
+    u.seed = seed;
+    u.row = mrow.name;
+    u.reference = "mh-model";
+    workloads::randprog_options po = mrow.options;
+    po.seed = seed;
+    u.options = po;
+
+    const auto img = workloads::make_random_program(po);
+    const std::uint64_t expected = workloads::randprog_expected_counter(po);
+
+    const auto report = [&](std::string kind, std::string expect, std::string actual) {
+        if (u.divergent) return;  // keep the first failure per seed
+        u.divergent = true;
+        campaign_finding& f = u.finding;
+        f.seed = seed;
+        f.row = mrow.name;
+        f.options = po;
+        f.first = sim::divergence{"mh-model", "mh-iss", std::move(kind), 0,
+                                  std::move(expect), std::move(actual)};
+        f.original_words = f.minimized_words = img.text_words();
+        u.artifact_image = img;
+    };
+
+    constexpr unsigned k_schedules = 3;
+    for (const auto model : {mem::memory_model::sc, mem::memory_model::tso}) {
+        const std::string mname = mem::memory_model_name(model);
+        for (unsigned k = 0; k < k_schedules; ++k) {
+            // Distinct deterministic schedule seed per (seed, model, k).
+            const std::uint64_t sched =
+                seed * 64 + k * 2 + (model == mem::memory_model::tso ? 1 : 0) + 1;
+            const auto first = run_mh_once(img, po.harts, model, sched, opt.max_cycles);
+            const auto replay = run_mh_once(img, po.harts, model, sched, opt.max_cycles);
+            u.engine_runs += 2;
+            u.instructions += first.retired + replay.retired;
+            if (!first.halted) {
+                report(mname + ".halted", "all harts halted", "timeout");
+                continue;
+            }
+            if (first.counter != expected) {
+                report(mname + ".counter", std::to_string(expected),
+                       std::to_string(first.counter));
+            }
+            if (first.digest != replay.digest || first.console != replay.console ||
+                first.retired != replay.retired) {
+                report(mname + ".determinism", "bit-identical replay",
+                       "state mismatch at schedule " + std::to_string(sched));
+            }
+        }
+    }
+    return u;
 }
 
 std::string zero_pad(std::uint64_t v, int width) {
@@ -136,6 +253,7 @@ seed_outcome run_seed_unit(const campaign_options& opt,
                            std::uint64_t seed, sim::end_state_cache* cache) {
     const auto& matrix = feature_matrix(opt.quick);
     const auto& mrow = matrix[(seed - opt.seed_lo) % matrix.size()];
+    if (mrow.options.harts > 1) return run_mh_seed_unit(opt, mrow, seed);
 
     seed_outcome u;
     u.seed = seed;
@@ -240,7 +358,11 @@ void fold_seed_outcome(seed_outcome&& u, const campaign_options& opt,
     if (!u.divergent) return;
 
     campaign_finding f = std::move(u.finding);
-    if (!opt.save_dir.empty()) {
+    // Multi-hart findings are not persisted: the .s corpus format replays
+    // through the single-hart engine diff, which cannot reproduce a
+    // schedule-dependent failure.  The (seed, row, options) triple in the
+    // summary re-runs the unit exactly.
+    if (!opt.save_dir.empty() && u.options.harts <= 1) {
         reproducer_meta meta;
         meta.name = "fuzz_" + zero_pad(f.seed, 6) + "_" + f.row;
         meta.kind = "fuzz";

@@ -1,0 +1,520 @@
+#include "fuzz/litmus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace osm::fuzz {
+
+namespace {
+
+void check_bounds(const litmus_test& t) {
+    if (t.harts.empty() || t.harts.size() > litmus_max_harts)
+        throw std::invalid_argument("litmus: hart count out of range");
+    if (t.locations == 0 || t.locations > litmus_max_locations)
+        throw std::invalid_argument("litmus: location count out of range");
+    for (const auto& ops : t.harts) {
+        if (ops.size() > litmus_max_ops)
+            throw std::invalid_argument("litmus: too many ops on one hart");
+        for (const litmus_op& o : ops) {
+            if (o.loc >= t.locations)
+                throw std::invalid_argument("litmus: op references missing location");
+            if ((o.k == litmus_op::kind::load || o.k == litmus_op::kind::amoadd) &&
+                o.reg >= litmus_max_regs)
+                throw std::invalid_argument("litmus: observation register out of range");
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::pair<unsigned, unsigned>> observation_slots(const litmus_test& t) {
+    std::vector<std::pair<unsigned, unsigned>> slots;
+    for (unsigned h = 0; h < t.harts.size(); ++h) {
+        for (const litmus_op& o : t.harts[h]) {
+            if (o.k == litmus_op::kind::load || o.k == litmus_op::kind::amoadd) {
+                slots.emplace_back(h, o.reg);
+            }
+        }
+    }
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    return slots;
+}
+
+// ---- exhaustive enumeration -------------------------------------------------
+//
+// Operational model, explored breadth-first with a visited-state memo:
+//   * a hart step executes its next op (stores commit under SC, enqueue
+//     under TSO; loads forward newest-first from the own buffer; fence and
+//     amoadd are only enabled with an empty own buffer — the separate drain
+//     transitions make that reachable);
+//   * a drain step commits the oldest buffered store of one hart.
+// Terminal states (all harts done, all buffers empty) contribute their
+// observation registers to the outcome set.
+
+namespace {
+
+struct enum_state {
+    // Fixed-size so the memo key is a straight byte serialization.
+    std::uint8_t pc[litmus_max_harts] = {};
+    std::uint32_t obs[litmus_max_harts][litmus_max_regs] = {};
+    std::uint32_t mem[litmus_max_locations] = {};
+    // Per-hart FIFO store buffer (bounded by ops per hart).
+    std::uint8_t buf_n[litmus_max_harts] = {};
+    std::uint8_t buf_loc[litmus_max_harts][litmus_max_ops] = {};
+    std::uint32_t buf_val[litmus_max_harts][litmus_max_ops] = {};
+
+    std::string key(unsigned harts, unsigned locations) const {
+        std::string k;
+        k.reserve(harts * (1 + 1 + 4 * litmus_max_regs + 5 * litmus_max_ops) +
+                  4 * locations);
+        const auto u32 = [&k](std::uint32_t v) {
+            for (int i = 0; i < 4; ++i) k.push_back(static_cast<char>(v >> (8 * i)));
+        };
+        for (unsigned h = 0; h < harts; ++h) {
+            k.push_back(static_cast<char>(pc[h]));
+            k.push_back(static_cast<char>(buf_n[h]));
+            for (unsigned r = 0; r < litmus_max_regs; ++r) u32(obs[h][r]);
+            for (unsigned i = 0; i < buf_n[h]; ++i) {
+                k.push_back(static_cast<char>(buf_loc[h][i]));
+                u32(buf_val[h][i]);
+            }
+        }
+        for (unsigned l = 0; l < locations; ++l) u32(mem[l]);
+        return k;
+    }
+
+    std::uint32_t read(unsigned h, unsigned loc) const {
+        // Newest-wins forwarding from the own buffer.
+        for (unsigned i = buf_n[h]; i > 0; --i) {
+            if (buf_loc[h][i - 1] == loc) return buf_val[h][i - 1];
+        }
+        return mem[loc];
+    }
+
+    void drain_one(unsigned h) {
+        mem[buf_loc[h][0]] = buf_val[h][0];
+        for (unsigned i = 1; i < buf_n[h]; ++i) {
+            buf_loc[h][i - 1] = buf_loc[h][i];
+            buf_val[h][i - 1] = buf_val[h][i];
+        }
+        --buf_n[h];
+    }
+};
+
+}  // namespace
+
+std::set<litmus_outcome> enumerate_outcomes(const litmus_test& t,
+                                            mem::memory_model model) {
+    check_bounds(t);
+    const unsigned harts = static_cast<unsigned>(t.harts.size());
+    const auto slots = observation_slots(t);
+    const bool tso = model == mem::memory_model::tso;
+
+    std::set<litmus_outcome> outcomes;
+    std::unordered_set<std::string> visited;
+    std::vector<enum_state> work{enum_state{}};
+    visited.insert(work.back().key(harts, t.locations));
+
+    while (!work.empty()) {
+        const enum_state s = work.back();
+        work.pop_back();
+
+        bool terminal = true;
+        const auto push = [&](const enum_state& next) {
+            if (visited.insert(next.key(harts, t.locations)).second) {
+                work.push_back(next);
+            }
+        };
+
+        for (unsigned h = 0; h < harts; ++h) {
+            if (tso && s.buf_n[h] != 0) {
+                terminal = false;
+                enum_state next = s;
+                next.drain_one(h);
+                push(next);
+            }
+            if (s.pc[h] >= t.harts[h].size()) continue;
+            terminal = false;
+            const litmus_op& o = t.harts[h][s.pc[h]];
+            // Ordering ops wait for the own buffer to drain (the drain
+            // transitions above make that state reachable).
+            if (tso && s.buf_n[h] != 0 &&
+                (o.k == litmus_op::kind::fence || o.k == litmus_op::kind::amoadd)) {
+                continue;
+            }
+            enum_state next = s;
+            ++next.pc[h];
+            switch (o.k) {
+                case litmus_op::kind::store:
+                    if (tso) {
+                        next.buf_loc[h][next.buf_n[h]] = o.loc;
+                        next.buf_val[h][next.buf_n[h]] = o.value;
+                        ++next.buf_n[h];
+                    } else {
+                        next.mem[o.loc] = o.value;
+                    }
+                    break;
+                case litmus_op::kind::load:
+                    next.obs[h][o.reg] = s.read(h, o.loc);
+                    break;
+                case litmus_op::kind::fence:
+                    break;
+                case litmus_op::kind::amoadd:
+                    next.obs[h][o.reg] = s.mem[o.loc];
+                    next.mem[o.loc] = s.mem[o.loc] + o.value;
+                    break;
+            }
+            push(next);
+        }
+
+        if (terminal) {
+            litmus_outcome out;
+            out.reserve(slots.size());
+            for (const auto& [h, r] : slots) out.push_back(s.obs[h][r]);
+            outcomes.insert(std::move(out));
+        }
+    }
+    return outcomes;
+}
+
+// ---- canonical suite --------------------------------------------------------
+
+namespace {
+
+litmus_op st(unsigned loc, std::uint32_t value) {
+    return {litmus_op::kind::store, static_cast<std::uint8_t>(loc), 0, value};
+}
+litmus_op ld(unsigned loc, unsigned reg) {
+    return {litmus_op::kind::load, static_cast<std::uint8_t>(loc),
+            static_cast<std::uint8_t>(reg), 0};
+}
+litmus_op fence() { return {litmus_op::kind::fence, 0, 0, 0}; }
+
+litmus_test make(std::string name, unsigned locations,
+                 std::vector<std::vector<litmus_op>> harts) {
+    litmus_test t;
+    t.name = std::move(name);
+    t.locations = locations;
+    t.harts = std::move(harts);
+    return t;
+}
+
+}  // namespace
+
+std::vector<litmus_test> litmus_suite() {
+    std::vector<litmus_test> suite;
+    // SB (store buffering): the TSO signature.  r0==0 on both harts is
+    // reachable iff stores can sit in buffers past the other hart's load.
+    suite.push_back(make("SB", 2,
+                         {{st(0, 1), ld(1, 0)},
+                          {st(1, 1), ld(0, 0)}}));
+    suite.push_back(make("SB+fences", 2,
+                         {{st(0, 1), fence(), ld(1, 0)},
+                          {st(1, 1), fence(), ld(0, 0)}}));
+    // MP (message passing): stale data behind a set flag.  Forbidden under
+    // both models (TSO store buffers drain in FIFO order).
+    suite.push_back(make("MP", 2,
+                         {{st(0, 1), st(1, 1)},
+                          {ld(1, 0), ld(0, 1)}}));
+    suite.push_back(make("MP+fences", 2,
+                         {{st(0, 1), fence(), st(1, 1)},
+                          {ld(1, 0), fence(), ld(0, 1)}}));
+    // LB (load buffering): loads observing the other hart's later store.
+    // Forbidden under SC and TSO (neither reorders a load with a later
+    // store of the same hart).
+    suite.push_back(make("LB", 2,
+                         {{ld(0, 0), st(1, 1)},
+                          {ld(1, 0), st(0, 1)}}));
+    // CoRR (coherent read-read): one location, two program-order loads
+    // never observe value then overwrite... i.e. 1 then 0 is forbidden.
+    suite.push_back(make("CoRR", 1,
+                         {{st(0, 1)},
+                          {ld(0, 0), ld(0, 1)}}));
+    // IRIW: two writers, two readers disagreeing on the write order —
+    // forbidden under SC and TSO (both are multi-copy atomic).
+    suite.push_back(make("IRIW", 2,
+                         {{st(0, 1)},
+                          {st(1, 1)},
+                          {ld(0, 0), ld(1, 1)},
+                          {ld(1, 0), ld(0, 1)}}));
+    suite.push_back(make("IRIW+fences", 2,
+                         {{st(0, 1)},
+                          {st(1, 1)},
+                          {ld(0, 0), fence(), ld(1, 1)},
+                          {ld(1, 0), fence(), ld(0, 1)}}));
+    return suite;
+}
+
+litmus_test random_litmus(xrandom& rng) {
+    litmus_test t;
+    t.name = "rand";
+    t.locations = 2;
+    const unsigned harts = 2 + static_cast<unsigned>(rng.next_below(litmus_max_harts - 1));
+    t.harts.resize(harts);
+    for (unsigned h = 0; h < harts; ++h) {
+        const unsigned nops = 2 + static_cast<unsigned>(rng.next_below(3));
+        unsigned next_reg = 0;
+        for (unsigned i = 0; i < nops; ++i) {
+            const unsigned loc = static_cast<unsigned>(rng.next_below(t.locations));
+            // Store values are distinct across the whole test so an outcome
+            // identifies which store each load observed.
+            const std::uint32_t value = h * litmus_max_ops + i + 1;
+            const std::uint64_t pick = rng.next_below(10);
+            if (pick < 4 || (pick < 8 && next_reg >= litmus_max_regs)) {
+                t.harts[h].push_back(st(loc, value));
+            } else if (pick < 8) {
+                t.harts[h].push_back(ld(loc, next_reg++));
+            } else if (pick < 9) {
+                t.harts[h].push_back(fence());
+            } else if (next_reg < litmus_max_regs) {
+                t.harts[h].push_back(
+                    {litmus_op::kind::amoadd, static_cast<std::uint8_t>(loc),
+                     static_cast<std::uint8_t>(next_reg++), value});
+            } else {
+                t.harts[h].push_back(st(loc, value));
+            }
+        }
+    }
+    if (observation_slots(t).empty()) t.harts[0].push_back(ld(0, 0));
+    return t;
+}
+
+// ---- VR32 compilation and execution -----------------------------------------
+
+isa::program_image compile_litmus(const litmus_test& t) {
+    check_bounds(t);
+    isa::program_builder b;
+    std::vector<std::uint32_t> loc_addr(t.locations);
+    for (unsigned l = 0; l < t.locations; ++l) loc_addr[l] = b.data_word(0);
+
+    // Register convention per hart: x20+l = address of location l,
+    // x10+r = observation slot r, x6 = store/addend temporary.
+    std::vector<std::uint32_t> entries;
+    entries.reserve(t.harts.size());
+    for (const auto& ops : t.harts) {
+        entries.push_back(b.text_pos());
+        for (unsigned l = 0; l < t.locations; ++l) b.li(20 + l, loc_addr[l]);
+        for (const litmus_op& o : ops) {
+            switch (o.k) {
+                case litmus_op::kind::store:
+                    b.li(6, o.value);
+                    b.emit_store(isa::op::sw, 6, 20 + o.loc, 0);
+                    break;
+                case litmus_op::kind::load:
+                    b.emit_load(isa::op::lw, 10 + o.reg, 20 + o.loc, 0);
+                    break;
+                case litmus_op::kind::fence:
+                    b.emit(isa::decoded_inst{isa::op::fence});
+                    break;
+                case litmus_op::kind::amoadd:
+                    b.li(6, o.value);
+                    b.emit_r(isa::op::amoadd_w, 10 + o.reg, 20 + o.loc, 6);
+                    break;
+            }
+        }
+        b.halt_op();
+    }
+    isa::program_image img = b.finish();
+    img.hart_entries = std::move(entries);
+    img.entry = img.hart_entries[0];
+    return img;
+}
+
+litmus_outcome observe_outcome(const litmus_test& t, const isa::mh_iss& sim) {
+    litmus_outcome out;
+    for (const auto& [h, r] : observation_slots(t)) {
+        out.push_back(sim.state(h).gpr[10 + r]);
+    }
+    return out;
+}
+
+std::set<litmus_outcome> run_litmus(const litmus_test& t, mem::memory_model model,
+                                    std::uint64_t seed_lo, std::uint64_t seed_hi) {
+    const isa::program_image img = compile_litmus(t);
+    std::set<litmus_outcome> seen;
+    for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+        mem::main_memory m;
+        isa::mh_iss sim(m, static_cast<unsigned>(t.harts.size()), model, seed);
+        sim.load(img);
+        sim.run(100'000);
+        if (!sim.all_halted())
+            throw std::runtime_error("litmus " + t.name + ": run did not halt (seed " +
+                                     std::to_string(seed) + ")");
+        seen.insert(observe_outcome(t, sim));
+    }
+    return seen;
+}
+
+// ---- corpus text format -----------------------------------------------------
+
+std::string outcome_to_string(const litmus_outcome& o) {
+    if (o.empty()) return "-";
+    std::string s;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i != 0) s += ',';
+        s += std::to_string(o[i]);
+    }
+    return s;
+}
+
+std::string to_text(const litmus_test& t) {
+    std::string s = "litmus " + t.name + "\n";
+    s += "locations " + std::to_string(t.locations) + "\n";
+    for (const auto& ops : t.harts) {
+        s += "hart:";
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const litmus_op& o = ops[i];
+            s += i == 0 ? " " : " ; ";
+            switch (o.k) {
+                case litmus_op::kind::store:
+                    s += "st " + std::to_string(o.loc) + " " + std::to_string(o.value);
+                    break;
+                case litmus_op::kind::load:
+                    s += "ld " + std::to_string(o.loc) + " -> " + std::to_string(o.reg);
+                    break;
+                case litmus_op::kind::fence:
+                    s += "fence";
+                    break;
+                case litmus_op::kind::amoadd:
+                    s += "amo " + std::to_string(o.loc) + " " + std::to_string(o.value) +
+                         " -> " + std::to_string(o.reg);
+                    break;
+            }
+        }
+        s += "\n";
+    }
+    const auto set_line = [&s](const char* tag, const std::set<litmus_outcome>& set) {
+        if (set.empty()) return;
+        s += tag;
+        for (const litmus_outcome& o : set) s += " " + outcome_to_string(o);
+        s += "\n";
+    };
+    set_line("sc:", t.sc_allowed);
+    set_line("tso:", t.tso_allowed);
+    return s;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(unsigned line, const std::string& what) {
+    throw std::runtime_error("litmus parse error, line " + std::to_string(line) +
+                             ": " + what);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string tok;
+    while (is >> tok) out.push_back(tok);
+    return out;
+}
+
+std::uint32_t parse_u32(const std::string& tok, unsigned line) {
+    try {
+        std::size_t used = 0;
+        const unsigned long v = std::stoul(tok, &used);
+        if (used != tok.size() || v > 0xFFFFFFFFul) throw std::invalid_argument(tok);
+        return static_cast<std::uint32_t>(v);
+    } catch (const std::exception&) {
+        parse_fail(line, "bad number '" + tok + "'");
+    }
+}
+
+litmus_outcome parse_outcome(const std::string& tok, unsigned line) {
+    litmus_outcome o;
+    if (tok == "-") return o;
+    std::string cur;
+    for (const char c : tok + ",") {
+        if (c == ',') {
+            o.push_back(parse_u32(cur, line));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    return o;
+}
+
+std::vector<litmus_op> parse_hart_ops(const std::string& body, unsigned line) {
+    std::vector<litmus_op> ops;
+    std::string piece;
+    std::istringstream is(body);
+    while (std::getline(is, piece, ';')) {
+        const std::vector<std::string> tok = split_ws(piece);
+        if (tok.empty()) continue;
+        litmus_op o;
+        if (tok[0] == "st" && tok.size() == 3) {
+            o.k = litmus_op::kind::store;
+            o.loc = static_cast<std::uint8_t>(parse_u32(tok[1], line));
+            o.value = parse_u32(tok[2], line);
+        } else if (tok[0] == "ld" && tok.size() == 4 && tok[2] == "->") {
+            o.k = litmus_op::kind::load;
+            o.loc = static_cast<std::uint8_t>(parse_u32(tok[1], line));
+            o.reg = static_cast<std::uint8_t>(parse_u32(tok[3], line));
+        } else if (tok[0] == "fence" && tok.size() == 1) {
+            o.k = litmus_op::kind::fence;
+        } else if (tok[0] == "amo" && tok.size() == 5 && tok[3] == "->") {
+            o.k = litmus_op::kind::amoadd;
+            o.loc = static_cast<std::uint8_t>(parse_u32(tok[1], line));
+            o.value = parse_u32(tok[2], line);
+            o.reg = static_cast<std::uint8_t>(parse_u32(tok[4], line));
+        } else {
+            parse_fail(line, "bad op '" + piece + "'");
+        }
+        ops.push_back(o);
+    }
+    return ops;
+}
+
+}  // namespace
+
+litmus_test parse_litmus(const std::string& text) {
+    litmus_test t;
+    t.locations = 0;
+    bool seen_header = false;
+    std::istringstream is(text);
+    std::string raw;
+    unsigned line = 0;
+    while (std::getline(is, raw)) {
+        ++line;
+        const std::size_t hash = raw.find('#');
+        const std::string s = hash == std::string::npos ? raw : raw.substr(0, hash);
+        const std::vector<std::string> tok = split_ws(s);
+        if (tok.empty()) continue;
+        if (tok[0] == "litmus") {
+            if (tok.size() != 2) parse_fail(line, "expected 'litmus <name>'");
+            t.name = tok[1];
+            seen_header = true;
+        } else if (tok[0] == "locations") {
+            if (tok.size() != 2) parse_fail(line, "expected 'locations <n>'");
+            t.locations = parse_u32(tok[1], line);
+        } else if (tok[0] == "hart:") {
+            const std::size_t colon = s.find(':');
+            t.harts.push_back(parse_hart_ops(s.substr(colon + 1), line));
+        } else if (tok[0] == "sc:" || tok[0] == "tso:") {
+            auto& set = tok[0] == "sc:" ? t.sc_allowed : t.tso_allowed;
+            for (std::size_t i = 1; i < tok.size(); ++i) {
+                set.insert(parse_outcome(tok[i], line));
+            }
+        } else {
+            parse_fail(line, "unknown directive '" + tok[0] + "'");
+        }
+    }
+    if (!seen_header) throw std::runtime_error("litmus parse error: missing 'litmus' header");
+    check_bounds(t);
+    const std::size_t nslots = observation_slots(t).size();
+    for (const auto* set : {&t.sc_allowed, &t.tso_allowed}) {
+        for (const litmus_outcome& o : *set) {
+            if (o.size() != nslots)
+                throw std::runtime_error("litmus parse error: outcome arity mismatch in " +
+                                         t.name);
+        }
+    }
+    return t;
+}
+
+}  // namespace osm::fuzz

@@ -1,0 +1,122 @@
+// Litmus tests: small multi-hart programs that distinguish memory models.
+//
+// A litmus test is a handful of straight-line per-hart programs over a few
+// shared words, plus the set of final observation-register outcomes each
+// consistency model allows.  The classic suite (SB, MP, LB, CoRR, IRIW and
+// fenced variants) is what the literature uses to characterize a model:
+// e.g. the store-buffering test SB allows r1==0 && r2==0 under TSO (each
+// hart's store can still sit in its buffer when the other hart loads) but
+// never under SC.
+//
+// Two independent implementations of each model meet here:
+//   * enumerate_outcomes() — an exhaustive, memoized search over every
+//     interleaving of abstract operations (including partial store-buffer
+//     drains), straight from the operational model definition;
+//   * run_litmus() — the real multi-hart ISS executing the compiled VR32
+//     program under seeded schedules.
+// The differential harness (tests/litmus_test.cpp, `osm-fuzz litmus`)
+// checks that the ISS never escapes the enumerated set and that the
+// model-distinguishing outcomes are actually reached, and persists any
+// out-of-model outcome as a corpus reproducer.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/xrandom.hpp"
+#include "isa/mh_iss.hpp"
+#include "isa/program.hpp"
+#include "mem/shared_mem.hpp"
+
+namespace osm::fuzz {
+
+/// One final state: the observation registers' values in
+/// observation_slots() order.
+using litmus_outcome = std::vector<std::uint32_t>;
+
+/// One abstract operation over the shared locations.
+struct litmus_op {
+    enum class kind : std::uint8_t {
+        store,   ///< shared[loc] = value
+        load,    ///< obs[reg] = shared[loc]
+        fence,   ///< drain own store buffer
+        amoadd,  ///< obs[reg] = shared[loc]; shared[loc] += value (atomic)
+    };
+    kind k = kind::store;
+    std::uint8_t loc = 0;     ///< shared word index (< locations)
+    std::uint8_t reg = 0;     ///< observation slot (load/amoadd only)
+    std::uint32_t value = 0;  ///< stored value / addend
+};
+
+/// Enumeration stays exhaustive because tests are tiny; these bounds are
+/// enforced by enumerate_outcomes() and the generators stay inside them.
+inline constexpr unsigned litmus_max_harts = 4;
+inline constexpr unsigned litmus_max_locations = 4;
+inline constexpr unsigned litmus_max_ops = 8;   ///< per hart
+inline constexpr unsigned litmus_max_regs = 4;  ///< observation slots per hart
+
+/// A litmus test over `locations` shared words, all initially zero.
+/// `sc_allowed`/`tso_allowed` record the exact enumerated outcome sets
+/// when non-empty (the corpus files carry them; freshly generated tests
+/// leave them empty until enumerated).
+struct litmus_test {
+    std::string name;
+    unsigned locations = 2;
+    std::vector<std::vector<litmus_op>> harts;
+    std::set<litmus_outcome> sc_allowed;
+    std::set<litmus_outcome> tso_allowed;
+};
+
+/// The (hart, reg) pairs written by load/amoadd ops, sorted; an outcome
+/// lists their final values in this order.
+std::vector<std::pair<unsigned, unsigned>> observation_slots(const litmus_test& t);
+
+/// Exhaustively enumerate every outcome `model` allows: memoized search
+/// over all interleavings of per-hart steps and store-buffer drains.
+/// Throws std::invalid_argument when `t` exceeds the litmus_max_* bounds.
+std::set<litmus_outcome> enumerate_outcomes(const litmus_test& t,
+                                            mem::memory_model model);
+
+/// The canonical suite: SB, MP, LB, CoRR, IRIW and fenced variants.
+std::vector<litmus_test> litmus_suite();
+
+/// Randomized variant (2-4 harts, 2 locations, mixed op shapes) for the
+/// litmus fuzzer.  Always has at least one observation slot.
+litmus_test random_litmus(xrandom& rng);
+
+/// Compile to VR32: per-hart code blocks ending in halt, shared words in
+/// the data segment, hart entry points in img.hart_entries.
+isa::program_image compile_litmus(const litmus_test& t);
+
+/// Read the observation registers of a finished run (slot (h, r) lives in
+/// hart h's GPR x10+r).
+litmus_outcome observe_outcome(const litmus_test& t, const isa::mh_iss& sim);
+
+/// Execute the compiled test on the multi-hart ISS once per schedule seed
+/// in [seed_lo, seed_hi] and collect the distinct outcomes.  Throws
+/// std::runtime_error if a run fails to halt (litmus programs are finite).
+std::set<litmus_outcome> run_litmus(const litmus_test& t, mem::memory_model model,
+                                    std::uint64_t seed_lo, std::uint64_t seed_hi);
+
+// ---- corpus text format ----------------------------------------------------
+//
+//   litmus SB
+//   locations 2
+//   hart: st 0 1 ; ld 1 -> 0
+//   hart: st 1 1 ; ld 0 -> 0
+//   sc: 0,1 1,0 1,1
+//   tso: 0,0 0,1 1,0 1,1
+//
+// `sc:`/`tso:` lines carry the enumerated allowed outcome sets and are
+// optional.  '#' starts a comment line.
+
+std::string outcome_to_string(const litmus_outcome& o);
+std::string to_text(const litmus_test& t);
+/// Parse the corpus text format; throws std::runtime_error with a
+/// line-numbered message on malformed input.
+litmus_test parse_litmus(const std::string& text);
+
+}  // namespace osm::fuzz

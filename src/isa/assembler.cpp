@@ -373,6 +373,26 @@ private:
             emit_inst(s, emit, di, st);
             return;
         }
+        if (is_fence(code)) {
+            require_args(st, 0);
+            emit_inst(s, emit, di, st);
+            return;
+        }
+        if (is_amo(code)) {
+            // lr.w rd, (rs1) / {sc,amoadd,amoswap}.w rd, rs2, (rs1) — the
+            // address operand is bare "(base)" (no displacement field).
+            const bool has_data = code != op::lr_w;
+            require_args(st, has_data ? 3 : 2);
+            di.rd = static_cast<std::uint8_t>(gpr_of(st, st.args[0]));
+            if (has_data) di.rs2 = static_cast<std::uint8_t>(gpr_of(st, st.args[1]));
+            std::int64_t disp;
+            unsigned base;
+            mem_operand(st, st.args[has_data ? 2 : 1], disp, base, emit);
+            if (disp != 0) fail(st, "atomics take no displacement");
+            di.rs1 = static_cast<std::uint8_t>(base);
+            emit_inst(s, emit, di, st);
+            return;
+        }
         if (is_load(code)) {
             require_args(st, 2);
             di.rd = static_cast<std::uint8_t>(reg_of(st, st.args[0], rd_is_fpr(code)));

@@ -26,6 +26,11 @@ std::size_t round_pow2(std::size_t n) {
 // interpretive path would execute the same word.
 bool is_terminator(const predecoded_inst& pd) {
     if (pd.jump() || pd.system() || pd.di.code == op::invalid) return true;
+    // Atomics and fences close the block: they are ordering points the
+    // multi-hart scheduler must observe at an instruction boundary, and
+    // keeping them block-final means their handlers can treat "store
+    // buffer drained / reservation updated" as a block-exit invariant.
+    if (is_atomic_or_fence(pd.di.code)) return true;
     return pd.branch() && pd.di.imm < 0;
 }
 
@@ -64,7 +69,7 @@ const basic_block& block_cache::build(std::uint32_t pc, mem::memory_if& m,
         // gpr[rd] directly.  Loads keep their memory access; jumps keep
         // their redirect; FP destinations have no zero pin.
         if (pd.writes_rd() && !pd.rd_fpr() && pd.di.rd == 0 && !pd.load() &&
-            !pd.jump()) {
+            !pd.jump() && !is_amo(pd.di.code)) {
             o.kind = k_nop;
         }
         b.ops.push_back(o);

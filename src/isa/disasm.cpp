@@ -67,6 +67,22 @@ std::string disassemble(const decoded_inst& di, std::uint32_t pc) {
                       static_cast<unsigned>(di.imm));
         return buf;
     }
+    if (is_fence(c)) return name;
+    if (is_amo(c)) {
+        // RISC-V-style operand order: destination, store data, (address).
+        // lr.w has no store-data operand.
+        if (c == op::lr_w) {
+            std::snprintf(buf, sizeof buf, "%s %s, (%s)", name.c_str(),
+                          reg(di, false, di.rd).c_str(),
+                          reg(di, false, di.rs1).c_str());
+        } else {
+            std::snprintf(buf, sizeof buf, "%s %s, %s, (%s)", name.c_str(),
+                          reg(di, false, di.rd).c_str(),
+                          reg(di, false, di.rs2).c_str(),
+                          reg(di, false, di.rs1).c_str());
+        }
+        return buf;
+    }
     if (uses_rs2(c)) {  // R-type
         std::snprintf(buf, sizeof buf, "%s %s, %s, %s", name.c_str(),
                       reg(di, rd_is_fpr(c), di.rd).c_str(),

@@ -30,6 +30,8 @@ void iss::load(const program_image& img) {
     state_ = arch_state{};
     state_.pc = img.entry;
     instret_ = 0;
+    resv_valid_ = false;
+    resv_addr_ = 0;
     host_.clear();
     dcode_.invalidate_all();
     dcode_.reset_stats();
@@ -41,6 +43,8 @@ void iss::restore_arch(const arch_state& st, std::uint64_t instret,
                        const std::string& console) {
     state_ = st;
     instret_ = instret;
+    resv_valid_ = false;
+    resv_addr_ = 0;
     host_.seed(console);
     // The caller may have restored memory holding different program bytes
     // at cached pcs.  The decode cache's word tags would catch that per
@@ -76,6 +80,12 @@ bool iss::step_with(const predecoded_inst& pd) {
         ++instret_;
         return !state_.halted;
     }
+    if (is_atomic_or_fence(di.code)) {  // one compare: ids appended after halt
+        step_amo(di);
+        state_.pc += 4;
+        ++instret_;
+        return true;
+    }
 
     const std::uint32_t a = pd.rs1_fpr() ? state_.fpr[di.rs1] : state_.gpr[di.rs1];
     const std::uint32_t b = pd.rs2_fpr() ? state_.fpr[di.rs2] : state_.gpr[di.rs2];
@@ -105,6 +115,43 @@ bool iss::step_with(const predecoded_inst& pd) {
     return true;
 }
 
+void iss::step_amo(const decoded_inst& di) {
+    const std::uint32_t addr = state_.gpr[di.rs1] & ~3u;
+    switch (di.code) {
+        case op::lr_w:
+            state_.set_gpr(di.rd, mem_.read32(addr));
+            resv_valid_ = true;
+            resv_addr_ = addr;
+            break;
+        case op::sc_w: {
+            const bool ok = resv_valid_ && resv_addr_ == addr;
+            if (ok) {
+                mem_.write32(addr, state_.gpr[di.rs2]);
+                if (block_cache_on_ && bcache_.store_may_hit(addr)) {
+                    bcache_.notify_store(addr, 4);
+                }
+            }
+            // Any sc.w consumes the reservation, success or not.
+            resv_valid_ = false;
+            state_.set_gpr(di.rd, ok ? 0u : 1u);
+            break;
+        }
+        case op::amoadd_w:
+        case op::amoswap_w: {
+            const std::uint32_t old = mem_.read32(addr);
+            const std::uint32_t rs2 = state_.gpr[di.rs2];
+            mem_.write32(addr, di.code == op::amoadd_w ? old + rs2 : rs2);
+            if (block_cache_on_ && bcache_.store_may_hit(addr)) {
+                bcache_.notify_store(addr, 4);
+            }
+            state_.set_gpr(di.rd, old);
+            break;
+        }
+        default:  // fence: no store buffer on a single hart — pure barrier
+            break;
+    }
+}
+
 // ---- translated-block dispatch ---------------------------------------------
 //
 // One handler body per op kind, shared between two dispatch strategies:
@@ -130,7 +177,7 @@ bool iss::step_with(const predecoded_inst& pd) {
 // enum size and several anchors so a reorder fails the build instead of
 // dispatching the wrong handler.
 
-static_assert(static_cast<int>(op::count_) == 65,
+static_assert(static_cast<int>(op::count_) == 70,
               "op enum changed: update OSM_BLOCK_OPS in iss.cpp");
 static_assert(static_cast<int>(op::invalid) == 0 &&
                   static_cast<int>(op::add_r) == 1 &&
@@ -138,7 +185,9 @@ static_assert(static_cast<int>(op::invalid) == 0 &&
                   static_cast<int>(op::lb) == 30 &&
                   static_cast<int>(op::beq) == 38 &&
                   static_cast<int>(op::fadd) == 46 &&
-                  static_cast<int>(op::halt) == 64,
+                  static_cast<int>(op::halt) == 64 &&
+                  static_cast<int>(op::lr_w) == 65 &&
+                  static_cast<int>(op::fence) == 69,
               "op enum reordered: update OSM_BLOCK_OPS in iss.cpp");
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -403,6 +452,53 @@ static_assert(static_cast<int>(op::invalid) == 0 &&
     X(halt, {                                                                 \
         st.halted = true;                                                     \
         st.pc = o->pc;                                                        \
+        goto term_done;                                                       \
+    })                                                                        \
+    /* Atomics/fence are block terminators (see is_terminator): each is    */ \
+    /* the final op of its block, so setting pc and leaving via term_done  */ \
+    /* keeps the "ordering point at a block boundary" invariant.           */ \
+    X(lr_w, {                                                                 \
+        const std::uint32_t a_ = st.gpr[o->rs1] & ~3u;                        \
+        st.set_gpr(o->rd, mem_.read32(a_));                                   \
+        resv_valid_ = true;                                                   \
+        resv_addr_ = a_;                                                      \
+        st.pc = o->pc + 4;                                                    \
+        goto term_done;                                                       \
+    })                                                                        \
+    X(sc_w, {                                                                 \
+        const std::uint32_t a_ = st.gpr[o->rs1] & ~3u;                        \
+        const bool ok_ = resv_valid_ && resv_addr_ == a_;                     \
+        resv_valid_ = false;                                                  \
+        if (ok_) {                                                            \
+            mem_.write32(a_, st.gpr[o->rs2]);                                 \
+            st.set_gpr(o->rd, 0u);                                            \
+            OSM_SMC_CHECK(a_, 4)                                              \
+        } else {                                                              \
+            st.set_gpr(o->rd, 1u);                                            \
+        }                                                                     \
+        st.pc = o->pc + 4;                                                    \
+        goto term_done;                                                       \
+    })                                                                        \
+    X(amoadd_w, {                                                             \
+        const std::uint32_t a_ = st.gpr[o->rs1] & ~3u;                        \
+        const std::uint32_t old_ = mem_.read32(a_);                           \
+        mem_.write32(a_, old_ + st.gpr[o->rs2]);                              \
+        st.set_gpr(o->rd, old_);                                              \
+        OSM_SMC_CHECK(a_, 4)                                                  \
+        st.pc = o->pc + 4;                                                    \
+        goto term_done;                                                       \
+    })                                                                        \
+    X(amoswap_w, {                                                            \
+        const std::uint32_t a_ = st.gpr[o->rs1] & ~3u;                        \
+        const std::uint32_t old_ = mem_.read32(a_);                           \
+        mem_.write32(a_, st.gpr[o->rs2]);                                     \
+        st.set_gpr(o->rd, old_);                                              \
+        OSM_SMC_CHECK(a_, 4)                                                  \
+        st.pc = o->pc + 4;                                                    \
+        goto term_done;                                                       \
+    })                                                                        \
+    X(fence, {                                                                \
+        st.pc = o->pc + 4;                                                    \
         goto term_done;                                                       \
     })
 

@@ -103,8 +103,21 @@ public:
     /// Structured report (retired count + cache counters).
     stats::report make_report() const;
 
+    /// LR/SC reservation (single hart: only this hart's lr.w sets it and
+    /// only its sc.w consumes it).  Exposed so checkpoints can carry an
+    /// in-flight reservation across save/restore.
+    bool reservation_valid() const noexcept { return resv_valid_; }
+    std::uint32_t reservation_addr() const noexcept { return resv_addr_; }
+    void set_reservation(bool valid, std::uint32_t addr) noexcept {
+        resv_valid_ = valid;
+        resv_addr_ = addr;
+    }
+
 private:
     bool step_with(const predecoded_inst& pd);
+    /// lr.w/sc.w/amoadd.w/amoswap.w/fence: the interpretive-path handler
+    /// (step_with dispatches here on one compare; pc/instret advance there).
+    void step_amo(const decoded_inst& di);
     /// Execute `blk` to its terminator (or SMC abort) with the threaded
     /// dispatch loop; returns instructions retired (adds them to instret_).
     std::uint64_t exec_block(const basic_block& blk);
@@ -117,6 +130,8 @@ private:
     block_cache bcache_;
     bool decode_cache_on_ = true;
     bool block_cache_on_ = true;
+    bool resv_valid_ = false;        ///< lr.w reservation held
+    std::uint32_t resv_addr_ = 0;    ///< reserved word address (aligned)
 };
 
 }  // namespace osm::isa

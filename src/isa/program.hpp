@@ -26,6 +26,12 @@ struct program_image {
     std::uint32_t entry = 0;
     std::vector<segment> segments;
 
+    /// Per-hart entry points for multi-hart programs.  Empty means every
+    /// hart starts at `entry`; otherwise hart h starts at hart_entries[h]
+    /// (hart 0's entry conventionally equals `entry`, so single-hart
+    /// engines run hart 0's program unchanged).
+    std::vector<std::uint32_t> hart_entries;
+
     /// Copy all segments into `m`.
     void load_into(mem::memory_if& m) const;
 

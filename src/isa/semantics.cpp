@@ -93,6 +93,20 @@ exec_out compute(const decoded_inst& di, std::uint32_t pc,
         case op::fmv_x_w: out.value = a; break;
         case op::fmv_w_x: out.value = a; break;
 
+        // Atomics address through rs1 with no displacement; the actual
+        // read-modify-write is performed by the execution engine against
+        // its memory system (plain or shared), not by compute().
+        case op::lr_w:
+            out.mem_addr = a;
+            break;
+        case op::sc_w:
+        case op::amoadd_w:
+        case op::amoswap_w:
+            out.mem_addr = a;
+            out.store_data = b;
+            break;
+
+        case op::fence:
         case op::syscall_op:
         case op::halt:
         case op::invalid:

@@ -35,6 +35,8 @@ enum cls : std::uint8_t {
     c_fpc,        ///< FP computational (FPU-executed arithmetic)
     c_fpx,        ///< FP compare / convert / cross-file move
     c_sys,        ///< syscall / halt / system
+    c_amo,        ///< atomic memory operation (lr/sc/amo*: read-modify-write)
+    c_sync,       ///< memory ordering barrier (fence)
 };
 
 /// One non-immediate operand field in the instruction word.

@@ -127,6 +127,25 @@ std::vector<std::uint8_t> serialize(const checkpoint& ck) {
     }
     w.u64(ck.micro.size());
     w.bytes(ck.micro.data(), ck.micro.size());
+    // ---- multi-hart section (v2) ----
+    w.u8(ck.memory_model);
+    w.u64(ck.sched_rng);
+    w.u32(static_cast<std::uint32_t>(ck.harts.size()));
+    for (const checkpoint_hart& h : ck.harts) {
+        w.u32(h.arch.pc);
+        w.u8(h.arch.halted ? 1 : 0);
+        for (const std::uint32_t r : h.arch.gpr) w.u32(r);
+        for (const std::uint32_t r : h.arch.fpr) w.u32(r);
+        w.u64(h.retired);
+        w.u8(h.resv_valid ? 1 : 0);
+        w.u32(h.resv_addr);
+        w.u32(static_cast<std::uint32_t>(h.stores.size()));
+        for (const mem::store_entry& e : h.stores) {
+            w.u32(e.addr);
+            w.u8(e.size);
+            w.u32(e.data);
+        }
+    }
     w.u64(fnv1a64(w.buf.data(), w.buf.size()));
     return w.buf;
 }
@@ -176,6 +195,34 @@ checkpoint deserialize(const std::uint8_t* data, std::size_t n) {
     }
     ck.micro.resize(static_cast<std::size_t>(r.u64()));
     r.bytes(ck.micro.data(), ck.micro.size());
+    ck.memory_model = r.u8();
+    if (ck.memory_model > static_cast<std::uint8_t>(mem::memory_model::tso))
+        throw checkpoint_error("bad checkpoint memory model");
+    ck.sched_rng = r.u64();
+    const std::uint32_t nharts = r.u32();
+    if (nharts > 64) throw checkpoint_error("bad checkpoint hart count");
+    ck.harts.reserve(nharts);
+    for (std::uint32_t i = 0; i < nharts; ++i) {
+        checkpoint_hart h;
+        h.arch.pc = r.u32();
+        h.arch.halted = r.u8() != 0;
+        for (std::uint32_t& g : h.arch.gpr) g = r.u32();
+        for (std::uint32_t& f : h.arch.fpr) f = r.u32();
+        h.retired = r.u64();
+        h.resv_valid = r.u8() != 0;
+        h.resv_addr = r.u32();
+        const std::uint32_t nstores = r.u32();
+        r.need(static_cast<std::size_t>(nstores) * 9);  // u32 + u8 + u32 each
+        h.stores.resize(nstores);
+        for (mem::store_entry& e : h.stores) {
+            e.addr = r.u32();
+            e.size = r.u8();
+            if (e.size != 1 && e.size != 2 && e.size != 4)
+                throw checkpoint_error("bad checkpoint store-buffer entry");
+            e.data = r.u32();
+        }
+        ck.harts.push_back(std::move(h));
+    }
     if (r.pos != r.size) throw checkpoint_error("trailing bytes in checkpoint");
     return ck;
 }
@@ -210,6 +257,15 @@ std::string sidecar_json(const checkpoint& ck) {
     js += "  \"memory_pages\": " + std::to_string(ck.pages.size()) + ",\n";
     js += "  \"memory_bytes\": " + std::to_string(mem_bytes) + ",\n";
     js += "  \"micro_bytes\": " + std::to_string(ck.micro.size()) + ",\n";
+    js += "  \"memory_model\": \"" +
+          std::string(mem::memory_model_name(static_cast<mem::memory_model>(ck.memory_model))) +
+          "\",\n";
+    js += "  \"harts\": " + std::to_string(ck.harts.size()) + ",\n";
+    {
+        std::uint64_t buffered = 0;
+        for (const checkpoint_hart& h : ck.harts) buffered += h.stores.size();
+        js += "  \"buffered_stores\": " + std::to_string(buffered) + ",\n";
+    }
     js += "  \"binary_bytes\": " + std::to_string(bin.size()) + ",\n";
     {
         char sum[24];

@@ -30,6 +30,7 @@
 
 #include "isa/arch.hpp"
 #include "mem/main_memory.hpp"
+#include "mem/shared_mem.hpp"
 
 namespace osm::sim {
 
@@ -53,9 +54,24 @@ struct checkpoint_page {
     std::vector<std::uint8_t> bytes;
 };
 
+/// Per-hart record in a multi-hart snapshot: the hart's architectural
+/// state plus its shared-memory side state (LR/SC reservation and, under
+/// TSO, the contents of its FIFO store buffer — checkpoints are taken at
+/// scheduler-step boundaries, so buffered stores are real machine state).
+struct checkpoint_hart {
+    isa::arch_state arch{};
+    std::uint64_t retired = 0;
+    bool resv_valid = false;
+    std::uint32_t resv_addr = 0;
+    std::vector<mem::store_entry> stores;  ///< FIFO order, oldest first
+};
+
 /// A complete snapshot of one engine's state.
 struct checkpoint {
-    static constexpr std::uint32_t format_version = 1;
+    /// v2 (this release) appends the multi-hart section below; v1 files
+    /// (single-hart only) are rejected with "unsupported checkpoint
+    /// version 1" — regenerate with scripts/regen_golden_checkpoints.sh.
+    static constexpr std::uint32_t format_version = 2;
 
     std::string engine;  ///< producer's registry name ("iss", "sarm", ...)
     checkpoint_level level = checkpoint_level::architectural;
@@ -65,6 +81,20 @@ struct checkpoint {
     std::string console;
     std::vector<checkpoint_page> pages;  ///< ascending base address
     std::vector<std::uint8_t> micro;     ///< engine-private blob (exact level)
+
+    // ---- multi-hart section (v2) ----
+    /// mem::memory_model the producer ran under (0 = SC; meaningless when
+    /// `harts` is empty).
+    std::uint8_t memory_model = 0;
+    /// Scheduler PRNG state at the snapshot, so a restored multi-hart run
+    /// replays the exact schedule of an uninterrupted one.  0 = n/a.
+    std::uint64_t sched_rng = 0;
+    /// One record per hart for multi-hart producers (harts[0] mirrors
+    /// `arch`/`retired`, which keep describing hart 0 so every single-hart
+    /// consumer works unchanged).  Single-hart engines leave this empty —
+    /// except the ISS, which emits one record to carry its LR/SC
+    /// reservation across save/restore.
+    std::vector<checkpoint_hart> harts;
 };
 
 /// Deterministic binary encoding (see header comment for the contract).

@@ -88,7 +88,11 @@ std::string divergence::to_string() const {
     return s;
 }
 
-bool program_uses_fp(const isa::program_image& img) {
+namespace {
+
+/// Scan the text segment (the one containing `img.entry`) with `pred`.
+template <typename Pred>
+bool text_any_of(const isa::program_image& img, Pred pred) {
     for (const auto& seg : img.segments) {
         if (img.entry < seg.base || img.entry >= seg.base + seg.bytes.size()) continue;
         for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
@@ -96,10 +100,20 @@ bool program_uses_fp(const isa::program_image& img) {
                                        static_cast<std::uint32_t>(seg.bytes[i + 1]) << 8 |
                                        static_cast<std::uint32_t>(seg.bytes[i + 2]) << 16 |
                                        static_cast<std::uint32_t>(seg.bytes[i + 3]) << 24;
-            if (isa::is_fp(isa::decode(word).code)) return true;
+            if (pred(isa::decode(word).code)) return true;
         }
     }
     return false;
+}
+
+}  // namespace
+
+bool program_uses_fp(const isa::program_image& img) {
+    return text_any_of(img, [](isa::op c) { return isa::is_fp(c); });
+}
+
+bool program_uses_atomics(const isa::program_image& img) {
+    return text_any_of(img, [](isa::op c) { return isa::is_atomic_or_fence(c); });
 }
 
 diff_result diff_engines(const std::vector<std::string>& names,
@@ -132,6 +146,7 @@ diff_result diff_engines(const std::vector<std::string>& names,
     auto ref = reg.create(names.front(), opt.config);
     // program_uses_fp decodes VR32 words; it is meaningless for other ISAs.
     const bool fp_program = ref->isa() == "vr32" && program_uses_fp(img);
+    const bool amo_program = ref->isa() == "vr32" && program_uses_atomics(img);
     const bool ref_fp = ref->executes_fp();
     const end_state ref_state = terminal_state(*ref, names.front());
     result.runs.push_back({std::string(ref->name()), true, "", ref_state.halted,
@@ -149,6 +164,12 @@ diff_result diff_engines(const std::vector<std::string>& names,
         }
         if (fp_program && !eng->executes_fp()) {
             result.runs.push_back({names[i], false, "no FP support, program uses FP",
+                                   false, 0, 0});
+            continue;
+        }
+        if (amo_program && !eng->executes_amo()) {
+            result.runs.push_back({names[i], false,
+                                   "no atomics support, program uses lr/sc/amo/fence",
                                    false, 0, 0});
             continue;
         }
@@ -192,6 +213,10 @@ lockstep_result lockstep_diff(const std::string& candidate, const isa::program_i
     const bool fp_program = ref->isa() == "vr32" && program_uses_fp(img);
     if (fp_program && !cand->executes_fp()) {
         result.skip_reason = "no FP support, program uses FP";
+        return result;
+    }
+    if (ref->isa() == "vr32" && program_uses_atomics(img) && !cand->executes_amo()) {
+        result.skip_reason = "no atomics support, program uses lr/sc/amo/fence";
         return result;
     }
     result.ran = true;

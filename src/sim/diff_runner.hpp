@@ -111,6 +111,10 @@ std::optional<divergence> compare_end_states(const std::string& reference,
 /// FP-register opcode; used to skip engines with executes_fp() == false.
 bool program_uses_fp(const isa::program_image& img);
 
+/// True when that segment holds any atomic/ordering opcode (lr.w, sc.w,
+/// amo*, fence); used to skip engines with executes_amo() == false.
+bool program_uses_atomics(const isa::program_image& img);
+
 /// Run `img` on every engine in `names` (first = reference, typically
 /// "iss").  Requires at least two names; throws unknown_engine for
 /// unregistered names before running anything.

@@ -42,6 +42,15 @@ struct engine_config {
     /// default: memo upkeep roughly cancels the skipped one-primitive
     /// condition walks in the bundled models (see director.hpp).
     bool director_batch = false;
+    /// Hart count (multi-hart engines only; every single-hart engine
+    /// ignores it, so harts=1 configurations are bit-identical to before
+    /// the knob existed).
+    unsigned harts = 1;
+    /// Shared-memory consistency model for multi-hart engines.
+    mem::memory_model memory_model = mem::memory_model::sc;
+    /// Scheduler PRNG seed for multi-hart engines: the interleaving (and
+    /// therefore the whole run) is a pure function of it.
+    std::uint64_t sched_seed = 1;
 };
 
 /// Abstract execution engine: the adapter contract.
@@ -92,6 +101,21 @@ public:
     /// False for engines without an FP register file (the SMT pipeline);
     /// FP programs are skipped / FPRs not compared for them.
     virtual bool executes_fp() const { return true; }
+    /// True for engines that execute the atomic/ordering extension
+    /// (lr.w/sc.w/amo*/fence); programs using it are skipped on the rest.
+    virtual bool executes_amo() const { return false; }
+
+    // ---- multi-hart view ----
+    /// Number of harts this engine instance simulates (1 for every
+    /// single-hart engine; the accessors below default to the single-hart
+    /// state so callers can be hart-generic).
+    virtual unsigned harts() const { return 1; }
+    virtual std::uint32_t hart_gpr(unsigned /*hart*/, unsigned r) const { return gpr(r); }
+    virtual std::uint32_t hart_fpr(unsigned /*hart*/, unsigned r) const { return fpr(r); }
+    /// Next-fetch pc of one hart.
+    virtual std::uint32_t hart_pc(unsigned /*hart*/) const { return pc(); }
+    virtual std::uint64_t hart_retired(unsigned /*hart*/) const { return retired(); }
+    virtual bool hart_halted(unsigned /*hart*/) const { return halted(); }
 
     // ---- checkpoint/restore ----
     /// What restore_state() guarantees: `exact` resumes bit-exactly

@@ -29,6 +29,7 @@
 #include "baseline/hardwired_sarm.hpp"
 #include "baseline/port_ppc.hpp"
 #include "isa/iss.hpp"
+#include "isa/mh_iss.hpp"
 #include "mem/main_memory.hpp"
 #include "ppc750/ppc750.hpp"
 #include "ppc32/iss.hpp"
@@ -101,6 +102,19 @@ isa::program_image resume_stub(std::uint32_t pc) {
     return stub;
 }
 
+/// Single-hart engines cannot adopt a genuinely multi-hart snapshot (harts
+/// 1..N-1 would be silently dropped); reject it up front.
+void require_single_hart(const checkpoint& ck, std::string_view engine_name) {
+    if (ck.harts.size() > 1)
+        throw checkpoint_error(std::string(engine_name) +
+                               ": checkpoint holds " + std::to_string(ck.harts.size()) +
+                               " harts; restore it into a multi-hart engine");
+    if (!ck.harts.empty() && !ck.harts[0].stores.empty())
+        throw checkpoint_error(std::string(engine_name) +
+                               ": checkpoint carries uncommitted buffered stores; "
+                               "only a store-buffer (TSO) engine can adopt them");
+}
+
 /// Functional ISS: untimed golden model ("cycles" = retired instructions).
 class iss_engine final : public engine {
 public:
@@ -118,6 +132,7 @@ public:
     std::uint64_t cycles() const override { return sim_.instret(); }
     std::uint64_t retired() const override { return sim_.instret(); }
     bool models_timing() const override { return false; }
+    bool executes_amo() const override { return true; }
 
     checkpoint_level checkpoint_support() const override { return checkpoint_level::exact; }
     checkpoint save_state() const override {
@@ -129,12 +144,23 @@ public:
         ck.cycles = sim_.instret();
         ck.console = sim_.host().console();
         ck.pages = snapshot_memory(mem_);
+        // One hart record so an in-flight LR/SC reservation survives the
+        // round trip (harts[0] mirrors arch/retired by the v2 contract).
+        checkpoint_hart h0;
+        h0.arch = sim_.state();
+        h0.retired = sim_.instret();
+        h0.resv_valid = sim_.reservation_valid();
+        h0.resv_addr = sim_.reservation_addr();
+        ck.harts.push_back(std::move(h0));
         return ck;
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.restore_arch(ck.arch, ck.retired, ck.console);
+        if (ck.harts.size() == 1)
+            sim_.set_reservation(ck.harts[0].resv_valid, ck.harts[0].resv_addr);
     }
 
 protected:
@@ -143,6 +169,103 @@ protected:
 private:
     mem::main_memory mem_;
     isa::iss sim_;
+};
+
+/// Multi-hart functional ISS: N harts over SC/TSO shared memory under a
+/// seeded deterministic scheduler (isa/mh_iss.hpp).  Registered with its
+/// own isa() string so the single-ISA differential harnesses never try to
+/// diff a 4-hart machine against single-hart engines; the litmus harness
+/// (fuzz/litmus.hpp) is its dedicated oracle instead.
+class mh_iss_engine final : public engine {
+public:
+    explicit mh_iss_engine(const engine_config& cfg)
+        : cfg_(cfg), sim_(mem_, cfg.harts, cfg.memory_model, cfg.sched_seed) {}
+
+    std::string_view name() const override { return "mh-iss"; }
+    std::string_view isa() const override { return "vr32-mh"; }
+    void load(const isa::program_image& img) override { sim_.load(img); }
+    std::uint64_t run(std::uint64_t max_cycles) override { return sim_.run(max_cycles); }
+    bool halted() const override { return sim_.all_halted(); }
+    std::uint32_t gpr(unsigned r) const override { return sim_.state(0).gpr[r]; }
+    std::uint32_t fpr(unsigned r) const override { return sim_.state(0).fpr[r]; }
+    std::uint32_t pc() const override { return sim_.state(0).pc; }
+    const std::string& console() const override { return sim_.host().console(); }
+    std::uint64_t cycles() const override { return sim_.total_retired(); }
+    std::uint64_t retired() const override { return sim_.total_retired(); }
+    bool models_timing() const override { return false; }
+    bool executes_amo() const override { return true; }
+
+    unsigned harts() const override { return sim_.harts(); }
+    std::uint32_t hart_gpr(unsigned h, unsigned r) const override {
+        return sim_.state(h).gpr[r];
+    }
+    std::uint32_t hart_fpr(unsigned h, unsigned r) const override {
+        return sim_.state(h).fpr[r];
+    }
+    std::uint32_t hart_pc(unsigned h) const override { return sim_.state(h).pc; }
+    std::uint64_t hart_retired(unsigned h) const override { return sim_.instret(h); }
+    bool hart_halted(unsigned h) const override { return sim_.state(h).halted; }
+
+    checkpoint_level checkpoint_support() const override { return checkpoint_level::exact; }
+    checkpoint save_state() const override {
+        checkpoint ck;
+        ck.engine = std::string(name());
+        ck.level = checkpoint_level::exact;
+        ck.arch = sim_.state(0);
+        ck.retired = sim_.total_retired();
+        ck.cycles = sim_.total_retired();
+        ck.console = sim_.host().console();
+        ck.pages = snapshot_memory(mem_);
+        ck.memory_model = static_cast<std::uint8_t>(sim_.model());
+        ck.sched_rng = sim_.sched_rng().state();
+        const auto& shared = sim_.shared();
+        for (unsigned h = 0; h < sim_.harts(); ++h) {
+            checkpoint_hart rec;
+            rec.arch = sim_.state(h);
+            rec.retired = sim_.instret(h);
+            rec.resv_valid = shared.reservation_valid(h);
+            rec.resv_addr = shared.reservation_addr(h);
+            const auto& buf = shared.buffer(h);
+            rec.stores.assign(buf.begin(), buf.end());
+            ck.harts.push_back(std::move(rec));
+        }
+        return ck;
+    }
+    void restore_state(const checkpoint& ck) override {
+        if (ck.harts.size() != sim_.harts())
+            throw checkpoint_error("mh-iss: checkpoint holds " +
+                                   std::to_string(ck.harts.size()) + " harts, engine has " +
+                                   std::to_string(sim_.harts()));
+        if (static_cast<mem::memory_model>(ck.memory_model) != sim_.model())
+            throw checkpoint_error("mh-iss: checkpoint memory model mismatch");
+        mem_.clear();
+        restore_memory(mem_, ck.pages);
+        for (unsigned h = 0; h < sim_.harts(); ++h) {
+            const checkpoint_hart& rec = ck.harts[h];
+            sim_.restore_hart(h, rec.arch, rec.retired);
+            sim_.shared().set_buffer(h, rec.stores);
+            sim_.shared().restore_reservation(h, rec.resv_valid, rec.resv_addr);
+        }
+        sim_.host().seed(ck.console);
+        sim_.sched_rng().set_state(ck.sched_rng != 0 ? ck.sched_rng : cfg_.sched_seed);
+    }
+
+protected:
+    stats::report make_report() const override {
+        stats::report rep;
+        rep.put("mh", "harts", static_cast<std::uint64_t>(sim_.harts()));
+        rep.put("mh", "memory_model", std::string(mem::memory_model_name(sim_.model())));
+        rep.put("mh", "sched_seed", cfg_.sched_seed);
+        for (unsigned h = 0; h < sim_.harts(); ++h) {
+            rep.put("mh", "hart" + std::to_string(h) + ".retired", sim_.instret(h));
+        }
+        return rep;
+    }
+
+private:
+    engine_config cfg_;
+    mem::main_memory mem_;
+    isa::mh_iss sim_;
 };
 
 /// OSM StrongARM-like 5-stage in-order pipeline (paper §5.1).
@@ -179,6 +302,7 @@ public:
                                     base_ ? &*base_ : nullptr, retired(), cycles());
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.emplace(to_sarm_config(cfg_), mem_);
@@ -233,6 +357,7 @@ public:
                                     base_ ? &*base_ : nullptr, retired(), cycles());
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.emplace(to_sarm_config(cfg_), mem_);
@@ -289,6 +414,7 @@ public:
                                     base_ ? &*base_ : nullptr, retired(), cycles());
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.emplace(to_sarm_config(cfg_), mem_);
@@ -352,6 +478,7 @@ public:
                                     base_ ? &*base_ : nullptr, retired(), cycles());
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.emplace(to_smt_config(cfg_), mem_);
@@ -417,6 +544,7 @@ public:
                                     base_ ? &*base_ : nullptr, retired(), cycles());
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.emplace(to_p750_config(cfg_), mem_);
@@ -471,6 +599,7 @@ public:
                                     base_ ? &*base_ : nullptr, retired(), cycles());
     }
     void restore_state(const checkpoint& ck) override {
+        require_single_hart(ck, name());
         mem_.clear();
         restore_memory(mem_, ck.pages);
         sim_.emplace(to_p750_config(cfg_), mem_);
@@ -560,6 +689,9 @@ engine_registry::entry make_entry(std::string name, std::string description,
 
 void register_builtin_engines(engine_registry& r) {
     r.add(make_entry<iss_engine>("iss", "functional instruction-set simulator (golden model)"));
+    r.add(make_entry<mh_iss_engine>(
+        "mh-iss", "multi-hart functional ISS (SC/TSO shared memory, seeded scheduler)",
+        "vr32-mh"));
     r.add(make_entry<sarm_engine>("sarm", "OSM StrongARM-like 5-stage in-order pipeline (paper 5.1)"));
     r.add(make_entry<hw_engine>("hw", "hand-coded cycle simulator of the SARM pipeline (SimpleScalar surrogate)"));
     r.add(make_entry<adl_engine>("adl", "SARM elaborated from OSM-DL text (paper 7)"));

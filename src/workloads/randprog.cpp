@@ -169,9 +169,110 @@ void emit_random_block(program_builder& b, xrandom& rng,
     if (skipping) b.bind(skip);
 }
 
+constexpr unsigned k_mh_contention_words = 4;  ///< shared words after the counter
+constexpr unsigned k_mh_lrsc_retries = 8;      ///< sc.w attempts before amoadd fallback
+
+/// Registers the multi-hart shapes reserve beyond the single-hart set:
+/// x26 = shared base, x27..x29 = atomic-sequence scratch.
+constexpr unsigned k_shared_base_reg = 26;
+
+/// One guaranteed-exactly-once atomic increment of the shared counter.
+/// The lr/sc shape retries a bounded number of times and falls back to
+/// amoadd.w when contention exhausts the budget, so the increment happens
+/// exactly once on every path and the program terminates under any
+/// schedule — which is what keeps the final counter value a
+/// schedule-independent invariant the campaign can check.
+void emit_counter_increment(program_builder& b, const randprog_options& opt) {
+    if (opt.lrsc_loops) {
+        b.li(27, k_mh_lrsc_retries);
+        const auto retry = b.here();
+        const auto done = b.new_label();
+        b.emit_r(op::lr_w, 28, k_shared_base_reg, 0);
+        b.emit_i(op::addi, 28, 28, 1);
+        b.emit_r(op::sc_w, 29, k_shared_base_reg, 28);
+        b.emit_branch(op::beq, 29, 0, done);  // sc.w rd == 0: store landed
+        b.emit_i(op::addi, 27, 27, -1);
+        b.emit_branch(op::bne, 27, 0, retry);
+        b.li(28, 1);  // budget exhausted: amoadd.w still increments exactly once
+        b.emit_r(op::amoadd_w, 29, k_shared_base_reg, 28);
+        b.bind(done);
+    } else {
+        b.li(27, 1);
+        b.emit_r(op::amoadd_w, 28, k_shared_base_reg, 27);
+    }
+}
+
+/// Random lw/sw traffic (plus optional fences) on the small shared-word
+/// set every hart hammers; loads land in the clobber registers so shared
+/// values flow into the final checksum.
+void emit_shared_contention(program_builder& b, xrandom& rng,
+                            const randprog_options& opt) {
+    const unsigned accesses = 2 + static_cast<unsigned>(rng.next_below(3));
+    for (unsigned i = 0; i < accesses; ++i) {
+        const std::int32_t off =
+            4 * (1 + static_cast<std::int32_t>(rng.next_below(k_mh_contention_words)));
+        if (rng.chance(1, 2)) {
+            b.li(27, rng.next_u32());
+            b.emit_store(op::sw, 27, k_shared_base_reg, off);
+        } else {
+            b.emit_load(op::lw, rand_reg(rng), k_shared_base_reg, off);
+        }
+        if (opt.fence_dense && rng.chance(1, 2)) b.emit(isa::decoded_inst{op::fence});
+    }
+}
+
+/// Multi-hart program: per-hart code blocks (each over a private sandbox,
+/// ending in an atomic shared-counter increment), hart 0 printing its
+/// checksum.  Entry points land in img.hart_entries.
+isa::program_image make_random_mh_program(const randprog_options& opt) {
+    program_builder b;
+    std::vector<std::uint32_t> entries;
+    for (unsigned h = 0; h < opt.harts; ++h) {
+        // Per-hart stream: hart programs stay identical whatever the other
+        // harts' shapes consumed from the generator.
+        xrandom rng(opt.seed ^ (0x9E3779B97F4A7C15ULL * (h + 1)));
+        entries.push_back(b.text_pos());
+
+        const unsigned base_reg = 22;  // s0: this hart's private sandbox
+        b.li(base_reg, k_sandbox_base + h * 0x1000);
+        b.li(k_shared_base_reg, randprog_shared_base);
+        for (unsigned r = 4; r <= 21; ++r) b.li(r, rng.next_u32());
+
+        for (unsigned blk = 0; blk < opt.blocks; ++blk) {
+            emit_random_block(b, rng, opt, base_reg);
+            if (opt.shared_contention) emit_shared_contention(b, rng, opt);
+            emit_counter_increment(b, opt);
+        }
+
+        if (h == 0) {
+            // Checksum as in the single-hart tail; only hart 0 prints, so
+            // the console stream is a pure function of the schedule seed.
+            b.emit_i(op::addi, 24, 0, 0);
+            b.emit_i(op::addi, 25, 0, 31);
+            for (unsigned r = 4; r <= 21; ++r) {
+                b.emit_r(op::mul, 24, 24, 25);
+                b.emit_r(op::add_r, 24, 24, r);
+            }
+            b.mv(4, 24);
+            b.syscall(2);  // print checksum
+        }
+        b.syscall(0);  // exit this hart
+    }
+    auto img = b.finish();
+    img.hart_entries = std::move(entries);
+    img.entry = img.hart_entries.front();
+    return img;
+}
+
 }  // namespace
 
+std::uint64_t randprog_expected_counter(const randprog_options& opt) {
+    if (opt.harts <= 1) return 0;
+    return static_cast<std::uint64_t>(opt.harts) * opt.blocks;
+}
+
 isa::program_image make_random_program(const randprog_options& opt) {
+    if (opt.harts > 1) return make_random_mh_program(opt);
     xrandom rng(opt.seed);
     program_builder b;
 

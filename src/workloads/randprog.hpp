@@ -28,9 +28,27 @@ struct randprog_options {
     // actually implement (load-use interlocks, branch resolution).
     bool hazard_load_use = false;   ///< load -> immediate-use dependence chains
     bool hazard_branch_dense = false;  ///< a taken/not-taken branch every 2-3 insts
+    // Multi-hart shapes (harts > 1 switches to the multi-hart generator;
+    // the defaults keep every existing single-hart row bit-identical).
+    // Each hart gets a private 4 KiB data sandbox; every block ends with an
+    // atomic increment of the shared counter word, so the final counter is
+    // exactly harts * blocks under any schedule and either memory model.
+    unsigned harts = 1;             ///< hart count (>1 = multi-hart program)
+    bool shared_contention = false; ///< plain lw/sw traffic on shared words
+    bool fence_dense = false;       ///< fence after roughly half the shared accesses
+    bool lrsc_loops = false;        ///< bounded lr.w/sc.w retry increment loops
 
     bool operator==(const randprog_options&) const = default;
 };
+
+/// Shared-word region used by multi-hart random programs: the atomic
+/// counter word lives at the base, contention words follow it.
+inline constexpr std::uint32_t randprog_shared_base = 0x00090000;
+
+/// The schedule-independent final value of the shared counter word for a
+/// multi-hart program: every hart increments it atomically once per block.
+/// Zero for single-hart programs (which have no shared counter).
+std::uint64_t randprog_expected_counter(const randprog_options& opt);
 
 /// Generate a terminating random program.
 isa::program_image make_random_program(const randprog_options& opt);

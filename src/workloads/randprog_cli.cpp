@@ -34,6 +34,15 @@ bool parse_randprog_flag(int argc, char** argv, int& i, randprog_options& opt) {
     else if (arg == "--rand-no-branches") opt.with_branches = false;
     else if (arg == "--rand-hazard-load-use") opt.hazard_load_use = true;
     else if (arg == "--rand-hazard-branches") opt.hazard_branch_dense = true;
+    else if (arg == "--rand-harts") {
+        opt.harts = parse_count(argv[i], argc, argv, i);
+        if (opt.harts > 8) {
+            throw std::invalid_argument("--rand-harts: at most 8 harts");
+        }
+    }
+    else if (arg == "--rand-shared-contention") opt.shared_contention = true;
+    else if (arg == "--rand-fence-dense") opt.fence_dense = true;
+    else if (arg == "--rand-lrsc-loops") opt.lrsc_loops = true;
     else return false;
     return true;
 }
@@ -48,7 +57,11 @@ std::string randprog_flags_help() {
         "  --rand-no-memory         drop loads/stores\n"
         "  --rand-no-branches       straight-line code only\n"
         "  --rand-hazard-load-use   load->use dependence-chain blocks\n"
-        "  --rand-hazard-branches   branch-dense blocks\n";
+        "  --rand-hazard-branches   branch-dense blocks\n"
+        "  --rand-harts N           multi-hart program with N harts (max 8)\n"
+        "  --rand-shared-contention shared-word lw/sw traffic between harts\n"
+        "  --rand-fence-dense       fences after roughly half the shared accesses\n"
+        "  --rand-lrsc-loops        bounded lr.w/sc.w retry increment loops\n";
 }
 
 std::string randprog_flags(const randprog_options& opt) {
@@ -67,6 +80,10 @@ std::string randprog_flags(const randprog_options& opt) {
     if (!opt.with_branches) add("--rand-no-branches");
     if (opt.hazard_load_use) add("--rand-hazard-load-use");
     if (opt.hazard_branch_dense) add("--rand-hazard-branches");
+    if (opt.harts != def.harts) add("--rand-harts " + std::to_string(opt.harts));
+    if (opt.shared_contention) add("--rand-shared-contention");
+    if (opt.fence_dense) add("--rand-fence-dense");
+    if (opt.lrsc_loops) add("--rand-lrsc-loops");
     return s;
 }
 

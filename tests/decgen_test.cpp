@@ -46,6 +46,11 @@ enum popc : std::uint32_t {
     p_jal = 0x1E, p_jalr = 0x1F,
     p_f_alu = 0x20, p_flw = 0x21, p_fsw = 0x22,
     p_syscall = 0x3E, p_halt = 0x3F,
+    // Multi-hart extension (this PR): hand-written alongside the spec so
+    // the generated decoder is still checked against an independent
+    // description of every encoding.
+    p_lr = 0x38, p_sc = 0x39, p_amoadd = 0x3A, p_amoswap = 0x3B,
+    p_fence = 0x3C,
 };
 
 enum r_funct : std::uint32_t {
@@ -76,7 +81,9 @@ constexpr op k_fp_ops[fp_funct_count] = {
 struct op_info {
     std::uint32_t primary;
     std::uint32_t funct;
-    enum class fmt { r, i, s, b, j, sys, none } format;
+    // amo  = rd/rs1/rs2 register form, funct bits ignored on decode;
+    // amo1 = rd/rs1 only (lr.w); sync = opcode-only (fence).
+    enum class fmt { r, i, s, b, j, sys, amo, amo1, sync, none } format;
 };
 
 op_info info_for(op code) {
@@ -146,6 +153,11 @@ op_info info_for(op code) {
         case op::fmv_w_x: return {p_f_alu, ff_mv_w_x, fmt::r};
         case op::syscall_op: return {p_syscall, 0, fmt::sys};
         case op::halt: return {p_halt, 0, fmt::sys};
+        case op::lr_w: return {p_lr, 0, fmt::amo1};
+        case op::sc_w: return {p_sc, 0, fmt::amo};
+        case op::amoadd_w: return {p_amoadd, 0, fmt::amo};
+        case op::amoswap_w: return {p_amoswap, 0, fmt::amo};
+        case op::fence: return {p_fence, 0, fmt::sync};
         default: return {0, 0, fmt::none};
     }
 }
@@ -171,6 +183,9 @@ bool immediate_fits(op code, std::int64_t imm) {
         case fmt::sys:
             return imm >= 0 && imm <= 0xFFFF;
         case fmt::r:
+        case fmt::amo:
+        case fmt::amo1:
+        case fmt::sync:
             return imm == 0;
         case fmt::none:
             return false;
@@ -211,6 +226,16 @@ std::uint32_t encode(const decoded_inst& di) {
         case fmt::sys:
             w = insert_bits(w, static_cast<std::uint32_t>(di.imm), 0, 16);
             break;
+        case fmt::amo:
+            w = insert_bits(w, di.rd, 21, 5);
+            w = insert_bits(w, di.rs1, 16, 5);
+            w = insert_bits(w, di.rs2, 11, 5);
+            break;
+        case fmt::amo1:
+            w = insert_bits(w, di.rd, 21, 5);
+            w = insert_bits(w, di.rs1, 16, 5);
+            break;
+        case fmt::sync:
         case fmt::none:
             break;
     }
@@ -318,6 +343,17 @@ decoded_inst decode(std::uint32_t word) {
         case p_halt:
             di.code = op::halt;
             return di;
+        case p_lr:
+            di.code = op::lr_w;
+            di.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+            di.rs1 = static_cast<std::uint8_t>(bits(word, 16, 5));
+            return di;
+        case p_sc: di.code = op::sc_w; r_fields(); return di;
+        case p_amoadd: di.code = op::amoadd_w; r_fields(); return di;
+        case p_amoswap: di.code = op::amoswap_w; r_fields(); return di;
+        case p_fence:
+            di.code = op::fence;
+            return di;
         default:
             return di;
     }
@@ -373,7 +409,7 @@ bool is_fp(op code) {
 bool is_system(op code) { return code == op::syscall_op || code == op::halt; }
 bool writes_rd(op code) {
     if (ref::is_store(code) || ref::is_branch(code) || ref::is_system(code) ||
-        code == op::invalid) {
+        code == op::invalid || code == op::fence) {
         return false;
     }
     return true;
@@ -389,7 +425,8 @@ bool rd_is_fpr(op code) {
 bool uses_rs1(op code) {
     switch (code) {
         case op::lui: case op::auipc: case op::jal:
-        case op::syscall_op: case op::halt: case op::invalid: return false;
+        case op::syscall_op: case op::halt: case op::invalid:
+        case op::fence: return false;
         default: return true;
     }
 }
@@ -414,7 +451,8 @@ bool uses_rs2(op code) {
         case op::bltu: case op::bgeu:
         case op::fadd: case op::fsub: case op::fmul: case op::fdiv:
         case op::fmin: case op::fmax:
-        case op::feq: case op::flt_f: case op::fle: return true;
+        case op::feq: case op::flt_f: case op::fle:
+        case op::sc_w: case op::amoadd_w: case op::amoswap_w: return true;
         default: return false;
     }
 }
@@ -438,6 +476,8 @@ unsigned extra_exec_cycles(op code) {
         case op::fcvt_w_s: case op::fcvt_s_w: return 2;
         case op::fmul: return 3;
         case op::fdiv: return 17;
+        case op::lr_w: case op::sc_w:
+        case op::amoadd_w: case op::amoswap_w: return 2;
         default: return 0;
     }
 }

@@ -54,8 +54,9 @@ decoded_inst random_inst(op c, xrandom& rng) {
     } else if (c == op::halt) {
         di.imm = 0;
     } else if ((isa::uses_rs2(c) && !isa::is_store(c)) ||
-               (isa::is_fp(c) && c != op::flw && c != op::fsw)) {
-        di.imm = 0;  // R format (three-register and unary FP forms)
+               (isa::is_fp(c) && c != op::flw && c != op::fsw) ||
+               isa::is_amo(c) || isa::is_fence(c)) {
+        di.imm = 0;  // R format (three-register, unary FP, amo, fence)
     } else {
         di.imm = static_cast<std::int32_t>(rng.next_range(-32768, 32767));
     }
@@ -64,7 +65,7 @@ decoded_inst random_inst(op c, xrandom& rng) {
     if (isa::is_branch(c)) di.rd = 0;
     if (isa::is_store(c)) di.rd = 0;
     if (c == op::jal || c == op::lui || c == op::auipc) di.rs1 = 0;
-    if (c == op::syscall_op || c == op::halt) {
+    if (c == op::syscall_op || c == op::halt || isa::is_fence(c)) {
         di.rd = di.rs1 = di.rs2 = 0;
     }
     if (!isa::uses_rs2(c)) di.rs2 = 0;

@@ -1,0 +1,244 @@
+// Litmus-test differential suite (src/fuzz/litmus.*): the committed corpus
+// under tests/corpus/litmus/ must match re-enumeration exactly; the
+// multi-hart ISS must never escape the exhaustively enumerated outcome set
+// of its configured model (SC or TSO); the model-distinguishing outcomes
+// must actually be reached (SB's r1==0 && r2==0 under TSO) and stay
+// unreachable where forbidden (SB under SC, SB+fences under both); and
+// every run is a deterministic function of (test, model, schedule seed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/xrandom.hpp"
+#include "fuzz/litmus.hpp"
+#include "isa/mh_iss.hpp"
+#include "mem/main_memory.hpp"
+
+#ifndef OSM_LITMUS_CORPUS_DIR
+#define OSM_LITMUS_CORPUS_DIR "tests/corpus/litmus"
+#endif
+
+namespace {
+
+using namespace osm;
+using fuzz::litmus_outcome;
+using fuzz::litmus_test;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) ADD_FAILURE() << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::vector<std::string> corpus_files() {
+    std::vector<std::string> files;
+    for (const auto& e : std::filesystem::directory_iterator(OSM_LITMUS_CORPUS_DIR)) {
+        if (e.path().extension() == ".litmus") files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+litmus_test find_test(const std::string& name) {
+    for (auto& t : fuzz::litmus_suite()) {
+        if (t.name == name) return t;
+    }
+    ADD_FAILURE() << "suite has no test named " << name;
+    return {};
+}
+
+/// The SB observation slots are [(hart0, r0), (hart1, r0)]; 0/0 is the
+/// store-buffering outcome TSO allows and SC forbids.
+const litmus_outcome k_sb_zero_zero{0, 0};
+
+std::string outcomes_string(const std::set<litmus_outcome>& s) {
+    std::string out;
+    for (const auto& o : s) {
+        if (!out.empty()) out += ' ';
+        out += fuzz::outcome_to_string(o);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Committed corpus.
+// ---------------------------------------------------------------------------
+
+// Every committed .litmus file re-enumerates to exactly the recorded
+// sc:/tso: sets — the corpus is a regression pin on both operational
+// models, not just documentation.
+TEST(LitmusCorpus, RecordedOutcomeSetsMatchReenumeration) {
+    const auto files = corpus_files();
+    ASSERT_FALSE(files.empty()) << "no .litmus files under " << OSM_LITMUS_CORPUS_DIR;
+    for (const auto& path : files) {
+        const auto t = fuzz::parse_litmus(read_file(path));
+        EXPECT_EQ(fuzz::enumerate_outcomes(t, mem::memory_model::sc), t.sc_allowed)
+            << path << " sc set";
+        EXPECT_EQ(fuzz::enumerate_outcomes(t, mem::memory_model::tso), t.tso_allowed)
+            << path << " tso set";
+    }
+}
+
+// The canonical suite round-trips through the corpus text format without
+// losing structure or outcome sets.
+TEST(LitmusCorpus, TextFormatRoundTripsTheSuite) {
+    for (auto t : fuzz::litmus_suite()) {
+        t.sc_allowed = fuzz::enumerate_outcomes(t, mem::memory_model::sc);
+        t.tso_allowed = fuzz::enumerate_outcomes(t, mem::memory_model::tso);
+        const auto back = fuzz::parse_litmus(fuzz::to_text(t));
+        EXPECT_EQ(back.name, t.name);
+        EXPECT_EQ(back.locations, t.locations);
+        ASSERT_EQ(back.harts.size(), t.harts.size());
+        EXPECT_EQ(back.sc_allowed, t.sc_allowed);
+        EXPECT_EQ(back.tso_allowed, t.tso_allowed);
+        EXPECT_EQ(fuzz::to_text(back), fuzz::to_text(t));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-distinguishing outcomes (the ISSUE's acceptance criteria).
+// ---------------------------------------------------------------------------
+
+// SB's r1==0 && r2==0: forbidden by SC — absent from the exhaustive
+// enumeration and never observed across 1000 seeded schedules.
+TEST(LitmusModels, StoreBufferingZeroZeroNeverUnderSC) {
+    const auto sb = find_test("SB");
+    const auto allowed = fuzz::enumerate_outcomes(sb, mem::memory_model::sc);
+    EXPECT_FALSE(allowed.count(k_sb_zero_zero))
+        << "SC enumeration allows 0,0: " << outcomes_string(allowed);
+    const auto observed = fuzz::run_litmus(sb, mem::memory_model::sc, 1, 1000);
+    EXPECT_FALSE(observed.count(k_sb_zero_zero))
+        << "multi-hart ISS under SC reached the store-buffering outcome";
+    for (const auto& o : observed) {
+        EXPECT_TRUE(allowed.count(o))
+            << "SC run escaped the SC model: " << fuzz::outcome_to_string(o);
+    }
+}
+
+// ...allowed by TSO — present in the enumeration and actually reached by
+// the store-buffer implementation within a bounded schedule sweep.
+TEST(LitmusModels, StoreBufferingZeroZeroObservedUnderTSO) {
+    const auto sb = find_test("SB");
+    const auto allowed = fuzz::enumerate_outcomes(sb, mem::memory_model::tso);
+    EXPECT_TRUE(allowed.count(k_sb_zero_zero))
+        << "TSO enumeration misses 0,0: " << outcomes_string(allowed);
+    const auto observed = fuzz::run_litmus(sb, mem::memory_model::tso, 1, 1000);
+    EXPECT_TRUE(observed.count(k_sb_zero_zero))
+        << "store buffers never surfaced 0,0 in 1000 schedules; observed: "
+        << outcomes_string(observed);
+}
+
+// ...and forbidden under BOTH models once fences separate the store from
+// the load (SB+fences drains the buffer before each load).
+TEST(LitmusModels, FencedStoreBufferingForbidsZeroZeroUnderBothModels) {
+    const auto sbf = find_test("SB+fences");
+    for (const auto model : {mem::memory_model::sc, mem::memory_model::tso}) {
+        const auto allowed = fuzz::enumerate_outcomes(sbf, model);
+        EXPECT_FALSE(allowed.count(k_sb_zero_zero))
+            << mem::memory_model_name(model) << " enumeration allows fenced 0,0";
+        const auto observed = fuzz::run_litmus(sbf, model, 1, 500);
+        EXPECT_FALSE(observed.count(k_sb_zero_zero))
+            << mem::memory_model_name(model) << " run reached fenced 0,0";
+    }
+}
+
+// SC is the stronger model: everything SC allows, TSO allows too, on every
+// suite test.
+TEST(LitmusModels, SCOutcomesAreASubsetOfTSO) {
+    for (const auto& t : fuzz::litmus_suite()) {
+        const auto sc = fuzz::enumerate_outcomes(t, mem::memory_model::sc);
+        const auto tso = fuzz::enumerate_outcomes(t, mem::memory_model::tso);
+        for (const auto& o : sc) {
+            EXPECT_TRUE(tso.count(o)) << t.name << ": SC-only outcome "
+                                      << fuzz::outcome_to_string(o);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle: the ISS never escapes the enumerated set.
+// ---------------------------------------------------------------------------
+
+TEST(LitmusOracle, SuiteRunsStayInsideTheEnumeratedSets) {
+    for (const auto& t : fuzz::litmus_suite()) {
+        for (const auto model : {mem::memory_model::sc, mem::memory_model::tso}) {
+            const auto allowed = fuzz::enumerate_outcomes(t, model);
+            const auto observed = fuzz::run_litmus(t, model, 1, 200);
+            EXPECT_FALSE(observed.empty()) << t.name;
+            for (const auto& o : observed) {
+                EXPECT_TRUE(allowed.count(o))
+                    << t.name << " under " << mem::memory_model_name(model)
+                    << ": out-of-model outcome " << fuzz::outcome_to_string(o);
+            }
+        }
+    }
+}
+
+TEST(LitmusOracle, RandomTestsStayInsideTheEnumeratedSets) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        xrandom rng(seed);
+        const auto t = fuzz::random_litmus(rng);
+        for (const auto model : {mem::memory_model::sc, mem::memory_model::tso}) {
+            const auto allowed = fuzz::enumerate_outcomes(t, model);
+            const auto observed = fuzz::run_litmus(t, model, 1, 100);
+            for (const auto& o : observed) {
+                EXPECT_TRUE(allowed.count(o))
+                    << "random seed " << seed << " under "
+                    << mem::memory_model_name(model) << ": out-of-model outcome "
+                    << fuzz::outcome_to_string(o);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a run is a pure function of (test, model, schedule seed).
+// ---------------------------------------------------------------------------
+
+TEST(LitmusDeterminism, SameScheduleSeedReproducesTheMachineBitForBit) {
+    const auto sb = find_test("SB");
+    const auto img = fuzz::compile_litmus(sb);
+    for (const auto model : {mem::memory_model::sc, mem::memory_model::tso}) {
+        for (std::uint64_t sched = 1; sched <= 20; ++sched) {
+            std::vector<std::uint32_t> digests[2];
+            for (int rep = 0; rep < 2; ++rep) {
+                mem::main_memory m;
+                isa::mh_iss sim(m, static_cast<unsigned>(sb.harts.size()), model, sched);
+                sim.load(img);
+                sim.run(100'000);
+                ASSERT_TRUE(sim.all_halted());
+                auto& d = digests[rep];
+                for (unsigned h = 0; h < sim.harts(); ++h) {
+                    const isa::arch_state& st = sim.state(h);
+                    d.push_back(st.pc);
+                    for (const std::uint32_t r : st.gpr) d.push_back(r);
+                    d.push_back(static_cast<std::uint32_t>(sim.instret(h)));
+                }
+            }
+            EXPECT_EQ(digests[0], digests[1])
+                << mem::memory_model_name(model) << " schedule " << sched;
+        }
+    }
+}
+
+TEST(LitmusDeterminism, RunLitmusIsReproducibleSeedBySeed) {
+    const auto mp = find_test("MP");
+    for (const auto model : {mem::memory_model::sc, mem::memory_model::tso}) {
+        for (std::uint64_t sched = 1; sched <= 10; ++sched) {
+            const auto a = fuzz::run_litmus(mp, model, sched, sched);
+            const auto b = fuzz::run_litmus(mp, model, sched, sched);
+            ASSERT_EQ(a.size(), 1u);
+            EXPECT_EQ(a, b) << mem::memory_model_name(model) << " seed " << sched;
+        }
+    }
+}
+
+}  // namespace

@@ -107,7 +107,8 @@ bool valid_identifier(const std::string& s) {
 
 const std::set<std::string>& known_classes() {
     static const std::set<std::string> k = {
-        "alu", "muldiv", "load", "store", "branch", "jump", "fpc", "fpx", "sys"};
+        "alu", "muldiv", "load", "store", "branch", "jump", "fpc", "fpx", "sys",
+        "amo",  "sync"};
     return k;
 }
 
@@ -367,6 +368,8 @@ const char* cls_name(const std::string& c) {
     if (c == "jump") return "c_jump";
     if (c == "fpc") return "c_fpc";
     if (c == "fpx") return "c_fpx";
+    if (c == "amo") return "c_amo";
+    if (c == "sync") return "c_sync";
     return "c_sys";
 }
 

@@ -8,16 +8,23 @@
 //            [--name NAME] [--max-cycles N] [--jobs N] [--json]
 //   osm-fuzz minimize prog.s --engines a,b [--save DIR] [--name NAME] [--json]
 //   osm-fuzz replay prog.s|DIR [--engines a,b,...] [--json]
+//   osm-fuzz litmus [--seeds LO:HI] [--schedules N] [--save DIR]
+//            [--replay DIR|file.litmus] [--suite-out DIR] [--json]
 //
 // A campaign sweeps the feature matrix over the seed range, diffing every
 // generated program across the engines; `minimize` delta-debugs one
 // divergent program to a minimal reproducer; `replay` re-runs committed
-// corpus artifacts (tests/corpus/).  With --json, stdout carries exactly
-// one deterministic JSON summary (byte-identical across repeat runs).
+// corpus artifacts (tests/corpus/).  `litmus` differentially checks the
+// multi-hart ISS against the exhaustive SC/TSO outcome enumerator on the
+// canonical suite plus randomized variants, writing out-of-model tests as
+// .litmus corpus reproducers (tests/corpus/litmus/).  With --json, stdout
+// carries exactly one deterministic JSON summary (byte-identical across
+// repeat runs).
 //
 // Exit codes: 0 = no divergence, 2 = usage, 4 = divergence found
 // (campaign/replay) or, for minimize, 1 when the input does not diverge;
 // 1 also covers setup errors (unknown engine, unreadable input).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +36,7 @@
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/corpus.hpp"
+#include "fuzz/litmus.hpp"
 #include "fuzz/minimize.hpp"
 #include "isa/assembler.hpp"
 #include "serve/campaign_service.hpp"
@@ -61,6 +69,10 @@ void usage() {
                  "                reject failing candidates at the first mismatching\n"
                  "                boundary and bisect the first divergent retirement\n"
                  "       osm-fuzz replay prog.s|DIR [--engines LIST] [--json]\n"
+                 "       osm-fuzz litmus [--seeds LO:HI] [--schedules N] [--save DIR]\n"
+                 "                [--replay DIR|file.litmus] [--suite-out DIR] [--json]\n"
+                 "                diff the multi-hart ISS against the exhaustive SC/TSO\n"
+                 "                outcome enumerator (canonical suite + random variants)\n"
                  "generator flags (shared with osm-run --rand):\n%s",
                  workloads::randprog_flags_help().c_str());
     std::exit(exit_usage);
@@ -92,6 +104,8 @@ struct cli {
     std::string name;
     bool checkpoint = false;
     std::uint64_t interval = 256;
+    std::uint64_t schedules = 200;
+    std::string suite_out;
     unsigned jobs = 1;
     std::string cache_dir;
     std::uint64_t watchdog_ms = 0;
@@ -106,7 +120,8 @@ cli parse_args(int argc, char** argv) {
         std::string cmd = argv[i];
         // Accept both subcommand and --flag spellings.
         if (!cmd.empty() && cmd.rfind("--", 0) == 0) cmd = cmd.substr(2);
-        if (cmd == "campaign" || cmd == "minimize" || cmd == "replay") {
+        if (cmd == "campaign" || cmd == "minimize" || cmd == "replay" ||
+            cmd == "litmus") {
             c.command = cmd;
             ++i;
         }
@@ -146,6 +161,11 @@ cli parse_args(int argc, char** argv) {
             c.checkpoint = true;
         } else if (arg == "--interval" && i + 1 < argc) {
             c.interval = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--schedules" && i + 1 < argc) {
+            c.schedules = std::strtoull(argv[++i], nullptr, 0);
+            if (c.schedules == 0) usage();
+        } else if (arg == "--suite-out" && i + 1 < argc) {
+            c.suite_out = argv[++i];
         } else if (arg == "--jobs" && i + 1 < argc) {
             c.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
             if (c.jobs == 0) usage();
@@ -344,6 +364,143 @@ int run_replay_cmd(const cli& c) {
     return failures == 0 ? exit_ok : exit_divergence;
 }
 
+// ---- litmus -----------------------------------------------------------------
+
+std::string outcome_set_string(const std::set<fuzz::litmus_outcome>& s) {
+    std::string out;
+    for (const auto& o : s) {
+        if (!out.empty()) out += ' ';
+        out += fuzz::outcome_to_string(o);
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+/// Check one litmus test: the ISS under each model must stay inside the
+/// enumerated outcome set, SC must be a refinement of TSO, and recorded
+/// corpus sets (when present) must match the enumeration exactly.  Returns
+/// the failure descriptions (empty = pass) and leaves the enumerated sets
+/// in `t` so reproducers carry them.
+std::vector<std::string> check_litmus(fuzz::litmus_test& t, std::uint64_t schedules) {
+    std::vector<std::string> failures;
+    const auto enum_sc = fuzz::enumerate_outcomes(t, mem::memory_model::sc);
+    const auto enum_tso = fuzz::enumerate_outcomes(t, mem::memory_model::tso);
+    if (!t.sc_allowed.empty() && t.sc_allowed != enum_sc) {
+        failures.push_back("recorded SC set {" + outcome_set_string(t.sc_allowed) +
+                           "} != enumerated {" + outcome_set_string(enum_sc) + "}");
+    }
+    if (!t.tso_allowed.empty() && t.tso_allowed != enum_tso) {
+        failures.push_back("recorded TSO set {" + outcome_set_string(t.tso_allowed) +
+                           "} != enumerated {" + outcome_set_string(enum_tso) + "}");
+    }
+    t.sc_allowed = enum_sc;
+    t.tso_allowed = enum_tso;
+    for (const auto& o : enum_sc) {
+        if (enum_tso.count(o) == 0) {
+            failures.push_back("SC outcome " + fuzz::outcome_to_string(o) +
+                               " missing from TSO set (TSO must be weaker)");
+        }
+    }
+    const struct {
+        mem::memory_model model;
+        const char* tag;
+        const std::set<fuzz::litmus_outcome>& allowed;
+    } runs[] = {{mem::memory_model::sc, "SC", enum_sc},
+                {mem::memory_model::tso, "TSO", enum_tso}};
+    for (const auto& r : runs) {
+        const auto observed = fuzz::run_litmus(t, r.model, 1, schedules);
+        for (const auto& o : observed) {
+            if (r.allowed.count(o) == 0) {
+                failures.push_back(std::string("out-of-model outcome under ") + r.tag +
+                                   ": " + fuzz::outcome_to_string(o) + " not in {" +
+                                   outcome_set_string(r.allowed) + "}");
+            }
+        }
+    }
+    return failures;
+}
+
+std::string save_litmus(const std::string& dir, const fuzz::litmus_test& t) {
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/" + t.name + ".litmus";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << fuzz::to_text(t);
+    return path;
+}
+
+int run_litmus_cmd(const cli& c) {
+    FILE* human = c.json ? stderr : stdout;
+
+    if (!c.suite_out.empty()) {
+        // Corpus generator: canonical suite with enumerated outcome sets.
+        for (fuzz::litmus_test t : fuzz::litmus_suite()) {
+            t.sc_allowed = fuzz::enumerate_outcomes(t, mem::memory_model::sc);
+            t.tso_allowed = fuzz::enumerate_outcomes(t, mem::memory_model::tso);
+            std::fprintf(human, "wrote %s\n", save_litmus(c.suite_out, t).c_str());
+        }
+        return exit_ok;
+    }
+
+    std::vector<fuzz::litmus_test> tests;
+    if (!c.replay_dir.empty()) {
+        std::vector<std::string> paths;
+        if (std::filesystem::is_directory(c.replay_dir)) {
+            for (const auto& e : std::filesystem::directory_iterator(c.replay_dir)) {
+                if (e.path().extension() == ".litmus") paths.push_back(e.path().string());
+            }
+            std::sort(paths.begin(), paths.end());
+        } else {
+            paths.push_back(c.replay_dir);
+        }
+        if (paths.empty()) {
+            std::fprintf(stderr, "osm-fuzz: no .litmus files under %s\n",
+                         c.replay_dir.c_str());
+            return exit_setup;
+        }
+        for (const auto& p : paths) {
+            std::ifstream in(p, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr, "osm-fuzz: cannot open %s\n", p.c_str());
+                return exit_setup;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            tests.push_back(fuzz::parse_litmus(text.str()));
+        }
+    } else {
+        tests = fuzz::litmus_suite();
+        for (std::uint64_t seed = c.seed_lo; seed <= c.seed_hi; ++seed) {
+            xrandom rng(seed);
+            fuzz::litmus_test t = fuzz::random_litmus(rng);
+            t.name = "rand_" + std::to_string(seed);
+            tests.push_back(std::move(t));
+        }
+    }
+
+    stats::report rep;
+    std::uint64_t failures = 0;
+    for (fuzz::litmus_test& t : tests) {
+        const auto fails = check_litmus(t, c.schedules);
+        std::fprintf(human, "litmus %-16s %zu harts  sc=%zu tso=%zu  %s\n",
+                     t.name.c_str(), t.harts.size(), t.sc_allowed.size(),
+                     t.tso_allowed.size(), fails.empty() ? "ok" : "FAILED");
+        for (const auto& f : fails) std::fprintf(human, "  %s\n", f.c_str());
+        if (!fails.empty()) {
+            ++failures;
+            if (!c.save_dir.empty()) {
+                std::fprintf(human, "  reproducer: %s\n",
+                             save_litmus(c.save_dir, t).c_str());
+            }
+        }
+        rep.put("litmus", t.name,
+                fails.empty() ? std::string("ok") : fails.front());
+    }
+    rep.put("summary", "tests", static_cast<std::uint64_t>(tests.size()));
+    rep.put("summary", "schedules", c.schedules);
+    rep.put("summary", "failures", failures);
+    if (c.json) std::printf("%s", rep.to_json().c_str());
+    return failures == 0 ? exit_ok : exit_divergence;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,6 +508,7 @@ int main(int argc, char** argv) {
         const cli c = parse_args(argc, argv);
         if (c.command == "campaign") return run_campaign_cmd(c);
         if (c.command == "minimize") return run_minimize_cmd(c);
+        if (c.command == "litmus") return run_litmus_cmd(c);
         return run_replay_cmd(c);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "osm-fuzz: %s\n", e.what());
